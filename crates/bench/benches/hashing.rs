@@ -1,0 +1,74 @@
+//! Criterion benches for the hashing substrate: the operations on the
+//! TLB critical path (§3.1) and the OS allocation path (§3.2).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use mosaic_core::hash::xxhash::xxh64_u64 as xxh64_key;
+use mosaic_core::hash::{SplitMix64, TabulationHasher, XxFamily};
+use mosaic_core::hash::HashFamily;
+use mosaic_core::hw::circuit::TabHashCircuit;
+
+fn bench_tabulation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tabulation");
+    let tab = TabulationHasher::new(8, 7, 42);
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("single_output", |b| {
+        let mut k = 0u64;
+        b.iter(|| {
+            k = k.wrapping_add(0x9E37_79B9);
+            black_box(tab.hash(black_box(k), 0))
+        })
+    });
+    g.bench_function("all_7_outputs", |b| {
+        let mut k = 0u64;
+        b.iter(|| {
+            k = k.wrapping_add(0x9E37_79B9);
+            black_box(tab.hash_all(black_box(k)))
+        })
+    });
+    // The gate-level circuit model (used by Table 5) vs the behavioural
+    // model — how much slower is the structural simulation.
+    let circuit = TabHashCircuit::new(8, 7, 42);
+    g.bench_function("circuit_model_all_outputs", |b| {
+        let mut k = 0u64;
+        b.iter(|| {
+            k = k.wrapping_add(0x9E37_79B9);
+            black_box(circuit.evaluate(black_box(k)))
+        })
+    });
+    g.finish();
+}
+
+fn bench_xxhash(c: &mut Criterion) {
+    let mut g = c.benchmark_group("xxhash");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("u64_key", |b| {
+        let mut k = 0u64;
+        b.iter(|| {
+            k = k.wrapping_add(1);
+            black_box(xxh64_key(black_box(k), 0))
+        })
+    });
+    let family = XxFamily::new(7, 9);
+    g.bench_function("family_7_buckets", |b| {
+        let mut k = 0u64;
+        b.iter(|| {
+            k = k.wrapping_add(1);
+            let mut acc = 0usize;
+            for i in 0..7 {
+                acc ^= family.hash_to(black_box(k), i, 104);
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+fn bench_splitmix(c: &mut Criterion) {
+    c.bench_function("splitmix64_next", |b| {
+        let mut rng = SplitMix64::new(1);
+        b.iter(|| black_box(rng.next_u64()))
+    });
+}
+
+criterion_group!(benches, bench_tabulation, bench_xxhash, bench_splitmix);
+criterion_main!(benches);

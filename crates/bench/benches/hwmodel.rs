@@ -1,0 +1,45 @@
+//! Criterion bench for the Table 5 hardware models: the synthesis models
+//! themselves are trivial; the interesting measurement is the bit-exact
+//! gate-level datapath simulation versus the behavioural hasher (how much
+//! the structural model costs per evaluation).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use mosaic_core::hash::TabulationHasher;
+use mosaic_core::hw::{asic, circuit::TabHashCircuit, fpga};
+
+fn bench_models(c: &mut Criterion) {
+    c.bench_function("fpga_synthesize_sweep", |b| {
+        b.iter(|| {
+            for h in [1usize, 2, 4, 8] {
+                black_box(fpga::synthesize(black_box(h)));
+                black_box(asic::synthesize(black_box(h)));
+            }
+        })
+    });
+}
+
+fn bench_datapath(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hash_datapath");
+    for h in [1usize, 4, 8] {
+        let circuit = TabHashCircuit::new(5, h, 7);
+        let behavioural = TabulationHasher::new(5, h, 7);
+        g.bench_with_input(BenchmarkId::new("gate_level", h), &h, |b, _| {
+            let mut k = 0u64;
+            b.iter(|| {
+                k = k.wrapping_add(0x9E37_79B9);
+                black_box(circuit.evaluate(black_box(k)))
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("behavioural", h), &h, |b, _| {
+            let mut k = 0u64;
+            b.iter(|| {
+                k = k.wrapping_add(0x9E37_79B9);
+                black_box(behavioural.hash_all(black_box(k)))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_models, bench_datapath);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Criterion benches for the Iceberg hash table: insert/lookup costs at
+//! the load factors Mosaic operates at (§2.3), plus the first-conflict
+//! load-factor measurement underlying Table 3.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use mosaic_core::hash::{SplitMix64, XxFamily};
+use mosaic_core::iceberg::{experiments, IcebergConfig, IcebergTable};
+
+fn filled_table(load: f64) -> (IcebergTable<u64, u64, XxFamily>, Vec<u64>) {
+    let cfg = IcebergConfig::paper_default(64);
+    let mut t = IcebergTable::new(cfg, XxFamily::new(cfg.hash_count(), 7));
+    let mut rng = SplitMix64::new(1);
+    let target = (cfg.total_slots() as f64 * load) as usize;
+    let mut keys = Vec::with_capacity(target);
+    while t.len() < target {
+        let k = rng.next_u64();
+        if t.insert(k, k).is_ok() {
+            keys.push(k);
+        }
+    }
+    (t, keys)
+}
+
+fn bench_ops_at_load(c: &mut Criterion) {
+    let mut g = c.benchmark_group("iceberg_ops");
+    for &load in &[0.5, 0.9, 0.97] {
+        let (t, keys) = filled_table(load);
+        g.bench_with_input(BenchmarkId::new("get", format!("{load}")), &load, |b, _| {
+            let mut i = 0usize;
+            b.iter(|| {
+                i = (i + 1) % keys.len();
+                black_box(t.get(&keys[i]))
+            })
+        });
+        g.bench_with_input(
+            BenchmarkId::new("churn_remove_insert", format!("{load}")),
+            &load,
+            |b, _| {
+                let (mut t, keys) = filled_table(load);
+                let mut rng = SplitMix64::new(2);
+                let mut i = 0usize;
+                b.iter(|| {
+                    i = (i + 1) % keys.len();
+                    let victim = keys[i];
+                    t.remove(&victim);
+                    // Re-insert the same key: stable round trip.
+                    t.insert(victim, rng.next_u64()).ok();
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_first_conflict(c: &mut Criterion) {
+    // The δ measurement: fill a table until its first conflict.
+    c.bench_function("iceberg_fill_to_first_conflict_16buckets", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let r = experiments::fill_to_first_conflict(IcebergConfig::paper_default(16), seed);
+            black_box(r.first_conflict_percent())
+        })
+    });
+}
+
+criterion_group!(benches, bench_ops_at_load, bench_first_conflict);
+criterion_main!(benches);

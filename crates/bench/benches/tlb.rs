@@ -1,0 +1,68 @@
+//! Criterion benches for the TLB models: per-access cost of lookup/fill
+//! for both designs across associativities — the simulator's inner loop.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use mosaic_core::hash::SplitMix64;
+use mosaic_core::mem::{Asid, Cpfn, Pfn, Vpn};
+use mosaic_core::mmu::{Arity, Associativity, MosaicLookup, MosaicTlb, TlbConfig, VanillaTlb};
+
+const ASSOCS: [Associativity; 3] = [
+    Associativity::Ways(1),
+    Associativity::Ways(8),
+    Associativity::Full,
+];
+
+fn bench_vanilla(c: &mut Criterion) {
+    let mut g = c.benchmark_group("vanilla_tlb");
+    for assoc in ASSOCS {
+        g.bench_with_input(
+            BenchmarkId::new("lookup_fill", assoc.to_string()),
+            &assoc,
+            |b, &assoc| {
+                let mut tlb = VanillaTlb::new(TlbConfig::new(1024, assoc));
+                let mut rng = SplitMix64::new(3);
+                let asid = Asid::new(1);
+                b.iter(|| {
+                    // 2048-page working set: ~50% hit rate at 1024 entries.
+                    let vpn = Vpn::new(rng.next_below(2048));
+                    if !tlb.lookup(asid, black_box(vpn)).is_hit() {
+                        tlb.fill_base(asid, vpn, Pfn::new(vpn.0));
+                    }
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_mosaic(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mosaic_tlb");
+    for assoc in ASSOCS {
+        g.bench_with_input(
+            BenchmarkId::new("lookup_fill_arity4", assoc.to_string()),
+            &assoc,
+            |b, &assoc| {
+                let arity = Arity::new(4);
+                let mut tlb = MosaicTlb::new(TlbConfig::new(1024, assoc), arity);
+                let mut rng = SplitMix64::new(3);
+                let asid = Asid::new(1);
+                b.iter(|| {
+                    let vpn = Vpn::new(rng.next_below(8192));
+                    match tlb.lookup(asid, black_box(vpn)) {
+                        MosaicLookup::Hit(_) => {}
+                        MosaicLookup::SubMiss => tlb.fill_sub(asid, vpn, Cpfn(1)),
+                        MosaicLookup::Miss => {
+                            let mut toc = tlb.blank_toc();
+                            toc.set((vpn.0 % 4) as usize, Cpfn(1));
+                            tlb.fill_toc(asid, vpn, toc);
+                        }
+                    }
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_vanilla, bench_mosaic);
+criterion_main!(benches);

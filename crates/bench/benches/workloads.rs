@@ -1,0 +1,51 @@
+//! Criterion benches for the workload generators: trace-emission
+//! throughput is the simulator's outer loop, so generator speed bounds
+//! every experiment's wall-clock.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mosaic_core::workloads::{standard_suite, Workload};
+
+fn bench_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("workload_generation");
+    g.sample_size(10);
+    for idx in 0..4usize {
+        let meta = standard_suite(0, 1)[idx].meta();
+        g.throughput(Throughput::Elements(meta.approx_accesses));
+        g.bench_with_input(BenchmarkId::new("construct_and_run", meta.name), &idx, |b, &idx| {
+            b.iter(|| {
+                let mut w = standard_suite(0, 1).remove(idx);
+                let mut count = 0u64;
+                w.run(&mut |a| {
+                    count += 1;
+                    black_box(a);
+                });
+                black_box(count)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_emission_only(c: &mut Criterion) {
+    // Construction excluded: pre-build once, measure the emit loop.
+    let mut g = c.benchmark_group("trace_emission");
+    g.sample_size(10);
+    for idx in 0..4usize {
+        let name = standard_suite(0, 1)[idx].meta().name;
+        let mut w = standard_suite(0, 1).remove(idx);
+        g.bench_with_input(BenchmarkId::new("run", name), &idx, |b, _| {
+            b.iter(|| {
+                let mut count = 0u64;
+                w.run(&mut |a| {
+                    count += 1;
+                    black_box(a);
+                });
+                black_box(count)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_generation, bench_emission_only);
+criterion_main!(benches);

@@ -1,0 +1,194 @@
+//! Ablation studies for the design choices DESIGN.md calls out:
+//!
+//! 1. **Eviction policy** (§2.4's design space): Horizon LRU vs the naive
+//!    candidate-LRU scheme vs the prior-work reserved-capacity scheme, at
+//!    several reserve fractions — swap I/O and achievable utilization.
+//! 2. **Baseline fidelity**: Mosaic vs the idealised exact-LRU baseline
+//!    vs stock-Linux-style two-list clock reclaim.
+//! 3. **Backyard choices** `d`: first-conflict utilization for d ∈ 1..8
+//!    (the power-of-d-choices knob).
+//! 4. **Front/back split**: how dividing each 64-frame bucket between the
+//!    yards trades first-conflict load against CPFN width.
+//!
+//! ```text
+//! ablation [--buckets N]
+//! ```
+
+use mosaic_bench::Args;
+use mosaic_core::iceberg::{experiments, IcebergConfig};
+use mosaic_core::mem::clock::ClockMemory;
+use mosaic_core::prelude::*;
+use mosaic_core::sim::pressure::PressureWorkload;
+use mosaic_core::mem::scanner::ScannerConfig;
+use mosaic_core::sim::report::Table;
+
+fn drive(manager: &mut dyn MemoryManager, workload: PressureWorkload, target: u64, seed: u64) {
+    let mut w = workload.build(target, seed);
+    let mut now = 0u64;
+    w.run(&mut |a| {
+        now += 1;
+        manager.access(PageKey::new(Asid::new(1), a.addr.vpn()), a.kind, now);
+        if now.is_multiple_of(65_536) {
+            manager.sample_utilization();
+        }
+    });
+    manager.sample_utilization();
+}
+
+fn main() {
+    let args = Args::from_env();
+    let buckets = args.get_u64("buckets", 64) as usize;
+    let layout = MemoryLayout::new(IcebergConfig::paper_default(buckets));
+    let target = layout.bytes() * 5 / 4; // 125 % footprint
+    let workload = PressureWorkload::XsBench;
+
+    // ── 1. Eviction-policy ablation ────────────────────────────────────
+    let mut t1 = Table::new(vec![
+        "Policy".into(),
+        "Swap I/O (pages)".into(),
+        "Conflicts".into(),
+        "Ghost evictions".into(),
+        "Steady-state util (%)".into(),
+    ])
+    .with_title(&format!(
+        "Ablation 1: eviction policy (XSBench at 125% of {} MiB)",
+        layout.bytes() >> 20
+    ));
+    for policy in [
+        MosaicPolicy::HorizonLru,
+        MosaicPolicy::CandidateLru,
+        MosaicPolicy::ReservedCapacity { reserve_permille: 20 },
+        MosaicPolicy::ReservedCapacity { reserve_permille: 40 },
+        MosaicPolicy::ReservedCapacity { reserve_permille: 80 },
+    ] {
+        eprintln!("[ablation] policy {policy} ...");
+        let mut mm = MosaicMemory::with_policy(layout, 7, policy);
+        drive(&mut mm, workload, target, 7);
+        t1.row(vec![
+            policy.to_string(),
+            mm.stats().swap_ops().to_string(),
+            mm.stats().conflicts.to_string(),
+            mm.stats().ghost_evictions.to_string(),
+            format!(
+                "{:.2}",
+                mm.utilization_tracker().steady_state_mean().unwrap_or(0.0) * 100.0
+            ),
+        ]);
+    }
+    println!("{}", t1.render());
+    println!(
+        "Reading: Horizon LRU gets high utilization *and* low swap I/O; the naive policy\n\
+         conflicts on every eviction; reserving capacity suppresses conflicts but wastes\n\
+         the reserve (§2.4).\n"
+    );
+
+    // ── 2. Baseline fidelity ───────────────────────────────────────────
+    let mut t2 = Table::new(vec![
+        "Manager".into(),
+        "Swap I/O (pages)".into(),
+        "Steady-state util (%)".into(),
+    ])
+    .with_title("Ablation 2: Mosaic vs baseline reclaim fidelity (same stream)");
+    let mut mosaic = MosaicMemory::new(layout, 7);
+    let mut exact = LinuxMemory::new(layout);
+    let mut clock = ClockMemory::new(layout);
+    let managers: [(&str, &mut dyn MemoryManager); 3] = [
+        ("Mosaic (Horizon LRU)", &mut mosaic),
+        ("Baseline: exact LRU", &mut exact),
+        ("Baseline: 2-list clock", &mut clock),
+    ];
+    for (name, mgr) in managers {
+        eprintln!("[ablation] manager {name} ...");
+        drive(mgr, workload, target, 7);
+        t2.row(vec![
+            name.to_string(),
+            mgr.stats().swap_ops().to_string(),
+            format!(
+                "{:.2}",
+                mgr.utilization_tracker().steady_state_mean().unwrap_or(0.0) * 100.0
+            ),
+        ]);
+    }
+    println!("{}", t2.render());
+
+    // ── 3. Backyard-choices sweep ──────────────────────────────────────
+    let mut t3 = Table::new(vec![
+        "d (backyard choices)".into(),
+        "h (associativity)".into(),
+        "First-conflict load (%)".into(),
+    ])
+    .with_title("Ablation 3: power-of-d-choices vs achievable load (56 + d x 8 geometry)");
+    for d in [1usize, 2, 3, 4, 6, 8] {
+        let cfg = IcebergConfig::new(buckets.max(8), 56, 8, d);
+        let s = experiments::first_conflict_summary(cfg, 5, 3);
+        t3.row(vec![
+            d.to_string(),
+            cfg.associativity().to_string(),
+            format!("{:.2} ±{:.2}", s.mean, s.stddev),
+        ]);
+    }
+    println!("{}", t3.render());
+    println!("Reading: more choices flatten the backyard load; the paper picks d = 6 so the\nCPFN still fits 7 bits (h = 104 <= 127).\n");
+
+    // ── 4. Front/back split ────────────────────────────────────────────
+    let mut t4 = Table::new(vec![
+        "Split (front/back)".into(),
+        "h".into(),
+        "CPFN bits".into(),
+        "First-conflict load (%)".into(),
+    ])
+    .with_title("Ablation 4: bucket split between yards (64 frames per bucket, d = 6)");
+    for (front, back) in [(63, 1), (60, 4), (56, 8), (48, 16), (32, 32)] {
+        let cfg = IcebergConfig::new(buckets.max(8), front, back, 6);
+        let s = experiments::first_conflict_summary(cfg, 6, 3);
+        t4.row(vec![
+            format!("{front}/{back}"),
+            cfg.associativity().to_string(),
+            cfg.cpfn_bits().to_string(),
+            format!("{:.2} ±{:.2}", s.mean, s.stddev),
+        ]);
+    }
+    println!("{}", t4.render());
+    println!("Reading: the paper's 56/8 split reaches ~98% at 7-bit CPFNs; bigger backyards\nbuy little load and cost encoding bits.\n");
+
+    // ── 5. Timestamp fidelity (§3.2 scanning daemon) ──────────────────
+    let mut t5 = Table::new(vec![
+        "Timestamps".into(),
+        "Swap I/O (pages)".into(),
+        "Bits cleared".into(),
+        "Assumed accessed".into(),
+    ])
+    .with_title("Ablation 5: exact timestamps vs the access-bit scanning daemon (§3.2)");
+    {
+        eprintln!("[ablation] timestamps: exact ...");
+        let mut exact = MosaicMemory::new(layout, 7);
+        drive(&mut exact, workload, target, 7);
+        t5.row(vec![
+            "Exact (ideal hardware)".into(),
+            exact.stats().swap_ops().to_string(),
+            "-".into(),
+            "-".into(),
+        ]);
+        eprintln!("[ablation] timestamps: scanned ...");
+        // Scan interval ~ one pass over memory, the analogue of the
+        // paper's 1 s wall-clock interval on its 4 GiB pool.
+        let mut scanned = MosaicMemory::with_scanner(
+            layout,
+            7,
+            ScannerConfig {
+                interval: layout.num_frames() as u64 * 2,
+                ..Default::default()
+            },
+        );
+        drive(&mut scanned, workload, target, 7);
+        let st = *scanned.scanner().expect("scanner mode").stats();
+        t5.row(vec![
+            "Scanned (access bits + 20% hot sampling)".into(),
+            scanned.stats().swap_ops().to_string(),
+            st.bits_cleared.to_string(),
+            st.assumed_accessed.to_string(),
+        ]);
+    }
+    println!("{}", t5.render());
+    println!("Reading: epoch-granular timestamps make Horizon LRU's eviction choices\ncoarser (the fidelity cost of real hardware, quantified above), while hot-page\nsampling avoids a large share of access-bit clears (TLB invalidations).");
+}

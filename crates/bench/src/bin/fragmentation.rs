@@ -1,0 +1,70 @@
+//! The fragmentation sweep: the paper's §1 motivation, quantified.
+//!
+//! "Many solutions to this problem, such as huge pages, perforated pages,
+//! or TLB coalescing, rely on physical contiguity for performance gains,
+//! yet the cost of defragmenting memory can easily nullify these gains"
+//! — and §1 cites Redis dropping from +29 % to −11 % at 50 % Linux
+//! fragmentation. This driver pre-fragments physical memory and compares
+//! four designs' TLB misses on the same workload:
+//! vanilla 4 KiB, opportunistic THP, CoLT-style coalescing, and Mosaic-4.
+//!
+//! ```text
+//! fragmentation [--keys N] [--lookups N] [--csv]
+//! ```
+
+use mosaic_bench::Args;
+use mosaic_core::sim::frag::{run_frag, FragConfig};
+use mosaic_core::sim::report::{humanize, Table};
+use mosaic_core::workloads::{BTreeConfig, BTreeWorkload};
+
+fn main() {
+    let args = Args::from_env();
+    let keys = args.get_u64("keys", 600_000);
+    let lookups = args.get_u64("lookups", 60_000);
+
+    let mut t = Table::new(vec![
+        "Fragmentation".into(),
+        "Vanilla 4K".into(),
+        "THP".into(),
+        "CoLT".into(),
+        "Mosaic-4".into(),
+        "2MiB formed".into(),
+        "CoLT pack".into(),
+    ])
+    .with_title(&format!(
+        "Fragmentation sweep: TLB misses, BTree ({keys} keys), 256-entry 8-way TLBs"
+    ));
+
+    for frag in [0.0, 0.05, 0.10, 0.25, 0.50, 0.75, 0.90] {
+        eprintln!("[fragmentation] level {frag:.2} ...");
+        let mut w = BTreeWorkload::new(
+            BTreeConfig {
+                num_keys: keys,
+                num_lookups: lookups,
+            },
+            7,
+        );
+        let r = run_frag(&FragConfig::new(frag, 21), &mut w);
+        t.row(vec![
+            format!("{:.0}%", frag * 100.0),
+            humanize(r.vanilla_misses),
+            humanize(r.thp_misses),
+            humanize(r.colt_misses),
+            humanize(r.mosaic_misses),
+            format!("{}/{}", r.huge_formed, r.huge_regions),
+            format!("{:.2}", r.colt_mean_pack),
+        ]);
+    }
+    if args.has("csv") {
+        println!("{}", t.render_csv());
+    } else {
+        println!("{}", t.render());
+    }
+    println!(
+        "Reading (paper §1): THP formation falls off a cliff — a 2 MiB page needs 512\n\
+         clean frames, so even light scattered filler kills promotion (exactly why\n\
+         kernels run compaction daemons). CoLT only needs short runs, so its packing\n\
+         decays gradually with residual contiguity. Mosaic's hashed placement never\n\
+         depended on contiguity: its column is flat, with no defragmentation at all."
+    );
+}

@@ -1,0 +1,73 @@
+//! Locality sensitivity: *why* GUPS is Figure 6's hardest workload.
+//!
+//! Mosaic pages exploit virtual **spatial** locality — neighbouring pages
+//! sharing a ToC — not temporal popularity. This driver runs Zipf-skewed
+//! GUPS twice at the same popularity skew: once with popular keys
+//! virtually adjacent (spatial hotspots) and once scattered by a random
+//! permutation (temporal skew only), sweeping the skew exponent θ.
+//!
+//! ```text
+//! locality [--entries N] [--updates N]
+//! ```
+
+use mosaic_bench::Args;
+use mosaic_core::prelude::*;
+use mosaic_core::sim::report::Table;
+use mosaic_core::workloads::{ZipfGups, ZipfGupsConfig};
+
+fn reduction(entries: usize, cfg: ZipfGupsConfig) -> f64 {
+    let config = MosaicConfig::builder()
+        .tlb_entries(entries)
+        .tlb_associativity(Associativity::Ways(8))
+        .arity(4)
+        .kernel(None)
+        .seed(3)
+        .build();
+    let report = MosaicSystem::new(&config).run(&mut ZipfGups::new(cfg, 9));
+    report.miss_reduction_percent()
+}
+
+fn main() {
+    let args = Args::from_env();
+    let entries = args.get_u64("entries", 256) as usize;
+    let updates = args.get_u64("updates", 2_000_000);
+    let table_bytes = 64u64 << 20; // 16 Ki pages >> TLB reach
+
+    let mut t = Table::new(vec![
+        "Zipf θ".into(),
+        "Mosaic-4 reduction, spatial hotspots (%)".into(),
+        "Mosaic-4 reduction, scrambled hotspots (%)".into(),
+    ])
+    .with_title(&format!(
+        "Locality ablation: Zipf-GUPS, {entries}-entry 8-way TLB, 64 MiB table"
+    ));
+    for theta in [0.0, 0.6, 0.9, 1.1, 1.3] {
+        eprintln!("[locality] theta {theta} ...");
+        let base = ZipfGupsConfig {
+            table_bytes,
+            updates,
+            theta,
+            scramble: false,
+        };
+        let spatial = reduction(entries, base);
+        let scrambled = reduction(
+            entries,
+            ZipfGupsConfig {
+                scramble: true,
+                ..base
+            },
+        );
+        t.row(vec![
+            format!("{theta:.1}"),
+            format!("{spatial:+.1}"),
+            format!("{scrambled:+.1}"),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "Reading: at θ = 0 both columns are plain GUPS. As skew rises, spatial\n\
+         hotspots hand mosaic pages dense 16 KiB neighbourhoods to compress (the\n\
+         reduction grows), while scrambled hotspots leave only temporal reuse that\n\
+         a vanilla TLB captures just as well (the reduction stays near GUPS level)."
+    );
+}

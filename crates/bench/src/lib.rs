@@ -1,0 +1,116 @@
+//! Shared plumbing for the experiment-regenerator binaries.
+//!
+//! Each binary reproduces one paper artifact:
+//!
+//! | Binary | Paper artifact | Usage |
+//! |--------|----------------|-------|
+//! | `fig6` | Figure 6 (TLB misses) | `fig6 [graph500\|btree\|gups\|xsbench\|all] [--scale N] [--entries N]` |
+//! | `table2` | Table 2 (workloads) | `table2 [--scale N]` |
+//! | `table3` | Table 3 (utilization) | `table3 [--buckets N]` |
+//! | `table4` | Table 4 (swap I/O) | `table4 [--buckets N]` |
+//! | `table5` | Table 5 + §4.4 (hardware) | `table5` |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// A minimal flag parser: `--name value` pairs plus positional arguments.
+///
+/// # Example
+///
+/// ```
+/// use mosaic_bench::Args;
+///
+/// let a = Args::parse(["prog", "btree", "--scale", "2"].iter().map(|s| s.to_string()));
+/// assert_eq!(a.positional(), ["btree"]);
+/// assert_eq!(a.get_u64("scale", 1), 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    positional: Vec<String>,
+    flags: Vec<(String, String)>,
+}
+
+impl Args {
+    /// Parses an iterator of arguments (the first is skipped as `argv[0]`).
+    pub fn parse(mut args: impl Iterator<Item = String>) -> Self {
+        let _argv0 = args.next();
+        let mut out = Args::default();
+        let mut args = args.peekable();
+        while let Some(a) = args.next() {
+            if let Some(name) = a.strip_prefix("--") {
+                let value = args.next().unwrap_or_default();
+                out.flags.push((name.to_string(), value));
+            } else {
+                out.positional.push(a);
+            }
+        }
+        out
+    }
+
+    /// Parses the real process arguments.
+    pub fn from_env() -> Self {
+        Self::parse(std::env::args())
+    }
+
+    /// Positional arguments in order.
+    pub fn positional(&self) -> &[String] {
+        &self.positional
+    }
+
+    /// The value of `--name` as a `u64`, or `default`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the flag is present but not a number.
+    pub fn get_u64(&self, name: &str, default: u64) -> u64 {
+        self.flags
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map_or(default, |(_, v)| {
+                v.parse().unwrap_or_else(|_| panic!("--{name} expects a number, got {v:?}"))
+            })
+    }
+
+    /// Whether `--name` was passed at all.
+    pub fn has(&self, name: &str) -> bool {
+        self.flags.iter().any(|(n, _)| n == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(items: &[&str]) -> Args {
+        Args::parse(items.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn positional_and_flags() {
+        let a = parse(&["bin", "all", "--scale", "3", "--entries", "512"]);
+        assert_eq!(a.positional(), ["all"]);
+        assert_eq!(a.get_u64("scale", 1), 3);
+        assert_eq!(a.get_u64("entries", 1024), 512);
+        assert_eq!(a.get_u64("missing", 7), 7);
+    }
+
+    #[test]
+    fn has_flag() {
+        let a = parse(&["bin", "--csv", ""]);
+        assert!(a.has("csv"));
+        assert!(!a.has("json"));
+    }
+
+    #[test]
+    #[should_panic(expected = "expects a number")]
+    fn non_numeric_flag_panics() {
+        parse(&["bin", "--scale", "abc"]).get_u64("scale", 0);
+    }
+
+    #[test]
+    fn last_flag_wins() {
+        let a = parse(&["bin", "--n", "1", "--n", "2"]);
+        assert_eq!(a.get_u64("n", 0), 2);
+    }
+}

@@ -1,0 +1,207 @@
+//! The [`HashFamily`] abstraction: an indexed family of hash functions.
+//!
+//! Iceberg placement (crate `mosaic-iceberg`) needs `1 + d` hash functions
+//! per key: output 0 selects the front-yard bucket and outputs `1..=d`
+//! select the backyard candidates. Both hash implementations in this crate
+//! can serve: the probed [`TabulationHasher`] models the hardware datapath,
+//! and [`XxFamily`] models the Linux-prototype software path (xxHash with
+//! the function index mixed into the seed).
+//!
+//! The two families are interchangeable by construction, which is itself a
+//! claim of the paper (the OS and the TLB hardware must agree only on the
+//! *candidate set*, not on a specific circuit).
+
+use crate::tabulation::TabulationHasher;
+use crate::xxhash::xxh64_u64;
+
+/// An indexed family of hash functions over 64-bit keys.
+///
+/// Implementations must be deterministic: the same `(key, index)` pair
+/// always yields the same output for a given family instance.
+pub trait HashFamily {
+    /// Number of functions in the family.
+    fn count(&self) -> usize;
+
+    /// Evaluates function `index` on `key`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `index >= self.count()`.
+    fn hash(&self, key: u64, index: usize) -> u64;
+
+    /// Evaluates function `index` on `key`, reduced to `0..bound`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero or `index` is out of range.
+    fn hash_to(&self, key: u64, index: usize, bound: usize) -> usize {
+        assert!(bound > 0, "bound must be positive");
+        // Multiply-shift reduction avoids modulo bias for bounds far below 2^64.
+        let h = self.hash(key, index);
+        (((h as u128) * (bound as u128)) >> 64) as usize
+    }
+}
+
+/// A [`HashFamily`] backed by probed tabulation hashing (the hardware path).
+#[derive(Debug, Clone)]
+pub struct TabulationFamily {
+    hasher: TabulationHasher,
+}
+
+impl TabulationFamily {
+    /// Creates a family of `count` tabulation hash functions over 64-bit keys.
+    pub fn new(count: usize, seed: u64) -> Self {
+        Self {
+            hasher: TabulationHasher::new(8, count, seed),
+        }
+    }
+
+    /// The underlying probed hasher.
+    pub fn hasher(&self) -> &TabulationHasher {
+        &self.hasher
+    }
+}
+
+impl HashFamily for TabulationFamily {
+    fn count(&self) -> usize {
+        self.hasher.num_outputs()
+    }
+
+    fn hash(&self, key: u64, index: usize) -> u64 {
+        // Widen the 32-bit tabulation output to 64 bits by hashing the key
+        // twice with probe offsets spaced half the table apart; the upper
+        // word keeps `hash_to`'s multiply-shift reduction well distributed.
+        let lo = u64::from(self.hasher.hash(key, index));
+        let hi = u64::from(self.hasher.hash(!key, index));
+        (hi << 32) | lo
+    }
+}
+
+/// A [`HashFamily`] backed by XXH64 with the index mixed into the seed
+/// (the Linux software path, §3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct XxFamily {
+    count: usize,
+    seed: u64,
+}
+
+impl XxFamily {
+    /// Creates a family of `count` xxHash-based functions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero.
+    pub fn new(count: usize, seed: u64) -> Self {
+        assert!(count > 0, "count must be positive");
+        Self { count, seed }
+    }
+}
+
+impl HashFamily for XxFamily {
+    fn count(&self) -> usize {
+        self.count
+    }
+
+    fn hash(&self, key: u64, index: usize) -> u64 {
+        assert!(index < self.count, "index {index} out of range");
+        xxh64_u64(key, self.seed ^ ((index as u64) << 32 | 0x5EED))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn families() -> (TabulationFamily, XxFamily) {
+        (TabulationFamily::new(7, 42), XxFamily::new(7, 42))
+    }
+
+    #[test]
+    fn counts_match_construction() {
+        let (tab, xx) = families();
+        assert_eq!(tab.count(), 7);
+        assert_eq!(xx.count(), 7);
+    }
+
+    #[test]
+    fn deterministic() {
+        let (tab, xx) = families();
+        for key in [0u64, 1, 99, u64::MAX] {
+            for i in 0..7 {
+                assert_eq!(tab.hash(key, i), tab.hash(key, i));
+                assert_eq!(xx.hash(key, i), xx.hash(key, i));
+            }
+        }
+    }
+
+    #[test]
+    fn indices_give_distinct_functions() {
+        let (tab, xx) = families();
+        let key = 0xABCD_EF01_2345_6789;
+        for i in 0..7 {
+            for j in (i + 1)..7 {
+                assert_ne!(tab.hash(key, i), tab.hash(key, j));
+                assert_ne!(xx.hash(key, i), xx.hash(key, j));
+            }
+        }
+    }
+
+    #[test]
+    fn hash_to_stays_in_bounds() {
+        let (tab, xx) = families();
+        for key in 0..1000u64 {
+            for i in 0..7 {
+                assert!(tab.hash_to(key, i, 104) < 104);
+                assert!(xx.hash_to(key, i, 104) < 104);
+            }
+        }
+    }
+
+    #[test]
+    fn hash_to_covers_range() {
+        let (_, xx) = families();
+        let mut seen = vec![false; 16];
+        for key in 0..2000u64 {
+            seen[xx.hash_to(key, 0, 16)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be positive")]
+    fn hash_to_zero_bound_panics() {
+        XxFamily::new(1, 0).hash_to(1, 0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn xx_index_out_of_range_panics() {
+        XxFamily::new(2, 0).hash(1, 2);
+    }
+
+    #[test]
+    fn hash_to_uniformity() {
+        // Both families should spread sequential VPN-like keys evenly over
+        // a bucket count typical of the allocator experiments.
+        let (tab, xx) = families();
+        const BUCKETS: usize = 512;
+        const N: u64 = 100_000;
+        for family_id in 0..2 {
+            let mut counts = vec![0u32; BUCKETS];
+            for key in 0..N {
+                let b = if family_id == 0 {
+                    tab.hash_to(key, 0, BUCKETS)
+                } else {
+                    xx.hash_to(key, 0, BUCKETS)
+                };
+                counts[b] += 1;
+            }
+            let mean = N as f64 / BUCKETS as f64;
+            let max = counts.iter().copied().max().unwrap();
+            assert!(
+                f64::from(max) < mean * 1.5,
+                "family {family_id}: max bucket {max} vs mean {mean}"
+            );
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! SplitMix64: the deterministic pseudo-random stream used for seeding.
+//!
+//! Every source of randomness in the workspace flows from an explicit `u64`
+//! seed through this generator, so all experiments are reproducible
+//! bit-for-bit. SplitMix64 (Steele, Lea & Flood, OOPSLA 2014) passes BigCrush
+//! and is the standard choice for expanding a small seed into table
+//! initialisers and derived seeds.
+
+/// A SplitMix64 pseudo-random number generator.
+///
+/// # Example
+///
+/// ```
+/// use mosaic_hash::SplitMix64;
+///
+/// let mut rng = SplitMix64::new(42);
+/// let a = rng.next_u64();
+/// let b = rng.next_u64();
+/// assert_ne!(a, b);
+/// // Same seed, same stream.
+/// assert_eq!(SplitMix64::new(42).next_u64(), a);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator with the given seed.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Returns the next 64-bit value in the stream.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Returns the next value as a `u32` (upper half of the 64-bit output).
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Returns a uniformly distributed value in `0..bound`.
+    ///
+    /// Uses Lemire's multiply-shift rejection method, which is unbiased.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        // Lemire's nearly-divisionless method.
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (bound as u128);
+        let mut lo = m as u64;
+        if lo < bound {
+            let threshold = bound.wrapping_neg() % bound;
+            while lo < threshold {
+                x = self.next_u64();
+                m = (x as u128) * (bound as u128);
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Returns a uniformly distributed `usize` in `0..bound`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn next_index(&mut self, bound: usize) -> usize {
+        self.next_below(bound as u64) as usize
+    }
+
+    /// Returns a uniform double in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 random mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Derives an independent child generator (for splitting seed streams).
+    pub fn split(&mut self) -> SplitMix64 {
+        SplitMix64::new(self.next_u64())
+    }
+
+    /// Shuffles a slice in place (Fisher–Yates).
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.next_index(i + 1);
+            slice.swap(i, j);
+        }
+    }
+}
+
+impl Default for SplitMix64 {
+    fn default() -> Self {
+        Self::new(0)
+    }
+}
+
+impl Iterator for SplitMix64 {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        Some(self.next_u64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_vector_seed_zero() {
+        // Reference values for SplitMix64 with seed 0, widely published.
+        let mut rng = SplitMix64::new(0);
+        assert_eq!(rng.next_u64(), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(rng.next_u64(), 0x6E78_9E6A_A1B9_65F4);
+        assert_eq!(rng.next_u64(), 0x06C4_5D18_8009_454F);
+    }
+
+    #[test]
+    fn reference_vector_seed_nonzero() {
+        let mut rng = SplitMix64::new(1234567);
+        let first = rng.next_u64();
+        // Determinism: re-seeding yields the same stream.
+        assert_eq!(SplitMix64::new(1234567).next_u64(), first);
+    }
+
+    #[test]
+    fn next_below_is_in_range() {
+        let mut rng = SplitMix64::new(7);
+        for bound in [1u64, 2, 3, 10, 104, 1 << 40] {
+            for _ in 0..100 {
+                assert!(rng.next_below(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn next_below_hits_all_residues() {
+        let mut rng = SplitMix64::new(99);
+        let mut seen = [false; 6];
+        for _ in 0..1000 {
+            seen[rng.next_below(6) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues of a small bound should appear");
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be positive")]
+    fn next_below_zero_panics() {
+        SplitMix64::new(0).next_below(0);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = SplitMix64::new(3);
+        for _ in 0..1000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn split_streams_are_independent() {
+        let mut parent = SplitMix64::new(5);
+        let mut a = parent.split();
+        let mut b = parent.split();
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = SplitMix64::new(11);
+        let mut v: Vec<u32> = (0..100).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, (0..100).collect::<Vec<_>>(), "shuffle should move something");
+    }
+
+    #[test]
+    fn iterator_impl_matches_next_u64() {
+        let rng = SplitMix64::new(8);
+        let via_iter: Vec<u64> = rng.take(4).collect();
+        let mut direct = SplitMix64::new(8);
+        for v in via_iter {
+            assert_eq!(v, direct.next_u64());
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! Property tests for the hashing primitives.
+
+use mosaic_hash::prelude::*;
+use proptest::prelude::*;
+
+proptest! {
+    /// XXH64 over the u64 wrapper always equals hashing the LE bytes.
+    #[test]
+    fn xxh64_u64_wrapper_consistent(key in any::<u64>(), seed in any::<u64>()) {
+        prop_assert_eq!(
+            mosaic_hash::xxhash::xxh64_u64(key, seed),
+            xxh64(&key.to_le_bytes(), seed)
+        );
+    }
+
+    /// Concatenation sensitivity: extending the input changes the hash
+    /// (no trivial length-extension fixed points on random data).
+    #[test]
+    fn xxh64_length_sensitive(data in prop::collection::vec(any::<u8>(), 0..128), tail in any::<u8>()) {
+        let mut longer = data.clone();
+        longer.push(tail);
+        prop_assert_ne!(xxh64(&data, 0), xxh64(&longer, 0));
+    }
+
+    /// Seeds are significant for every input.
+    #[test]
+    fn xxh64_seed_sensitive(data in prop::collection::vec(any::<u8>(), 0..64), s1 in any::<u64>(), s2 in any::<u64>()) {
+        prop_assume!(s1 != s2);
+        prop_assert_ne!(xxh64(&data, s1), xxh64(&data, s2));
+    }
+
+    /// Tabulation hashing is deterministic and byte-local: bytes beyond
+    /// `num_bytes` never affect the output.
+    #[test]
+    fn tabulation_ignores_high_bytes(key in any::<u64>(), noise in any::<u64>(), seed in any::<u64>()) {
+        let tab = TabulationHasher::new(4, 3, seed);
+        let masked = key & 0xFFFF_FFFF;
+        let noisy = masked | (noise << 32);
+        for i in 0..3 {
+            prop_assert_eq!(tab.hash(masked, i), tab.hash(noisy, i));
+        }
+    }
+
+    /// Probed outputs form distinct functions: over a batch of keys, any
+    /// two probe indices disagree somewhere.
+    #[test]
+    fn probes_are_distinct_functions(seed in any::<u64>()) {
+        let tab = TabulationHasher::new(8, 4, seed);
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                let disagree = (0u64..64).any(|k| tab.hash(k, i) != tab.hash(k, j));
+                prop_assert!(disagree, "probes {} and {} identical", i, j);
+            }
+        }
+    }
+
+    /// SplitMix64 streams are reproducible and `next_below` is in range.
+    #[test]
+    fn splitmix_reproducible(seed in any::<u64>(), bound in 1u64..1_000_000) {
+        let a: Vec<u64> = SplitMix64::new(seed).take(16).collect();
+        let b: Vec<u64> = SplitMix64::new(seed).take(16).collect();
+        prop_assert_eq!(a, b);
+        let mut rng = SplitMix64::new(seed);
+        for _ in 0..32 {
+            prop_assert!(rng.next_below(bound) < bound);
+        }
+    }
+
+    /// Fisher–Yates shuffling preserves multisets.
+    #[test]
+    fn shuffle_preserves_elements(mut v in prop::collection::vec(any::<u32>(), 0..200), seed in any::<u64>()) {
+        let mut sorted_before = v.clone();
+        sorted_before.sort_unstable();
+        SplitMix64::new(seed).shuffle(&mut v);
+        v.sort_unstable();
+        prop_assert_eq!(v, sorted_before);
+    }
+
+    /// Both hash families agree on determinism and stay within bounds
+    /// for arbitrary keys, indices, and bounds.
+    #[test]
+    fn families_bounded_everywhere(key in any::<u64>(), bound in 1usize..1_000_000, seed in any::<u64>()) {
+        let tab = TabulationFamily::new(7, seed);
+        let xx = XxFamily::new(7, seed);
+        for i in 0..7 {
+            prop_assert!(tab.hash_to(key, i, bound) < bound);
+            prop_assert!(xx.hash_to(key, i, bound) < bound);
+        }
+    }
+}

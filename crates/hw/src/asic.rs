@@ -1,0 +1,115 @@
+//! 28 nm CMOS synthesis model (§4.4 of the paper).
+//!
+//! The paper synthesized the System Verilog datapath with Cadence tools on
+//! a commercial 28 nm process at the worst-case corner (TrFF, VddMIN,
+//! RCBEST, 1 V, 125 °C) and reports:
+//!
+//! * maximum frequency **4 GHz**, latency **220 ps**, **+20 ps** positive
+//!   slack — so the added hash is unlikely to affect clock frequency;
+//! * latency flat in the hash-function count;
+//! * **13.806 KGE** area (NAND2-equivalent) at 8 hash functions, with
+//!   area growing only minimally in `H` (wider output muxes).
+
+/// Synthesis results for the 28 nm implementation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AsicResult {
+    /// Hash-function count.
+    pub hash_functions: usize,
+    /// Maximum clock frequency in GHz.
+    pub max_freq_ghz: f64,
+    /// Combinational latency in picoseconds.
+    pub latency_ps: f64,
+    /// Timing slack at the 4 GHz target, in picoseconds (positive = met).
+    pub slack_ps: f64,
+    /// Area in kilo-gate-equivalents (2-input NAND).
+    pub area_kge: f64,
+}
+
+impl AsicResult {
+    /// Whether the circuit closes timing at the 4 GHz TLB target.
+    pub fn meets_4ghz(&self) -> bool {
+        self.slack_ps >= 0.0
+    }
+}
+
+/// Latency of the datapath — flat in `H` (§4.4).
+pub const LATENCY_PS: f64 = 220.0;
+
+/// Slack at the 4 GHz target reported by the paper.
+pub const SLACK_PS: f64 = 20.0;
+
+/// Area at the paper's measured point (`H = 8`).
+pub const AREA_KGE_AT_8: f64 = 13.806;
+
+/// Synthesizes the circuit for `h` hash functions on the 28 nm model.
+///
+/// Area scales from the measured `H = 8` point: a fixed base (tables, XOR
+/// trees, registers) plus a small per-function mux increment — "increasing
+/// the number of hash functions … increases the area minimally" (§4.4).
+///
+/// # Panics
+///
+/// Panics if `h` is zero or greater than 64.
+///
+/// # Example
+///
+/// ```
+/// use mosaic_hw::asic::synthesize;
+///
+/// let r = mosaic_hw::asic::synthesize(8);
+/// assert!(r.meets_4ghz());
+/// assert!((r.area_kge - 13.806).abs() < 1e-9);
+/// ```
+pub fn synthesize(h: usize) -> AsicResult {
+    assert!(h > 0, "need at least one hash function");
+    assert!(h <= 64, "h = {h} exceeds the modelled range");
+    // "Minimal" area growth: take ~90 % of the measured area as the shared
+    // base and spread the remainder over the 8 measured mux slices.
+    let base = AREA_KGE_AT_8 * 0.90;
+    let per_h = (AREA_KGE_AT_8 - base) / 8.0;
+    AsicResult {
+        hash_functions: h,
+        max_freq_ghz: 4.0,
+        latency_ps: LATENCY_PS,
+        slack_ps: SLACK_PS,
+        area_kge: base + per_h * h as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measured_point_matches_paper() {
+        let r = synthesize(8);
+        assert_eq!(r.max_freq_ghz, 4.0);
+        assert_eq!(r.latency_ps, 220.0);
+        assert_eq!(r.slack_ps, 20.0);
+        assert!((r.area_kge - 13.806).abs() < 1e-9);
+        assert!(r.meets_4ghz());
+    }
+
+    #[test]
+    fn latency_flat_in_h() {
+        for h in [1, 2, 4, 8, 16] {
+            assert_eq!(synthesize(h).latency_ps, LATENCY_PS);
+            assert_eq!(synthesize(h).max_freq_ghz, 4.0);
+        }
+    }
+
+    #[test]
+    fn area_grows_minimally() {
+        let a1 = synthesize(1).area_kge;
+        let a8 = synthesize(8).area_kge;
+        assert!(a8 > a1);
+        // 8x the hash functions costs far less than 2x the area.
+        assert!(a8 / a1 < 1.25, "ratio {:.3}", a8 / a1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_panics() {
+        synthesize(0);
+    }
+}

@@ -1,0 +1,36 @@
+//! Hardware-feasibility models for the Mosaic TLB hash circuit (§4.4).
+//!
+//! The paper answers "is Mosaic hardware feasible?" by implementing the
+//! probing tabulation-hash datapath (Figure 4) in Verilog and synthesizing
+//! it twice: on an Artix-7 FPGA (Table 5) and on a commercial 28 nm CMOS
+//! process. This crate reproduces that evaluation with:
+//!
+//! * [`circuit`] — a gate-level structural model of the datapath (table
+//!   ROMs, XOR reduction tree, output muxes) that is **bit-exact** against
+//!   the behavioural `mosaic-hash` implementation, plus component counts;
+//! * [`fpga`] — an Artix-7 resource/latency model anchored to the paper's
+//!   Vivado results (Table 5) and extended structurally to other hash
+//!   counts;
+//! * [`asic`] — the 28 nm synthesis model (4 GHz max frequency, 220 ps
+//!   latency, ~13.8 KGE at 8 hash functions).
+//!
+//! # Example
+//!
+//! ```
+//! use mosaic_hw::fpga;
+//!
+//! let r = fpga::synthesize(4);
+//! assert_eq!(r.luts, 3392); // Table 5, H = 4
+//! assert!((r.latency_ns - 2.155).abs() < 1e-9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod asic;
+pub mod circuit;
+pub mod fpga;
+
+pub use asic::{synthesize as asic_synthesize, AsicResult};
+pub use circuit::{CircuitCounts, TabHashCircuit};
+pub use fpga::{synthesize as fpga_synthesize, FpgaResources};

@@ -1,0 +1,178 @@
+//! Load-factor experiments over the raw hashing scheme.
+//!
+//! These measure δ — the headroom the scheme needs before its first
+//! associativity conflict (§2.3, §4.2) — at the hash-table level, isolated
+//! from paging concerns. The full-system Table 3 reproduction lives in
+//! `mosaic-sim`; the functions here validate the underlying claim that
+//! Iceberg hashing sustains ≈98 % utilization.
+
+use crate::config::IcebergConfig;
+use crate::stats::{OccupancyStats, Summary};
+use crate::table::IcebergTable;
+use mosaic_hash::{SplitMix64, XxFamily};
+
+/// Result of filling a table until its first conflict.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FillResult {
+    /// Occupancy at the moment the first insert failed.
+    pub at_first_conflict: OccupancyStats,
+    /// Number of successful insertions.
+    pub inserted: usize,
+}
+
+impl FillResult {
+    /// Utilization percentage at first conflict — the `1 − δ` of Table 3.
+    pub fn first_conflict_percent(&self) -> f64 {
+        self.at_first_conflict.utilization_percent()
+    }
+}
+
+/// Inserts uniformly random distinct keys until the first associativity
+/// conflict, returning the achieved utilization.
+///
+/// # Example
+///
+/// ```
+/// use mosaic_iceberg::{experiments, IcebergConfig};
+///
+/// let cfg = IcebergConfig::paper_default(64);
+/// let r = experiments::fill_to_first_conflict(cfg, 42);
+/// assert!(r.first_conflict_percent() > 90.0);
+/// ```
+pub fn fill_to_first_conflict(cfg: IcebergConfig, seed: u64) -> FillResult {
+    let mut rng = SplitMix64::new(seed);
+    let family = XxFamily::new(cfg.hash_count(), rng.next_u64());
+    let mut table: IcebergTable<u64, (), XxFamily> = IcebergTable::new(cfg, family);
+    loop {
+        let key = rng.next_u64();
+        if table.contains_key(&key) {
+            continue; // keep keys distinct
+        }
+        if table.insert(key, ()).is_err() {
+            return FillResult {
+                at_first_conflict: table.occupancy(),
+                inserted: table.len(),
+            };
+        }
+    }
+}
+
+/// Runs [`fill_to_first_conflict`] `runs` times with derived seeds and
+/// summarises the first-conflict utilization percentage.
+pub fn first_conflict_summary(cfg: IcebergConfig, seed: u64, runs: usize) -> Summary {
+    assert!(runs > 0, "need at least one run");
+    let mut rng = SplitMix64::new(seed);
+    let samples: Vec<f64> = (0..runs)
+        .map(|_| fill_to_first_conflict(cfg, rng.next_u64()).first_conflict_percent())
+        .collect();
+    Summary::of(&samples)
+}
+
+/// Measures steady-state behaviour under churn: fill to `target_load`, then
+/// perform `churn_ops` random delete+insert pairs, reporting how many of the
+/// churn inserts conflicted.
+///
+/// Iceberg's guarantees are for any request sequence chosen without
+/// knowledge of the hash function, so conflict counts should stay near zero
+/// for loads a few percent below 1.
+pub fn churn_conflicts(
+    cfg: IcebergConfig,
+    seed: u64,
+    target_load: f64,
+    churn_ops: usize,
+) -> usize {
+    assert!(
+        (0.0..=1.0).contains(&target_load),
+        "target_load must be in [0, 1]"
+    );
+    let mut rng = SplitMix64::new(seed);
+    let family = XxFamily::new(cfg.hash_count(), rng.next_u64());
+    let mut table: IcebergTable<u64, (), XxFamily> = IcebergTable::new(cfg, family);
+    let target = (cfg.total_slots() as f64 * target_load) as usize;
+
+    let mut live: Vec<u64> = Vec::with_capacity(target);
+    while table.len() < target {
+        let key = rng.next_u64();
+        if !table.contains_key(&key) && table.insert(key, ()).is_ok() {
+            live.push(key);
+        }
+    }
+
+    let mut conflicts = 0;
+    for _ in 0..churn_ops {
+        let victim_idx = rng.next_index(live.len());
+        let victim = live.swap_remove(victim_idx);
+        table.remove(&victim);
+        loop {
+            let key = rng.next_u64();
+            if table.contains_key(&key) {
+                continue;
+            }
+            match table.insert(key, ()) {
+                Ok(_) => {
+                    live.push(key);
+                    break;
+                }
+                Err(_) => {
+                    conflicts += 1;
+                    // Count the conflict and retry with a fresh key, keeping
+                    // the population size constant.
+                }
+            }
+        }
+    }
+    conflicts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_conflict_is_high_utilization() {
+        // Paper: δ ≈ 2 %. Smaller tables have proportionally more variance;
+        // at 256 buckets (16 Ki slots) we conservatively require > 95 %.
+        let r = fill_to_first_conflict(IcebergConfig::paper_default(256), 7);
+        assert!(
+            r.first_conflict_percent() > 95.0,
+            "got {:.2}%",
+            r.first_conflict_percent()
+        );
+        assert_eq!(r.inserted, r.at_first_conflict.occupied());
+    }
+
+    #[test]
+    fn backyard_stays_small_at_high_load() {
+        let r = fill_to_first_conflict(IcebergConfig::paper_default(128), 9);
+        // Backyard is 12.5 % of slots; at conflict it holds at most that.
+        assert!(r.at_first_conflict.backyard_fraction() < 0.15);
+    }
+
+    #[test]
+    fn summary_over_runs_is_tight() {
+        let s = first_conflict_summary(IcebergConfig::paper_default(64), 3, 5);
+        assert!(s.mean > 94.0, "mean {:.2}", s.mean);
+        assert!(s.stddev < 3.0, "stddev {:.2}", s.stddev);
+        assert_eq!(s.n, 5);
+    }
+
+    #[test]
+    fn churn_at_moderate_load_never_conflicts() {
+        let c = churn_conflicts(IcebergConfig::paper_default(64), 11, 0.90, 2_000);
+        assert_eq!(c, 0, "90% load must churn conflict-free");
+    }
+
+    #[test]
+    fn churn_near_capacity_may_conflict_but_rarely() {
+        // At 94 % load — still below the paper's 98 % conflict onset — churn
+        // should conflict only occasionally even on a small table.
+        let c = churn_conflicts(IcebergConfig::paper_default(64), 13, 0.94, 2_000);
+        assert!(c < 100, "conflict rate too high near capacity: {c}");
+    }
+
+    #[test]
+    #[should_panic(expected = "target_load")]
+    fn bad_target_load_panics() {
+        churn_conflicts(IcebergConfig::paper_default(8), 0, 1.5, 1);
+    }
+}

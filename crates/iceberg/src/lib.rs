@@ -1,0 +1,49 @@
+//! Iceberg hashing: stable, low-associativity, high-utilization hash tables.
+//!
+//! Mosaic Pages structures physical memory as an *Iceberg hash table*
+//! (Bender et al., 2021; paper §2.3). The scheme must satisfy three criteria
+//! simultaneously, which classical tables cannot:
+//!
+//! 1. **Low associativity** — each key has at most `h` candidate slots
+//!    (`h = 104` in the paper: one front-yard bucket of 56 slots plus
+//!    `d = 6` backyard buckets of 8 slots each);
+//! 2. **Stability** — once placed, an item never moves (unlike cuckoo
+//!    hashing), so mapped pages are never migrated;
+//! 3. **High utilization** — load factors within a few percent of 100 %
+//!    before the first placement conflict (δ ≈ 2 % empirically, §4.2).
+//!
+//! This crate provides:
+//!
+//! * [`IcebergConfig`] — the bucket geometry (front/back yards, `d` choices);
+//! * [`placement`] — pure candidate-set computation shared by the hash table
+//!   and by the `mosaic-mem` frame allocator;
+//! * [`IcebergTable`] — a generic stable hash table over the scheme;
+//! * [`experiments`] — load-factor measurements (first-conflict utilization)
+//!   underpinning the Table 3 reproduction.
+//!
+//! # Example
+//!
+//! ```
+//! use mosaic_iceberg::{IcebergConfig, IcebergTable};
+//! use mosaic_hash::XxFamily;
+//!
+//! let cfg = IcebergConfig::paper_default(64); // 64 buckets of 56 + 8 slots
+//! let family = XxFamily::new(cfg.hash_count(), 1);
+//! let mut table: IcebergTable<u64, &str, _> = IcebergTable::new(cfg, family);
+//! table.insert(17, "value").unwrap();
+//! assert_eq!(table.get(&17), Some(&"value"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod experiments;
+pub mod placement;
+pub mod stats;
+pub mod table;
+
+pub use config::IcebergConfig;
+pub use placement::{CandidateSet, SlotRef, Yard};
+pub use stats::OccupancyStats;
+pub use table::{IcebergTable, InsertError, InsertOutcome};

@@ -1,0 +1,190 @@
+//! Occupancy statistics for Iceberg tables and allocators.
+
+use crate::config::IcebergConfig;
+
+/// A snapshot of how full an Iceberg structure is, split by yard.
+///
+/// The Iceberg analysis (§2.3) predicts the backyard holds only
+/// `o(p / log log p)` elements; [`backyard_fraction`](Self::backyard_fraction)
+/// lets experiments check that directly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OccupancyStats {
+    /// Total slots in the structure (`p`).
+    pub total_slots: usize,
+    /// Total front-yard slots.
+    pub front_slots: usize,
+    /// Total backyard slots.
+    pub back_slots: usize,
+    /// Occupied front-yard slots.
+    pub front_occupied: usize,
+    /// Occupied backyard slots.
+    pub back_occupied: usize,
+}
+
+impl OccupancyStats {
+    /// Builds stats from per-yard occupied counts under a geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either occupied count exceeds its yard's capacity.
+    pub fn new(cfg: &IcebergConfig, front_occupied: usize, back_occupied: usize) -> Self {
+        let front_slots = cfg.num_buckets() * cfg.front_slots();
+        let back_slots = cfg.num_buckets() * cfg.back_slots();
+        assert!(front_occupied <= front_slots, "front overflow");
+        assert!(back_occupied <= back_slots, "back overflow");
+        Self {
+            total_slots: front_slots + back_slots,
+            front_slots,
+            back_slots,
+            front_occupied,
+            back_occupied,
+        }
+    }
+
+    /// Total occupied slots.
+    pub fn occupied(&self) -> usize {
+        self.front_occupied + self.back_occupied
+    }
+
+    /// Overall load factor in `[0, 1]`.
+    pub fn load_factor(&self) -> f64 {
+        self.occupied() as f64 / self.total_slots as f64
+    }
+
+    /// Utilization as a percentage, the unit Table 3 reports.
+    pub fn utilization_percent(&self) -> f64 {
+        self.load_factor() * 100.0
+    }
+
+    /// Fraction of *occupied* slots that live in the backyard.
+    pub fn backyard_fraction(&self) -> f64 {
+        if self.occupied() == 0 {
+            0.0
+        } else {
+            self.back_occupied as f64 / self.occupied() as f64
+        }
+    }
+
+    /// Load factor of the front yard alone.
+    pub fn front_load_factor(&self) -> f64 {
+        self.front_occupied as f64 / self.front_slots as f64
+    }
+
+    /// Load factor of the backyard alone.
+    pub fn back_load_factor(&self) -> f64 {
+        self.back_occupied as f64 / self.back_slots as f64
+    }
+}
+
+impl core::fmt::Display for OccupancyStats {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "{}/{} occupied ({:.2}%), backyard {:.2}% of entries",
+            self.occupied(),
+            self.total_slots,
+            self.utilization_percent(),
+            self.backyard_fraction() * 100.0
+        )
+    }
+}
+
+/// Mean and sample standard deviation of a data series; Table 3 and Table 4
+/// report `avg ± stddev` over repeated runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n − 1 denominator); zero for n < 2.
+    pub stddev: f64,
+    /// Number of samples.
+    pub n: usize,
+}
+
+impl Summary {
+    /// Summarises a slice of samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty.
+    pub fn of(samples: &[f64]) -> Self {
+        assert!(!samples.is_empty(), "cannot summarise zero samples");
+        let n = samples.len();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let stddev = if n < 2 {
+            0.0
+        } else {
+            let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
+            var.sqrt()
+        };
+        Self { mean, stddev, n }
+    }
+}
+
+impl core::fmt::Display for Summary {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{:.2} ±{:.2}", self.mean, self.stddev)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> IcebergConfig {
+        IcebergConfig::paper_default(10)
+    }
+
+    #[test]
+    fn arithmetic() {
+        let s = OccupancyStats::new(&cfg(), 280, 40);
+        assert_eq!(s.front_slots, 560);
+        assert_eq!(s.back_slots, 80);
+        assert_eq!(s.occupied(), 320);
+        assert!((s.load_factor() - 0.5).abs() < 1e-12);
+        assert!((s.utilization_percent() - 50.0).abs() < 1e-9);
+        assert!((s.backyard_fraction() - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_backyard_fraction_is_zero() {
+        let s = OccupancyStats::new(&cfg(), 0, 0);
+        assert_eq!(s.backyard_fraction(), 0.0);
+        assert_eq!(s.load_factor(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "front overflow")]
+    fn overflow_panics() {
+        OccupancyStats::new(&cfg(), 561, 0);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = OccupancyStats::new(&cfg(), 560, 80).to_string();
+        assert!(s.contains("640/640"));
+        assert!(s.contains("100.00%"));
+    }
+
+    #[test]
+    fn summary_mean_and_stddev() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        // Sample stddev of that classic series is ~2.138.
+        assert!((s.stddev - 2.1380899).abs() < 1e-6);
+        assert_eq!(s.n, 8);
+    }
+
+    #[test]
+    fn summary_single_sample() {
+        let s = Summary::of(&[3.5]);
+        assert_eq!(s.mean, 3.5);
+        assert_eq!(s.stddev, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero samples")]
+    fn summary_empty_panics() {
+        Summary::of(&[]);
+    }
+}

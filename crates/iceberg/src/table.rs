@@ -1,0 +1,518 @@
+//! A generic, stable Iceberg hash table.
+//!
+//! [`IcebergTable`] realises the scheme of §2.3 as an ordinary key→value
+//! map: insertion tries the key's front-yard bucket first and overflows to
+//! the emptiest of its `d` backyard buckets. Entries **never move** after
+//! insertion (stability) and the table refuses an insert — rather than
+//! relocating anything — when every candidate slot is full, which with the
+//! paper's geometry does not happen until the table is ≈98 % full.
+
+use crate::config::IcebergConfig;
+use crate::placement::{CandidateSet, SlotRef, Yard};
+use crate::stats::OccupancyStats;
+use mosaic_hash::HashFamily;
+
+/// Keys usable in an [`IcebergTable`]: equality-comparable with a 64-bit
+/// hashable projection. The projection need not be injective — lookups
+/// compare full keys — but a near-injective projection keeps candidate sets
+/// independent.
+pub trait IcebergKey: Copy + Eq {
+    /// The 64-bit value fed to the hash family.
+    fn hash_key(&self) -> u64;
+}
+
+macro_rules! impl_iceberg_key_for_uint {
+    ($($t:ty),*) => {
+        $(impl IcebergKey for $t {
+            fn hash_key(&self) -> u64 {
+                u64::from(*self)
+            }
+        })*
+    };
+}
+
+impl_iceberg_key_for_uint!(u8, u16, u32, u64);
+
+impl IcebergKey for (u32, u32) {
+    fn hash_key(&self) -> u64 {
+        (u64::from(self.0) << 32) | u64::from(self.1)
+    }
+}
+
+impl IcebergKey for (u64, u64) {
+    fn hash_key(&self) -> u64 {
+        // Non-injective but well-mixed combination.
+        self.0.rotate_left(32) ^ self.1.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    }
+}
+
+/// How an insertion was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InsertOutcome {
+    /// The key was new and placed in its front-yard bucket.
+    PlacedFront(SlotRef),
+    /// The key was new and placed in a backyard bucket.
+    PlacedBack(SlotRef),
+    /// The key already existed; its value was replaced in place.
+    Updated(SlotRef),
+}
+
+impl InsertOutcome {
+    /// The slot involved.
+    pub fn slot(&self) -> SlotRef {
+        match *self {
+            InsertOutcome::PlacedFront(s)
+            | InsertOutcome::PlacedBack(s)
+            | InsertOutcome::Updated(s) => s,
+        }
+    }
+}
+
+/// Insertion failure: every candidate slot for the key is occupied.
+///
+/// The value is handed back so the caller can resolve the conflict (the
+/// Mosaic allocator would evict a page at this point, §2.4).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InsertError<V> {
+    /// The value that could not be placed.
+    pub value: V,
+}
+
+impl<V> core::fmt::Display for InsertError<V> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "all candidate slots occupied (associativity conflict)")
+    }
+}
+
+impl<V: core::fmt::Debug> std::error::Error for InsertError<V> {}
+
+/// A stable, low-associativity, high-utilization hash table (§2.3).
+///
+/// # Example
+///
+/// ```
+/// use mosaic_iceberg::{IcebergConfig, IcebergTable};
+/// use mosaic_hash::XxFamily;
+///
+/// let cfg = IcebergConfig::paper_default(32);
+/// let mut t = IcebergTable::new(cfg, XxFamily::new(cfg.hash_count(), 7));
+/// for k in 0u64..1000 {
+///     t.insert(k, k * 2).unwrap();
+/// }
+/// assert_eq!(t.len(), 1000);
+/// assert_eq!(t.get(&500), Some(&1000));
+/// ```
+#[derive(Debug, Clone)]
+pub struct IcebergTable<K, V, F> {
+    cfg: IcebergConfig,
+    family: F,
+    /// Flat front-yard storage: `bucket * front_slots + slot`.
+    front: Vec<Option<(K, V)>>,
+    /// Flat backyard storage: `bucket * back_slots + slot`.
+    back: Vec<Option<(K, V)>>,
+    /// Per-bucket backyard occupancy, for O(1) power-of-d-choices.
+    back_occupancy: Vec<u32>,
+    len: usize,
+}
+
+impl<K: IcebergKey, V, F: HashFamily> IcebergTable<K, V, F> {
+    /// Creates an empty table with the given geometry and hash family.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the family provides fewer than `cfg.hash_count()` functions.
+    pub fn new(cfg: IcebergConfig, family: F) -> Self {
+        assert!(
+            family.count() >= cfg.hash_count(),
+            "hash family has {} functions but the scheme needs {}",
+            family.count(),
+            cfg.hash_count()
+        );
+        Self {
+            front: std::iter::repeat_with(|| None)
+                .take(cfg.num_buckets() * cfg.front_slots())
+                .collect(),
+            back: std::iter::repeat_with(|| None)
+                .take(cfg.num_buckets() * cfg.back_slots())
+                .collect(),
+            back_occupancy: vec![0; cfg.num_buckets()],
+            len: 0,
+            cfg,
+            family,
+        }
+    }
+
+    /// The table geometry.
+    pub fn config(&self) -> &IcebergConfig {
+        &self.cfg
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Current load factor (`len / total_slots`).
+    pub fn load_factor(&self) -> f64 {
+        self.len as f64 / self.cfg.total_slots() as f64
+    }
+
+    /// The candidate set for a key.
+    pub fn candidates(&self, key: &K) -> CandidateSet {
+        CandidateSet::compute(&self.family, &self.cfg, key.hash_key())
+    }
+
+    fn flat_index(&self, slot: SlotRef) -> usize {
+        match slot.yard {
+            Yard::Front => slot.bucket * self.cfg.front_slots() + slot.slot,
+            Yard::Back => slot.bucket * self.cfg.back_slots() + slot.slot,
+        }
+    }
+
+    fn cell(&self, slot: SlotRef) -> &Option<(K, V)> {
+        let idx = self.flat_index(slot);
+        match slot.yard {
+            Yard::Front => &self.front[idx],
+            Yard::Back => &self.back[idx],
+        }
+    }
+
+    fn cell_mut(&mut self, slot: SlotRef) -> &mut Option<(K, V)> {
+        let idx = self.flat_index(slot);
+        match slot.yard {
+            Yard::Front => &mut self.front[idx],
+            Yard::Back => &mut self.back[idx],
+        }
+    }
+
+    /// Finds the slot currently holding `key`, if present.
+    pub fn slot_of(&self, key: &K) -> Option<SlotRef> {
+        let cands = self.candidates(key);
+        let found = cands
+            .slots(&self.cfg)
+            .find(|&s| matches!(self.cell(s), Some((k, _)) if k == key));
+        found
+    }
+
+    /// The *candidate index* (the value a CPFN would encode) of `key`'s
+    /// current slot, if present.
+    pub fn candidate_index_of(&self, key: &K) -> Option<usize> {
+        let cands = self.candidates(key);
+        let slot = cands
+            .slots(&self.cfg)
+            .find(|&s| matches!(self.cell(s), Some((k, _)) if k == key))?;
+        cands.index_of_slot(&self.cfg, slot)
+    }
+
+    /// Returns a reference to the value for `key`.
+    pub fn get(&self, key: &K) -> Option<&V> {
+        self.slot_of(key)
+            .and_then(|s| self.cell(s).as_ref().map(|(_, v)| v))
+    }
+
+    /// Returns a mutable reference to the value for `key`.
+    pub fn get_mut(&mut self, key: &K) -> Option<&mut V> {
+        let slot = self.slot_of(key)?;
+        self.cell_mut(slot).as_mut().map(|(_, v)| v)
+    }
+
+    /// Whether `key` is present.
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.slot_of(key).is_some()
+    }
+
+    /// Inserts `key -> value`.
+    ///
+    /// If the key exists, its value is replaced **in place** (stability).
+    /// A new key goes to the first free front-yard slot of its bucket, or —
+    /// if the front yard is full — to the first free slot of the emptiest of
+    /// its `d` backyard buckets (ties broken by lowest choice index).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InsertError`] handing `value` back when every candidate
+    /// slot is occupied (an *associativity conflict*, §2.2).
+    pub fn insert(&mut self, key: K, value: V) -> Result<InsertOutcome, InsertError<V>> {
+        let cands = self.candidates(&key);
+
+        // Stability: an existing key is updated where it lives.
+        let existing = cands
+            .slots(&self.cfg)
+            .find(|&s| matches!(self.cell(s), Some((k, _)) if *k == key));
+        if let Some(slot) = existing {
+            *self.cell_mut(slot) = Some((key, value));
+            return Ok(InsertOutcome::Updated(slot));
+        }
+
+        // Front yard first.
+        for slot in (0..self.cfg.front_slots()).map(|slot| SlotRef {
+            yard: Yard::Front,
+            bucket: cands.front_bucket,
+            slot,
+        }) {
+            if self.cell(slot).is_none() {
+                *self.cell_mut(slot) = Some((key, value));
+                self.len += 1;
+                return Ok(InsertOutcome::PlacedFront(slot));
+            }
+        }
+
+        // Power of d choices over the backyard.
+        let emptiest = cands
+            .back_buckets
+            .iter()
+            .copied()
+            .min_by_key(|&b| self.back_occupancy[b])
+            .expect("d_choices >= 1");
+        if (self.back_occupancy[emptiest] as usize) < self.cfg.back_slots() {
+            let slot = (0..self.cfg.back_slots())
+                .map(|slot| SlotRef {
+                    yard: Yard::Back,
+                    bucket: emptiest,
+                    slot,
+                })
+                .find(|&s| self.cell(s).is_none())
+                .expect("occupancy counter says a free slot exists");
+            *self.cell_mut(slot) = Some((key, value));
+            self.back_occupancy[emptiest] += 1;
+            self.len += 1;
+            return Ok(InsertOutcome::PlacedBack(slot));
+        }
+
+        Err(InsertError { value })
+    }
+
+    /// Removes `key`, returning its value if present.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        let slot = self.slot_of(key)?;
+        let (_, value) = self.cell_mut(slot).take()?;
+        if slot.yard == Yard::Back {
+            self.back_occupancy[slot.bucket] -= 1;
+        }
+        self.len -= 1;
+        Some(value)
+    }
+
+    /// Iterates over `(key, value)` pairs in storage order.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.front
+            .iter()
+            .chain(self.back.iter())
+            .filter_map(|c| c.as_ref().map(|(k, v)| (k, v)))
+    }
+
+    /// Computes occupancy statistics for the whole table.
+    pub fn occupancy(&self) -> OccupancyStats {
+        let front_occupied = self.front.iter().filter(|c| c.is_some()).count();
+        let back_occupied = self.back.iter().filter(|c| c.is_some()).count();
+        OccupancyStats::new(&self.cfg, front_occupied, back_occupied)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mosaic_hash::{SplitMix64, XxFamily};
+
+    fn table(buckets: usize) -> IcebergTable<u64, u64, XxFamily> {
+        let cfg = IcebergConfig::paper_default(buckets);
+        IcebergTable::new(cfg, XxFamily::new(cfg.hash_count(), 0xC0FFEE))
+    }
+
+    #[test]
+    fn insert_get_remove_round_trip() {
+        let mut t = table(16);
+        assert!(t.is_empty());
+        t.insert(1, 100).unwrap();
+        t.insert(2, 200).unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(&1), Some(&100));
+        assert_eq!(t.get(&2), Some(&200));
+        assert_eq!(t.get(&3), None);
+        assert_eq!(t.remove(&1), Some(100));
+        assert_eq!(t.remove(&1), None);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn update_in_place_is_stable() {
+        let mut t = table(16);
+        t.insert(42, 1).unwrap();
+        let before = t.slot_of(&42).unwrap();
+        let outcome = t.insert(42, 2).unwrap();
+        assert_eq!(outcome, InsertOutcome::Updated(before));
+        assert_eq!(t.get(&42), Some(&2));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn entries_never_move() {
+        // Stability across a long mixed workload: record each key's slot at
+        // insertion; it must be unchanged at every later point it exists.
+        let mut t = table(8);
+        let mut rng = SplitMix64::new(5);
+        let mut placed: std::collections::HashMap<u64, SlotRef> =
+            std::collections::HashMap::new();
+        for step in 0..20_000u64 {
+            let key = rng.next_below(2_000);
+            if rng.next_below(3) == 0 {
+                t.remove(&key);
+                placed.remove(&key);
+            } else if let Ok(outcome) = t.insert(key, step) {
+                match outcome {
+                    InsertOutcome::Updated(slot) => {
+                        assert_eq!(placed[&key], slot, "entry moved on update");
+                    }
+                    other => {
+                        placed.insert(key, other.slot());
+                    }
+                }
+            }
+            if step % 1000 == 0 {
+                for (k, &slot) in &placed {
+                    assert_eq!(t.slot_of(k), Some(slot), "entry for {k} moved");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fills_front_yard_before_backyard() {
+        let mut t = table(8);
+        // Keys sharing a front bucket: generate until we find front_slots + 1
+        // keys mapping to bucket 0.
+        let cfg = *t.config();
+        let mut keys = Vec::new();
+        let mut k = 0u64;
+        while keys.len() <= cfg.front_slots() {
+            if t.candidates(&k).front_bucket == 0 {
+                keys.push(k);
+            }
+            k += 1;
+        }
+        for (i, &key) in keys.iter().enumerate() {
+            let outcome = t.insert(key, 0).unwrap();
+            if i < cfg.front_slots() {
+                assert!(matches!(outcome, InsertOutcome::PlacedFront(_)), "key {i}");
+            } else {
+                assert!(matches!(outcome, InsertOutcome::PlacedBack(_)), "overflow key");
+            }
+        }
+    }
+
+    #[test]
+    fn backyard_uses_emptiest_choice() {
+        let mut t = table(8);
+        let cfg = *t.config();
+        // Fill bucket 3's front yard completely via direct candidates.
+        let mut k = 0u64;
+        let mut filled = 0;
+        while filled < cfg.front_slots() {
+            if t.candidates(&k).front_bucket == 3 {
+                t.insert(k, 0).unwrap();
+                filled += 1;
+            }
+            k += 1;
+        }
+        // Next key with front bucket 3 must go to its emptiest backyard.
+        let key = loop {
+            if t.candidates(&k).front_bucket == 3 {
+                break k;
+            }
+            k += 1;
+        };
+        let cands = t.candidates(&key);
+        let expect_bucket = *cands
+            .back_buckets
+            .iter()
+            .min_by_key(|&&b| t.back_occupancy[b])
+            .unwrap();
+        match t.insert(key, 0).unwrap() {
+            InsertOutcome::PlacedBack(slot) => assert_eq!(slot.bucket, expect_bucket),
+            other => panic!("expected backyard placement, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn conflict_returns_value() {
+        // A tiny table (1 bucket) conflicts once all 64 slots fill.
+        let cfg = IcebergConfig::new(1, 4, 2, 1);
+        let mut t: IcebergTable<u64, String, _> =
+            IcebergTable::new(cfg, XxFamily::new(cfg.hash_count(), 3));
+        let mut inserted = 0;
+        for k in 0..100u64 {
+            match t.insert(k, format!("v{k}")) {
+                Ok(_) => inserted += 1,
+                Err(e) => {
+                    assert_eq!(e.value, format!("v{k}"));
+                    assert_eq!(inserted, cfg.total_slots());
+                    return;
+                }
+            }
+        }
+        panic!("table never conflicted");
+    }
+
+    #[test]
+    fn high_load_factor_before_first_conflict() {
+        // The headline Iceberg property: with the paper geometry, the first
+        // conflict should not occur before ~95+% load (paper measures ~98%).
+        let mut t = table(64); // 4096 slots
+        let mut rng = SplitMix64::new(123);
+        let total = t.config().total_slots();
+        loop {
+            let key = rng.next_u64();
+            if t.insert(key, 0).is_err() {
+                let lf = t.load_factor();
+                assert!(lf > 0.95, "first conflict at load factor {lf}");
+                break;
+            }
+            assert!(t.len() <= total);
+        }
+    }
+
+    #[test]
+    fn candidate_index_matches_slot() {
+        let mut t = table(64);
+        for k in 0..2000u64 {
+            t.insert(k, k).unwrap();
+        }
+        let cfg = *t.config();
+        for k in 0..2000u64 {
+            let idx = t.candidate_index_of(&k).unwrap();
+            let cands = t.candidates(&k);
+            assert_eq!(cands.slot_for_index(&cfg, idx), t.slot_of(&k).unwrap());
+        }
+    }
+
+    #[test]
+    fn iter_visits_all_entries() {
+        let mut t = table(16);
+        for k in 0..500u64 {
+            t.insert(k, k + 1).unwrap();
+        }
+        let mut pairs: Vec<(u64, u64)> = t.iter().map(|(&k, &v)| (k, v)).collect();
+        pairs.sort_unstable();
+        assert_eq!(pairs.len(), 500);
+        for (i, (k, v)) in pairs.into_iter().enumerate() {
+            assert_eq!(k, i as u64);
+            assert_eq!(v, k + 1);
+        }
+    }
+
+    #[test]
+    fn tuple_keys_work() {
+        let cfg = IcebergConfig::paper_default(8);
+        let mut t: IcebergTable<(u32, u32), u8, _> =
+            IcebergTable::new(cfg, XxFamily::new(cfg.hash_count(), 1));
+        t.insert((1, 2), 9).unwrap();
+        t.insert((2, 1), 8).unwrap();
+        assert_eq!(t.get(&(1, 2)), Some(&9));
+        assert_eq!(t.get(&(2, 1)), Some(&8));
+    }
+}

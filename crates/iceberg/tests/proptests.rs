@@ -1,0 +1,102 @@
+//! Model-based property tests: an [`IcebergTable`] must behave exactly
+//! like a `HashMap` for every operation sequence (as long as inserts
+//! succeed), while additionally honouring the Iceberg guarantees.
+
+use mosaic_hash::XxFamily;
+use mosaic_iceberg::{IcebergConfig, IcebergTable, InsertOutcome, Yard};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u16, u32),
+    Remove(u16),
+    Get(u16),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u16>(), any::<u32>()).prop_map(|(k, v)| Op::Insert(k % 800, v)),
+        any::<u16>().prop_map(|k| Op::Remove(k % 800)),
+        any::<u16>().prop_map(|k| Op::Get(k % 800)),
+    ]
+}
+
+proptest! {
+    /// Semantic equivalence with HashMap across arbitrary op sequences.
+    #[test]
+    fn behaves_like_hashmap(ops in prop::collection::vec(op_strategy(), 1..300), seed in any::<u64>()) {
+        let cfg = IcebergConfig::paper_default(32); // 2048 slots >> 800 keys
+        let mut table: IcebergTable<u16, u32, XxFamily> =
+            IcebergTable::new(cfg, XxFamily::new(cfg.hash_count(), seed));
+        let mut model: HashMap<u16, u32> = HashMap::new();
+        for op in ops {
+            match op {
+                Op::Insert(k, v) => {
+                    let expect_update = model.contains_key(&k);
+                    let outcome = table.insert(k, v).expect("far below capacity");
+                    model.insert(k, v);
+                    prop_assert_eq!(
+                        matches!(outcome, InsertOutcome::Updated(_)),
+                        expect_update
+                    );
+                }
+                Op::Remove(k) => {
+                    prop_assert_eq!(table.remove(&k), model.remove(&k));
+                }
+                Op::Get(k) => {
+                    prop_assert_eq!(table.get(&k), model.get(&k));
+                }
+            }
+            prop_assert_eq!(table.len(), model.len());
+        }
+        // Final sweep: identical contents.
+        for (k, v) in &model {
+            prop_assert_eq!(table.get(k), Some(v));
+        }
+        let mut dumped: Vec<(u16, u32)> = table.iter().map(|(&k, &v)| (k, v)).collect();
+        dumped.sort_unstable();
+        let mut expect: Vec<(u16, u32)> = model.into_iter().collect();
+        expect.sort_unstable();
+        prop_assert_eq!(dumped, expect);
+    }
+
+    /// Every stored entry sits in a slot belonging to its own candidate
+    /// set, with a consistent candidate index.
+    #[test]
+    fn entries_live_in_their_candidate_sets(keys in prop::collection::hash_set(any::<u32>(), 1..500), seed in any::<u64>()) {
+        let cfg = IcebergConfig::paper_default(16);
+        let mut table: IcebergTable<u32, (), XxFamily> =
+            IcebergTable::new(cfg, XxFamily::new(cfg.hash_count(), seed));
+        for &k in &keys {
+            if table.insert(k, ()).is_err() {
+                break;
+            }
+        }
+        for (&k, _) in table.iter() {
+            let slot = table.slot_of(&k).expect("iterated key is present");
+            let idx = table.candidate_index_of(&k).expect("slot is a candidate");
+            let cands = table.candidates(&k);
+            prop_assert_eq!(cands.slot_for_index(&cfg, idx), slot);
+            match slot.yard {
+                Yard::Front => prop_assert_eq!(slot.bucket, cands.front_bucket),
+                Yard::Back => prop_assert!(cands.back_buckets.contains(&slot.bucket)),
+            }
+        }
+    }
+
+    /// Occupancy accounting is exact for any fill level.
+    #[test]
+    fn occupancy_matches_len(n in 0usize..1500, seed in any::<u64>()) {
+        let cfg = IcebergConfig::paper_default(32);
+        let mut table: IcebergTable<u32, (), XxFamily> =
+            IcebergTable::new(cfg, XxFamily::new(cfg.hash_count(), seed));
+        for k in 0..n as u32 {
+            table.insert(k, ()).expect("below capacity");
+        }
+        let occ = table.occupancy();
+        prop_assert_eq!(occ.occupied(), n);
+        prop_assert_eq!(occ.occupied(), table.len());
+        prop_assert!((occ.load_factor() - table.load_factor()).abs() < 1e-12);
+    }
+}

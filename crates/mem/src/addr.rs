@@ -1,0 +1,235 @@
+//! Page-granularity address types shared across the workspace.
+//!
+//! The paper's gem5 platform uses 36-bit VPNs and PFNs over 4 KiB base
+//! pages (Table 1a); these newtypes keep virtual/physical and
+//! page-number/byte-address quantities statically distinct.
+
+/// Log2 of the base page size (4 KiB pages).
+pub const PAGE_SHIFT: u32 = 12;
+
+/// The base page size in bytes.
+pub const PAGE_SIZE: u64 = 1 << PAGE_SHIFT;
+
+/// Width of a VPN in the simulated platform (Table 1a: 36-bit VPNs).
+pub const VPN_BITS: u32 = 36;
+
+/// A virtual byte address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct VirtAddr(pub u64);
+
+impl VirtAddr {
+    /// The virtual page number containing this address.
+    pub fn vpn(self) -> Vpn {
+        Vpn(self.0 >> PAGE_SHIFT)
+    }
+
+    /// The byte offset within the page.
+    pub fn page_offset(self) -> u64 {
+        self.0 & (PAGE_SIZE - 1)
+    }
+}
+
+impl core::fmt::Display for VirtAddr {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "va:{:#x}", self.0)
+    }
+}
+
+impl core::ops::Add<u64> for VirtAddr {
+    type Output = VirtAddr;
+
+    fn add(self, rhs: u64) -> VirtAddr {
+        VirtAddr(self.0 + rhs)
+    }
+}
+
+/// A physical byte address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct PhysAddr(pub u64);
+
+impl core::fmt::Display for PhysAddr {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "pa:{:#x}", self.0)
+    }
+}
+
+/// A virtual page number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Vpn(pub u64);
+
+impl Vpn {
+    /// Creates a VPN.
+    pub fn new(vpn: u64) -> Self {
+        Vpn(vpn)
+    }
+
+    /// The first byte address of the page.
+    pub fn base(self) -> VirtAddr {
+        VirtAddr(self.0 << PAGE_SHIFT)
+    }
+}
+
+impl core::fmt::Display for Vpn {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "vpn:{:#x}", self.0)
+    }
+}
+
+/// A physical frame number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Pfn(pub u64);
+
+impl Pfn {
+    /// Creates a PFN.
+    pub fn new(pfn: u64) -> Self {
+        Pfn(pfn)
+    }
+
+    /// The first byte address of the frame.
+    pub fn base(self) -> PhysAddr {
+        PhysAddr(self.0 << PAGE_SHIFT)
+    }
+
+    /// The physical address of `offset` bytes into this frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset >= PAGE_SIZE`.
+    pub fn with_offset(self, offset: u64) -> PhysAddr {
+        assert!(offset < PAGE_SIZE, "offset {offset} exceeds page size");
+        PhysAddr((self.0 << PAGE_SHIFT) | offset)
+    }
+}
+
+impl core::fmt::Display for Pfn {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "pfn:{:#x}", self.0)
+    }
+}
+
+/// An address-space identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Asid(pub u16);
+
+impl Asid {
+    /// Creates an ASID.
+    pub fn new(asid: u16) -> Self {
+        Asid(asid)
+    }
+
+    /// The kernel's address space (ASID 0 by convention in this model).
+    pub const KERNEL: Asid = Asid(0);
+}
+
+impl core::fmt::Display for Asid {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "asid:{}", self.0)
+    }
+}
+
+/// The unit the Mosaic allocator hashes: an `(ASID, VPN)` pair (§2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PageKey {
+    /// Owning address space.
+    pub asid: Asid,
+    /// Virtual page number within that address space.
+    pub vpn: Vpn,
+}
+
+impl PageKey {
+    /// Creates a page key.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the VPN exceeds [`VPN_BITS`] (36 bits, per Table 1a), so
+    /// the packed 64-bit hash key is injective.
+    pub fn new(asid: Asid, vpn: Vpn) -> Self {
+        assert!(
+            vpn.0 < (1 << VPN_BITS),
+            "vpn {:#x} exceeds {} bits",
+            vpn.0,
+            VPN_BITS
+        );
+        Self { asid, vpn }
+    }
+
+    /// Packs the pair into the 64-bit key fed to the hash family.
+    ///
+    /// The packing is injective (ASID in the high bits, VPN in the low 36),
+    /// so distinct pages always get independent candidate sets.
+    pub fn hash_key(self) -> u64 {
+        (u64::from(self.asid.0) << VPN_BITS) | self.vpn.0
+    }
+}
+
+impl core::fmt::Display for PageKey {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "({}, {})", self.asid, self.vpn)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn virt_addr_decomposition() {
+        let va = VirtAddr(0x0000_1234_5678);
+        assert_eq!(va.vpn(), Vpn(0x1234_5));
+        assert_eq!(va.page_offset(), 0x678);
+        assert_eq!(va.vpn().base(), VirtAddr(0x0000_1234_5000));
+    }
+
+    #[test]
+    fn page_boundaries() {
+        assert_eq!(VirtAddr(0).vpn(), Vpn(0));
+        assert_eq!(VirtAddr(PAGE_SIZE - 1).vpn(), Vpn(0));
+        assert_eq!(VirtAddr(PAGE_SIZE).vpn(), Vpn(1));
+    }
+
+    #[test]
+    fn pfn_with_offset() {
+        let pa = Pfn(3).with_offset(0x10);
+        assert_eq!(pa, PhysAddr(0x3010));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds page size")]
+    fn oversized_offset_panics() {
+        Pfn(0).with_offset(PAGE_SIZE);
+    }
+
+    #[test]
+    fn page_key_packing_is_injective() {
+        let a = PageKey::new(Asid(1), Vpn(0));
+        let b = PageKey::new(Asid(0), Vpn(1 << 35));
+        assert_ne!(a.hash_key(), b.hash_key());
+        // Top of the VPN range does not bleed into the ASID field.
+        let c = PageKey::new(Asid(0), Vpn((1 << VPN_BITS) - 1));
+        let d = PageKey::new(Asid(1), Vpn(0));
+        assert_ne!(c.hash_key(), d.hash_key());
+        assert_eq!(d.hash_key(), 1 << VPN_BITS);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn oversized_vpn_panics() {
+        PageKey::new(Asid(0), Vpn(1 << VPN_BITS));
+    }
+
+    #[test]
+    fn addr_add() {
+        assert_eq!(VirtAddr(10) + 6, VirtAddr(16));
+    }
+
+    #[test]
+    fn displays() {
+        assert_eq!(VirtAddr(0xff).to_string(), "va:0xff");
+        assert_eq!(Pfn(2).to_string(), "pfn:0x2");
+        assert_eq!(Asid(7).to_string(), "asid:7");
+        assert_eq!(
+            PageKey::new(Asid(7), Vpn(1)).to_string(),
+            "(asid:7, vpn:0x1)"
+        );
+    }
+}

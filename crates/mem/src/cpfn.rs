@@ -1,0 +1,300 @@
+//! Compressed Physical Frame Numbers (CPFNs), bit-exact per paper §3.1.
+//!
+//! A CPFN records *which of a page's `h` candidate slots* the allocator
+//! chose, so it needs only `log₂ h` bits instead of a full PFN. The paper's
+//! 7-bit encoding (for the 56 + 6 × 8 geometry):
+//!
+//! ```text
+//!   unmapped            : 111_1111  (all ones)
+//!   front yard          : 0  oooooo   (6-bit slot offset, 0..56)
+//!   backyard            : 1  ccc ooo  (3-bit choice 0..6, 3-bit offset 0..8)
+//! ```
+//!
+//! [`CpfnCodec`] generalises the same field layout to other geometries
+//! (used by the arity sweeps), deriving field widths from the
+//! [`IcebergConfig`].
+
+use mosaic_iceberg::{CandidateSet, IcebergConfig, SlotRef};
+
+/// A compressed physical frame number: an index into a page's candidate
+/// set, or the unmapped sentinel.
+///
+/// The raw byte layout is produced by a [`CpfnCodec`]; a bare `Cpfn` is
+/// meaningful only together with the codec that produced it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Cpfn(pub u8);
+
+impl Cpfn {
+    /// The paper's unmapped sentinel for the 7-bit encoding (all ones).
+    pub const UNMAPPED_7BIT: Cpfn = Cpfn(0x7F);
+}
+
+impl core::fmt::Display for Cpfn {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "cpfn:{:#09b}", self.0)
+    }
+}
+
+impl core::fmt::Binary for Cpfn {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        core::fmt::Binary::fmt(&self.0, f)
+    }
+}
+
+/// Encodes and decodes CPFNs for a given Iceberg geometry.
+///
+/// # Example
+///
+/// ```
+/// use mosaic_mem::cpfn::CpfnCodec;
+/// use mosaic_iceberg::IcebergConfig;
+///
+/// let codec = CpfnCodec::new(IcebergConfig::paper_default(64));
+/// assert_eq!(codec.bits(), 7);
+/// // Candidate 0 is front-yard slot 0.
+/// let c = codec.encode_index(0);
+/// assert_eq!(codec.decode_index(c), Some(0));
+/// assert_eq!(codec.decode_index(codec.unmapped()), None);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CpfnCodec {
+    cfg: IcebergConfig,
+    /// Bits for the backyard slot offset.
+    slot_bits: u32,
+    /// Bits for the backyard choice field.
+    choice_bits: u32,
+    /// Total CPFN width including the front/back lead bit.
+    bits: u32,
+}
+
+fn bits_for(n: usize) -> u32 {
+    // Number of bits to represent values 0..n (n >= 1).
+    usize::BITS - (n - 1).leading_zeros()
+}
+
+impl CpfnCodec {
+    /// Creates a codec for a geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the encoding would exceed 8 bits (the `Cpfn` payload).
+    pub fn new(cfg: IcebergConfig) -> Self {
+        let slot_bits = bits_for(cfg.back_slots());
+        let choice_bits = bits_for(cfg.d_choices());
+        let front_bits = bits_for(cfg.front_slots());
+        let payload = front_bits.max(choice_bits + slot_bits);
+        let mut bits = payload + 1;
+        // If the largest backyard encoding would be all ones (the paper's
+        // geometry avoids this because d = 6 leaves choice 0b111 unused),
+        // widen by one bit so the unmapped sentinel stays distinct.
+        let max_back = (1u16 << (bits - 1))
+            | (((cfg.d_choices() - 1) as u16) << slot_bits)
+            | (cfg.back_slots() - 1) as u16;
+        if max_back == (1 << bits) - 1 {
+            bits += 1;
+        }
+        assert!(
+            bits <= 8,
+            "geometry needs {bits} bits, exceeding the u8 CPFN payload"
+        );
+        Self {
+            cfg,
+            slot_bits,
+            choice_bits,
+            bits,
+        }
+    }
+
+    /// The geometry this codec encodes for.
+    pub fn config(&self) -> &IcebergConfig {
+        &self.cfg
+    }
+
+    /// Total CPFN width in bits, including the front/back lead bit.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// The unmapped sentinel: all ones in [`bits`](Self::bits) bits.
+    pub fn unmapped(&self) -> Cpfn {
+        Cpfn(((1u16 << self.bits()) - 1) as u8)
+    }
+
+    /// Encodes a candidate index (`0 .. h`) into a CPFN.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= cfg.associativity()`.
+    pub fn encode_index(&self, index: usize) -> Cpfn {
+        let h = self.cfg.associativity();
+        assert!(index < h, "candidate index {index} out of range (h = {h})");
+        let raw = if index < self.cfg.front_slots() {
+            index as u8
+        } else {
+            let rest = index - self.cfg.front_slots();
+            let choice = (rest / self.cfg.back_slots()) as u8;
+            let offset = (rest % self.cfg.back_slots()) as u8;
+            let lead = 1u8 << (self.bits() - 1);
+            lead | (choice << self.slot_bits) | offset
+        };
+        let cpfn = Cpfn(raw);
+        debug_assert_ne!(cpfn, self.unmapped(), "encoding collided with sentinel");
+        cpfn
+    }
+
+    /// Decodes a CPFN back to a candidate index; `None` if unmapped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the CPFN is not a valid encoding for this geometry
+    /// (a corrupted value, not merely unmapped).
+    pub fn decode_index(&self, cpfn: Cpfn) -> Option<usize> {
+        if cpfn == self.unmapped() {
+            return None;
+        }
+        let lead = 1u8 << (self.bits() - 1);
+        if cpfn.0 & lead == 0 {
+            let idx = cpfn.0 as usize;
+            assert!(idx < self.cfg.front_slots(), "invalid front-yard CPFN {cpfn}");
+            Some(idx)
+        } else {
+            let payload = cpfn.0 & !lead;
+            let choice = (payload >> self.slot_bits) as usize;
+            let offset = (payload & ((1 << self.slot_bits) - 1)) as usize;
+            assert!(choice < self.cfg.d_choices(), "invalid backyard choice in {cpfn}");
+            assert!(offset < self.cfg.back_slots(), "invalid backyard offset in {cpfn}");
+            Some(self.cfg.front_slots() + choice * self.cfg.back_slots() + offset)
+        }
+    }
+
+    /// Encodes the CPFN for a concrete slot within a candidate set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is not in the candidate set.
+    pub fn encode_slot(&self, cands: &CandidateSet, slot: SlotRef) -> Cpfn {
+        let index = cands
+            .index_of_slot(&self.cfg, slot)
+            .expect("slot is not a candidate for this key");
+        self.encode_index(index)
+    }
+
+    /// Decodes a CPFN to the concrete slot it denotes for a candidate set.
+    ///
+    /// Returns `None` for the unmapped sentinel.
+    pub fn decode_slot(&self, cands: &CandidateSet, cpfn: Cpfn) -> Option<SlotRef> {
+        self.decode_index(cpfn)
+            .map(|idx| cands.slot_for_index(&self.cfg, idx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mosaic_hash::XxFamily;
+
+    fn codec() -> CpfnCodec {
+        CpfnCodec::new(IcebergConfig::paper_default(64))
+    }
+
+    #[test]
+    fn paper_bit_layout() {
+        let c = codec();
+        assert_eq!(c.bits(), 7);
+        assert_eq!(c.unmapped(), Cpfn(0x7F));
+        // Front-yard slot 0 and 55.
+        assert_eq!(c.encode_index(0), Cpfn(0b000_0000));
+        assert_eq!(c.encode_index(55), Cpfn(0b011_0111));
+        // First backyard slot: lead bit set, choice 0, offset 0.
+        assert_eq!(c.encode_index(56), Cpfn(0b100_0000));
+        // Backyard choice 1, offset 0.
+        assert_eq!(c.encode_index(64), Cpfn(0b100_1000));
+        // Last backyard slot: choice 5, offset 7 = 0b1_101_111.
+        assert_eq!(c.encode_index(103), Cpfn(0b110_1111));
+    }
+
+    #[test]
+    fn round_trip_all_indices() {
+        let c = codec();
+        for idx in 0..104 {
+            let cpfn = c.encode_index(idx);
+            assert_eq!(c.decode_index(cpfn), Some(idx), "index {idx}");
+            assert_ne!(cpfn, c.unmapped());
+        }
+    }
+
+    #[test]
+    fn unmapped_decodes_to_none() {
+        assert_eq!(codec().decode_index(Cpfn::UNMAPPED_7BIT), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn encode_out_of_range_panics() {
+        codec().encode_index(104);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid backyard choice")]
+    fn decode_corrupt_backyard_panics() {
+        // choice 6 (0b110) does not exist with d = 6 and offset fields 3 bits:
+        // 0b1_110_000 = 0x70.
+        codec().decode_index(Cpfn(0x70));
+    }
+
+    #[test]
+    fn slot_round_trip_via_candidates() {
+        let cfg = IcebergConfig::paper_default(64);
+        let c = CpfnCodec::new(cfg);
+        let family = XxFamily::new(cfg.hash_count(), 5);
+        let cands = CandidateSet::compute(&family, &cfg, 0xABCDEF);
+        for (idx, slot) in cands.slots(&cfg).enumerate() {
+            let cpfn = c.encode_slot(&cands, slot);
+            let back = c.decode_slot(&cands, cpfn).unwrap();
+            assert_eq!(back, cands.slot_for_index(&cfg, idx));
+        }
+    }
+
+    #[test]
+    fn small_geometry_uses_fewer_bits() {
+        // 8 front slots (3 bits), 3 backyard slots (2 bits), d = 2 (1 bit);
+        // the largest backyard code 0b1_1_10 leaves the sentinel free.
+        let cfg = IcebergConfig::new(8, 8, 3, 2);
+        let c = CpfnCodec::new(cfg);
+        assert_eq!(c.bits(), 4);
+        assert_eq!(c.unmapped(), Cpfn(0xF));
+        for idx in 0..cfg.associativity() {
+            assert_eq!(c.decode_index(c.encode_index(idx)), Some(idx));
+        }
+    }
+
+    #[test]
+    fn sentinel_collision_widens_encoding() {
+        // back = 4, d = 2 makes the top backyard code all-ones; the codec
+        // must widen rather than collide with the unmapped sentinel.
+        let cfg = IcebergConfig::new(8, 8, 4, 2);
+        let c = CpfnCodec::new(cfg);
+        assert_eq!(c.bits(), 5);
+        for idx in 0..cfg.associativity() {
+            let e = c.encode_index(idx);
+            assert_ne!(e, c.unmapped());
+            assert_eq!(c.decode_index(e), Some(idx));
+        }
+    }
+
+    #[test]
+    fn encodings_are_distinct() {
+        let c = codec();
+        let mut seen = std::collections::HashSet::new();
+        for idx in 0..104 {
+            assert!(seen.insert(c.encode_index(idx)), "duplicate encoding");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeding the u8")]
+    fn oversized_geometry_panics() {
+        // 200 front slots needs 8 bits + lead = 9 bits.
+        CpfnCodec::new(IcebergConfig::new(16, 200, 8, 6));
+    }
+}

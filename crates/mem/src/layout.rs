@@ -1,0 +1,200 @@
+//! The bucket ↔ physical-frame mapping.
+//!
+//! Mosaic "structures physical memory as a bucketed hash table, where each
+//! bucket consists of a collection of contiguous physical page frames"
+//! (§1). With the paper geometry each bucket owns 64 contiguous frames:
+//! the first 56 are its front yard and the last 8 its backyard.
+
+use crate::addr::Pfn;
+use mosaic_iceberg::{IcebergConfig, SlotRef, Yard};
+
+/// Maps Iceberg slots to physical frame numbers and back.
+///
+/// # Example
+///
+/// ```
+/// use mosaic_mem::layout::MemoryLayout;
+/// use mosaic_iceberg::{IcebergConfig, SlotRef, Yard};
+///
+/// let layout = MemoryLayout::new(IcebergConfig::paper_default(8));
+/// assert_eq!(layout.num_frames(), 512);
+/// let slot = SlotRef { yard: Yard::Back, bucket: 1, slot: 0 };
+/// let pfn = layout.pfn_of_slot(slot);
+/// assert_eq!(layout.slot_of_pfn(pfn), slot);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryLayout {
+    cfg: IcebergConfig,
+}
+
+impl MemoryLayout {
+    /// Creates a layout over the given Iceberg geometry.
+    pub fn new(cfg: IcebergConfig) -> Self {
+        Self { cfg }
+    }
+
+    /// The underlying geometry.
+    pub fn config(&self) -> &IcebergConfig {
+        &self.cfg
+    }
+
+    /// Total physical frames (`p` in the paper's notation).
+    pub fn num_frames(&self) -> usize {
+        self.cfg.total_slots()
+    }
+
+    /// Total bytes of physical memory modelled.
+    pub fn bytes(&self) -> u64 {
+        self.num_frames() as u64 * crate::addr::PAGE_SIZE
+    }
+
+    /// The physical frame backing an Iceberg slot.
+    ///
+    /// Bucket `b` owns frames `b * slots_per_bucket ..`, front-yard slots
+    /// first, backyard slots after.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is outside the geometry.
+    pub fn pfn_of_slot(&self, slot: SlotRef) -> Pfn {
+        assert!(slot.bucket < self.cfg.num_buckets(), "bucket out of range");
+        let base = slot.bucket * self.cfg.slots_per_bucket();
+        let within = match slot.yard {
+            Yard::Front => {
+                assert!(slot.slot < self.cfg.front_slots(), "front slot out of range");
+                slot.slot
+            }
+            Yard::Back => {
+                assert!(slot.slot < self.cfg.back_slots(), "back slot out of range");
+                self.cfg.front_slots() + slot.slot
+            }
+        };
+        Pfn((base + within) as u64)
+    }
+
+    /// The Iceberg slot backing a physical frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the PFN is outside the modelled memory.
+    pub fn slot_of_pfn(&self, pfn: Pfn) -> SlotRef {
+        let idx = pfn.0 as usize;
+        assert!(idx < self.num_frames(), "pfn {pfn} out of range");
+        let per = self.cfg.slots_per_bucket();
+        let bucket = idx / per;
+        let within = idx % per;
+        if within < self.cfg.front_slots() {
+            SlotRef {
+                yard: Yard::Front,
+                bucket,
+                slot: within,
+            }
+        } else {
+            SlotRef {
+                yard: Yard::Back,
+                bucket,
+                slot: within - self.cfg.front_slots(),
+            }
+        }
+    }
+
+    /// Returns a layout sized to hold at least `frames` page frames
+    /// (rounds the bucket count up; same per-bucket shape as `self`).
+    pub fn with_at_least_frames(&self, frames: usize) -> MemoryLayout {
+        let per = self.cfg.slots_per_bucket();
+        let buckets = frames.div_ceil(per).max(self.cfg.d_choices());
+        MemoryLayout::new(self.cfg.with_num_buckets(buckets))
+    }
+}
+
+impl Default for MemoryLayout {
+    fn default() -> Self {
+        Self::new(IcebergConfig::default())
+    }
+}
+
+impl core::fmt::Display for MemoryLayout {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "{} frames ({} MiB): {}",
+            self.num_frames(),
+            self.bytes() >> 20,
+            self.cfg
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layout() -> MemoryLayout {
+        MemoryLayout::new(IcebergConfig::paper_default(8))
+    }
+
+    #[test]
+    fn frame_count_and_bytes() {
+        let l = layout();
+        assert_eq!(l.num_frames(), 8 * 64);
+        assert_eq!(l.bytes(), 8 * 64 * 4096);
+    }
+
+    #[test]
+    fn slot_pfn_round_trip_exhaustive() {
+        let l = layout();
+        let mut seen = std::collections::HashSet::new();
+        for bucket in 0..8 {
+            for slot in 0..56 {
+                let s = SlotRef { yard: Yard::Front, bucket, slot };
+                let pfn = l.pfn_of_slot(s);
+                assert_eq!(l.slot_of_pfn(pfn), s);
+                assert!(seen.insert(pfn), "duplicate pfn {pfn}");
+            }
+            for slot in 0..8 {
+                let s = SlotRef { yard: Yard::Back, bucket, slot };
+                let pfn = l.pfn_of_slot(s);
+                assert_eq!(l.slot_of_pfn(pfn), s);
+                assert!(seen.insert(pfn), "duplicate pfn {pfn}");
+            }
+        }
+        assert_eq!(seen.len(), l.num_frames(), "mapping must be a bijection");
+    }
+
+    #[test]
+    fn buckets_are_physically_contiguous() {
+        let l = layout();
+        // Frames of bucket 2 are exactly 128..192.
+        let first = l.pfn_of_slot(SlotRef { yard: Yard::Front, bucket: 2, slot: 0 });
+        let last = l.pfn_of_slot(SlotRef { yard: Yard::Back, bucket: 2, slot: 7 });
+        assert_eq!(first, Pfn(128));
+        assert_eq!(last, Pfn(191));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_bucket_panics() {
+        layout().pfn_of_slot(SlotRef { yard: Yard::Front, bucket: 8, slot: 0 });
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_pfn_panics() {
+        layout().slot_of_pfn(Pfn(8 * 64));
+    }
+
+    #[test]
+    fn with_at_least_frames_rounds_up() {
+        let l = layout().with_at_least_frames(1000);
+        assert!(l.num_frames() >= 1000);
+        assert_eq!(l.config().slots_per_bucket(), 64);
+        assert!(l.num_frames() - 1000 < 64);
+    }
+
+    #[test]
+    fn with_at_least_frames_respects_d_choices() {
+        // Tiny requests still need >= d buckets for the scheme to work.
+        let l = layout().with_at_least_frames(1);
+        assert!(l.config().num_buckets() >= l.config().d_choices());
+    }
+}

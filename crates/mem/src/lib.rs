@@ -1,0 +1,85 @@
+//! Physical-memory model for the Mosaic Pages reproduction.
+//!
+//! This crate is the OS half of Mosaic (paper §2.2–§2.4, §3.2): physical
+//! memory structured as an Iceberg hash table of page frames, the
+//! compressed-physical-frame-number (CPFN) encoding, the constrained frame
+//! allocator, and the **Horizon LRU** swapping algorithm with ghost pages.
+//! It also implements the *baseline*: a fully-associative, Linux-like
+//! memory manager with watermark-triggered LRU reclaim, which Tables 3 and
+//! 4 of the paper compare against.
+//!
+//! # Architecture
+//!
+//! * [`addr`] — page-granularity address types ([`Vpn`], [`Pfn`], [`Asid`],
+//!   [`PageKey`]) shared across the workspace;
+//! * [`layout`] — the bucket↔frame mapping (bucket `b` owns frames
+//!   `b*64 .. b*64+64`, front yard first);
+//! * [`cpfn`] — bit-exact CPFN encode/decode per §3.1;
+//! * [`frame`] — the frame table (per-frame residency, access times, dirty
+//!   bits) with ghost-aware occupancy queries;
+//! * [`lru`] — an exact LRU index keyed by access timestamps;
+//! * [`manager`] — the [`MemoryManager`] trait the
+//!   simulator drives;
+//! * [`mosaic`] — the Mosaic manager (Iceberg allocation + Horizon LRU);
+//! * [`linux`] — the unconstrained exact-LRU baseline (free list +
+//!   watermark reclaim);
+//! * [`clock`] — a stock-Linux-faithful two-list (active/inactive)
+//!   reclaim baseline with referenced bits;
+//! * [`policy`] — the §2.4 eviction-policy design space for ablation.
+//!
+//! # Example
+//!
+//! ```
+//! use mosaic_mem::prelude::*;
+//!
+//! let layout = MemoryLayout::new(IcebergConfig::paper_default(16));
+//! let mut mm = MosaicMemory::new(layout, 42);
+//! let key = PageKey::new(Asid::new(1), Vpn::new(0x1000));
+//! let outcome = mm.access(key, AccessKind::Store, 1);
+//! assert!(outcome.faulted());
+//! assert!(mm.resident_pfn(key).is_some());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod addr;
+pub mod clock;
+pub mod cpfn;
+pub mod frame;
+pub mod layout;
+pub mod linux;
+pub mod lru;
+pub mod manager;
+pub mod mosaic;
+pub mod policy;
+pub mod scanner;
+pub mod sharing;
+pub mod stats;
+
+/// Commonly used items, re-exported for convenience.
+pub mod prelude {
+    pub use crate::addr::{Asid, PageKey, Pfn, PhysAddr, VirtAddr, Vpn, PAGE_SHIFT, PAGE_SIZE};
+    pub use crate::cpfn::{Cpfn, CpfnCodec};
+    pub use crate::layout::MemoryLayout;
+    pub use crate::clock::ClockMemory;
+    pub use crate::linux::LinuxMemory;
+    pub use crate::manager::{AccessKind, AccessOutcome, MemoryManager};
+    pub use crate::mosaic::MosaicMemory;
+    pub use crate::policy::MosaicPolicy;
+    pub use crate::stats::PagingStats;
+    pub use mosaic_iceberg::IcebergConfig;
+}
+
+pub use addr::{Asid, PageKey, Pfn, PhysAddr, VirtAddr, Vpn, PAGE_SHIFT, PAGE_SIZE};
+pub use mosaic_iceberg::IcebergConfig;
+pub use cpfn::{Cpfn, CpfnCodec};
+pub use layout::MemoryLayout;
+pub use clock::ClockMemory;
+pub use linux::LinuxMemory;
+pub use manager::{AccessKind, AccessOutcome, MemoryManager};
+pub use mosaic::MosaicMemory;
+pub use policy::MosaicPolicy;
+pub use scanner::{AccessScanner, ScannerConfig, ScannerStats};
+pub use sharing::SharedMosaicMemory;
+pub use stats::PagingStats;

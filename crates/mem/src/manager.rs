@@ -1,0 +1,98 @@
+//! The [`MemoryManager`] trait: the OS-side contract the simulator drives.
+//!
+//! Both memory systems under comparison — [`MosaicMemory`](crate::mosaic)
+//! and the unconstrained [`LinuxMemory`](crate::linux) baseline — implement
+//! this trait, so the swapping experiments (Tables 3–4) run the identical
+//! reference stream through either.
+
+use crate::addr::{PageKey, Pfn};
+use crate::stats::{PagingStats, UtilizationTracker};
+
+/// Whether an access reads or writes the page (drives dirty tracking and
+/// therefore swap-out accounting).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// A read.
+    Load,
+    /// A write.
+    Store,
+}
+
+impl AccessKind {
+    /// Whether this access dirties the page.
+    pub fn is_write(self) -> bool {
+        matches!(self, AccessKind::Store)
+    }
+}
+
+/// How an access was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessOutcome {
+    /// The page was resident and live.
+    Hit,
+    /// The page was resident but ghosted; it was resurrected without I/O
+    /// (Mosaic only — the baseline has no ghosts).
+    GhostHit,
+    /// First touch: a frame was allocated and zero-filled, no I/O.
+    MinorFault,
+    /// The page was on swap: a frame was allocated and the page read back.
+    MajorFault,
+}
+
+impl AccessOutcome {
+    /// Whether the access required taking a page fault.
+    pub fn faulted(self) -> bool {
+        matches!(self, AccessOutcome::MinorFault | AccessOutcome::MajorFault)
+    }
+}
+
+/// A demand-paged physical memory manager.
+pub trait MemoryManager {
+    /// Ensures `key` is resident (faulting and evicting as needed) and
+    /// records an access at time `now`. `now` must be non-decreasing across
+    /// calls.
+    fn access(&mut self, key: PageKey, kind: AccessKind, now: u64) -> AccessOutcome;
+
+    /// The frame currently backing `key`, if resident.
+    fn resident_pfn(&self, key: PageKey) -> Option<Pfn>;
+
+    /// Total physical frames managed.
+    fn num_frames(&self) -> usize;
+
+    /// Frames currently occupied (live or ghost).
+    fn resident_frames(&self) -> usize;
+
+    /// Occupied / total, the utilization metric of Table 3.
+    fn utilization(&self) -> f64 {
+        self.resident_frames() as f64 / self.num_frames() as f64
+    }
+
+    /// Paging counters accumulated so far.
+    fn stats(&self) -> &PagingStats;
+
+    /// Utilization milestones (first conflict, steady-state samples).
+    fn utilization_tracker(&self) -> &UtilizationTracker;
+
+    /// Folds the current utilization into the steady-state average; the
+    /// experiment driver calls this periodically.
+    fn sample_utilization(&mut self);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn access_kind_write_flag() {
+        assert!(!AccessKind::Load.is_write());
+        assert!(AccessKind::Store.is_write());
+    }
+
+    #[test]
+    fn outcome_fault_classification() {
+        assert!(!AccessOutcome::Hit.faulted());
+        assert!(!AccessOutcome::GhostHit.faulted());
+        assert!(AccessOutcome::MinorFault.faulted());
+        assert!(AccessOutcome::MajorFault.faulted());
+    }
+}

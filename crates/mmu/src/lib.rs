@@ -1,0 +1,56 @@
+//! MMU models for the Mosaic Pages reproduction: TLBs and page tables.
+//!
+//! This crate is the hardware half of Mosaic (paper §2.1, §3.1):
+//!
+//! * [`arity`] — mosaic-page geometry: the arity `a` (base pages per mosaic
+//!   page), MVPN / mosaic-offset decomposition, and 2 MiB huge-page spans;
+//! * [`toc`] — the Table of Contents: the run of `a` CPFNs one mosaic TLB
+//!   entry stores;
+//! * [`tlb`] — a set-associative TLB model (direct-mapped through fully
+//!   associative, per-set true LRU) instantiated as
+//!   [`tlb::VanillaTlb`] (VPN → PFN, unified 4 KiB / 2 MiB, as in
+//!   Table 1a) and [`tlb::MosaicTlb`] (MVPN → ToC with per-sub-page
+//!   validity, §3.1);
+//! * [`pagetable`] — a radix page table whose leaves hold either PFNs
+//!   (vanilla) or ToCs (mosaic, Figure 5), with a walk-cost-counting
+//!   walker.
+//!
+//! # Example
+//!
+//! ```
+//! use mosaic_mmu::prelude::*;
+//! use mosaic_mem::{Asid, Vpn};
+//!
+//! let mut tlb = MosaicTlb::new(TlbConfig::new(1024, Associativity::Ways(8)), Arity::new(4));
+//! let asid = Asid::new(1);
+//! assert_eq!(tlb.lookup(asid, Vpn::new(100)), MosaicLookup::Miss);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arity;
+pub mod pagetable;
+pub mod reach;
+pub mod walkcache;
+pub mod tlb;
+pub mod toc;
+
+/// Commonly used items, re-exported for convenience.
+pub mod prelude {
+    pub use crate::arity::{Arity, Mvpn, HUGE_PAGE_SPAN};
+    pub use crate::pagetable::{PageWalker, RadixTable};
+    pub use crate::tlb::{
+        Associativity, MosaicLookup, MosaicTlb, TlbConfig, TlbStats, VanillaLookup, VanillaTlb,
+    };
+    pub use crate::toc::Toc;
+}
+
+pub use arity::{Arity, Mvpn, HUGE_PAGE_SPAN};
+pub use pagetable::{PageWalker, RadixTable};
+pub use walkcache::WalkCache;
+pub use tlb::{
+    Associativity, CoalescedTlb, ColtLookup, MosaicLookup, MosaicTlb, TlbConfig, TlbStats,
+    VanillaLookup, VanillaTlb,
+};
+pub use toc::Toc;

@@ -1,0 +1,109 @@
+//! TLB-reach and entry-width analysis (§2.1, §3.1 of the paper).
+//!
+//! The paper's ballpark: current x86 TLBs store 36-bit PFNs, so a ToC of
+//! four 7-bit CPFNs (28 bits) *shrinks* the entry while quadrupling
+//! reach; "by widening TLB entries, we can plausibly increase `a` to 64
+//! without prohibitive costs". These helpers quantify that trade-off for
+//! any geometry, for the reach tables the docs and benches print.
+
+use crate::arity::Arity;
+use mosaic_mem::PAGE_SIZE;
+
+/// PFN width in a conventional x86 TLB entry (§2.1).
+pub const X86_PFN_BITS: u32 = 36;
+
+/// Reach of a conventional TLB in bytes: one base page per entry.
+pub fn vanilla_reach_bytes(entries: usize) -> u64 {
+    entries as u64 * PAGE_SIZE
+}
+
+/// Reach of a mosaic TLB in bytes: `arity` base pages per entry.
+pub fn mosaic_reach_bytes(entries: usize, arity: Arity) -> u64 {
+    entries as u64 * arity.get() as u64 * PAGE_SIZE
+}
+
+/// Translation-payload bits of a mosaic entry: `arity × cpfn_bits`.
+pub fn toc_bits(arity: Arity, cpfn_bits: u32) -> u32 {
+    arity.get() as u32 * cpfn_bits
+}
+
+/// Whether a mosaic ToC fits within the payload of a conventional entry
+/// (the paper's "comparable hardware" configuration: arity 4 × 7 bits =
+/// 28 ≤ 36).
+pub fn fits_conventional_entry(arity: Arity, cpfn_bits: u32) -> bool {
+    toc_bits(arity, cpfn_bits) <= X86_PFN_BITS
+}
+
+/// The paper's reach-increase estimate `a = log p / log h`: how many
+/// CPFNs fit in the bits of one full PFN.
+pub fn compression_arity(pfn_bits: u32, cpfn_bits: u32) -> u32 {
+    pfn_bits / cpfn_bits
+}
+
+/// One row of a reach table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReachRow {
+    /// TLB design arity (1 = vanilla).
+    pub arity: usize,
+    /// Translation payload bits per entry.
+    pub payload_bits: u32,
+    /// Reach in bytes for a given entry count.
+    pub reach_bytes: u64,
+}
+
+/// Builds the reach table for a TLB of `entries` entries and 7-bit CPFNs.
+pub fn reach_table(entries: usize, arities: &[Arity]) -> Vec<ReachRow> {
+    let mut rows = vec![ReachRow {
+        arity: 1,
+        payload_bits: X86_PFN_BITS,
+        reach_bytes: vanilla_reach_bytes(entries),
+    }];
+    for &a in arities {
+        rows.push(ReachRow {
+            arity: a.get(),
+            payload_bits: toc_bits(a, 7),
+            reach_bytes: mosaic_reach_bytes(entries, a),
+        });
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_ballpark_numbers() {
+        // 1024 entries x 4 KiB = 4 MiB vanilla reach; the paper quotes
+        // "about 8.6 MiB" for a typical TLB (~2200 entries).
+        assert_eq!(vanilla_reach_bytes(1024), 4 << 20);
+        // Mosaic-4 quadruples it.
+        assert_eq!(mosaic_reach_bytes(1024, Arity::new(4)), 16 << 20);
+        // Mosaic-64: 256 MiB with 1024 entries (4 KiB x 64 x 1024).
+        assert_eq!(mosaic_reach_bytes(1024, Arity::new(64)), 256 << 20);
+    }
+
+    #[test]
+    fn arity4_fits_todays_entries() {
+        assert_eq!(toc_bits(Arity::new(4), 7), 28);
+        assert!(fits_conventional_entry(Arity::new(4), 7));
+        assert!(!fits_conventional_entry(Arity::new(8), 7));
+    }
+
+    #[test]
+    fn compression_estimate() {
+        // 36-bit PFNs, 7-bit CPFNs: at least 4 CPFNs per PFN slot plus
+        // change, hence the paper's a = 4 "comparable hardware" setting.
+        assert_eq!(compression_arity(36, 7), 5);
+        assert!(compression_arity(36, 7) >= 4);
+    }
+
+    #[test]
+    fn reach_table_shape() {
+        let rows = reach_table(1024, &[Arity::new(4), Arity::new(64)]);
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].arity, 1);
+        assert!(rows[2].reach_bytes == rows[0].reach_bytes * 64);
+        assert!(rows.windows(2).all(|w| w[0].reach_bytes < w[1].reach_bytes));
+    }
+}

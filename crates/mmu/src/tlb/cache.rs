@@ -1,0 +1,364 @@
+//! A generic set-associative cache with per-set true-LRU replacement.
+//!
+//! Both TLB flavours are built on this structure. The mosaic mapping
+//! restrictions are "orthogonal to the associativity of the TLB itself"
+//! (§3.1), so one cache model serves every point of the associativity
+//! sweep in Figure 6.
+
+use mosaic_mem::lru::LruIndex;
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// TLB set associativity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Associativity {
+    /// `n`-way set associative; `Ways(1)` is direct-mapped.
+    Ways(usize),
+    /// Fully associative (one set spanning every entry).
+    Full,
+}
+
+impl Associativity {
+    /// The associativity sweep of Figure 6.
+    pub const FIGURE6_SWEEP: [Associativity; 5] = [
+        Associativity::Ways(1),
+        Associativity::Ways(2),
+        Associativity::Ways(4),
+        Associativity::Ways(8),
+        Associativity::Full,
+    ];
+
+    /// Concrete way count for a given total entry count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `Ways(0)`.
+    pub fn ways(self, entries: usize) -> usize {
+        match self {
+            Associativity::Ways(w) => {
+                assert!(w > 0, "zero-way associativity");
+                w
+            }
+            Associativity::Full => entries,
+        }
+    }
+}
+
+impl core::fmt::Display for Associativity {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Associativity::Ways(1) => write!(f, "Direct"),
+            Associativity::Ways(n) => write!(f, "{n}-Way"),
+            Associativity::Full => write!(f, "Full"),
+        }
+    }
+}
+
+/// TLB geometry: total entries and associativity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TlbConfig {
+    entries: usize,
+    assoc: Associativity,
+}
+
+impl TlbConfig {
+    /// Creates a TLB configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is zero or not divisible by the way count.
+    pub fn new(entries: usize, assoc: Associativity) -> Self {
+        assert!(entries > 0, "entries must be positive");
+        let ways = assoc.ways(entries);
+        assert!(
+            entries.is_multiple_of(ways),
+            "entries ({entries}) must be a multiple of ways ({ways})"
+        );
+        Self { entries, assoc }
+    }
+
+    /// The paper's L1 TLB: 1024 entries (Table 1a).
+    pub fn paper_default(assoc: Associativity) -> Self {
+        Self::new(1024, assoc)
+    }
+
+    /// Total entries.
+    pub fn entries(&self) -> usize {
+        self.entries
+    }
+
+    /// Associativity.
+    pub fn associativity(&self) -> Associativity {
+        self.assoc
+    }
+
+    /// Number of sets.
+    pub fn num_sets(&self) -> usize {
+        self.entries / self.assoc.ways(self.entries)
+    }
+
+    /// Ways per set.
+    pub fn ways(&self) -> usize {
+        self.assoc.ways(self.entries)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct CacheSet<T, E> {
+    entries: HashMap<T, E>,
+    lru: LruIndex<T>,
+}
+
+impl<T: Copy + Eq + Hash, E> CacheSet<T, E> {
+    fn new() -> Self {
+        Self {
+            entries: HashMap::new(),
+            lru: LruIndex::new(),
+        }
+    }
+}
+
+/// A set-associative cache mapping tags to entries, true LRU per set.
+///
+/// The caller supplies the set index (computed from whatever address bits
+/// its design uses), keeping this structure agnostic of tag semantics.
+/// Lookups and inserts cost `O(log ways)`, so even the fully-associative
+/// 1024-way configuration of the Figure 6 sweep simulates quickly.
+#[derive(Debug, Clone)]
+pub struct SetAssocCache<T, E> {
+    sets: Vec<CacheSet<T, E>>,
+    ways: usize,
+    tick: u64,
+}
+
+impl<T: Copy + Eq + Hash, E> SetAssocCache<T, E> {
+    /// Creates an empty cache from a TLB configuration.
+    pub fn new(cfg: TlbConfig) -> Self {
+        Self {
+            sets: (0..cfg.num_sets()).map(|_| CacheSet::new()).collect(),
+            ways: cfg.ways(),
+            tick: 0,
+        }
+    }
+
+    /// Number of sets.
+    pub fn num_sets(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Ways per set.
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// Total capacity in entries.
+    pub fn capacity(&self) -> usize {
+        self.sets.len() * self.ways
+    }
+
+    /// Entries currently cached.
+    pub fn len(&self) -> usize {
+        self.sets.iter().map(|s| s.entries.len()).sum()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sets.iter().all(|s| s.entries.is_empty())
+    }
+
+    fn set_of(&self, set: usize) -> usize {
+        set % self.sets.len()
+    }
+
+    /// Looks up `tag` in `set`, refreshing its LRU position on a hit.
+    pub fn lookup(&mut self, set: usize, tag: T) -> Option<&mut E> {
+        self.tick += 1;
+        let tick = self.tick;
+        let idx = self.set_of(set);
+        let set = &mut self.sets[idx];
+        let entry = set.entries.get_mut(&tag)?;
+        set.lru.touch(tag, tick);
+        Some(entry)
+    }
+
+    /// Looks up without disturbing LRU state (diagnostics).
+    pub fn peek(&self, set: usize, tag: T) -> Option<&E> {
+        self.sets[self.set_of(set)].entries.get(&tag)
+    }
+
+    /// Inserts `tag -> entry` into `set`, evicting the set's LRU entry if
+    /// the set is full. Returns the evicted `(tag, entry)`, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tag` is already present in the set (callers fill only on
+    /// a miss).
+    pub fn insert(&mut self, set: usize, tag: T, entry: E) -> Option<(T, E)> {
+        self.tick += 1;
+        let tick = self.tick;
+        let ways = self.ways;
+        let idx = self.set_of(set);
+        let set = &mut self.sets[idx];
+        assert!(
+            !set.entries.contains_key(&tag),
+            "insert of a tag already present"
+        );
+        let evicted = if set.entries.len() == ways {
+            let (victim, _) = set.lru.pop_oldest().expect("full set is non-empty");
+            let e = set
+                .entries
+                .remove(&victim)
+                .expect("LRU tracks resident tags");
+            Some((victim, e))
+        } else {
+            None
+        };
+        set.entries.insert(tag, entry);
+        set.lru.touch(tag, tick);
+        evicted
+    }
+
+    /// Removes `tag` from `set`, returning its entry.
+    pub fn invalidate(&mut self, set: usize, tag: T) -> Option<E> {
+        let idx = self.set_of(set);
+        let set = &mut self.sets[idx];
+        let entry = set.entries.remove(&tag)?;
+        set.lru.remove(&tag);
+        Some(entry)
+    }
+
+    /// Removes every entry (a full TLB flush).
+    pub fn flush(&mut self) {
+        for set in &mut self.sets {
+            *set = CacheSet::new();
+        }
+    }
+
+    /// Iterates over `(tag, entry)` pairs (diagnostics).
+    pub fn iter(&self) -> impl Iterator<Item = (&T, &E)> {
+        self.sets.iter().flat_map(|s| s.entries.iter())
+    }
+
+    /// Per-set occupancy histogram (diagnostics).
+    pub fn set_occupancy(&self) -> HashMap<usize, usize> {
+        self.sets
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (i, s.entries.len()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache(entries: usize, assoc: Associativity) -> SetAssocCache<u64, u64> {
+        SetAssocCache::new(TlbConfig::new(entries, assoc))
+    }
+
+    #[test]
+    fn config_geometry() {
+        let c = TlbConfig::new(1024, Associativity::Ways(8));
+        assert_eq!(c.num_sets(), 128);
+        assert_eq!(c.ways(), 8);
+        let f = TlbConfig::new(1024, Associativity::Full);
+        assert_eq!(f.num_sets(), 1);
+        assert_eq!(f.ways(), 1024);
+    }
+
+    #[test]
+    fn display_names_match_figure6() {
+        assert_eq!(Associativity::Ways(1).to_string(), "Direct");
+        assert_eq!(Associativity::Ways(8).to_string(), "8-Way");
+        assert_eq!(Associativity::Full.to_string(), "Full");
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of ways")]
+    fn indivisible_config_panics() {
+        TlbConfig::new(1024, Associativity::Ways(3));
+    }
+
+    #[test]
+    fn hit_after_insert_miss_before() {
+        let mut c = cache(16, Associativity::Ways(4));
+        assert!(c.lookup(0, 42).is_none());
+        c.insert(0, 42, 7);
+        assert_eq!(c.lookup(0, 42), Some(&mut 7));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn lru_eviction_within_set() {
+        let mut c = cache(8, Associativity::Ways(2)); // 4 sets x 2 ways
+        c.insert(1, 10, 0);
+        c.insert(1, 20, 0);
+        // Touch 10 so 20 is LRU.
+        c.lookup(1, 10);
+        let evicted = c.insert(1, 30, 0);
+        assert_eq!(evicted.map(|(t, _)| t), Some(20));
+        assert!(c.peek(1, 10).is_some());
+        assert!(c.peek(1, 30).is_some());
+    }
+
+    #[test]
+    fn direct_mapped_conflicts() {
+        let mut c = cache(4, Associativity::Ways(1));
+        c.insert(0, 100, 0);
+        let evicted = c.insert(0, 200, 0);
+        assert_eq!(evicted.map(|(t, _)| t), Some(100));
+        assert!(c.peek(0, 100).is_none());
+    }
+
+    #[test]
+    fn full_assoc_uses_whole_capacity() {
+        let mut c = cache(4, Associativity::Full);
+        for t in 0..4u64 {
+            // Set index is ignored (mod 1).
+            assert!(c.insert(t as usize * 13, t, t).is_none());
+        }
+        assert_eq!(c.len(), 4);
+        // Fifth insert evicts the LRU (tag 0).
+        let evicted = c.insert(99, 4, 4);
+        assert_eq!(evicted.map(|(t, _)| t), Some(0));
+    }
+
+    #[test]
+    fn invalidate_and_flush() {
+        let mut c = cache(8, Associativity::Ways(2));
+        c.insert(2, 5, 50);
+        assert_eq!(c.invalidate(2, 5), Some(50));
+        assert_eq!(c.invalidate(2, 5), None);
+        c.insert(0, 1, 1);
+        c.insert(1, 2, 2);
+        c.flush();
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "already present")]
+    fn duplicate_insert_panics() {
+        let mut c = cache(4, Associativity::Ways(2));
+        c.insert(0, 1, 1);
+        c.insert(0, 1, 2);
+    }
+
+    #[test]
+    fn set_wraps_modulo() {
+        let mut c = cache(8, Associativity::Ways(2)); // 4 sets
+        c.insert(5, 77, 0); // set 1
+        assert!(c.peek(1, 77).is_some());
+    }
+
+    #[test]
+    fn peek_does_not_refresh_lru() {
+        let mut c = cache(4, Associativity::Ways(2)); // 2 sets x 2 ways
+        c.insert(0, 1, 0);
+        c.insert(0, 2, 0);
+        // Peek at 1 (no LRU update), then insert: 1 is still LRU.
+        c.peek(0, 1);
+        let evicted = c.insert(0, 3, 0);
+        assert_eq!(evicted.map(|(t, _)| t), Some(1));
+    }
+}

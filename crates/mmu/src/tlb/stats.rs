@@ -1,0 +1,91 @@
+//! TLB performance counters — the quantities Figure 6 plots.
+
+/// Hit/miss counters for one TLB.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TlbStats {
+    /// Total lookups.
+    pub accesses: u64,
+    /// Lookups satisfied from the TLB.
+    pub hits: u64,
+    /// Lookups that required a page-table walk (Figure 6's y-axis).
+    pub misses: u64,
+    /// Mosaic only: misses where the MVPN entry was present but the
+    /// sub-page's CPFN was invalid — the walk refills one sub-entry
+    /// without evicting anything (§3.1).
+    pub sub_entry_misses: u64,
+    /// Entries evicted to make room.
+    pub evictions: u64,
+}
+
+impl TlbStats {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Miss rate in `[0, 1]`; zero when no accesses have happened.
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+
+    /// Hit rate in `[0, 1]`; zero when no accesses have happened.
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.accesses as f64
+        }
+    }
+}
+
+impl core::fmt::Display for TlbStats {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "{} accesses, {} hits, {} misses ({:.3}% miss rate)",
+            self.accesses,
+            self.hits,
+            self.misses,
+            self.miss_rate() * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates() {
+        let s = TlbStats {
+            accesses: 10,
+            hits: 7,
+            misses: 3,
+            ..TlbStats::new()
+        };
+        assert!((s.miss_rate() - 0.3).abs() < 1e-12);
+        assert!((s.hit_rate() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_rates_are_zero() {
+        let s = TlbStats::new();
+        assert_eq!(s.miss_rate(), 0.0);
+        assert_eq!(s.hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn display_shows_percentage() {
+        let s = TlbStats {
+            accesses: 4,
+            hits: 3,
+            misses: 1,
+            ..TlbStats::new()
+        };
+        assert!(s.to_string().contains("25.000% miss rate"));
+    }
+}

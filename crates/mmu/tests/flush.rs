@@ -1,0 +1,67 @@
+//! ASID-selective flush semantics for both TLB designs.
+
+use mosaic_mem::{Asid, Cpfn, Pfn, Vpn};
+use mosaic_mmu::prelude::*;
+
+fn vanilla() -> VanillaTlb {
+    VanillaTlb::new(TlbConfig::new(64, Associativity::Ways(4)))
+}
+
+fn mosaic() -> MosaicTlb {
+    MosaicTlb::new(TlbConfig::new(64, Associativity::Ways(4)), Arity::new(4))
+}
+
+#[test]
+fn vanilla_flush_asid_is_selective() {
+    let mut t = vanilla();
+    for vpn in 0..10u64 {
+        t.fill_base(Asid::new(1), Vpn::new(vpn), Pfn::new(vpn));
+        t.fill_base(Asid::new(2), Vpn::new(vpn), Pfn::new(100 + vpn));
+    }
+    t.fill_huge(Asid::new(1), Vpn::new(1024), Pfn::new(512));
+    t.flush_asid(Asid::new(1));
+    for vpn in 0..10u64 {
+        assert!(
+            !t.lookup(Asid::new(1), Vpn::new(vpn)).is_hit(),
+            "asid 1 entry survived"
+        );
+        assert!(
+            t.lookup(Asid::new(2), Vpn::new(vpn)).is_hit(),
+            "asid 2 entry lost"
+        );
+    }
+    assert!(!t.lookup(Asid::new(1), Vpn::new(1024)).is_hit(), "huge survived");
+}
+
+#[test]
+fn mosaic_flush_asid_is_selective() {
+    let mut t = mosaic();
+    let mut toc = t.blank_toc();
+    for i in 0..4 {
+        toc.set(i, Cpfn(i as u8));
+    }
+    for mvpn in 0..8u64 {
+        t.fill_toc(Asid::new(1), Vpn::new(mvpn * 4), toc.clone());
+        t.fill_toc(Asid::new(2), Vpn::new(mvpn * 4), toc.clone());
+    }
+    assert_eq!(t.len(), 16);
+    t.flush_asid(Asid::new(2));
+    assert_eq!(t.len(), 8);
+    assert!(t.lookup(Asid::new(1), Vpn::new(0)).is_hit());
+    assert_eq!(t.lookup(Asid::new(2), Vpn::new(0)), MosaicLookup::Miss);
+}
+
+#[test]
+fn flush_missing_asid_is_noop() {
+    let mut t = vanilla();
+    t.fill_base(Asid::new(1), Vpn::new(0), Pfn::new(0));
+    t.flush_asid(Asid::new(9));
+    assert_eq!(t.len(), 1);
+
+    let mut m = mosaic();
+    let mut toc = m.blank_toc();
+    toc.set(0, Cpfn(1));
+    m.fill_toc(Asid::new(1), Vpn::new(0), toc);
+    m.flush_asid(Asid::new(9));
+    assert_eq!(m.len(), 1);
+}

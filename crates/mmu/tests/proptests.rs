@@ -1,0 +1,158 @@
+//! Model-based property tests for the MMU structures: the TLB cache
+//! against a reference LRU, and the radix table against a `HashMap`.
+
+use mosaic_mem::{Asid, Cpfn, Pfn, Vpn};
+use mosaic_mmu::tlb::{Associativity, SetAssocCache, TlbConfig};
+use mosaic_mmu::{Arity, MosaicLookup, MosaicTlb, RadixTable, Toc, VanillaTlb};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// Reference model for a fully-associative LRU cache.
+struct RefLru {
+    cap: usize,
+    /// Most-recent-last.
+    order: Vec<u64>,
+}
+
+impl RefLru {
+    fn access(&mut self, tag: u64) -> bool {
+        if let Some(pos) = self.order.iter().position(|&t| t == tag) {
+            self.order.remove(pos);
+            self.order.push(tag);
+            true
+        } else {
+            if self.order.len() == self.cap {
+                self.order.remove(0);
+            }
+            self.order.push(tag);
+            false
+        }
+    }
+}
+
+proptest! {
+    /// The fully-associative cache matches a textbook LRU model hit for
+    /// hit across arbitrary access streams.
+    #[test]
+    fn full_assoc_cache_is_exact_lru(tags in prop::collection::vec(0u64..64, 1..500)) {
+        let mut cache: SetAssocCache<u64, ()> =
+            SetAssocCache::new(TlbConfig::new(16, Associativity::Full));
+        let mut reference = RefLru { cap: 16, order: Vec::new() };
+        for tag in tags {
+            let model_hit = reference.access(tag);
+            let hit = cache.lookup(0, tag).is_some();
+            prop_assert_eq!(hit, model_hit, "divergence at tag {}", tag);
+            if !hit {
+                cache.insert(0, tag, ());
+            }
+            prop_assert!(cache.len() <= 16);
+        }
+    }
+
+    /// Set-associative lookups never mix sets: a tag inserted in one set
+    /// is invisible to lookups hashed to another.
+    #[test]
+    fn sets_are_isolated(pairs in prop::collection::vec((0usize..8, any::<u64>()), 1..100)) {
+        let mut cache: SetAssocCache<u64, usize> =
+            SetAssocCache::new(TlbConfig::new(64, Associativity::Ways(8)));
+        let mut written: HashMap<(usize, u64), usize> = HashMap::new();
+        for (i, (set, tag)) in pairs.into_iter().enumerate() {
+            if cache.peek(set, tag).is_none() {
+                cache.insert(set, tag, i);
+                written.insert((set, tag), i);
+            }
+            // A different set never sees this tag (unless separately inserted).
+            let other = (set + 1) % 8;
+            if !written.contains_key(&(other, tag)) {
+                prop_assert!(cache.peek(other, tag).is_none());
+            }
+        }
+    }
+
+    /// RadixTable behaves like a HashMap over its index space.
+    #[test]
+    fn radix_matches_hashmap(ops in prop::collection::vec((0u64..(1 << 20), any::<u32>(), any::<bool>()), 1..400)) {
+        let mut table: RadixTable<u32> = RadixTable::new(20, 7);
+        let mut model: HashMap<u64, u32> = HashMap::new();
+        for (idx, val, remove) in ops {
+            if remove {
+                prop_assert_eq!(table.remove(idx), model.remove(&idx));
+            } else {
+                prop_assert_eq!(table.insert(idx, val), model.insert(idx, val));
+            }
+            prop_assert_eq!(table.get(idx), model.get(&idx));
+            prop_assert_eq!(table.len(), model.len());
+        }
+    }
+
+    /// The mosaic TLB's ToC bookkeeping: after any fill/invalidate
+    /// sequence on one mosaic page, lookup agrees with a per-offset model.
+    #[test]
+    fn mosaic_subentry_model(ops in prop::collection::vec((0usize..8, any::<bool>()), 1..100)) {
+        let arity = Arity::new(8);
+        let mut tlb = MosaicTlb::new(TlbConfig::new(16, Associativity::Full), arity);
+        let asid = Asid::new(1);
+        let mut model = [false; 8];
+        // Seed the entry.
+        let mut toc = tlb.blank_toc();
+        toc.set(0, Cpfn(1));
+        tlb.fill_toc(asid, Vpn::new(0), toc);
+        model[0] = true;
+        for (off, set) in ops {
+            let vpn = Vpn::new(off as u64);
+            if set {
+                if !model[off] {
+                    // Must currently be a sub-miss.
+                    prop_assert_eq!(tlb.lookup(asid, vpn), MosaicLookup::SubMiss);
+                    tlb.fill_sub(asid, vpn, Cpfn(off as u8 + 1));
+                    model[off] = true;
+                }
+            } else {
+                tlb.invalidate_sub(asid, vpn);
+                model[off] = false;
+            }
+            for (o, &valid) in model.iter().enumerate() {
+                let got = tlb.lookup(asid, Vpn::new(o as u64));
+                prop_assert_eq!(got.is_hit(), valid, "offset {}", o);
+            }
+        }
+    }
+
+    /// Vanilla TLB + huge entries: a huge fill covers exactly its 512
+    /// pages, and base/huge entries never alias.
+    #[test]
+    fn huge_entries_cover_exact_span(huge_page in 0u64..16, probe in 0u64..(16 * 512)) {
+        let mut tlb = VanillaTlb::new(TlbConfig::new(64, Associativity::Full));
+        let asid = Asid::new(1);
+        tlb.fill_huge(asid, Vpn::new(huge_page * 512), Pfn::new(huge_page * 512));
+        let hit = tlb.lookup(asid, Vpn::new(probe)).is_hit();
+        prop_assert_eq!(hit, probe / 512 == huge_page);
+    }
+
+    /// Arity split/join is a bijection for all arities and VPNs.
+    #[test]
+    fn arity_split_bijection(vpn in any::<u64>(), pow in 0u32..9) {
+        let arity = Arity::new(1 << pow);
+        let vpn = vpn & ((1 << 48) - 1);
+        let (mvpn, off) = arity.split(Vpn::new(vpn));
+        prop_assert_eq!(arity.vpn_at(mvpn, off), Vpn::new(vpn));
+        prop_assert!(off < arity.get());
+    }
+
+    /// A ToC's valid count always equals the number of set sub-entries.
+    #[test]
+    fn toc_valid_count(ops in prop::collection::vec((0usize..16, any::<bool>()), 0..80)) {
+        let mut toc = Toc::new(Arity::new(16), Cpfn::UNMAPPED_7BIT);
+        let mut model = [false; 16];
+        for (off, set) in ops {
+            if set {
+                toc.set(off, Cpfn(off as u8));
+                model[off] = true;
+            } else {
+                toc.invalidate(off);
+                model[off] = false;
+            }
+        }
+        prop_assert_eq!(toc.valid_count(), model.iter().filter(|&&b| b).count());
+    }
+}

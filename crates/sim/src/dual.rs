@@ -1,0 +1,305 @@
+//! The dual-TLB simulator: the paper's Figure 6 methodology.
+//!
+//! "For ease of simulation, we maintain one TLB for the conventional
+//! (vanilla) mode and another TLB for the mosaic mode; results are
+//! computed for both modes simultaneously. Each memory access is fed to
+//! both TLBs with a separate page table walker for each TLB" (§3.1).
+//! This simulator generalises that to a whole grid: one pass over the
+//! workload trace drives a vanilla TLB and a mosaic TLB *per
+//! associativity per arity*, so the entire Figure 6 sweep for a workload
+//! costs one trace generation.
+//!
+//! The kernel-access model injects periodic references to a kernel region
+//! that vanilla maps with 2 MiB pages while mosaic maps it with ordinary
+//! mosaic pages — reproducing the paper's artifact that fully-associative
+//! vanilla can edge out Mosaic-4 (§4.1).
+
+use crate::os::{frames_for_footprint, OsModel, VanillaTranslation, KERNEL_VPN_BASE};
+use mosaic_hash::SplitMix64;
+use mosaic_mem::{AccessKind, Asid, MemoryLayout, Vpn};
+use mosaic_mmu::{
+    Arity, Associativity, MosaicLookup, MosaicTlb, TlbConfig, TlbStats, VanillaTlb,
+};
+use mosaic_workloads::Access;
+
+/// The kernel-access injection model.
+///
+/// Kernel text/data accesses are heavily skewed in practice (syscall
+/// entry paths, scheduler data): most references hit a small hot core
+/// while the long tail covers the whole mapped region. The model sends
+/// seven of every eight kernel references to the hot core (1/16 of the
+/// region) and the rest uniformly over all `pages`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelConfig {
+    /// Kernel pages mapped (text + data touched by syscalls/interrupts).
+    pub pages: u64,
+    /// Inject one kernel access every `period` user accesses.
+    pub period: u64,
+}
+
+impl KernelConfig {
+    /// Pages in the hot core (1/16 of the region, at least one).
+    pub fn hot_pages(&self) -> u64 {
+        (self.pages / 16).max(1)
+    }
+
+    /// Draws the next kernel page to touch.
+    pub(crate) fn next_page(&self, rng: &mut SplitMix64) -> u64 {
+        if rng.next_below(8) < 7 {
+            rng.next_below(self.hot_pages())
+        } else {
+            rng.next_below(self.pages)
+        }
+    }
+}
+
+impl Default for KernelConfig {
+    /// 4 MiB of mapped kernel pages, one kernel access per 64 user
+    /// accesses.
+    fn default() -> Self {
+        Self {
+            pages: 1024,
+            period: 64,
+        }
+    }
+}
+
+/// One simultaneously-simulated TLB configuration and its counters.
+#[derive(Debug)]
+enum Instance {
+    Vanilla(VanillaTlb),
+    /// `usize` is the index into the OS model's per-arity page tables.
+    Mosaic(usize, MosaicTlb),
+}
+
+/// A dual-TLB simulation over one shared OS model.
+#[derive(Debug)]
+pub struct DualSim {
+    os: OsModel,
+    asid: Asid,
+    /// `(associativity, instance)` pairs, all fed every access.
+    instances: Vec<(Associativity, Instance)>,
+    kernel: Option<(KernelConfig, SplitMix64, u64)>,
+    user_accesses: u64,
+}
+
+impl DualSim {
+    /// Builds a simulation: a vanilla TLB and one mosaic TLB per arity,
+    /// for every associativity, over memory sized for `footprint_pages`.
+    pub fn new(
+        tlb_entries: usize,
+        associativities: &[Associativity],
+        arities: &[Arity],
+        footprint_pages: u64,
+        kernel: Option<KernelConfig>,
+        seed: u64,
+    ) -> Self {
+        let kernel_pages = kernel.map_or(0, |k| k.pages);
+        let frames = frames_for_footprint(footprint_pages, kernel_pages);
+        let layout = MemoryLayout::default().with_at_least_frames(frames);
+        let os = OsModel::new(layout, arities, seed);
+        let asid = crate::os::USER_ASID;
+
+        let mut instances = Vec::new();
+        for &assoc in associativities {
+            let cfg = TlbConfig::new(tlb_entries, assoc);
+            instances.push((assoc, Instance::Vanilla(VanillaTlb::new(cfg))));
+            for (idx, &arity) in arities.iter().enumerate() {
+                instances.push((
+                    assoc,
+                    Instance::Mosaic(idx, MosaicTlb::new(cfg, arity)),
+                ));
+            }
+        }
+
+        let kernel = kernel.map(|k| (k, SplitMix64::new(seed ^ 0x4B45_524E), 0));
+        Self {
+            os,
+            asid,
+            instances,
+            kernel,
+            user_accesses: 0,
+        }
+    }
+
+    /// Feeds one workload access (plus any due kernel injection) to every
+    /// TLB instance.
+    pub fn access(&mut self, access: Access) {
+        self.user_accesses += 1;
+        self.reference(access.addr.vpn(), access.kind);
+        // Kernel injection.
+        if let Some((cfg, rng, due)) = &mut self.kernel {
+            *due += 1;
+            if *due >= cfg.period {
+                *due = 0;
+                let page = cfg.next_page(rng);
+                let vpn = Vpn(KERNEL_VPN_BASE + page);
+                self.reference(vpn, AccessKind::Load);
+            }
+        }
+    }
+
+    /// Drives one page reference through the OS and all TLB instances.
+    fn reference(&mut self, vpn: Vpn, kind: AccessKind) {
+        self.os.touch(vpn, kind);
+        let asid = self.asid;
+        for (_, inst) in &mut self.instances {
+            match inst {
+                Instance::Vanilla(tlb) => {
+                    if !tlb.lookup(asid, vpn).is_hit() {
+                        match self.os.vanilla_walk(vpn) {
+                            VanillaTranslation::Base(pfn) => tlb.fill_base(asid, vpn, pfn),
+                            VanillaTranslation::Huge(first) => tlb.fill_huge(asid, vpn, first),
+                        }
+                    }
+                }
+                Instance::Mosaic(arity_idx, tlb) => match tlb.lookup(asid, vpn) {
+                    MosaicLookup::Hit(_) => {}
+                    MosaicLookup::SubMiss => {
+                        let cpfn = self
+                            .os
+                            .cpfn_of(vpn)
+                            .expect("touched page must be mapped");
+                        tlb.fill_sub(asid, vpn, cpfn);
+                    }
+                    MosaicLookup::Miss => {
+                        let toc = self.os.mosaic_walk(*arity_idx, vpn);
+                        tlb.fill_toc(asid, vpn, toc);
+                    }
+                },
+            }
+        }
+    }
+
+    /// User (workload) accesses driven so far.
+    pub fn user_accesses(&self) -> u64 {
+        self.user_accesses
+    }
+
+    /// The OS model (inspection).
+    pub fn os(&self) -> &OsModel {
+        &self.os
+    }
+
+    /// Per-instance results: `(associativity, arity-or-None, stats)`.
+    pub fn results(&self) -> Vec<(Associativity, Option<Arity>, TlbStats)> {
+        let arities = self.os.arities();
+        self.instances
+            .iter()
+            .map(|(assoc, inst)| match inst {
+                Instance::Vanilla(tlb) => (*assoc, None, *tlb.stats()),
+                Instance::Mosaic(idx, tlb) => (*assoc, Some(arities[*idx]), *tlb.stats()),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mosaic_mem::VirtAddr;
+
+    fn sim(entries: usize, kernel: Option<KernelConfig>) -> DualSim {
+        DualSim::new(
+            entries,
+            &[Associativity::Ways(1), Associativity::Full],
+            &[Arity::new(4)],
+            4096,
+            kernel,
+            7,
+        )
+    }
+
+    fn touch_pages(sim: &mut DualSim, pages: impl Iterator<Item = u64>) {
+        for p in pages {
+            sim.access(Access::load(VirtAddr(p * 4096)));
+        }
+    }
+
+    #[test]
+    fn instance_grid_shape() {
+        let s = sim(64, None);
+        // 2 associativities x (1 vanilla + 1 arity).
+        assert_eq!(s.results().len(), 4);
+    }
+
+    #[test]
+    fn sequential_pages_benefit_mosaic() {
+        let mut s = sim(64, None);
+        // Cycle over 128 sequential pages, twice the vanilla TLB's reach
+        // but well within mosaic-4's.
+        for _ in 0..20 {
+            touch_pages(&mut s, 0..128);
+        }
+        let res = s.results();
+        let vanilla_full = res
+            .iter()
+            .find(|(a, k, _)| *a == Associativity::Full && k.is_none())
+            .unwrap()
+            .2;
+        let mosaic_full = res
+            .iter()
+            .find(|(a, k, _)| *a == Associativity::Full && k.is_some())
+            .unwrap()
+            .2;
+        // Vanilla: 64 entries over a 128-page LRU cycle => ~every access
+        // misses. Mosaic-4: 32 entries cover the whole set.
+        assert!(vanilla_full.misses > 2000, "vanilla {:?}", vanilla_full);
+        // Mosaic-4's only misses are the 128 cold fills (one per page:
+        // 32 whole-ToC misses + 96 sub-entry fills).
+        assert!(
+            mosaic_full.misses <= 130,
+            "mosaic should cover the set: {mosaic_full:?}"
+        );
+    }
+
+    #[test]
+    fn all_instances_see_every_access() {
+        let mut s = sim(64, None);
+        touch_pages(&mut s, 0..500);
+        for (_, _, st) in s.results() {
+            assert_eq!(st.accesses, 500);
+        }
+        assert_eq!(s.user_accesses(), 500);
+    }
+
+    #[test]
+    fn kernel_injection_adds_accesses() {
+        let mut s = sim(
+            64,
+            Some(KernelConfig {
+                pages: 16,
+                period: 10,
+            }),
+        );
+        touch_pages(&mut s, 0..100);
+        for (_, _, st) in s.results() {
+            assert_eq!(st.accesses, 110, "100 user + 10 kernel");
+        }
+        assert_eq!(s.user_accesses(), 100);
+    }
+
+    #[test]
+    fn kernel_pages_walk_huge_in_vanilla() {
+        let mut s = sim(
+            64,
+            Some(KernelConfig {
+                pages: 8,
+                period: 1,
+            }),
+        );
+        touch_pages(&mut s, 0..50);
+        let (_, huge_walks, _) = s.os().walk_counts();
+        assert!(huge_walks > 0, "kernel misses must walk as huge pages");
+    }
+
+    #[test]
+    fn deterministic() {
+        let run = || {
+            let mut s = sim(64, Some(KernelConfig::default()));
+            touch_pages(&mut s, (0..400).map(|i| (i * 37) % 512));
+            s.results()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,225 @@
+//! The Figure 6 experiment: TLB misses across workloads, mosaic arity,
+//! and TLB associativity.
+
+use crate::dual::{DualSim, KernelConfig};
+use crate::report::{humanize, Table};
+use mosaic_mem::PAGE_SIZE;
+use mosaic_mmu::{Arity, Associativity, TlbStats};
+use mosaic_workloads::Workload;
+
+/// Which TLB design a result row belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TlbKind {
+    /// The conventional VPN → PFN TLB.
+    Vanilla,
+    /// A mosaic TLB with the given arity.
+    Mosaic(Arity),
+}
+
+impl core::fmt::Display for TlbKind {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            TlbKind::Vanilla => write!(f, "Vanilla"),
+            TlbKind::Mosaic(a) => write!(f, "{a}"),
+        }
+    }
+}
+
+/// Figure 6 sweep parameters.
+#[derive(Debug, Clone)]
+pub struct Fig6Config {
+    /// TLB entries (paper: 1024).
+    pub tlb_entries: usize,
+    /// Associativities to sweep (paper: direct, 2, 4, 8, full).
+    pub associativities: Vec<Associativity>,
+    /// Mosaic arities to sweep (paper: 4–64).
+    pub arities: Vec<Arity>,
+    /// Kernel-access model; `None` disables the huge-page artifact.
+    pub kernel: Option<KernelConfig>,
+    /// Simulation seed.
+    pub seed: u64,
+}
+
+impl Fig6Config {
+    /// The full paper sweep: 1024 entries, associativity {1, 2, 4, 8,
+    /// full}, arities {4, 8, 16, 32, 64}, kernel model on.
+    pub fn paper() -> Self {
+        Self {
+            tlb_entries: 1024,
+            associativities: Associativity::FIGURE6_SWEEP.to_vec(),
+            arities: [4, 8, 16, 32, 64].map(Arity::new).to_vec(),
+            kernel: Some(KernelConfig::default()),
+            seed: 0xF16_6EED,
+        }
+    }
+
+    /// A tiny grid for unit tests and doctests.
+    pub fn quick_test() -> Self {
+        Self {
+            tlb_entries: 64,
+            associativities: vec![Associativity::Ways(1), Associativity::Full],
+            arities: vec![Arity::new(4)],
+            kernel: None,
+            seed: 42,
+        }
+    }
+}
+
+/// One cell of Figure 6: a (workload, associativity, TLB design) triple.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fig6Row {
+    /// Workload name.
+    pub workload: String,
+    /// TLB associativity.
+    pub assoc: Associativity,
+    /// Which design.
+    pub kind: TlbKind,
+    /// Full TLB counters (misses are Figure 6's y-axis).
+    pub stats: TlbStats,
+}
+
+impl Fig6Row {
+    /// The quantity Figure 6 plots.
+    pub fn misses(&self) -> u64 {
+        self.stats.misses
+    }
+}
+
+/// Runs the sweep for one workload: a single pass over its trace feeds
+/// every (associativity × design) TLB simultaneously.
+pub fn run_workload(cfg: &Fig6Config, workload: &mut dyn Workload) -> Vec<Fig6Row> {
+    let meta = workload.meta();
+    let footprint_pages = meta.footprint_bytes.div_ceil(PAGE_SIZE) + 16;
+    let mut sim = DualSim::new(
+        cfg.tlb_entries,
+        &cfg.associativities,
+        &cfg.arities,
+        footprint_pages,
+        cfg.kernel,
+        cfg.seed,
+    );
+    workload.run(&mut |a| sim.access(a));
+    sim.results()
+        .into_iter()
+        .map(|(assoc, arity, stats)| Fig6Row {
+            workload: meta.name.to_string(),
+            assoc,
+            kind: arity.map_or(TlbKind::Vanilla, TlbKind::Mosaic),
+            stats,
+        })
+        .collect()
+}
+
+/// Renders one workload's rows as the paper lays Figure 6 out: one row
+/// per design, one column per associativity.
+pub fn render(workload: &str, rows: &[Fig6Row]) -> Table {
+    let mut assocs: Vec<Associativity> = Vec::new();
+    for r in rows {
+        if !assocs.contains(&r.assoc) {
+            assocs.push(r.assoc);
+        }
+    }
+    let mut kinds: Vec<TlbKind> = Vec::new();
+    for r in rows {
+        if !kinds.contains(&r.kind) {
+            kinds.push(r.kind);
+        }
+    }
+    let mut header = vec!["TLB design".to_string()];
+    header.extend(assocs.iter().map(ToString::to_string));
+    let mut table =
+        Table::new(header).with_title(&format!("Figure 6: TLB misses — {workload}"));
+    for kind in kinds {
+        let mut cells = vec![kind.to_string()];
+        for &assoc in &assocs {
+            let cell = rows
+                .iter()
+                .find(|r| r.kind == kind && r.assoc == assoc)
+                .map_or_else(|| "-".to_string(), |r| humanize(r.misses()));
+            cells.push(cell);
+        }
+        table.row(cells);
+    }
+    table
+}
+
+/// The headline claim of §4.1 in checkable form: per associativity, the
+/// reduction of Mosaic-`a` misses relative to vanilla, in percent
+/// (positive = mosaic wins).
+pub fn reduction_percent(rows: &[Fig6Row], assoc: Associativity, arity: Arity) -> Option<f64> {
+    let vanilla = rows
+        .iter()
+        .find(|r| r.assoc == assoc && r.kind == TlbKind::Vanilla)?
+        .misses();
+    let mosaic = rows
+        .iter()
+        .find(|r| r.assoc == assoc && r.kind == TlbKind::Mosaic(arity))?
+        .misses();
+    if vanilla == 0 {
+        return None;
+    }
+    Some((1.0 - mosaic as f64 / vanilla as f64) * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mosaic_workloads::{Gups, GupsConfig};
+
+    fn quick_rows() -> Vec<Fig6Row> {
+        let cfg = Fig6Config::quick_test();
+        let mut w = Gups::new(
+            GupsConfig {
+                table_bytes: 1 << 20,
+                updates: 20_000,
+            },
+            5,
+        );
+        run_workload(&cfg, &mut w)
+    }
+
+    #[test]
+    fn grid_is_complete() {
+        let rows = quick_rows();
+        assert_eq!(rows.len(), 2 * 2); // 2 assoc x (vanilla + 1 arity)
+        for r in &rows {
+            // 20 000 updates x 2 + 256 init stores.
+            assert_eq!(r.stats.accesses, 40_256);
+            assert!(r.misses() <= r.stats.accesses);
+        }
+    }
+
+    #[test]
+    fn full_assoc_beats_direct_for_vanilla() {
+        let rows = quick_rows();
+        let direct = rows
+            .iter()
+            .find(|r| r.kind == TlbKind::Vanilla && r.assoc == Associativity::Ways(1))
+            .unwrap()
+            .misses();
+        let full = rows
+            .iter()
+            .find(|r| r.kind == TlbKind::Vanilla && r.assoc == Associativity::Full)
+            .unwrap()
+            .misses();
+        assert!(full <= direct, "full {full} vs direct {direct}");
+    }
+
+    #[test]
+    fn render_has_all_cells() {
+        let rows = quick_rows();
+        let text = render("GUPS", &rows).render();
+        assert!(text.contains("Vanilla"));
+        assert!(text.contains("Mosaic-4"));
+        assert!(text.contains("Direct"));
+        assert!(text.contains("Full"));
+    }
+
+    #[test]
+    fn reduction_percent_is_computable() {
+        let rows = quick_rows();
+        let red = reduction_percent(&rows, Associativity::Full, Arity::new(4));
+        assert!(red.is_some());
+        assert!(red.unwrap() <= 100.0);
+    }
+}

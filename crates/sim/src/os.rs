@@ -1,0 +1,301 @@
+//! The demand-paging OS model behind the TLB experiments.
+//!
+//! For the Figure 6 simulations memory is sized generously (the experiment
+//! measures TLB reach, not swapping), and every first touch maps the page
+//! in *both* address-translation worlds:
+//!
+//! * the **vanilla** world assigns frames first-come-first-served
+//!   (unconstrained, like a free-list allocator) and maps the kernel
+//!   region with 2 MiB huge pages — the artifact the paper notes gives
+//!   vanilla a slight edge (§4.1);
+//! * the **mosaic** world allocates through
+//!   [`MosaicMemory`] (Iceberg placement) and
+//!   mirrors each mapping into one ToC-leaved radix page table per arity
+//!   under test.
+
+use mosaic_mem::{
+    AccessKind, Asid, MemoryManager, MemoryLayout, MosaicMemory, PageKey, Pfn, Vpn,
+};
+use mosaic_mmu::{Arity, PageWalker, RadixTable, Toc};
+use std::collections::HashMap;
+
+/// The ASID every simulated process (and the kernel's global mappings)
+/// runs under in the Figure 6 experiments.
+pub const USER_ASID: Asid = Asid(1);
+
+/// First VPN of the simulated kernel region (top of the 36-bit VPN space).
+pub const KERNEL_VPN_BASE: u64 = 1 << 35;
+
+/// Node accesses a hardware walk of a 2 MiB mapping costs (the walk stops
+/// one level early at the PDE).
+pub const HUGE_WALK_LEVELS: u64 = 3;
+
+/// How a vanilla page-table walk resolved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VanillaTranslation {
+    /// A 4 KiB mapping.
+    Base(Pfn),
+    /// A 2 MiB mapping; the PFN is the huge page's first frame.
+    Huge(Pfn),
+}
+
+/// The shared OS state of one dual-TLB simulation.
+#[derive(Debug)]
+pub struct OsModel {
+    mosaic: MosaicMemory,
+    /// Vanilla 4 KiB mappings, with walk-cost counting.
+    vanilla_pt: PageWalker<Pfn>,
+    /// Vanilla 2 MiB kernel mappings: huge index → first frame.
+    vanilla_huge: HashMap<u64, Pfn>,
+    vanilla_next_pfn: u64,
+    huge_walks: u64,
+    /// One ToC-leaved page table per arity under test.
+    mosaic_pts: Vec<(Arity, PageWalker<Toc>)>,
+    now: u64,
+}
+
+impl OsModel {
+    /// Creates the OS model over `layout` worth of mosaic-managed memory,
+    /// with page tables for each arity in `arities`.
+    pub fn new(layout: MemoryLayout, arities: &[Arity], seed: u64) -> Self {
+        let mosaic = MosaicMemory::new(layout, seed);
+        let mosaic_pts = arities
+            .iter()
+            .map(|&a| {
+                let mvpn_bits = 36 - a.offset_bits();
+                (a, PageWalker::new(RadixTable::new(mvpn_bits, 9)))
+            })
+            .collect();
+        Self {
+            mosaic,
+            vanilla_pt: PageWalker::new(RadixTable::x86_vanilla()),
+            vanilla_huge: HashMap::new(),
+            vanilla_next_pfn: 0,
+            huge_walks: 0,
+            mosaic_pts,
+            now: 0,
+        }
+    }
+
+    /// Whether a VPN is in the simulated kernel region.
+    pub fn is_kernel(vpn: Vpn) -> bool {
+        vpn.0 >= KERNEL_VPN_BASE
+    }
+
+    /// The mosaic memory manager (inspection).
+    pub fn mosaic(&self) -> &MosaicMemory {
+        &self.mosaic
+    }
+
+    /// Demand-maps `vpn` in both worlds if needed and records the access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mosaic pool is so over-committed that an allocation
+    /// evicted a page — Figure 6 runs must be sized with headroom (use
+    /// [`frames_for_footprint`]).
+    pub fn touch(&mut self, vpn: Vpn, kind: AccessKind) {
+        self.now += 1;
+        let key = PageKey::new(USER_ASID, vpn);
+        let newly_mapped = self.mosaic.resident_pfn(key).is_none();
+        self.mosaic.access(key, kind, self.now);
+        assert_eq!(
+            self.mosaic.stats().evictions(),
+            0,
+            "mosaic pool over-committed during a TLB experiment; increase memory headroom"
+        );
+        if newly_mapped {
+            // Mirror the new CPFN into every arity's page table.
+            let cpfn = self.mosaic.cpfn_of(key).expect("just mapped");
+            for (arity, pt) in &mut self.mosaic_pts {
+                let (mvpn, offset) = arity.split(vpn);
+                match pt.table_mut().get_mut(mvpn.0) {
+                    Some(toc) => toc.set(offset, cpfn),
+                    None => {
+                        let mut toc = Toc::new(*arity, self.mosaic.codec().unmapped());
+                        toc.set(offset, cpfn);
+                        pt.table_mut().insert(mvpn.0, toc);
+                    }
+                }
+            }
+            // Vanilla mapping.
+            if Self::is_kernel(vpn) {
+                let huge = mosaic_mmu::arity::huge_index(vpn);
+                if !self.vanilla_huge.contains_key(&huge) {
+                    // Reserve a 512-frame aligned run for the huge page.
+                    let first = (self.vanilla_next_pfn + 511) & !511;
+                    self.vanilla_next_pfn = first + 512;
+                    self.vanilla_huge.insert(huge, Pfn(first));
+                }
+            } else if self.vanilla_pt.table().get(vpn.0).is_none() {
+                let pfn = Pfn(self.vanilla_next_pfn);
+                self.vanilla_next_pfn += 1;
+                self.vanilla_pt.table_mut().insert(vpn.0, pfn);
+            }
+        }
+    }
+
+    /// A counted vanilla page-table walk (invoked on a vanilla TLB miss).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page was never demand-mapped (callers must `touch`
+    /// each access first).
+    pub fn vanilla_walk(&mut self, vpn: Vpn) -> VanillaTranslation {
+        if Self::is_kernel(vpn) {
+            let huge = mosaic_mmu::arity::huge_index(vpn);
+            self.huge_walks += 1;
+            VanillaTranslation::Huge(
+                *self
+                    .vanilla_huge
+                    .get(&huge)
+                    .expect("kernel page touched before walk"),
+            )
+        } else {
+            VanillaTranslation::Base(
+                *self
+                    .vanilla_pt
+                    .walk(vpn.0)
+                    .expect("page touched before walk"),
+            )
+        }
+    }
+
+    /// A counted mosaic page-table walk for arity slot `arity_idx`,
+    /// returning a copy of the leaf ToC (what the walker hands the TLB).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arity_idx` is out of range or the mosaic page has no
+    /// mapped sub-page yet.
+    pub fn mosaic_walk(&mut self, arity_idx: usize, vpn: Vpn) -> Toc {
+        let (arity, pt) = &mut self.mosaic_pts[arity_idx];
+        let (mvpn, _) = arity.split(vpn);
+        pt.walk(mvpn.0).expect("page touched before walk").clone()
+    }
+
+    /// The CPFN of one sub-page (for sub-entry fills).
+    pub fn cpfn_of(&self, vpn: Vpn) -> Option<mosaic_mem::Cpfn> {
+        self.mosaic.cpfn_of(PageKey::new(USER_ASID, vpn))
+    }
+
+    /// The arities this model maintains page tables for.
+    pub fn arities(&self) -> Vec<Arity> {
+        self.mosaic_pts.iter().map(|&(a, _)| a).collect()
+    }
+
+    /// Total page-table walks performed (vanilla, huge, mosaic).
+    pub fn walk_counts(&self) -> (u64, u64, u64) {
+        (
+            self.vanilla_pt.walks(),
+            self.huge_walks,
+            self.mosaic_pts.iter().map(|(_, pt)| pt.walks()).sum(),
+        )
+    }
+}
+
+/// Frames to provision so a footprint of `pages` (plus `kernel_pages`)
+/// never conflicts: Iceberg sustains ~98 % utilization, so 85 % headroom
+/// is comfortably safe.
+pub fn frames_for_footprint(pages: u64, kernel_pages: u64) -> usize {
+    (((pages + kernel_pages) as f64 / 0.85) as usize).max(1024)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mosaic_iceberg::IcebergConfig;
+
+    fn model() -> OsModel {
+        OsModel::new(
+            MemoryLayout::new(IcebergConfig::paper_default(64)),
+            &[Arity::new(4), Arity::new(8)],
+            3,
+        )
+    }
+
+    #[test]
+    fn touch_maps_both_worlds() {
+        let mut os = model();
+        os.touch(Vpn(100), AccessKind::Load);
+        assert_eq!(os.vanilla_walk(Vpn(100)), VanillaTranslation::Base(Pfn(0)));
+        let toc = os.mosaic_walk(0, Vpn(100));
+        assert!(toc.is_valid(0), "vpn 100 is offset 0 of mvpn 25 at arity 4");
+        assert!(os.cpfn_of(Vpn(100)).is_some());
+    }
+
+    #[test]
+    fn vanilla_frames_are_distinct() {
+        let mut os = model();
+        for vpn in 0..50u64 {
+            os.touch(Vpn(vpn), AccessKind::Load);
+        }
+        let mut seen = std::collections::HashSet::new();
+        for vpn in 0..50u64 {
+            match os.vanilla_walk(Vpn(vpn)) {
+                VanillaTranslation::Base(pfn) => assert!(seen.insert(pfn)),
+                VanillaTranslation::Huge(_) => panic!("user page mapped huge"),
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_maps_huge() {
+        let mut os = model();
+        let kvpn = Vpn(KERNEL_VPN_BASE + 5);
+        os.touch(kvpn, AccessKind::Load);
+        match os.vanilla_walk(kvpn) {
+            VanillaTranslation::Huge(first) => assert_eq!(first.0 % 512, 0),
+            other => panic!("kernel page not huge: {other:?}"),
+        }
+        // Another page in the same 2 MiB region shares the mapping.
+        let kvpn2 = Vpn(KERNEL_VPN_BASE + 400);
+        os.touch(kvpn2, AccessKind::Load);
+        let (a, b) = (os.vanilla_walk(kvpn), os.vanilla_walk(kvpn2));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn toc_accumulates_siblings() {
+        let mut os = model();
+        os.touch(Vpn(8), AccessKind::Load);
+        os.touch(Vpn(9), AccessKind::Load);
+        let toc4 = os.mosaic_walk(0, Vpn(8));
+        assert_eq!(toc4.valid_count(), 2);
+        // At arity 8, both live in the same ToC too.
+        let toc8 = os.mosaic_walk(1, Vpn(8));
+        assert_eq!(toc8.valid_count(), 2);
+    }
+
+    #[test]
+    fn toc_cpfns_match_manager() {
+        let mut os = model();
+        for vpn in 0..200u64 {
+            os.touch(Vpn(vpn), AccessKind::Store);
+        }
+        for vpn in 0..200u64 {
+            let toc = os.mosaic_walk(0, Vpn(vpn));
+            let arity = Arity::new(4);
+            let (_, off) = arity.split(Vpn(vpn));
+            assert_eq!(toc.get(off), os.cpfn_of(Vpn(vpn)), "vpn {vpn}");
+        }
+    }
+
+    #[test]
+    fn walk_counters_advance() {
+        let mut os = model();
+        os.touch(Vpn(1), AccessKind::Load);
+        os.touch(Vpn(KERNEL_VPN_BASE), AccessKind::Load);
+        os.vanilla_walk(Vpn(1));
+        os.vanilla_walk(Vpn(KERNEL_VPN_BASE));
+        os.mosaic_walk(0, Vpn(1));
+        let (v, h, m) = os.walk_counts();
+        assert_eq!((v, h, m), (1, 1, 1));
+    }
+
+    #[test]
+    fn headroom_sizing() {
+        assert!(frames_for_footprint(10_000, 1_000) >= 12_000);
+        assert!(frames_for_footprint(0, 0) >= 1024);
+    }
+}

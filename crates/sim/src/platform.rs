@@ -1,0 +1,123 @@
+//! The simulated experimental platforms (Table 1 of the paper).
+//!
+//! These descriptors document what each experiment models and are printed
+//! by the drivers so every result is labelled with its platform, just as
+//! the paper's tables reference Table 1.
+
+use crate::report::Table;
+
+/// The gem5-analog platform used for the TLB-miss experiments (Table 1a).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TlbPlatform {
+    /// TLB entries (paper: 1024, unified 4 KiB / 2 MiB).
+    pub tlb_entries: usize,
+    /// VPN width in bits.
+    pub vpn_bits: u32,
+    /// PFN width in bits.
+    pub pfn_bits: u32,
+}
+
+impl Default for TlbPlatform {
+    fn default() -> Self {
+        Self {
+            tlb_entries: 1024,
+            vpn_bits: 36,
+            pfn_bits: 36,
+        }
+    }
+}
+
+impl TlbPlatform {
+    /// Renders the Table 1a analogue.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(vec!["Component".into(), "Configuration".into()])
+            .with_title("Table 1a: TLB-simulation platform (gem5 analogue)");
+        t.row(vec![
+            "Processor".into(),
+            "trace-driven single-stream memory model".into(),
+        ]);
+        t.row(vec![
+            "Address sizes".into(),
+            format!("{}-bit VPNs and {}-bit PFNs", self.vpn_bits, self.pfn_bits),
+        ]);
+        t.row(vec![
+            "L1 DTLB".into(),
+            format!(
+                "unified 4 KiB / 2 MiB, {} entries, 1- to {}-way (varied)",
+                self.tlb_entries, self.tlb_entries
+            ),
+        ]);
+        t.row(vec![
+            "Page walker".into(),
+            "radix tree; vanilla VPN->PFN, mosaic MVPN->ToC leaves".into(),
+        ]);
+        t
+    }
+}
+
+/// The Linux-prototype-analog platform for the swapping experiments
+/// (Table 1b).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SwapPlatform {
+    /// Frames of memory the managers control.
+    pub frames: usize,
+    /// Iceberg bucket description.
+    pub geometry: String,
+}
+
+impl SwapPlatform {
+    /// Builds the descriptor for a given frame count.
+    pub fn new(frames: usize) -> Self {
+        Self {
+            frames,
+            geometry: "56-slot front yard + 8-slot backyard, d = 6 (h = 104)".into(),
+        }
+    }
+
+    /// Renders the Table 1b analogue.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(vec!["Component".into(), "Configuration".into()])
+            .with_title("Table 1b: swapping-experiment platform (Linux-prototype analogue)");
+        t.row(vec![
+            "Memory".into(),
+            format!(
+                "{} frames ({} MiB) under the manager being tested",
+                self.frames,
+                self.frames * 4096 / (1 << 20)
+            ),
+        ]);
+        t.row(vec!["Mosaic geometry".into(), self.geometry.clone()]);
+        t.row(vec![
+            "Baseline".into(),
+            "fully-associative allocator, LRU reclaim at 0.8% free watermark".into(),
+        ]);
+        t.row(vec![
+            "Swap device".into(),
+            "counted I/O model (pswpin/pswpout), no latency".into(),
+        ]);
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tlb_platform_defaults_match_paper() {
+        let p = TlbPlatform::default();
+        assert_eq!(p.tlb_entries, 1024);
+        assert_eq!(p.vpn_bits, 36);
+        let text = p.table().render();
+        assert!(text.contains("1024 entries"));
+        assert!(text.contains("36-bit VPNs"));
+    }
+
+    #[test]
+    fn swap_platform_reports_mib() {
+        let p = SwapPlatform::new(16384);
+        let text = p.table().render();
+        assert!(text.contains("16384 frames (64 MiB)"));
+        assert!(text.contains("h = 104"));
+    }
+}

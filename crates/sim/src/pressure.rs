@@ -1,0 +1,360 @@
+//! The memory-pressure experiments: Table 3 (utilization) and Table 4
+//! (swap I/O), comparing Mosaic against the Linux-like baseline.
+//!
+//! Each run builds a workload with a footprint that is a configured ratio
+//! of physical memory (the paper sweeps ≈101 %–157 %), then drives the
+//! workload's page-reference stream through both memory managers,
+//! recording:
+//!
+//! * the utilization at Mosaic's **first associativity conflict**
+//!   (Table 3 predicts ≈98 %, i.e. δ ≈ 2 %);
+//! * the **steady-state utilization** (ghosts push it past `1 − δ`);
+//! * total **swap I/O** for each manager (Table 4's columns).
+
+use crate::report::{group_digits, Table};
+use mosaic_mem::{
+    Asid, IcebergConfig, LinuxMemory, MemoryLayout, MemoryManager, MosaicMemory,
+    PageKey, PAGE_SIZE,
+};
+use mosaic_workloads::{BTreeWorkload, Graph500, Workload, XsBench};
+
+/// The workloads the swapping experiments use (the paper's Tables 3–4
+/// run Graph500, XSBench, and BTree; GUPS is Figure-6-only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PressureWorkload {
+    /// BFS over a Kronecker graph.
+    Graph500,
+    /// XSBench cross-section lookups.
+    XsBench,
+    /// B+-tree point lookups.
+    BTree,
+}
+
+impl PressureWorkload {
+    /// The three workloads in the paper's table order.
+    pub const ALL: [PressureWorkload; 3] = [
+        PressureWorkload::Graph500,
+        PressureWorkload::XsBench,
+        PressureWorkload::BTree,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            PressureWorkload::Graph500 => "Graph500",
+            PressureWorkload::XsBench => "XSBench",
+            PressureWorkload::BTree => "BTree",
+        }
+    }
+
+    /// Builds the workload at approximately `footprint_bytes`.
+    pub fn build(self, footprint_bytes: u64, seed: u64) -> Box<dyn Workload> {
+        let pages = footprint_bytes / PAGE_SIZE;
+        match self {
+            PressureWorkload::Graph500 => {
+                Box::new(Graph500::with_footprint(footprint_bytes, 2, seed))
+            }
+            PressureWorkload::XsBench => {
+                // Enough lookups that every grid page is touched and the
+                // working set cycles several times.
+                Box::new(XsBench::with_footprint(footprint_bytes, pages * 8, seed))
+            }
+            PressureWorkload::BTree => {
+                Box::new(BTreeWorkload::with_footprint(footprint_bytes, pages * 4, seed))
+            }
+        }
+    }
+}
+
+/// Parameters of a pressure run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PressureConfig {
+    /// Iceberg buckets of memory (64 frames each) under management.
+    pub mem_buckets: usize,
+    /// Run seed.
+    pub seed: u64,
+}
+
+impl PressureConfig {
+    /// 4096 frames (16 MiB) — a fast default that preserves the paper's
+    /// footprint-to-memory ratios.
+    pub fn quick() -> Self {
+        Self {
+            mem_buckets: 64,
+            seed: 0x7AB1E,
+        }
+    }
+
+    /// 16 Ki frames (64 MiB) — the benchmark default.
+    pub fn default_size() -> Self {
+        Self {
+            mem_buckets: 256,
+            seed: 0x7AB1E,
+        }
+    }
+
+    /// Memory under management, in bytes.
+    pub fn mem_bytes(&self) -> u64 {
+        (self.mem_buckets * 64) as u64 * PAGE_SIZE
+    }
+
+    /// The paper's footprint ratios: Table 4 sweeps 4158–6459 MiB over
+    /// 4096 MiB of memory.
+    pub fn paper_ratios() -> Vec<f64> {
+        vec![
+            1.0151, 1.0774, 1.1399, 1.2021, 1.2646, 1.3271, 1.3894, 1.4519, 1.5144, 1.5769,
+        ]
+    }
+
+    /// Table 3's four footprint ratios (4158–4924 MiB over 4096 MiB).
+    pub fn table3_ratios() -> Vec<f64> {
+        vec![1.0151, 1.0774, 1.1399, 1.2021]
+    }
+}
+
+/// The measured outcome of one (workload, footprint) run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PressureRow {
+    /// Which workload.
+    pub workload: &'static str,
+    /// Actual footprint of the built workload, in bytes.
+    pub footprint_bytes: u64,
+    /// Swap I/O (pages in + out) under the Linux baseline.
+    pub linux_swaps: u64,
+    /// Swap I/O under Mosaic (Horizon LRU).
+    pub mosaic_swaps: u64,
+    /// Mosaic utilization at its first conflict, percent.
+    pub first_conflict_pct: Option<f64>,
+    /// Mosaic steady-state utilization, percent.
+    pub steady_state_pct: Option<f64>,
+    /// Linux steady-state utilization, percent.
+    pub linux_steady_pct: Option<f64>,
+}
+
+impl PressureRow {
+    /// Table 4's "Difference (%)" column: the percent reduction in swap
+    /// I/O Mosaic achieves (positive = Mosaic swaps less).
+    pub fn difference_pct(&self) -> f64 {
+        if self.linux_swaps == 0 {
+            0.0
+        } else {
+            (1.0 - self.mosaic_swaps as f64 / self.linux_swaps as f64) * 100.0
+        }
+    }
+}
+
+/// A Table 3 row: utilization milestones for one (workload, footprint).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Table3Row {
+    /// Which workload.
+    pub workload: &'static str,
+    /// Footprint in bytes.
+    pub footprint_bytes: u64,
+    /// Utilization at the first associativity conflict, percent.
+    pub first_conflict_pct: f64,
+    /// Steady-state utilization, percent.
+    pub steady_state_pct: f64,
+}
+
+const PRESSURE_ASID: Asid = Asid(1);
+
+/// Runs one workload at one footprint through both managers.
+pub fn run_pressure(
+    workload: PressureWorkload,
+    footprint_ratio: f64,
+    cfg: &PressureConfig,
+) -> PressureRow {
+    let target = (cfg.mem_bytes() as f64 * footprint_ratio) as u64;
+    let layout = MemoryLayout::new(IcebergConfig::paper_default(cfg.mem_buckets));
+    let mut mosaic = MosaicMemory::new(layout, cfg.seed);
+    let mut linux = LinuxMemory::new(layout);
+
+    // Identical reference streams: the workload is rebuilt with the same
+    // seed for each manager so the traces match exactly.
+    let footprint = drive(&mut mosaic, workload, target, cfg.seed);
+    let footprint2 = drive(&mut linux, workload, target, cfg.seed);
+    debug_assert_eq!(footprint, footprint2);
+
+    PressureRow {
+        workload: workload.name(),
+        footprint_bytes: footprint,
+        linux_swaps: linux.stats().swap_ops(),
+        mosaic_swaps: mosaic.stats().swap_ops(),
+        first_conflict_pct: mosaic
+            .utilization_tracker()
+            .first_conflict()
+            .map(|u| u * 100.0),
+        steady_state_pct: mosaic
+            .utilization_tracker()
+            .steady_state_mean()
+            .map(|u| u * 100.0),
+        linux_steady_pct: linux
+            .utilization_tracker()
+            .steady_state_mean()
+            .map(|u| u * 100.0),
+    }
+}
+
+/// Drives one manager with the workload's page-reference stream and
+/// returns the workload's actual footprint in bytes.
+fn drive(
+    manager: &mut dyn MemoryManager,
+    workload: PressureWorkload,
+    footprint_bytes: u64,
+    seed: u64,
+) -> u64 {
+    let mut w = workload.build(footprint_bytes, seed);
+    let mut now = 0u64;
+    // Steady-state sampling every ~64 Ki accesses, after a warmup of one
+    // footprint's worth of touches.
+    let warmup = footprint_bytes / PAGE_SIZE;
+    let mut counter = 0u64;
+    w.run(&mut |a| {
+        now += 1;
+        let key = PageKey::new(PRESSURE_ASID, a.addr.vpn());
+        manager.access(key, a.kind, now);
+        counter += 1;
+        if counter > warmup && counter.is_multiple_of(65_536) {
+            manager.sample_utilization();
+        }
+    });
+    manager.sample_utilization();
+    w.meta().footprint_bytes
+}
+
+/// Runs the full Table 4 grid.
+pub fn run_table4(cfg: &PressureConfig, ratios: &[f64]) -> Vec<PressureRow> {
+    let mut rows = Vec::new();
+    for &w in &PressureWorkload::ALL {
+        for &r in ratios {
+            rows.push(run_pressure(w, r, cfg));
+        }
+    }
+    rows
+}
+
+/// Extracts Table 3 rows (runs that conflicted) from pressure results.
+pub fn table3_rows(rows: &[PressureRow]) -> Vec<Table3Row> {
+    rows.iter()
+        .filter_map(|r| {
+            Some(Table3Row {
+                workload: r.workload,
+                footprint_bytes: r.footprint_bytes,
+                first_conflict_pct: r.first_conflict_pct?,
+                steady_state_pct: r.steady_state_pct?,
+            })
+        })
+        .collect()
+}
+
+/// Renders Table 4.
+pub fn render_table4(rows: &[PressureRow]) -> Table {
+    let mut t = Table::new(vec![
+        "Workload".into(),
+        "Footprint (MiB)".into(),
+        "Linux (pages)".into(),
+        "Mosaic (pages)".into(),
+        "Difference (%)".into(),
+    ])
+    .with_title("Table 4: swap I/O while increasing workload size");
+    for r in rows {
+        t.row(vec![
+            r.workload.to_string(),
+            format!("{:.0}", r.footprint_bytes as f64 / (1 << 20) as f64),
+            group_digits(r.linux_swaps),
+            group_digits(r.mosaic_swaps),
+            format!("{:+.2}", r.difference_pct()),
+        ]);
+    }
+    t
+}
+
+/// Renders Table 3.
+pub fn render_table3(rows: &[Table3Row]) -> Table {
+    let mut t = Table::new(vec![
+        "Workload".into(),
+        "Footprint (MiB)".into(),
+        "First conflict (1-δ, %)".into(),
+        "Steady-state util (%)".into(),
+    ])
+    .with_title("Table 3: memory utilization under Mosaic page allocation");
+    for r in rows {
+        t.row(vec![
+            r.workload.to_string(),
+            format!("{:.0}", r.footprint_bytes as f64 / (1 << 20) as f64),
+            format!("{:.2}", r.first_conflict_pct),
+            format!("{:.2}", r.steady_state_pct),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cfg() -> PressureConfig {
+        PressureConfig {
+            mem_buckets: 16, // 1024 frames = 4 MiB
+            seed: 5,
+        }
+    }
+
+    #[test]
+    fn overcommitted_run_swaps_in_both_managers() {
+        let row = run_pressure(PressureWorkload::XsBench, 1.25, &tiny_cfg());
+        assert!(row.linux_swaps > 0, "Linux must swap at 125%");
+        assert!(row.mosaic_swaps > 0, "Mosaic must swap at 125%");
+        assert!(row.first_conflict_pct.is_some());
+    }
+
+    #[test]
+    fn first_conflict_is_near_98_percent() {
+        let row = run_pressure(PressureWorkload::XsBench, 1.25, &tiny_cfg());
+        let fc = row.first_conflict_pct.unwrap();
+        assert!(
+            (94.0..100.0).contains(&fc),
+            "first conflict at {fc:.2}% (paper: ~98%)"
+        );
+    }
+
+    #[test]
+    fn steady_state_exceeds_first_conflict() {
+        // Ghosts let utilization climb past 1 - δ (§4.2).
+        let row = run_pressure(PressureWorkload::BTree, 1.2, &tiny_cfg());
+        let fc = row.first_conflict_pct.unwrap();
+        let ss = row.steady_state_pct.unwrap();
+        assert!(ss > fc - 2.0, "steady {ss:.2} vs first conflict {fc:.2}");
+    }
+
+    #[test]
+    fn undercommitted_run_never_swaps() {
+        let row = run_pressure(PressureWorkload::XsBench, 0.60, &tiny_cfg());
+        assert_eq!(row.linux_swaps, 0);
+        assert_eq!(row.mosaic_swaps, 0);
+        assert_eq!(row.first_conflict_pct, None);
+    }
+
+    #[test]
+    fn difference_sign_convention() {
+        let row = PressureRow {
+            workload: "X",
+            footprint_bytes: 0,
+            linux_swaps: 100,
+            mosaic_swaps: 80,
+            first_conflict_pct: None,
+            steady_state_pct: None,
+            linux_steady_pct: None,
+        };
+        assert!((row.difference_pct() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn renders_are_complete() {
+        let rows = vec![run_pressure(PressureWorkload::XsBench, 1.2, &tiny_cfg())];
+        let t4 = render_table4(&rows).render();
+        assert!(t4.contains("XSBench"));
+        let t3 = render_table3(&table3_rows(&rows)).render();
+        assert!(t3.contains("XSBench"));
+    }
+}

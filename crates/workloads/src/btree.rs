@@ -1,0 +1,514 @@
+//! BTree: index lookups on a B+-tree (Figure 6b).
+//!
+//! A real B+-tree — 4 KiB nodes, sorted keys, leaf chaining — built from
+//! scratch, then probed with uniform random point lookups. Each lookup
+//! descends the tree emitting the accesses a CPU would issue: the node
+//! header, the binary-search key probes, the child pointer, and finally
+//! the value slot in the leaf. Every node occupies its own page, so tree
+//! descent touches `height` distinct pages with heavy reuse of the upper
+//! levels — the pattern where TLB reach pays off.
+
+use crate::layout::VirtualLayout;
+use crate::trace::{Access, Workload, WorkloadMeta};
+use mosaic_hash::SplitMix64;
+use mosaic_mem::{VirtAddr, PAGE_SIZE};
+
+/// Keys per node: a 4 KiB node of 8-byte keys + 8-byte children/values,
+/// minus a header line.
+pub const NODE_FANOUT: usize = 254;
+
+/// Byte offset of the key array within a node (header precedes it).
+const KEYS_OFFSET: u64 = 16;
+
+/// Byte offset of the child/value array within a node.
+const VALS_OFFSET: u64 = KEYS_OFFSET + (NODE_FANOUT as u64) * 8;
+
+/// B+-tree workload parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BTreeConfig {
+    /// Number of keys bulk-inserted before the measured lookups.
+    pub num_keys: u64,
+    /// Number of random point lookups to emit.
+    pub num_lookups: u64,
+}
+
+impl BTreeConfig {
+    /// Footprint presets; 0 is CI-tiny, 1 the benchmark default
+    /// (2 M keys ≈ 64 MiB of nodes), doubling per step.
+    pub fn at_scale(scale: u32) -> Self {
+        match scale {
+            0 => Self {
+                num_keys: 60_000,
+                num_lookups: 10_000,
+            },
+            s => Self {
+                num_keys: 2_000_000u64 << (s - 1),
+                num_lookups: 600_000u64 << (s - 1),
+            },
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum NodeKind {
+    /// Children are arena indices.
+    Internal(Vec<usize>),
+    /// Values parallel the keys.
+    Leaf(Vec<u64>),
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    keys: Vec<u64>,
+    kind: NodeKind,
+    vaddr: VirtAddr,
+}
+
+impl Node {
+    fn addr_of_key(&self, idx: usize) -> VirtAddr {
+        VirtAddr(self.vaddr.0 + KEYS_OFFSET + idx as u64 * 8)
+    }
+
+    fn addr_of_val(&self, idx: usize) -> VirtAddr {
+        VirtAddr(self.vaddr.0 + VALS_OFFSET + idx as u64 * 8)
+    }
+}
+
+/// A B+-tree over `u64` keys with page-sized nodes in simulated memory.
+///
+/// # Example
+///
+/// ```
+/// use mosaic_workloads::btree::BTree;
+///
+/// let mut vl = mosaic_workloads::VirtualLayout::new();
+/// let mut t = BTree::new(&mut vl);
+/// t.insert(10, 100);
+/// t.insert(20, 200);
+/// assert_eq!(t.lookup(10, &mut |_| {}), Some(100));
+/// assert_eq!(t.lookup(15, &mut |_| {}), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BTree {
+    arena: Vec<Node>,
+    root: usize,
+    len: u64,
+}
+
+impl BTree {
+    /// Creates an empty tree, placing its first node in `vl`.
+    pub fn new(vl: &mut VirtualLayout) -> Self {
+        let root = Node {
+            keys: Vec::new(),
+            kind: NodeKind::Leaf(Vec::new()),
+            vaddr: vl.alloc_named("btree_node", PAGE_SIZE, PAGE_SIZE),
+        };
+        Self {
+            arena: vec![root],
+            root: 0,
+            len: 0,
+        }
+    }
+
+    /// Number of keys stored.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of nodes (each occupying one 4 KiB page).
+    pub fn node_count(&self) -> usize {
+        self.arena.len()
+    }
+
+    /// Tree height (1 for a lone leaf).
+    pub fn height(&self) -> usize {
+        let mut h = 1;
+        let mut node = self.root;
+        while let NodeKind::Internal(children) = &self.arena[node].kind {
+            node = children[0];
+            h += 1;
+        }
+        h
+    }
+
+    fn new_node(&mut self, vl: &mut VirtualLayout, keys: Vec<u64>, kind: NodeKind) -> usize {
+        let vaddr = vl.alloc_named("btree_node", PAGE_SIZE, PAGE_SIZE);
+        self.arena.push(Node { keys, kind, vaddr });
+        self.arena.len() - 1
+    }
+
+    /// Inserts `key -> value` (setup phase; no trace emission). Replaces
+    /// the value if the key exists.
+    pub fn insert_in(&mut self, vl: &mut VirtualLayout, key: u64, value: u64) {
+        if let Some((sep, right)) = self.insert_rec(vl, self.root, key, value) {
+            // Root split: grow the tree by one level.
+            let old_root = self.root;
+            let new_root = self.new_node(
+                vl,
+                vec![sep],
+                NodeKind::Internal(vec![old_root, right]),
+            );
+            self.root = new_root;
+        }
+    }
+
+    /// Inserts into a tree created with [`BTree::new`] using an internal
+    /// throwaway layout — convenient for doctests; real workloads thread
+    /// their own layout via [`insert_in`](Self::insert_in).
+    pub fn insert(&mut self, key: u64, value: u64) {
+        let mut vl = VirtualLayout::with_base(VirtAddr(0x7000_0000_0000));
+        self.insert_in(&mut vl, key, value);
+    }
+
+    fn insert_rec(
+        &mut self,
+        vl: &mut VirtualLayout,
+        node: usize,
+        key: u64,
+        value: u64,
+    ) -> Option<(u64, usize)> {
+        match &self.arena[node].kind {
+            NodeKind::Leaf(_) => {
+                let pos = self.arena[node].keys.partition_point(|&k| k < key);
+                let exists = self.arena[node].keys.get(pos) == Some(&key);
+                let n = &mut self.arena[node];
+                let NodeKind::Leaf(vals) = &mut n.kind else {
+                    unreachable!()
+                };
+                if exists {
+                    vals[pos] = value;
+                    return None;
+                }
+                n.keys.insert(pos, key);
+                vals.insert(pos, value);
+                self.len += 1;
+                if self.arena[node].keys.len() > NODE_FANOUT {
+                    return Some(self.split_leaf(vl, node));
+                }
+                None
+            }
+            NodeKind::Internal(_) => {
+                let pos = self.arena[node].keys.partition_point(|&k| k <= key);
+                let NodeKind::Internal(children) = &self.arena[node].kind else {
+                    unreachable!()
+                };
+                let child = children[pos];
+                let split = self.insert_rec(vl, child, key, value)?;
+                let (sep, right) = split;
+                let n = &mut self.arena[node];
+                n.keys.insert(pos, sep);
+                let NodeKind::Internal(children) = &mut n.kind else {
+                    unreachable!()
+                };
+                children.insert(pos + 1, right);
+                if self.arena[node].keys.len() > NODE_FANOUT {
+                    return Some(self.split_internal(vl, node));
+                }
+                None
+            }
+        }
+    }
+
+    fn split_leaf(&mut self, vl: &mut VirtualLayout, node: usize) -> (u64, usize) {
+        let mid = self.arena[node].keys.len() / 2;
+        let right_keys = self.arena[node].keys.split_off(mid);
+        let NodeKind::Leaf(vals) = &mut self.arena[node].kind else {
+            unreachable!()
+        };
+        let right_vals = vals.split_off(mid);
+        let sep = right_keys[0];
+        let right = self.new_node(vl, right_keys, NodeKind::Leaf(right_vals));
+        (sep, right)
+    }
+
+    fn split_internal(&mut self, vl: &mut VirtualLayout, node: usize) -> (u64, usize) {
+        let mid = self.arena[node].keys.len() / 2;
+        let sep = self.arena[node].keys[mid];
+        let right_keys = self.arena[node].keys.split_off(mid + 1);
+        self.arena[node].keys.pop(); // the separator moves up
+        let NodeKind::Internal(children) = &mut self.arena[node].kind else {
+            unreachable!()
+        };
+        let right_children = children.split_off(mid + 1);
+        let right = self.new_node(vl, right_keys, NodeKind::Internal(right_children));
+        (sep, right)
+    }
+
+    /// Looks up `key`, emitting the accesses of the descent, and returns
+    /// the value if present.
+    pub fn lookup(&self, key: u64, sink: &mut dyn FnMut(Access)) -> Option<u64> {
+        let mut node = &self.arena[self.root];
+        loop {
+            // Node header (key count, level).
+            sink(Access::load(node.vaddr));
+            // Binary search over the sorted keys, emitting each probe.
+            let mut lo = 0usize;
+            let mut hi = node.keys.len();
+            while lo < hi {
+                let mid = (lo + hi) / 2;
+                sink(Access::load(node.addr_of_key(mid)));
+                if node.keys[mid] < key {
+                    lo = mid + 1;
+                } else {
+                    hi = mid;
+                }
+            }
+            match &node.kind {
+                NodeKind::Internal(children) => {
+                    // For internal nodes, route right of equal keys.
+                    let pos = node.keys.partition_point(|&k| k <= key);
+                    sink(Access::load(node.addr_of_val(pos)));
+                    node = &self.arena[children[pos]];
+                }
+                NodeKind::Leaf(vals) => {
+                    return if node.keys.get(lo) == Some(&key) {
+                        sink(Access::load(node.addr_of_val(lo)));
+                        Some(vals[lo])
+                    } else {
+                        None
+                    };
+                }
+            }
+        }
+    }
+}
+
+/// The BTree benchmark: bulk build, then random point lookups.
+#[derive(Debug, Clone)]
+pub struct BTreeWorkload {
+    cfg: BTreeConfig,
+    tree: BTree,
+    keys: Vec<u64>,
+    seed: u64,
+}
+
+impl BTreeWorkload {
+    /// Builds the tree with `cfg.num_keys` pseudo-random keys.
+    pub fn new(cfg: BTreeConfig, seed: u64) -> Self {
+        let mut rng = SplitMix64::new(seed);
+        let mut vl = VirtualLayout::new();
+        let mut tree = BTree::new(&mut vl);
+        let mut keys = Vec::with_capacity(cfg.num_keys as usize);
+        while (keys.len() as u64) < cfg.num_keys {
+            let key = rng.next_u64();
+            tree.insert_in(&mut vl, key, key ^ 0xDEAD);
+            keys.push(key);
+        }
+        Self {
+            cfg,
+            tree,
+            keys,
+            seed: rng.next_u64(),
+        }
+    }
+
+    /// Builds a tree whose nodes total approximately `target_bytes`
+    /// (keys are inserted until the node count reaches the target, so the
+    /// footprint is exact to one page), for the memory-pressure
+    /// experiments of Tables 3 and 4.
+    pub fn with_footprint(target_bytes: u64, num_lookups: u64, seed: u64) -> Self {
+        let target_nodes = (target_bytes / PAGE_SIZE).max(2) as usize;
+        let mut rng = SplitMix64::new(seed);
+        let mut vl = VirtualLayout::new();
+        let mut tree = BTree::new(&mut vl);
+        let mut keys = Vec::new();
+        while tree.node_count() < target_nodes {
+            let key = rng.next_u64();
+            tree.insert_in(&mut vl, key, key ^ 0xDEAD);
+            keys.push(key);
+        }
+        let cfg = BTreeConfig {
+            num_keys: keys.len() as u64,
+            num_lookups,
+        };
+        Self {
+            cfg,
+            tree,
+            keys,
+            seed: rng.next_u64(),
+        }
+    }
+
+    /// The configured parameters.
+    pub fn config(&self) -> &BTreeConfig {
+        &self.cfg
+    }
+
+    /// The built tree (inspection and tests).
+    pub fn tree(&self) -> &BTree {
+        &self.tree
+    }
+}
+
+impl Workload for BTreeWorkload {
+    fn meta(&self) -> WorkloadMeta {
+        // Header + ~log2(fanout) probes + pointer per level, + value.
+        let per_level = 2 + (NODE_FANOUT as f64).log2().ceil() as u64;
+        let approx = self.cfg.num_lookups * (per_level * self.tree.height() as u64 + 1)
+            + self.tree.node_count() as u64;
+        WorkloadMeta {
+            name: "BTree",
+            description: "benchmark for index lookups on a B+ Tree data structure",
+            footprint_bytes: self.tree.node_count() as u64 * PAGE_SIZE,
+            approx_accesses: approx,
+        }
+    }
+
+    fn run(&mut self, sink: &mut dyn FnMut(Access)) {
+        // Tree construction dirtied every node page.
+        for node in &self.tree.arena {
+            sink(Access::store(node.vaddr));
+        }
+        let mut rng = SplitMix64::new(self.seed);
+        for _ in 0..self.cfg.num_lookups {
+            // Mostly hits (existing keys), occasionally misses.
+            let key = if rng.next_below(16) == 0 {
+                rng.next_u64()
+            } else {
+                self.keys[rng.next_index(self.keys.len())]
+            };
+            self.tree.lookup(key, sink);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{record, TraceStats};
+
+    #[test]
+    fn insert_lookup_round_trip() {
+        let mut vl = VirtualLayout::new();
+        let mut t = BTree::new(&mut vl);
+        for k in 0..5000u64 {
+            t.insert_in(&mut vl, k * 7, k);
+        }
+        assert_eq!(t.len(), 5000);
+        for k in 0..5000u64 {
+            assert_eq!(t.lookup(k * 7, &mut |_| {}), Some(k), "key {}", k * 7);
+        }
+        assert_eq!(t.lookup(3, &mut |_| {}), None);
+    }
+
+    #[test]
+    fn update_replaces_value() {
+        let mut vl = VirtualLayout::new();
+        let mut t = BTree::new(&mut vl);
+        t.insert_in(&mut vl, 5, 1);
+        t.insert_in(&mut vl, 5, 2);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.lookup(5, &mut |_| {}), Some(2));
+    }
+
+    #[test]
+    fn tree_grows_in_height() {
+        let mut vl = VirtualLayout::new();
+        let mut t = BTree::new(&mut vl);
+        assert_eq!(t.height(), 1);
+        // Enough keys to force at least two levels.
+        for k in 0..(NODE_FANOUT as u64 * 3) {
+            t.insert_in(&mut vl, k, k);
+        }
+        assert!(t.height() >= 2);
+        assert!(t.node_count() >= 3);
+    }
+
+    #[test]
+    fn random_order_inserts_stay_sorted() {
+        let mut vl = VirtualLayout::new();
+        let mut t = BTree::new(&mut vl);
+        let mut rng = SplitMix64::new(3);
+        let mut keys = Vec::new();
+        for _ in 0..20_000 {
+            let k = rng.next_u64();
+            t.insert_in(&mut vl, k, !k);
+            keys.push(k);
+        }
+        for &k in keys.iter().step_by(97) {
+            assert_eq!(t.lookup(k, &mut |_| {}), Some(!k));
+        }
+        // All leaf keys, concatenated, are sorted.
+        let mut all = Vec::new();
+        fn collect(t: &BTree, node: usize, out: &mut Vec<u64>) {
+            match &t.arena[node].kind {
+                NodeKind::Leaf(_) => out.extend_from_slice(&t.arena[node].keys),
+                NodeKind::Internal(children) => {
+                    for &c in children {
+                        collect(t, c, out);
+                    }
+                }
+            }
+        }
+        collect(&t, t.root, &mut all);
+        assert!(all.windows(2).all(|w| w[0] < w[1]), "leaf keys unsorted");
+        assert_eq!(all.len() as u64, t.len());
+    }
+
+    #[test]
+    fn lookup_trace_descends_height_pages() {
+        let mut vl = VirtualLayout::new();
+        let mut t = BTree::new(&mut vl);
+        for k in 0..(NODE_FANOUT as u64 * NODE_FANOUT as u64 / 8) {
+            t.insert_in(&mut vl, k, k);
+        }
+        let h = t.height();
+        let mut pages = std::collections::HashSet::new();
+        t.lookup(12345, &mut |a| {
+            pages.insert(a.addr.vpn());
+        });
+        assert_eq!(pages.len(), h, "one page per level");
+    }
+
+    #[test]
+    fn workload_is_deterministic() {
+        let cfg = BTreeConfig {
+            num_keys: 5_000,
+            num_lookups: 500,
+        };
+        let a = record(&mut BTreeWorkload::new(cfg, 1));
+        let b = record(&mut BTreeWorkload::new(cfg, 1));
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn workload_reuses_top_levels() {
+        // The root page should absorb a large share of accesses: distinct
+        // pages far fewer than accesses.
+        let cfg = BTreeConfig {
+            num_keys: 30_000,
+            num_lookups: 2_000,
+        };
+        let mut w = BTreeWorkload::new(cfg, 5);
+        let s = TraceStats::of(&record(&mut w));
+        assert!(s.distinct_pages as usize <= w.tree().node_count());
+        assert!(s.accesses > s.distinct_pages * 20);
+    }
+
+    #[test]
+    fn nodes_fit_in_pages() {
+        // The address layout (header + keys + vals) must fit in 4 KiB.
+        assert!(VALS_OFFSET + (NODE_FANOUT as u64 + 1) * 8 <= PAGE_SIZE);
+    }
+}
+
+#[cfg(test)]
+mod footprint_tests {
+    use super::*;
+    use crate::trace::Workload;
+
+    #[test]
+    fn with_footprint_is_page_exact() {
+        let target = 4u64 << 20;
+        let w = BTreeWorkload::with_footprint(target, 10, 2);
+        let got = w.meta().footprint_bytes;
+        assert!(got >= target, "tree stopped short: {got}");
+        assert!(got < target + 64 * PAGE_SIZE, "overshot: {got}");
+    }
+}

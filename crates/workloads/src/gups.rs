@@ -1,0 +1,187 @@
+//! GUPS (Giga-Updates Per Second): uniform random read-modify-writes.
+//!
+//! The paper's stress microbenchmark, "designed to stress the system with
+//! extremely random memory accesses" — the workload where Mosaic shows the
+//! *least* improvement (Figure 6c), since there is no virtual locality for
+//! mosaic pages to exploit.
+
+use crate::layout::{ArrayRegion, VirtualLayout};
+use crate::trace::{Access, Workload, WorkloadMeta};
+use mosaic_hash::SplitMix64;
+
+/// GUPS parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GupsConfig {
+    /// Size of the update table in bytes (rounded down to whole u64s).
+    pub table_bytes: u64,
+    /// Number of read-xor-write updates to perform.
+    pub updates: u64,
+}
+
+impl GupsConfig {
+    /// A footprint/length preset; `scale` 0 is CI-tiny, 1 the benchmark
+    /// default (64 MiB table), growing by 2× per step.
+    pub fn at_scale(scale: u32) -> Self {
+        match scale {
+            0 => Self {
+                table_bytes: 1 << 20, // 1 MiB
+                updates: 50_000,
+            },
+            s => Self {
+                table_bytes: (64 << 20) << (s - 1),
+                updates: 4_000_000u64 << (s - 1),
+            },
+        }
+    }
+}
+
+/// The GUPS workload.
+///
+/// # Example
+///
+/// ```
+/// use mosaic_workloads::prelude::*;
+///
+/// let mut g = Gups::new(GupsConfig { table_bytes: 1 << 16, updates: 10 }, 1);
+/// let trace = record(&mut g);
+/// // 16 init stores (one per table page) + one load + one store per update.
+/// assert_eq!(trace.len(), 36);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Gups {
+    cfg: GupsConfig,
+    table: ArrayRegion,
+    seed: u64,
+}
+
+impl Gups {
+    /// Creates a GUPS instance with its table placed in a fresh layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table holds fewer than two u64 elements.
+    pub fn new(cfg: GupsConfig, seed: u64) -> Self {
+        let elems = cfg.table_bytes / 8;
+        assert!(elems >= 2, "GUPS table too small");
+        let mut vl = VirtualLayout::new();
+        let table = ArrayRegion::alloc(&mut vl, "gups_table", 8, elems);
+        Self { cfg, table, seed }
+    }
+
+    /// The configured parameters.
+    pub fn config(&self) -> &GupsConfig {
+        &self.cfg
+    }
+}
+
+impl Workload for Gups {
+    fn meta(&self) -> WorkloadMeta {
+        WorkloadMeta {
+            name: "GUPS",
+            description: "microbenchmark that generates random accesses, resulting in high TLB misses",
+            footprint_bytes: self.table.bytes(),
+            approx_accesses: self.cfg.updates * 2 + self.table.pages(),
+        }
+    }
+
+    fn run(&mut self, sink: &mut dyn FnMut(Access)) {
+        // Table initialization (dirty every page), then the update loop.
+        self.table.init_stores(sink);
+        let mut rng = SplitMix64::new(self.seed);
+        let n = self.table.len();
+        for _ in 0..self.cfg.updates {
+            let idx = rng.next_below(n);
+            let addr = self.table.at(idx);
+            // Read-xor-write of one table word.
+            sink(Access::load(addr));
+            sink(Access::store(addr));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{record, TraceStats};
+    use mosaic_mem::AccessKind;
+
+    fn small() -> Gups {
+        Gups::new(
+            GupsConfig {
+                table_bytes: 1 << 20,
+                updates: 10_000,
+            },
+            9,
+        )
+    }
+
+    #[test]
+    fn trace_is_load_store_pairs() {
+        let mut g = small();
+        let init_pages = (1usize << 20) / 4096;
+        let t = record(&mut g);
+        assert_eq!(t.len(), 20_000 + init_pages);
+        // Every access after the init scan is a load/store pair.
+        for pair in t[init_pages..].chunks(2) {
+            assert_eq!(pair[0].addr, pair[1].addr);
+            assert_eq!(pair[0].kind, AccessKind::Load);
+            assert_eq!(pair[1].kind, AccessKind::Store);
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = record(&mut small());
+        let b = record(&mut small());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seed_differs() {
+        let a = record(&mut small());
+        let b = record(&mut Gups::new(*small().config(), 10));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn accesses_stay_in_table() {
+        let g = small();
+        let base = g.table.base().0;
+        let end = base + g.table.bytes();
+        let mut g = g;
+        let t = record(&mut g);
+        for a in &t {
+            assert!(a.addr.0 >= base && a.addr.0 < end);
+        }
+    }
+
+    #[test]
+    fn touches_most_pages_of_table() {
+        // 10k random updates over a 256-page table should hit nearly all
+        // pages (coupon collector).
+        let mut g = small();
+        let s = TraceStats::of(&record(&mut g));
+        assert!(s.distinct_pages > 250, "only {} pages", s.distinct_pages);
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn tiny_table_panics() {
+        Gups::new(
+            GupsConfig {
+                table_bytes: 8,
+                updates: 1,
+            },
+            0,
+        );
+    }
+
+    #[test]
+    fn meta_matches_config() {
+        let g = small();
+        let m = g.meta();
+        assert_eq!(m.footprint_bytes, 1 << 20);
+        assert_eq!(m.approx_accesses, 20_000 + 256);
+        assert_eq!(m.name, "GUPS");
+    }
+}

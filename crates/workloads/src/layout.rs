@@ -1,0 +1,216 @@
+//! Virtual address-space layout for simulated workloads.
+//!
+//! Workload data structures live at concrete virtual addresses so the
+//! emitted traces look like a real process's: a bump allocator hands out
+//! page-aligned regions from a conventional heap base upward.
+
+use mosaic_mem::{VirtAddr, PAGE_SIZE};
+
+/// Conventional user-heap base for simulated processes.
+pub const DEFAULT_HEAP_BASE: u64 = 0x1000_0000;
+
+/// A bump allocator over a simulated virtual address space.
+///
+/// # Example
+///
+/// ```
+/// use mosaic_workloads::VirtualLayout;
+///
+/// let mut vl = VirtualLayout::new();
+/// let a = vl.alloc(100, 8);
+/// let b = vl.alloc(100, 8);
+/// assert!(b.0 >= a.0 + 100);
+/// ```
+#[derive(Debug, Clone)]
+pub struct VirtualLayout {
+    next: u64,
+    regions: Vec<(String, VirtAddr, u64)>,
+}
+
+impl VirtualLayout {
+    /// Creates a layout starting at [`DEFAULT_HEAP_BASE`].
+    pub fn new() -> Self {
+        Self::with_base(VirtAddr(DEFAULT_HEAP_BASE))
+    }
+
+    /// Creates a layout starting at `base`.
+    pub fn with_base(base: VirtAddr) -> Self {
+        Self {
+            next: base.0,
+            regions: Vec::new(),
+        }
+    }
+
+    /// Reserves `bytes` with the given alignment, returning the base.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `align` is not a power of two or `bytes` is zero.
+    pub fn alloc(&mut self, bytes: u64, align: u64) -> VirtAddr {
+        self.alloc_named("", bytes, align)
+    }
+
+    /// Reserves a named region (named regions appear in [`regions`](Self::regions)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `align` is not a power of two or `bytes` is zero.
+    pub fn alloc_named(&mut self, name: &str, bytes: u64, align: u64) -> VirtAddr {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        assert!(bytes > 0, "cannot allocate zero bytes");
+        let base = (self.next + align - 1) & !(align - 1);
+        self.next = base + bytes;
+        let addr = VirtAddr(base);
+        if !name.is_empty() {
+            self.regions.push((name.to_string(), addr, bytes));
+        }
+        addr
+    }
+
+    /// Reserves a page-aligned array of `count` elements of `elem_bytes`.
+    pub fn alloc_array(&mut self, name: &str, count: u64, elem_bytes: u64) -> VirtAddr {
+        self.alloc_named(name, count.max(1) * elem_bytes, PAGE_SIZE)
+    }
+
+    /// Total virtual span consumed so far, from the first region's base.
+    pub fn used_bytes(&self) -> u64 {
+        self.next - DEFAULT_HEAP_BASE.min(self.next)
+    }
+
+    /// Named regions reserved so far, as `(name, base, bytes)`.
+    pub fn regions(&self) -> &[(String, VirtAddr, u64)] {
+        &self.regions
+    }
+}
+
+impl Default for VirtualLayout {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Typed view of an array in simulated virtual memory: computes element
+/// addresses for trace emission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArrayRegion {
+    base: VirtAddr,
+    elem_bytes: u64,
+    len: u64,
+}
+
+impl ArrayRegion {
+    /// Creates a view of `len` elements of `elem_bytes` at `base`.
+    pub fn new(base: VirtAddr, elem_bytes: u64, len: u64) -> Self {
+        Self {
+            base,
+            elem_bytes,
+            len,
+        }
+    }
+
+    /// Allocates the array in a layout and returns the view.
+    pub fn alloc(vl: &mut VirtualLayout, name: &str, elem_bytes: u64, len: u64) -> Self {
+        Self::new(vl.alloc_array(name, len, elem_bytes), elem_bytes, len)
+    }
+
+    /// Address of element `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    pub fn at(&self, i: u64) -> VirtAddr {
+        assert!(i < self.len, "index {i} out of bounds (len {})", self.len);
+        VirtAddr(self.base.0 + i * self.elem_bytes)
+    }
+
+    /// Element count.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether the array is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Base address.
+    pub fn base(&self) -> VirtAddr {
+        self.base
+    }
+
+    /// Size in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.len * self.elem_bytes
+    }
+
+    /// Number of pages this region spans.
+    pub fn pages(&self) -> u64 {
+        self.bytes().div_ceil(mosaic_mem::PAGE_SIZE)
+    }
+
+    /// Emits one store per page of the region, in address order — the
+    /// initialization scan that dirties a freshly built data structure
+    /// (real workloads write their data before the measured kernel).
+    pub fn init_stores(&self, sink: &mut dyn FnMut(crate::trace::Access)) {
+        let mut addr = self.base().0;
+        let end = self.base().0 + self.bytes();
+        while addr < end {
+            sink(crate::trace::Access::store(mosaic_mem::VirtAddr(addr)));
+            addr += mosaic_mem::PAGE_SIZE;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bump_allocates_disjoint_ranges() {
+        let mut vl = VirtualLayout::new();
+        let a = vl.alloc(1000, 8);
+        let b = vl.alloc(1000, 8);
+        assert!(b.0 >= a.0 + 1000, "regions overlap");
+    }
+
+    #[test]
+    fn alignment_respected() {
+        let mut vl = VirtualLayout::new();
+        vl.alloc(13, 1);
+        let b = vl.alloc(8, 4096);
+        assert_eq!(b.0 % 4096, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_alignment_panics() {
+        VirtualLayout::new().alloc(8, 3);
+    }
+
+    #[test]
+    fn named_regions_recorded() {
+        let mut vl = VirtualLayout::new();
+        vl.alloc_named("xadj", 4096, 4096);
+        vl.alloc(8, 8); // anonymous, not recorded
+        assert_eq!(vl.regions().len(), 1);
+        assert_eq!(vl.regions()[0].0, "xadj");
+    }
+
+    #[test]
+    fn array_region_addressing() {
+        let mut vl = VirtualLayout::new();
+        let arr = ArrayRegion::alloc(&mut vl, "a", 8, 100);
+        assert_eq!(arr.at(0), arr.base());
+        assert_eq!(arr.at(9).0, arr.base().0 + 72);
+        assert_eq!(arr.len(), 100);
+        assert_eq!(arr.bytes(), 800);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn array_oob_panics() {
+        let mut vl = VirtualLayout::new();
+        let arr = ArrayRegion::alloc(&mut vl, "a", 8, 10);
+        arr.at(10);
+    }
+}

@@ -1,0 +1,168 @@
+//! The trace abstraction: workloads emit virtual-address access streams.
+
+use mosaic_mem::{AccessKind, VirtAddr};
+
+/// One memory reference: an address and whether it reads or writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Access {
+    /// The virtual byte address touched.
+    pub addr: VirtAddr,
+    /// Load or store.
+    pub kind: AccessKind,
+}
+
+impl Access {
+    /// A load of `addr`.
+    pub fn load(addr: VirtAddr) -> Self {
+        Self {
+            addr,
+            kind: AccessKind::Load,
+        }
+    }
+
+    /// A store to `addr`.
+    pub fn store(addr: VirtAddr) -> Self {
+        Self {
+            addr,
+            kind: AccessKind::Store,
+        }
+    }
+}
+
+/// Static facts about a workload (the Table 2 row).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkloadMeta {
+    /// Workload name as the paper prints it.
+    pub name: &'static str,
+    /// One-line description.
+    pub description: &'static str,
+    /// Bytes of data the workload touches.
+    pub footprint_bytes: u64,
+    /// Approximate number of data accesses the run emits.
+    pub approx_accesses: u64,
+}
+
+impl WorkloadMeta {
+    /// Footprint in MiB (Table 2's unit).
+    pub fn footprint_mib(&self) -> f64 {
+        self.footprint_bytes as f64 / (1024.0 * 1024.0)
+    }
+}
+
+impl core::fmt::Display for WorkloadMeta {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "{}: {:.0} MiB footprint, ~{} accesses — {}",
+            self.name,
+            self.footprint_mib(),
+            self.approx_accesses,
+            self.description
+        )
+    }
+}
+
+/// A workload: a real computation that emits its data-access stream.
+///
+/// `run` drives the whole computation, calling `sink` once per memory
+/// reference in program order. Implementations must be deterministic: two
+/// runs of the same configured instance emit identical streams.
+pub trait Workload {
+    /// Static metadata (name, footprint).
+    fn meta(&self) -> WorkloadMeta;
+
+    /// Executes the workload, emitting every access to `sink`.
+    fn run(&mut self, sink: &mut dyn FnMut(Access));
+}
+
+/// Collects a workload's full trace into memory (tests and small runs).
+pub fn record(workload: &mut dyn Workload) -> Vec<Access> {
+    let mut out = Vec::new();
+    workload.run(&mut |a| out.push(a));
+    out
+}
+
+/// Summary statistics over a trace (sanity checks and Table 2 reporting).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TraceStats {
+    /// Total references.
+    pub accesses: u64,
+    /// Store count.
+    pub stores: u64,
+    /// Distinct 4 KiB pages touched.
+    pub distinct_pages: u64,
+}
+
+impl TraceStats {
+    /// Computes stats over a recorded trace.
+    pub fn of(trace: &[Access]) -> Self {
+        let mut pages = std::collections::HashSet::new();
+        let mut stores = 0;
+        for a in trace {
+            pages.insert(a.addr.vpn());
+            if a.kind == AccessKind::Store {
+                stores += 1;
+            }
+        }
+        Self {
+            accesses: trace.len() as u64,
+            stores,
+            distinct_pages: pages.len() as u64,
+        }
+    }
+
+    /// The trace's exact data footprint in bytes (pages × 4 KiB).
+    pub fn footprint_bytes(&self) -> u64 {
+        self.distinct_pages * mosaic_mem::PAGE_SIZE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Fixed;
+
+    impl Workload for Fixed {
+        fn meta(&self) -> WorkloadMeta {
+            WorkloadMeta {
+                name: "Fixed",
+                description: "three accesses",
+                footprint_bytes: 2 * 4096,
+                approx_accesses: 3,
+            }
+        }
+
+        fn run(&mut self, sink: &mut dyn FnMut(Access)) {
+            sink(Access::load(VirtAddr(0x1000)));
+            sink(Access::store(VirtAddr(0x1008)));
+            sink(Access::load(VirtAddr(0x2000)));
+        }
+    }
+
+    #[test]
+    fn record_collects_in_order() {
+        let t = record(&mut Fixed);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t[0], Access::load(VirtAddr(0x1000)));
+        assert_eq!(t[1].kind, AccessKind::Store);
+    }
+
+    #[test]
+    fn stats_count_pages_and_stores() {
+        let t = record(&mut Fixed);
+        let s = TraceStats::of(&t);
+        assert_eq!(s.accesses, 3);
+        assert_eq!(s.stores, 1);
+        assert_eq!(s.distinct_pages, 2);
+        assert_eq!(s.footprint_bytes(), 8192);
+    }
+
+    #[test]
+    fn meta_display() {
+        let m = Fixed.meta();
+        let text = m.to_string();
+        assert!(text.contains("Fixed"));
+        assert!(text.contains("MiB"));
+    }
+}

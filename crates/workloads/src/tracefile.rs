@@ -1,0 +1,228 @@
+//! Trace persistence: save a workload's access stream to disk and replay
+//! it later, like the gem5 artifact's recorded runs.
+//!
+//! Format (little-endian): a 16-byte header (`b"MOSAICTRACE\0"` + u32
+//! version), a u64 access count, then one record per access — 8 bytes of
+//! virtual address with the load/store flag packed into the top bit
+//! (addresses are < 2^48, so bit 63 is free).
+
+use crate::trace::{Access, Workload, WorkloadMeta};
+use mosaic_mem::{AccessKind, VirtAddr};
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 12] = b"MOSAICTRACE\0";
+const VERSION: u32 = 1;
+const STORE_BIT: u64 = 1 << 63;
+
+/// Writes `workload`'s full trace to `path`, returning the access count.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the filesystem.
+pub fn save_trace(path: &Path, workload: &mut dyn Workload) -> io::Result<u64> {
+    let file = std::fs::File::create(path)?;
+    let mut w = BufWriter::new(file);
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    // Count patched in afterwards; reserve the slot.
+    w.write_all(&0u64.to_le_bytes())?;
+    let mut count = 0u64;
+    let mut err: Option<io::Error> = None;
+    workload.run(&mut |a| {
+        if err.is_some() {
+            return;
+        }
+        let mut word = a.addr.0;
+        debug_assert_eq!(word & STORE_BIT, 0, "address uses the flag bit");
+        if a.kind == AccessKind::Store {
+            word |= STORE_BIT;
+        }
+        if let Err(e) = w.write_all(&word.to_le_bytes()) {
+            err = Some(e);
+        } else {
+            count += 1;
+        }
+    });
+    if let Some(e) = err {
+        return Err(e);
+    }
+    let mut file = w.into_inner()?;
+    use std::io::Seek;
+    file.seek(io::SeekFrom::Start((MAGIC.len() + 4) as u64))?;
+    file.write_all(&count.to_le_bytes())?;
+    Ok(count)
+}
+
+/// Loads a trace saved by [`save_trace`].
+///
+/// # Errors
+///
+/// Returns `InvalidData` for bad magic/version/truncation, and propagates
+/// I/O errors.
+pub fn load_trace(path: &Path) -> io::Result<Vec<Access>> {
+    let file = std::fs::File::open(path)?;
+    let mut r = BufReader::new(file);
+    let mut magic = [0u8; 12];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad trace magic"));
+    }
+    let mut word4 = [0u8; 4];
+    r.read_exact(&mut word4)?;
+    if u32::from_le_bytes(word4) != VERSION {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad trace version"));
+    }
+    let mut word8 = [0u8; 8];
+    r.read_exact(&mut word8)?;
+    let count = u64::from_le_bytes(word8);
+    let mut out = Vec::with_capacity(count.min(1 << 28) as usize);
+    for _ in 0..count {
+        r.read_exact(&mut word8)?;
+        let word = u64::from_le_bytes(word8);
+        let kind = if word & STORE_BIT != 0 {
+            AccessKind::Store
+        } else {
+            AccessKind::Load
+        };
+        out.push(Access {
+            addr: VirtAddr(word & !STORE_BIT),
+            kind,
+        });
+    }
+    Ok(out)
+}
+
+/// A [`Workload`] that replays a recorded trace.
+#[derive(Debug, Clone)]
+pub struct RecordedTrace {
+    accesses: Vec<Access>,
+    footprint_bytes: u64,
+}
+
+impl RecordedTrace {
+    /// Wraps an in-memory trace.
+    pub fn new(accesses: Vec<Access>) -> Self {
+        let stats = crate::trace::TraceStats::of(&accesses);
+        Self {
+            footprint_bytes: stats.footprint_bytes(),
+            accesses,
+        }
+    }
+
+    /// Loads a trace file.
+    ///
+    /// # Errors
+    ///
+    /// See [`load_trace`].
+    pub fn open(path: &Path) -> io::Result<Self> {
+        Ok(Self::new(load_trace(path)?))
+    }
+
+    /// The recorded accesses.
+    pub fn accesses(&self) -> &[Access] {
+        &self.accesses
+    }
+}
+
+impl Workload for RecordedTrace {
+    fn meta(&self) -> WorkloadMeta {
+        WorkloadMeta {
+            name: "RecordedTrace",
+            description: "replay of a saved access trace",
+            footprint_bytes: self.footprint_bytes,
+            approx_accesses: self.accesses.len() as u64,
+        }
+    }
+
+    fn run(&mut self, sink: &mut dyn FnMut(Access)) {
+        for &a in &self.accesses {
+            sink(a);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gups::{Gups, GupsConfig};
+    use crate::trace::record;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("mosaic-trace-test-{name}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let mut g = Gups::new(
+            GupsConfig {
+                table_bytes: 1 << 18,
+                updates: 2_000,
+            },
+            5,
+        );
+        let expect = record(&mut Gups::new(*g.config(), 5));
+        let path = temp_path("roundtrip");
+        let n = save_trace(&path, &mut g).unwrap();
+        assert_eq!(n as usize, expect.len());
+        let loaded = load_trace(&path).unwrap();
+        assert_eq!(loaded, expect);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn recorded_trace_replays_identically() {
+        let mut g = Gups::new(
+            GupsConfig {
+                table_bytes: 1 << 18,
+                updates: 500,
+            },
+            9,
+        );
+        let original = record(&mut g);
+        let mut replay = RecordedTrace::new(original.clone());
+        assert_eq!(record(&mut replay), original);
+        assert_eq!(replay.meta().approx_accesses, original.len() as u64);
+        assert!(replay.meta().footprint_bytes > 0);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let path = temp_path("badmagic");
+        std::fs::write(&path, b"NOT A TRACE FILE AT ALL....").unwrap();
+        let err = load_trace(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn truncated_file_rejected() {
+        let mut g = Gups::new(
+            GupsConfig {
+                table_bytes: 1 << 18,
+                updates: 100,
+            },
+            1,
+        );
+        let path = temp_path("truncated");
+        save_trace(&path, &mut g).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+        assert!(load_trace(&path).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn kinds_survive_round_trip() {
+        let trace = vec![
+            Access::load(VirtAddr(0x1000)),
+            Access::store(VirtAddr(0x2000)),
+            Access::store(VirtAddr(0x0000_FFFF_FFFF_F000)),
+        ];
+        let path = temp_path("kinds");
+        let mut w = RecordedTrace::new(trace.clone());
+        save_trace(&path, &mut w).unwrap();
+        assert_eq!(load_trace(&path).unwrap(), trace);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

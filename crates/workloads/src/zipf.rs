@@ -1,0 +1,277 @@
+//! Zipf-distributed hotspot workloads: a locality knob for mosaic pages.
+//!
+//! Mosaic's gains come from *virtual spatial* locality (neighbouring
+//! pages sharing a ToC), which is different from *temporal* popularity.
+//! [`ZipfGups`] separates the two: update keys are Zipf-distributed
+//! (popularity skew), and the `scramble` switch controls whether popular
+//! keys are virtually adjacent (popularity ⇒ spatial locality, the
+//! favourable case for mosaic) or scattered by a random permutation
+//! (pure temporal skew, where mosaic's arity buys little). Neither
+//! configuration exists in the paper; this is the reproduction's own
+//! ablation of *why* Figure 6's GUPS row is the hardest workload.
+
+use crate::layout::{ArrayRegion, VirtualLayout};
+use crate::trace::{Access, Workload, WorkloadMeta};
+use mosaic_hash::SplitMix64;
+
+/// A Zipf(θ) sampler over ranks `0..n` using an exact inverse-CDF table.
+///
+/// Rank `k` is drawn with probability proportional to `1 / (k + 1)^θ`.
+///
+/// # Example
+///
+/// ```
+/// use mosaic_workloads::zipf::ZipfSampler;
+/// use mosaic_hash::SplitMix64;
+///
+/// let z = ZipfSampler::new(1000, 0.99);
+/// let mut rng = SplitMix64::new(1);
+/// assert!(z.sample(&mut rng) < 1000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    /// Cumulative distribution, `cdf[k] = P(rank <= k)`.
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Builds a sampler over `n` ranks with exponent `theta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or `theta` is negative or non-finite.
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n > 0, "need at least one rank");
+        assert!(theta.is_finite() && theta >= 0.0, "theta must be >= 0");
+        let mut cdf = Vec::with_capacity(n as usize);
+        let mut acc = 0.0;
+        for k in 0..n {
+            acc += 1.0 / ((k + 1) as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Self { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn n(&self) -> u64 {
+        self.cdf.len() as u64
+    }
+
+    /// Draws one rank.
+    pub fn sample(&self, rng: &mut SplitMix64) -> u64 {
+        let u = rng.next_f64();
+        self.cdf.partition_point(|&c| c < u) as u64
+    }
+
+    /// The probability of rank `k` (diagnostics).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    pub fn probability(&self, k: u64) -> f64 {
+        let k = k as usize;
+        if k == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[k] - self.cdf[k - 1]
+        }
+    }
+}
+
+/// Configuration for the Zipf hotspot workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ZipfGupsConfig {
+    /// Size of the update table in bytes.
+    pub table_bytes: u64,
+    /// Read-xor-write updates to perform.
+    pub updates: u64,
+    /// Zipf exponent (0 = uniform = classic GUPS; ~0.99 = YCSB-like skew).
+    pub theta: f64,
+    /// When true, popular ranks are scattered across the table by a
+    /// random permutation (temporal skew only); when false, rank k lives
+    /// at element k (popularity implies virtual spatial locality).
+    pub scramble: bool,
+}
+
+/// GUPS with Zipf-distributed keys — see the module docs.
+#[derive(Debug, Clone)]
+pub struct ZipfGups {
+    cfg: ZipfGupsConfig,
+    table: ArrayRegion,
+    sampler: ZipfSampler,
+    /// rank → element index (identity unless scrambled).
+    placement: Vec<u64>,
+    seed: u64,
+}
+
+impl ZipfGups {
+    /// Builds the workload (the CDF and permutation are setup).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table holds fewer than two u64 elements.
+    pub fn new(cfg: ZipfGupsConfig, seed: u64) -> Self {
+        let elems = cfg.table_bytes / 8;
+        assert!(elems >= 2, "table too small");
+        let mut rng = SplitMix64::new(seed);
+        let mut vl = VirtualLayout::new();
+        let table = ArrayRegion::alloc(&mut vl, "zipf_table", 8, elems);
+        let sampler = ZipfSampler::new(elems, cfg.theta);
+        let mut placement: Vec<u64> = (0..elems).collect();
+        if cfg.scramble {
+            rng.shuffle(&mut placement);
+        }
+        Self {
+            cfg,
+            table,
+            sampler,
+            placement,
+            seed: rng.next_u64(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ZipfGupsConfig {
+        &self.cfg
+    }
+}
+
+impl Workload for ZipfGups {
+    fn meta(&self) -> WorkloadMeta {
+        WorkloadMeta {
+            name: "ZipfGUPS",
+            description: "GUPS with Zipf-skewed keys (spatial or scrambled hotspots)",
+            footprint_bytes: self.table.bytes(),
+            approx_accesses: self.cfg.updates * 2 + self.table.pages(),
+        }
+    }
+
+    fn run(&mut self, sink: &mut dyn FnMut(Access)) {
+        self.table.init_stores(sink);
+        let mut rng = SplitMix64::new(self.seed);
+        for _ in 0..self.cfg.updates {
+            let rank = self.sampler.sample(&mut rng);
+            let addr = self.table.at(self.placement[rank as usize]);
+            sink(Access::load(addr));
+            sink(Access::store(addr));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{record, TraceStats};
+
+    #[test]
+    fn sampler_is_a_distribution() {
+        let z = ZipfSampler::new(100, 0.99);
+        let total: f64 = (0..100).map(|k| z.probability(k)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rank_zero_dominates() {
+        let z = ZipfSampler::new(1000, 0.99);
+        let mut rng = SplitMix64::new(3);
+        let mut zero = 0;
+        for _ in 0..10_000 {
+            if z.sample(&mut rng) == 0 {
+                zero += 1;
+            }
+        }
+        // P(0) ≈ 1/H_1000 ≈ 0.13 at theta .99.
+        assert!((800..1800).contains(&zero), "rank 0 drawn {zero}/10000");
+    }
+
+    #[test]
+    fn theta_zero_is_uniform() {
+        let z = ZipfSampler::new(10, 0.0);
+        for k in 0..10 {
+            assert!((z.probability(k) - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn popularity_decays_with_rank() {
+        let z = ZipfSampler::new(1 << 14, 1.0);
+        assert!(z.probability(0) > z.probability(1));
+        assert!(z.probability(1) > z.probability(100));
+        assert!(z.probability(100) > z.probability(10_000));
+        // 1/k law: doubling the rank roughly halves the probability.
+        let ratio = z.probability(10) / z.probability(21);
+        assert!((1.5..2.5).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn spatial_mode_concentrates_pages() {
+        let cfg = ZipfGupsConfig {
+            table_bytes: 4 << 20, // 1024 pages
+            updates: 20_000,
+            theta: 1.4,
+            scramble: false,
+        };
+        let spatial = TraceStats::of(&record(&mut ZipfGups::new(cfg, 7)));
+        let scrambled = TraceStats::of(&record(&mut ZipfGups::new(
+            ZipfGupsConfig {
+                scramble: true,
+                ..cfg
+            },
+            7,
+        )));
+        // Same popularity skew; the update phases touch the same number of
+        // *elements* but spatial placement packs them into fewer pages.
+        // (Init scans touch every page in both, so compare via updates
+        // only: re-record without init by subtracting page count.)
+        assert!(
+            spatial.accesses == scrambled.accesses,
+            "same trace lengths"
+        );
+        // Count distinct update pages directly.
+        let distinct_update_pages = |w: &mut ZipfGups| {
+            let t = record(w);
+            let init = (4 << 20) / 4096;
+            t[init..]
+                .iter()
+                .map(|a| a.addr.vpn())
+                .collect::<std::collections::HashSet<_>>()
+                .len()
+        };
+        let sp = distinct_update_pages(&mut ZipfGups::new(cfg, 7));
+        let sc = distinct_update_pages(&mut ZipfGups::new(
+            ZipfGupsConfig {
+                scramble: true,
+                ..cfg
+            },
+            7,
+        ));
+        assert!(
+            sp * 2 < sc,
+            "spatial hotspots should span far fewer pages: {sp} vs {sc}"
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = ZipfGupsConfig {
+            table_bytes: 1 << 18,
+            updates: 1000,
+            theta: 0.9,
+            scramble: true,
+        };
+        assert_eq!(
+            record(&mut ZipfGups::new(cfg, 1)),
+            record(&mut ZipfGups::new(cfg, 1))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "theta must be >= 0")]
+    fn negative_theta_panics() {
+        ZipfSampler::new(10, -1.0);
+    }
+}

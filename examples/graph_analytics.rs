@@ -1,0 +1,70 @@
+//! Graph analytics (the paper's motivating domain): BFS over a Kronecker
+//! graph, sweeping mosaic arity to show how TLB reach scales.
+//!
+//! ```text
+//! cargo run --release -p mosaic-core --example graph_analytics
+//! ```
+
+use mosaic_core::prelude::*;
+use mosaic_core::sim::report::{humanize, Table};
+
+fn main() {
+    let graph_cfg = Graph500Config {
+        scale: 14, // 16 Ki vertices
+        edgefactor: 16,
+        num_roots: 1,
+    };
+    println!(
+        "Graph500: 2^{} vertices, edgefactor {} — irregular pointer chasing",
+        graph_cfg.scale, graph_cfg.edgefactor
+    );
+
+    let mut table = Table::new(vec![
+        "TLB design".into(),
+        "Misses".into(),
+        "Miss rate".into(),
+        "Reduction vs vanilla".into(),
+    ])
+    .with_title("BFS TLB behaviour, 256-entry 8-way TLB");
+
+    let mut vanilla_misses = None;
+    for arity in [1usize, 4, 8, 16, 32, 64] {
+        let config = MosaicConfig::builder()
+            .tlb_entries(256)
+            .tlb_associativity(Associativity::Ways(8))
+            .arity(arity)
+            .kernel(None)
+            .seed(1)
+            .build();
+        let mut system = MosaicSystem::new(&config);
+        let mut workload = Graph500::new(graph_cfg, 99);
+        let report = system.run(&mut workload);
+
+        // Arity 1 is the vanilla-equivalent baseline row.
+        let (label, misses, rate) = if arity == 1 {
+            vanilla_misses = Some(report.vanilla.misses);
+            (
+                "Vanilla".to_string(),
+                report.vanilla.misses,
+                report.vanilla.miss_rate(),
+            )
+        } else {
+            (
+                format!("Mosaic-{arity}"),
+                report.mosaic.misses,
+                report.mosaic.miss_rate(),
+            )
+        };
+        let reduction = vanilla_misses
+            .map(|v| format!("{:+.1}%", (1.0 - misses as f64 / v as f64) * 100.0))
+            .unwrap_or_default();
+        table.row(vec![
+            label,
+            humanize(misses),
+            format!("{:.2}%", rate * 100.0),
+            reduction,
+        ]);
+    }
+    println!("{}", table.render());
+    println!("Paper (Fig. 6a): arity 4 cuts Graph500 misses substantially; larger\narities approach zero because one entry spans up to 256 KiB of virtual space.");
+}

@@ -1,0 +1,54 @@
+//! Quickstart: build a mosaic system, run a workload, compare TLB misses.
+//!
+//! ```text
+//! cargo run --release -p mosaic-core --example quickstart
+//! ```
+
+use mosaic_core::prelude::*;
+
+fn main() {
+    // A mosaic system with the paper's defaults scaled down: 256-entry
+    // 8-way TLB, arity-4 mosaic pages (four 7-bit CPFNs per entry).
+    let config = MosaicConfig::builder()
+        .tlb_entries(256)
+        .tlb_associativity(Associativity::Ways(8))
+        .arity(4)
+        .kernel(None)
+        .seed(42)
+        .build();
+    let mut system = MosaicSystem::new(&config);
+
+    // A BTree index workload: 60k keys, 20k random point lookups.
+    let mut workload = BTreeWorkload::new(
+        BTreeConfig {
+            num_keys: 60_000,
+            num_lookups: 20_000,
+        },
+        7,
+    );
+    let meta = workload.meta();
+    println!("workload: {meta}");
+
+    let report = system.run(&mut workload);
+    println!(
+        "vanilla TLB: {} accesses, {} misses ({:.2}% miss rate)",
+        report.vanilla.accesses,
+        report.vanilla.misses,
+        report.vanilla.miss_rate() * 100.0
+    );
+    println!(
+        "mosaic  TLB: {} accesses, {} misses ({:.2}% miss rate)",
+        report.mosaic.accesses,
+        report.mosaic.misses,
+        report.mosaic.miss_rate() * 100.0
+    );
+    println!(
+        "mosaic pages reduce TLB misses by {:.1}%",
+        report.miss_reduction_percent()
+    );
+
+    assert!(
+        report.mosaic.misses < report.vanilla.misses,
+        "expected a reduction on a tree-descent workload"
+    );
+}

@@ -1,0 +1,17 @@
+#!/bin/sh
+# Repository inventory: line counts, test counts, deliverable checklist.
+set -e
+cd "$(dirname "$0")"
+echo "== Lines of Rust =="
+find crates tests examples -name '*.rs' | xargs wc -l | tail -1
+echo "== Tests passed (from last test_output.txt) =="
+python3 - <<'PY'
+import re
+s = open('test_output.txt').read()
+print(sum(int(m) for m in re.findall(r'test result: ok\. (\d+) passed', s)), 'tests')
+print('failures:', len(re.findall(r'FAILED', s)))
+PY
+echo "== Experiment regenerators =="
+ls crates/bench/src/bin/
+echo "== Archived results =="
+ls results_*.txt

@@ -1,0 +1,175 @@
+//! Cross-crate integration tests for the reproduction's extension
+//! experiments: fragmentation, cache coloring, coalescing, sharing, and
+//! the Zipf locality knob — the end-to-end paths the extension drivers
+//! exercise.
+
+use mosaic_core::mem::sharing::SharedMosaicMemory;
+use mosaic_core::prelude::*;
+use mosaic_core::sim::dcache::{run_coloring, Placement};
+use mosaic_core::sim::frag::{run_frag, FragConfig};
+use mosaic_core::workloads::{ZipfGups, ZipfGupsConfig};
+
+#[test]
+fn fragmentation_sweep_shape_end_to_end() {
+    let run = |frag: f64| {
+        let mut w = Gups::new(
+            GupsConfig {
+                table_bytes: 3 << 20, // 768 pages > 4x 64-entry reach
+                updates: 60_000,
+            },
+            3,
+        );
+        let mut cfg = FragConfig::new(frag, 9);
+        cfg.tlb_entries = 64;
+        run_frag(&cfg, &mut w)
+    };
+    let clean = run(0.0);
+    let dirty = run(0.5);
+
+    // THP sweeps the table almost for free when every region promotes.
+    assert_eq!(clean.huge_formed, clean.huge_regions);
+    assert!(clean.thp_misses * 5 < clean.vanilla_misses);
+    // Fragmentation takes the promotions away...
+    assert!(dirty.huge_formed < dirty.huge_regions);
+    // ...but cannot touch mosaic.
+    let drift = dirty.mosaic_misses as f64 / clean.mosaic_misses.max(1) as f64;
+    assert!((0.85..1.15).contains(&drift), "mosaic drifted {drift:.2}x");
+}
+
+#[test]
+fn coloring_policies_rank_correctly() {
+    let make = || {
+        Gups::new(
+            GupsConfig {
+                table_bytes: 80 * 4096,
+                updates: 30_000,
+            },
+            5,
+        )
+    };
+    let miss = |p| run_coloring(p, 256 << 10, 4, &mut make(), 3).miss_rate;
+    let colored = miss(Placement::Colored);
+    let bad = miss(Placement::Pathological);
+    let mosaic = miss(Placement::Mosaic);
+    assert!(bad > colored * 2.0, "pathology invisible: {bad} vs {colored}");
+    assert!(
+        mosaic < bad / 2.0,
+        "mosaic should dodge the pathology: {mosaic} vs {bad}"
+    );
+}
+
+#[test]
+fn shared_location_pages_survive_memory_pressure() {
+    // Sharing composes with Horizon LRU: over-commit the pool and verify
+    // shared pages keep resolving consistently across both ASIDs.
+    let layout = MemoryLayout::new(IcebergConfig::paper_default(8)); // 512 frames
+    let mut mm = SharedMosaicMemory::new(layout, 4, 3);
+    let loc = mm.create_location();
+    mm.map(Asid::new(1), 0, loc).unwrap();
+    mm.map(Asid::new(2), 50, loc).unwrap();
+
+    let mut now = 0u64;
+    // Keep the shared mosaic page hot while streaming private pressure.
+    for round in 0..3_000u64 {
+        now += 1;
+        mm.access(Asid::new(1), Vpn::new(round % 4), AccessKind::Store, now);
+        now += 1;
+        mm.access(Asid::new(1), Vpn::new(100 + (round % 700)), AccessKind::Store, now);
+    }
+    for off in 0..4u64 {
+        let a = mm.resident_pfn_of(Asid::new(1), Vpn::new(off));
+        let b = mm.resident_pfn_of(Asid::new(2), Vpn::new(200 + off));
+        assert_eq!(a, b, "offset {off}: bindings diverged under pressure");
+        assert!(a.is_some(), "hot shared page evicted");
+    }
+    assert!(mm.stats().evictions() > 0, "pressure never materialised");
+}
+
+#[test]
+fn zipf_locality_drives_mosaic_gains() {
+    // The locality driver's core claim as a fast test: spatial skew must
+    // beat scrambled skew by a clear margin at the same theta.
+    let run = |scramble: bool| {
+        let config = MosaicConfig::builder()
+            .tlb_entries(128)
+            .arity(4)
+            .kernel(None)
+            .seed(5)
+            .build();
+        let mut w = ZipfGups::new(
+            ZipfGupsConfig {
+                table_bytes: 16 << 20,
+                updates: 300_000,
+                theta: 1.1,
+                scramble,
+            },
+            4,
+        );
+        MosaicSystem::new(&config)
+            .run(&mut w)
+            .miss_reduction_percent()
+    };
+    let spatial = run(false);
+    let scrambled = run(true);
+    assert!(
+        spatial > scrambled + 5.0,
+        "spatial {spatial:.1}% vs scrambled {scrambled:.1}%"
+    );
+}
+
+#[test]
+fn scanner_mode_composes_with_full_system() {
+    use mosaic_core::mem::scanner::ScannerConfig;
+    // Scanner-driven timestamps through a real workload under pressure.
+    let layout = MemoryLayout::new(IcebergConfig::paper_default(16)); // 1024 frames
+    let mut mm = MosaicMemory::with_scanner(
+        layout,
+        7,
+        ScannerConfig {
+            interval: 2_048,
+            ..Default::default()
+        },
+    );
+    let mut w = XsBench::with_footprint(layout.bytes() * 5 / 4, 4_000, 2);
+    let mut now = 0;
+    w.run(&mut |a| {
+        now += 1;
+        mm.access(PageKey::new(Asid::new(1), a.addr.vpn()), a.kind, now);
+    });
+    assert!(mm.scanner().unwrap().stats().scans > 0);
+    assert!(mm.stats().swap_ops() > 0);
+    assert!(mm.resident_frames() <= mm.num_frames());
+}
+
+#[test]
+fn trace_file_round_trip_preserves_tlb_behaviour() {
+    use mosaic_core::workloads::{load_trace, save_trace, RecordedTrace};
+    // Saving and replaying a trace gives identical TLB counts.
+    let mut original = Gups::new(
+        GupsConfig {
+            table_bytes: 1 << 20,
+            updates: 20_000,
+        },
+        8,
+    );
+    let path = std::env::temp_dir().join(format!("mosaic-ext-trace-{}", std::process::id()));
+    save_trace(&path, &mut original).unwrap();
+    let mut replay = RecordedTrace::new(load_trace(&path).unwrap());
+    std::fs::remove_file(&path).unwrap();
+
+    let config = MosaicConfig::builder()
+        .tlb_entries(64)
+        .kernel(None)
+        .seed(1)
+        .build();
+    let direct = MosaicSystem::new(&config).run(&mut Gups::new(
+        GupsConfig {
+            table_bytes: 1 << 20,
+            updates: 20_000,
+        },
+        8,
+    ));
+    let replayed = MosaicSystem::new(&config).run(&mut replay);
+    assert_eq!(direct.vanilla, replayed.vanilla);
+    assert_eq!(direct.mosaic, replayed.mosaic);
+}
