@@ -3,7 +3,7 @@
 //! every experiment's wall-clock.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use mosaic_core::workloads::{standard_suite, Workload};
+use mosaic_core::workloads::standard_suite;
 
 fn bench_generation(c: &mut Criterion) {
     let mut g = c.benchmark_group("workload_generation");

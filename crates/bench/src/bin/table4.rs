@@ -2,20 +2,32 @@
 //! increasing the workload sizes, Linux baseline vs Mosaic (Horizon LRU).
 //!
 //! ```text
-//! table4 [--buckets N] [--csv]
+//! table4 [--buckets N] [--csv] [--fault-ppm N]
 //! ```
 //!
 //! The paper sweeps footprints from 101.5 % to 157.7 % of a 4 GiB pool;
 //! this driver preserves those ratios over a scaled pool (`--buckets`
 //! Iceberg buckets of 64 frames, default 64 = 16 MiB).
+//!
+//! With `--fault-ppm N` the same sweep runs under fault injection
+//! (transient allocation failures, swap-I/O error bursts, and ToC
+//! bit-flips, each at N ppm) and appends the resilience table: faults
+//! injected, retries, backoff, re-walks, dropped accesses, and
+//! structural `verify()` passes.
 
 use mosaic_bench::Args;
+use mosaic_core::prelude::*;
 use mosaic_core::sim::platform::SwapPlatform;
-use mosaic_core::sim::pressure::{render_table4, run_pressure, PressureConfig, PressureWorkload};
+use mosaic_core::sim::pressure::{
+    render_resilience, render_table4, run_pressure, run_pressure_resilient, PressureConfig,
+    PressureWorkload, ResilienceConfig,
+};
 
 fn main() {
     let args = Args::from_env();
     let buckets = args.get_u64("buckets", 64) as usize;
+    // Parsed up front so a malformed value fails before the long sweep.
+    let fault_ppm = args.get_u64("fault-ppm", 0) as u32;
     let cfg = PressureConfig {
         mem_buckets: buckets,
         seed: args.get_u64("seed", 0x7AB1E),
@@ -58,4 +70,31 @@ fn main() {
          row of each workload, because Linux utilizes ~1% more memory), {mid_wins} rows at\n\
          higher footprints where Mosaic matches or beats Linux (paper: up to 29%)."
     );
+
+    if fault_ppm > 0 {
+        let res = ResilienceConfig {
+            plan: FaultPlan::NONE
+                .with_alloc_failures(fault_ppm)
+                .with_io_failures(fault_ppm, 2)
+                .with_toc_flips(fault_ppm),
+            fault_seed: cfg.seed ^ 0xFA17,
+            verify_every: 250_000,
+        };
+        let mut frows = Vec::new();
+        for w in PressureWorkload::ALL {
+            for &ratio in &PressureConfig::paper_ratios() {
+                eprintln!("[table4] {} at ratio {ratio:.3} (faults {fault_ppm} ppm) ...", w.name());
+                match run_pressure_resilient(w, ratio, &cfg, &res) {
+                    Ok(row) => frows.push(row),
+                    Err(e) => eprintln!("[table4] {} aborted: {e}", w.name()),
+                }
+            }
+        }
+        let rt = render_resilience(&frows);
+        if args.has("csv") {
+            println!("{}", rt.render_csv());
+        } else {
+            println!("{}", rt.render());
+        }
+    }
 }

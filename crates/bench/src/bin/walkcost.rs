@@ -46,7 +46,8 @@ fn main() {
 
     // Vanilla: 36-bit VPN space at 9 bits/level (x86). Mosaic: MVPN
     // spaces shrink with arity, walked 10 bits/level as in Figure 5.
-    let configs: Vec<(String, u32, u32, Box<dyn Fn(Vpn) -> u64>)> = vec![
+    type WalkConfig = (String, u32, u32, Box<dyn Fn(Vpn) -> u64>);
+    let configs: Vec<WalkConfig> = vec![
         ("Vanilla (VPN, 36-bit)".into(), 36, 9, Box::new(|v: Vpn| v.0)),
         (
             "Mosaic-4 (MVPN, 34-bit)".into(),

@@ -160,7 +160,7 @@ mod tests {
     #[test]
     fn hash_to_covers_range() {
         let (_, xx) = families();
-        let mut seen = vec![false; 16];
+        let mut seen = [false; 16];
         for key in 0..2000u64 {
             seen[xx.hash_to(key, 0, 16)] = true;
         }

@@ -36,6 +36,8 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Production code returns typed errors; .unwrap() is for tests only.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod config;
 pub mod experiments;
@@ -46,4 +48,4 @@ pub mod table;
 pub use config::IcebergConfig;
 pub use placement::{CandidateSet, SlotRef, Yard};
 pub use stats::OccupancyStats;
-pub use table::{IcebergTable, InsertError, InsertOutcome};
+pub use table::{IcebergTable, InsertError, InsertOutcome, TableInvariantError};

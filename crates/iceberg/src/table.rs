@@ -86,6 +86,25 @@ impl<V> core::fmt::Display for InsertError<V> {
 
 impl<V: core::fmt::Debug> std::error::Error for InsertError<V> {}
 
+/// A structural invariant of the table failed a [`IcebergTable::verify`]
+/// pass: the occupancy accounting or candidate placement no longer matches
+/// the stored entries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableInvariantError {
+    /// Short stable name of the violated invariant.
+    pub invariant: &'static str,
+    /// What was observed.
+    pub detail: String,
+}
+
+impl core::fmt::Display for TableInvariantError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "table invariant `{}` violated: {}", self.invariant, self.detail)
+    }
+}
+
+impl std::error::Error for TableInvariantError {}
+
 /// A stable, low-associativity, high-utilization hash table (§2.3).
 ///
 /// # Example
@@ -312,6 +331,67 @@ impl<K: IcebergKey, V, F: HashFamily> IcebergTable<K, V, F> {
         let back_occupied = self.back.iter().filter(|c| c.is_some()).count();
         OccupancyStats::new(&self.cfg, front_occupied, back_occupied)
     }
+
+    /// Checks the table's structural invariants: the cached length and
+    /// per-bucket backyard occupancy counters match the stored cells, and
+    /// every entry sits inside its key's candidate set (so it remains
+    /// findable and CPFN-encodable). O(slots); intended for fault-injection
+    /// harnesses and debug assertions, not hot paths.
+    pub fn verify(&self) -> Result<(), TableInvariantError> {
+        let front_occupied = self.front.iter().filter(|c| c.is_some()).count();
+        let back_occupied = self.back.iter().filter(|c| c.is_some()).count();
+        if front_occupied + back_occupied != self.len {
+            return Err(TableInvariantError {
+                invariant: "table-len",
+                detail: format!(
+                    "len {} but {} cells occupied",
+                    self.len,
+                    front_occupied + back_occupied
+                ),
+            });
+        }
+        for bucket in 0..self.cfg.num_buckets() {
+            let walked = (0..self.cfg.back_slots())
+                .filter(|&slot| {
+                    self.back[bucket * self.cfg.back_slots() + slot].is_some()
+                })
+                .count();
+            if walked != self.back_occupancy[bucket] as usize {
+                return Err(TableInvariantError {
+                    invariant: "back-occupancy",
+                    detail: format!(
+                        "bucket {bucket}: counter {} vs walk {walked}",
+                        self.back_occupancy[bucket]
+                    ),
+                });
+            }
+        }
+        for (flat, cell) in self.front.iter().chain(self.back.iter()).enumerate() {
+            let Some((key, _)) = cell else { continue };
+            let slot = if flat < self.front.len() {
+                SlotRef {
+                    yard: Yard::Front,
+                    bucket: flat / self.cfg.front_slots(),
+                    slot: flat % self.cfg.front_slots(),
+                }
+            } else {
+                let idx = flat - self.front.len();
+                SlotRef {
+                    yard: Yard::Back,
+                    bucket: idx / self.cfg.back_slots(),
+                    slot: idx % self.cfg.back_slots(),
+                }
+            };
+            let cands = self.candidates(key);
+            if cands.index_of_slot(&self.cfg, slot).is_none() {
+                return Err(TableInvariantError {
+                    invariant: "candidate-placement",
+                    detail: format!("entry at {slot:?} is outside its candidate set"),
+                });
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -503,6 +583,31 @@ mod tests {
             assert_eq!(k, i as u64);
             assert_eq!(v, k + 1);
         }
+    }
+
+    #[test]
+    fn verify_passes_through_churn_and_catches_corruption() {
+        let mut t = table(8);
+        let mut rng = SplitMix64::new(17);
+        for step in 0..5_000u64 {
+            let key = rng.next_below(600);
+            if rng.next_below(3) == 0 {
+                t.remove(&key);
+            } else {
+                let _ = t.insert(key, step);
+            }
+        }
+        t.verify().expect("churned table stays consistent");
+        // Corrupt the length cache; verify must name the invariant.
+        t.len += 1;
+        let err = t.verify().unwrap_err();
+        assert_eq!(err.invariant, "table-len");
+        t.len -= 1;
+        // Corrupt an occupancy counter.
+        t.back_occupancy[0] += 1;
+        let err = t.verify().unwrap_err();
+        assert_eq!(err.invariant, "back-occupancy");
+        assert!(err.to_string().contains("back-occupancy"));
     }
 
     #[test]

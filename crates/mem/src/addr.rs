@@ -175,7 +175,7 @@ mod tests {
     #[test]
     fn virt_addr_decomposition() {
         let va = VirtAddr(0x0000_1234_5678);
-        assert_eq!(va.vpn(), Vpn(0x1234_5));
+        assert_eq!(va.vpn(), Vpn(0x0001_2345));
         assert_eq!(va.page_offset(), 0x678);
         assert_eq!(va.vpn().base(), VirtAddr(0x0000_1234_5000));
     }

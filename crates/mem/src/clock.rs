@@ -11,7 +11,9 @@
 //! Table 4 driver and the ablation bench quantify exactly that gap.
 
 use crate::addr::{PageKey, Pfn};
+use crate::error::{MosaicError, MosaicResult};
 use crate::frame::{FrameEntry, FrameTable};
+use crate::invariants;
 use crate::layout::MemoryLayout;
 use crate::manager::{AccessKind, AccessOutcome, MemoryManager};
 use crate::stats::{PagingStats, UtilizationTracker};
@@ -96,11 +98,11 @@ impl ClockMemory {
         self.inactive.len()
     }
 
-    fn evict(&mut self, victim: PageKey) {
+    fn evict(&mut self, victim: PageKey) -> MosaicResult<()> {
         let pfn = self
             .resident
             .remove(&victim)
-            .expect("reclaim only evicts resident pages");
+            .ok_or(MosaicError::internal("reclaim only evicts resident pages"))?;
         let entry = self.frames.evict(pfn);
         self.lru_state.remove(&victim);
         self.stats.live_evictions += 1;
@@ -114,11 +116,12 @@ impl ClockMemory {
             }
         }
         self.free.push(pfn);
+        Ok(())
     }
 
     /// Demotes unreferenced active pages until the inactive list holds at
     /// least as many pages as the active list (Linux's balancing goal).
-    fn refill_inactive(&mut self) {
+    fn refill_inactive(&mut self) -> MosaicResult<()> {
         let mut scans = self.active.len();
         while self.inactive.len() < self.active.len() && scans > 0 {
             scans -= 1;
@@ -128,7 +131,7 @@ impl ClockMemory {
             let state = self
                 .lru_state
                 .get_mut(&page)
-                .expect("listed pages have state");
+                .ok_or(MosaicError::internal("listed pages have state"))?;
             if state.referenced {
                 // Second chance: clear and rotate to the active tail.
                 state.referenced = false;
@@ -138,23 +141,24 @@ impl ClockMemory {
                 self.inactive.push_back(page);
             }
         }
+        Ok(())
     }
 
     /// kswapd-style shrink: evict from the inactive list (with one second
     /// chance) until free memory recovers to the high watermark.
-    fn reclaim_if_needed(&mut self) {
+    fn reclaim_if_needed(&mut self) -> MosaicResult<()> {
         if self.free.len() >= self.low_watermark {
-            return;
+            return Ok(());
         }
         while self.free.len() < self.high_watermark {
             if self.inactive.is_empty() {
-                self.refill_inactive();
+                self.refill_inactive()?;
             }
             let Some(page) = self.inactive.pop_front() else {
                 // Everything is active and referenced: force-demote.
                 match self.active.pop_front() {
                     Some(p) => {
-                        self.evict(p);
+                        self.evict(p)?;
                         continue;
                     }
                     None => break,
@@ -163,21 +167,27 @@ impl ClockMemory {
             let state = self
                 .lru_state
                 .get_mut(&page)
-                .expect("listed pages have state");
+                .ok_or(MosaicError::internal("listed pages have state"))?;
             if state.referenced {
                 // Referenced while inactive: promote instead of evicting.
                 state.referenced = false;
                 state.active = true;
                 self.active.push_back(page);
             } else {
-                self.evict(page);
+                self.evict(page)?;
             }
         }
+        Ok(())
     }
 }
 
 impl MemoryManager for ClockMemory {
-    fn access(&mut self, key: PageKey, kind: AccessKind, now: u64) -> AccessOutcome {
+    fn try_access(
+        &mut self,
+        key: PageKey,
+        kind: AccessKind,
+        now: u64,
+    ) -> MosaicResult<AccessOutcome> {
         self.stats.accesses += 1;
 
         if let Some(&pfn) = self.resident.get(&key) {
@@ -185,16 +195,18 @@ impl MemoryManager for ClockMemory {
             // Hardware sets the referenced bit; no list movement on access.
             self.lru_state
                 .get_mut(&key)
-                .expect("resident pages have state")
+                .ok_or(MosaicError::internal("resident pages have state"))?
                 .referenced = true;
-            return AccessOutcome::Hit;
+            return Ok(AccessOutcome::Hit);
         }
 
-        self.reclaim_if_needed();
+        self.reclaim_if_needed()?;
         let pfn = self
             .free
             .pop()
-            .expect("reclaim keeps the free list non-empty");
+            .ok_or(MosaicError::internal(
+                "reclaim keeps the free list non-empty",
+            ))?;
         let from_swap = self.swapped.remove(&key);
         self.frames.install(
             pfn,
@@ -214,14 +226,14 @@ impl MemoryManager for ClockMemory {
             },
         );
         self.inactive.push_back(key);
-        if from_swap {
+        Ok(if from_swap {
             self.stats.major_faults += 1;
             self.stats.swapped_in += 1;
             AccessOutcome::MajorFault
         } else {
             self.stats.minor_faults += 1;
             AccessOutcome::MinorFault
-        }
+        })
     }
 
     fn resident_pfn(&self, key: PageKey) -> Option<Pfn> {
@@ -247,6 +259,25 @@ impl MemoryManager for ClockMemory {
     fn sample_utilization(&mut self) {
         let u = self.utilization();
         self.util.sample(u);
+    }
+
+    fn verify(&self) -> MosaicResult<()> {
+        invariants::check_frame_bijection(&self.frames, &self.resident)?;
+        invariants::check_swap_disjoint(&self.resident, &self.swapped)?;
+        invariants::check_free_list_accounting(self.num_frames(), &self.free, &self.frames)?;
+        // The two lists together cover every resident page exactly once.
+        if self.active.len() + self.inactive.len() != self.resident.len() {
+            return Err(MosaicError::invariant(
+                "clock-list-coverage",
+                format!(
+                    "{} active + {} inactive != {} resident",
+                    self.active.len(),
+                    self.inactive.len(),
+                    self.resident.len()
+                ),
+            ));
+        }
+        Ok(())
     }
 }
 

@@ -186,6 +186,46 @@ impl CpfnCodec {
         self.decode_index(cpfn)
             .map(|idx| cands.slot_for_index(&self.cfg, idx))
     }
+
+    /// Non-panicking variant of [`decode_index`](Self::decode_index) for
+    /// possibly-corrupted bits (e.g. a bit-flipped TLB ToC entry):
+    /// `Ok(None)` for the unmapped sentinel, `Err(cpfn)` when the bits are
+    /// not a valid encoding for this geometry.
+    pub fn try_decode_index(&self, cpfn: Cpfn) -> Result<Option<usize>, Cpfn> {
+        if cpfn == self.unmapped() {
+            return Ok(None);
+        }
+        let lead = 1u8 << (self.bits() - 1);
+        if cpfn.0 & lead == 0 {
+            let idx = cpfn.0 as usize;
+            if idx < self.cfg.front_slots() {
+                Ok(Some(idx))
+            } else {
+                Err(cpfn)
+            }
+        } else {
+            let payload = cpfn.0 & !lead;
+            let choice = (payload >> self.slot_bits) as usize;
+            let offset = (payload & ((1 << self.slot_bits) - 1)) as usize;
+            if choice < self.cfg.d_choices() && offset < self.cfg.back_slots() {
+                Ok(Some(self.cfg.front_slots() + choice * self.cfg.back_slots() + offset))
+            } else {
+                Err(cpfn)
+            }
+        }
+    }
+
+    /// Non-panicking variant of [`decode_slot`](Self::decode_slot), with
+    /// the same error convention as [`try_decode_index`](Self::try_decode_index).
+    pub fn try_decode_slot(
+        &self,
+        cands: &CandidateSet,
+        cpfn: Cpfn,
+    ) -> Result<Option<SlotRef>, Cpfn> {
+        Ok(self
+            .try_decode_index(cpfn)?
+            .map(|idx| cands.slot_for_index(&self.cfg, idx)))
+    }
 }
 
 #[cfg(test)]

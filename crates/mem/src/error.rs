@@ -1,0 +1,214 @@
+//! Typed errors for the allocation/eviction/swap pipeline.
+//!
+//! Historically every impossible-or-unlucky condition in the managers was an
+//! `expect`/`panic!`, which made fault-injection experiments abort instead of
+//! measure. [`MosaicError`] gives each failure class its own variant so the
+//! pressure driver can record, retry, or degrade gracefully, and tests can
+//! assert on *which* failure occurred rather than on a panic message.
+
+use std::error::Error;
+use std::fmt;
+
+/// Result alias used throughout the fallible memory-management paths.
+pub type MosaicResult<T> = Result<T, MosaicError>;
+
+/// A typed failure in the memory-management pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MosaicError {
+    /// Every candidate slot of a faulting page is live and the eviction
+    /// fallback could not free one (e.g. the fault injector exhausted the
+    /// allocation retry budget mid-conflict). `load_pct` is the memory
+    /// utilization at the moment of the conflict, the quantity Table 3
+    /// tracks.
+    AssociativityConflict {
+        /// The mosaic virtual page number that could not be placed.
+        mvpn: u64,
+        /// Utilization (occupied/total, in percent) when the conflict hit.
+        load_pct: f64,
+    },
+    /// A swap-device read or write kept failing after bounded retries.
+    SwapIoFailed {
+        /// How many retries were attempted before giving up.
+        retries: u32,
+        /// Whether the failing operation was a swap-out (write) or
+        /// swap-in (read).
+        write: bool,
+    },
+    /// Frame allocation failed transiently and the retry budget ran out
+    /// without the failure being attributable to an associativity conflict.
+    AllocationFailed {
+        /// How many retries were attempted before giving up.
+        retries: u32,
+    },
+    /// A trace file failed to parse. Carries enough context to point at the
+    /// offending byte.
+    TraceCorrupt {
+        /// Path of the trace file (best-effort, for diagnostics).
+        file: String,
+        /// Byte offset at which the corruption was detected.
+        offset: u64,
+        /// Human-readable description of what was wrong.
+        detail: String,
+    },
+    /// A TLB-held ToC entry (a CPFN) disagrees with the page tables — the
+    /// stored compressed frame number no longer names the frame that backs
+    /// the page.
+    TocMismatch {
+        /// The virtual page number whose translation is inconsistent.
+        vpn: u64,
+        /// The CPFN bits the (possibly corrupted) cached entry holds.
+        found: u8,
+        /// The CPFN bits a fresh page-table walk produces, if the page is
+        /// mapped at all.
+        expected: Option<u8>,
+    },
+    /// An internal structural invariant failed a [`verify`] pass.
+    ///
+    /// [`verify`]: crate::manager::MemoryManager::verify
+    InvariantViolation {
+        /// Short stable name of the violated invariant.
+        invariant: &'static str,
+        /// What was observed.
+        detail: String,
+    },
+    /// A "can't happen" internal inconsistency detected on a hot path that
+    /// previously would have been a panic.
+    Internal {
+        /// Where the impossible state was observed.
+        context: &'static str,
+    },
+}
+
+impl MosaicError {
+    /// Shorthand for an [`MosaicError::Internal`] error.
+    pub fn internal(context: &'static str) -> Self {
+        MosaicError::Internal { context }
+    }
+
+    /// Shorthand for an [`MosaicError::InvariantViolation`].
+    pub fn invariant(invariant: &'static str, detail: impl Into<String>) -> Self {
+        MosaicError::InvariantViolation {
+            invariant,
+            detail: detail.into(),
+        }
+    }
+
+    /// Whether retrying the same operation could plausibly succeed
+    /// (transient faults), as opposed to structural corruption.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            MosaicError::SwapIoFailed { .. }
+                | MosaicError::AllocationFailed { .. }
+                | MosaicError::AssociativityConflict { .. }
+        )
+    }
+}
+
+impl fmt::Display for MosaicError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MosaicError::AssociativityConflict { mvpn, load_pct } => write!(
+                f,
+                "associativity conflict: no candidate frame for mvpn {mvpn} at {load_pct:.2}% load"
+            ),
+            MosaicError::SwapIoFailed { retries, write } => write!(
+                f,
+                "swap {} failed after {retries} retries",
+                if *write { "write-back" } else { "read" }
+            ),
+            MosaicError::AllocationFailed { retries } => {
+                write!(f, "frame allocation failed after {retries} retries")
+            }
+            MosaicError::TraceCorrupt { file, offset, detail } => {
+                write!(f, "corrupt trace {file} at byte {offset}: {detail}")
+            }
+            MosaicError::TocMismatch { vpn, found, expected } => match expected {
+                Some(e) => write!(
+                    f,
+                    "ToC mismatch for vpn {vpn}: cached CPFN {found:#04x}, page table says {e:#04x}"
+                ),
+                None => write!(
+                    f,
+                    "ToC mismatch for vpn {vpn}: cached CPFN {found:#04x}, page not mapped"
+                ),
+            },
+            MosaicError::InvariantViolation { invariant, detail } => {
+                write!(f, "invariant `{invariant}` violated: {detail}")
+            }
+            MosaicError::Internal { context } => {
+                write!(f, "internal memory-manager inconsistency: {context}")
+            }
+        }
+    }
+}
+
+impl Error for MosaicError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_failure() {
+        let e = MosaicError::AssociativityConflict {
+            mvpn: 42,
+            load_pct: 98.4,
+        };
+        let s = e.to_string();
+        assert!(s.contains("42") && s.contains("98.4"), "{s}");
+
+        let e = MosaicError::SwapIoFailed {
+            retries: 3,
+            write: true,
+        };
+        assert!(e.to_string().contains("write-back"));
+        let e = MosaicError::SwapIoFailed {
+            retries: 3,
+            write: false,
+        };
+        assert!(e.to_string().contains("read"));
+
+        let e = MosaicError::TraceCorrupt {
+            file: "t.bin".into(),
+            offset: 12,
+            detail: "bad magic".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("t.bin") && s.contains("byte 12") && s.contains("bad magic"));
+    }
+
+    #[test]
+    fn transience_classification() {
+        assert!(MosaicError::AllocationFailed { retries: 2 }.is_transient());
+        assert!(MosaicError::SwapIoFailed {
+            retries: 1,
+            write: false
+        }
+        .is_transient());
+        assert!(!MosaicError::internal("x").is_transient());
+        assert!(!MosaicError::invariant("bijection", "off by one").is_transient());
+    }
+
+    #[test]
+    fn toc_mismatch_display_both_arms() {
+        let e = MosaicError::TocMismatch {
+            vpn: 7,
+            found: 0x1f,
+            expected: Some(0x02),
+        };
+        assert!(e.to_string().contains("page table says"));
+        let e = MosaicError::TocMismatch {
+            vpn: 7,
+            found: 0x1f,
+            expected: None,
+        };
+        assert!(e.to_string().contains("not mapped"));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn Error> = Box::new(MosaicError::internal("slot table"));
+        assert!(e.to_string().contains("slot table"));
+    }
+}

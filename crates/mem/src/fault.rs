@@ -1,0 +1,239 @@
+//! Deterministic fault injection for robustness experiments.
+//!
+//! A [`FaultPlan`] declares *what* can go wrong (probabilities in parts per
+//! million, burst lengths, retry budgets) and a [`FaultInjector`] decides
+//! *when*, from a seedable [`SplitMix64`] stream so any run is exactly
+//! reproducible. Managers consult the injector at the top of each fallible
+//! operation — **before** mutating any state — so an injected failure always
+//! leaves the manager consistent and the operation can be retried or
+//! abandoned cleanly.
+
+use mosaic_hash::SplitMix64;
+
+const PPM_SCALE: u64 = 1_000_000;
+
+/// Declarative description of the faults to inject into a run.
+///
+/// All probabilities are in parts per million of the relevant operation
+/// (an allocation attempt, a swap I/O, a TLB-cached translation use), so a
+/// plan is plain data that serializes into experiment configs naturally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Probability (ppm) that one frame-allocation attempt fails
+    /// transiently, e.g. the free-list CAS loses or the buddy allocator is
+    /// momentarily depleted.
+    pub alloc_fail_ppm: u32,
+    /// Retries the manager may spend per allocation before surfacing
+    /// [`AllocationFailed`](crate::error::MosaicError::AllocationFailed).
+    pub max_alloc_retries: u32,
+    /// Probability (ppm) that a swap-device read/write errors.
+    pub io_fail_ppm: u32,
+    /// Extra consecutive I/O failures after each triggered one: models a
+    /// device brown-out rather than independent bit errors.
+    pub io_burst: u32,
+    /// Retries (with exponential backoff, counted not slept) the manager
+    /// may spend per swap I/O before surfacing
+    /// [`SwapIoFailed`](crate::error::MosaicError::SwapIoFailed).
+    pub max_io_retries: u32,
+    /// Probability (ppm) that the CPFN a TLB ToC entry holds for a hit has
+    /// a flipped bit, forcing detection + page-table re-walk.
+    pub toc_flip_ppm: u32,
+    /// Probability (ppm), evaluated per trace record, that a recorded trace
+    /// is truncated at that record during replay.
+    pub trace_truncate_ppm: u32,
+}
+
+impl FaultPlan {
+    /// The empty plan: no faults, identical behaviour to a run with no
+    /// injector at all.
+    pub const NONE: FaultPlan = FaultPlan {
+        alloc_fail_ppm: 0,
+        max_alloc_retries: 3,
+        io_fail_ppm: 0,
+        io_burst: 0,
+        max_io_retries: 4,
+        toc_flip_ppm: 0,
+        trace_truncate_ppm: 0,
+    };
+
+    /// Whether this plan injects nothing.
+    pub fn is_none(&self) -> bool {
+        self.alloc_fail_ppm == 0
+            && self.io_fail_ppm == 0
+            && self.toc_flip_ppm == 0
+            && self.trace_truncate_ppm == 0
+    }
+
+    /// Plan with a given transient allocation-failure rate.
+    pub fn with_alloc_failures(mut self, ppm: u32) -> Self {
+        self.alloc_fail_ppm = ppm;
+        self
+    }
+
+    /// Plan with a given swap I/O error rate and burst length.
+    pub fn with_io_failures(mut self, ppm: u32, burst: u32) -> Self {
+        self.io_fail_ppm = ppm;
+        self.io_burst = burst;
+        self
+    }
+
+    /// Plan with a given ToC/CPFN bit-flip rate.
+    pub fn with_toc_flips(mut self, ppm: u32) -> Self {
+        self.toc_flip_ppm = ppm;
+        self
+    }
+
+    /// Plan with a given per-record trace-truncation rate.
+    pub fn with_trace_truncation(mut self, ppm: u32) -> Self {
+        self.trace_truncate_ppm = ppm;
+        self
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::NONE
+    }
+}
+
+/// The deterministic fault source: a plan plus a seeded RNG stream.
+///
+/// Two injectors built from the same `(plan, seed)` produce identical
+/// decision sequences; this is what makes fault-injection runs replayable
+/// and is asserted by property tests.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    rng: SplitMix64,
+    /// Remaining forced failures of the current I/O burst.
+    io_burst_left: u32,
+}
+
+impl FaultInjector {
+    /// An injector executing `plan` with decisions drawn from `seed`.
+    pub fn new(plan: FaultPlan, seed: u64) -> Self {
+        Self {
+            plan,
+            rng: SplitMix64::new(seed ^ 0xFA17_1D3C_7015_EED5),
+            io_burst_left: 0,
+        }
+    }
+
+    /// The plan in force.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    fn roll(&mut self, ppm: u32) -> bool {
+        // ppm == 0 never draws, so enabling one fault class does not
+        // perturb the decision stream of a run that exercises another.
+        ppm != 0 && self.rng.next_below(PPM_SCALE) < u64::from(ppm)
+    }
+
+    /// Whether the next frame-allocation attempt fails transiently.
+    pub fn alloc_should_fail(&mut self) -> bool {
+        self.roll(self.plan.alloc_fail_ppm)
+    }
+
+    /// Whether the next swap I/O fails. Honors burst state: once a failure
+    /// triggers, the following `io_burst` calls also fail.
+    pub fn io_should_fail(&mut self) -> bool {
+        if self.io_burst_left > 0 {
+            self.io_burst_left -= 1;
+            return true;
+        }
+        if self.roll(self.plan.io_fail_ppm) {
+            self.io_burst_left = self.plan.io_burst;
+            return true;
+        }
+        false
+    }
+
+    /// Whether the TLB's cached ToC entry for this hit has a flipped bit.
+    pub fn toc_should_flip(&mut self) -> bool {
+        self.roll(self.plan.toc_flip_ppm)
+    }
+
+    /// Whether a trace replay is truncated at the current record.
+    pub fn trace_should_truncate(&mut self) -> bool {
+        self.roll(self.plan.trace_truncate_ppm)
+    }
+
+    /// Flips one uniformly-chosen bit of a `width`-bit stored value,
+    /// modelling a single-event upset in the cached CPFN.
+    pub fn flip_bit(&mut self, raw: u8, width: u32) -> u8 {
+        let width = width.clamp(1, 8);
+        raw ^ (1u8 << self.rng.next_index(width as usize))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_plan_injects_nothing() {
+        let mut inj = FaultInjector::new(FaultPlan::NONE, 1);
+        for _ in 0..10_000 {
+            assert!(!inj.alloc_should_fail());
+            assert!(!inj.io_should_fail());
+            assert!(!inj.toc_should_flip());
+            assert!(!inj.trace_should_truncate());
+        }
+        assert!(FaultPlan::NONE.is_none());
+        assert!(FaultPlan::default().is_none());
+    }
+
+    #[test]
+    fn same_seed_same_decisions() {
+        let plan = FaultPlan::NONE
+            .with_alloc_failures(50_000)
+            .with_io_failures(20_000, 2)
+            .with_toc_flips(10_000);
+        let mut a = FaultInjector::new(plan, 99);
+        let mut b = FaultInjector::new(plan, 99);
+        for _ in 0..50_000 {
+            assert_eq!(a.alloc_should_fail(), b.alloc_should_fail());
+            assert_eq!(a.io_should_fail(), b.io_should_fail());
+            assert_eq!(a.toc_should_flip(), b.toc_should_flip());
+        }
+    }
+
+    #[test]
+    fn rates_are_roughly_honored() {
+        let plan = FaultPlan::NONE.with_alloc_failures(100_000); // 10%
+        let mut inj = FaultInjector::new(plan, 7);
+        let fails = (0..100_000).filter(|_| inj.alloc_should_fail()).count();
+        // 10% +/- 1 percentage point over 100k trials.
+        assert!((9_000..=11_000).contains(&fails), "{fails}");
+    }
+
+    #[test]
+    fn io_bursts_run_their_length() {
+        let plan = FaultPlan::NONE.with_io_failures(1_000, 3);
+        let mut inj = FaultInjector::new(plan, 3);
+        let mut i = 0u64;
+        // Find a triggered failure, then the next 3 calls must also fail.
+        loop {
+            i += 1;
+            assert!(i < 1_000_000, "rate 0.1% never triggered");
+            if inj.io_should_fail() {
+                break;
+            }
+        }
+        for n in 0..3 {
+            assert!(inj.io_should_fail(), "burst ended early at {n}");
+        }
+    }
+
+    #[test]
+    fn bit_flip_changes_exactly_one_in_range_bit() {
+        let mut inj = FaultInjector::new(FaultPlan::NONE, 11);
+        for raw in 0u8..=0x7F {
+            let flipped = inj.flip_bit(raw, 7);
+            let delta = raw ^ flipped;
+            assert_eq!(delta.count_ones(), 1);
+            assert!(delta < 1 << 7, "flip outside the 7-bit field");
+        }
+    }
+}

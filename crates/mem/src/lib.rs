@@ -42,11 +42,16 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Production code returns typed errors; .unwrap() is for tests only.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod addr;
 pub mod clock;
 pub mod cpfn;
+pub mod error;
+pub mod fault;
 pub mod frame;
+pub mod invariants;
 pub mod layout;
 pub mod linux;
 pub mod lru;
@@ -61,19 +66,23 @@ pub mod stats;
 pub mod prelude {
     pub use crate::addr::{Asid, PageKey, Pfn, PhysAddr, VirtAddr, Vpn, PAGE_SHIFT, PAGE_SIZE};
     pub use crate::cpfn::{Cpfn, CpfnCodec};
+    pub use crate::error::{MosaicError, MosaicResult};
+    pub use crate::fault::{FaultInjector, FaultPlan};
     pub use crate::layout::MemoryLayout;
     pub use crate::clock::ClockMemory;
     pub use crate::linux::LinuxMemory;
     pub use crate::manager::{AccessKind, AccessOutcome, MemoryManager};
     pub use crate::mosaic::MosaicMemory;
     pub use crate::policy::MosaicPolicy;
-    pub use crate::stats::PagingStats;
+    pub use crate::stats::{PagingStats, ResilienceStats};
     pub use mosaic_iceberg::IcebergConfig;
 }
 
 pub use addr::{Asid, PageKey, Pfn, PhysAddr, VirtAddr, Vpn, PAGE_SHIFT, PAGE_SIZE};
 pub use mosaic_iceberg::IcebergConfig;
 pub use cpfn::{Cpfn, CpfnCodec};
+pub use error::{MosaicError, MosaicResult};
+pub use fault::{FaultInjector, FaultPlan};
 pub use layout::MemoryLayout;
 pub use clock::ClockMemory;
 pub use linux::LinuxMemory;
@@ -82,4 +91,4 @@ pub use mosaic::MosaicMemory;
 pub use policy::MosaicPolicy;
 pub use scanner::{AccessScanner, ScannerConfig, ScannerStats};
 pub use sharing::SharedMosaicMemory;
-pub use stats::PagingStats;
+pub use stats::{PagingStats, ResilienceStats};

@@ -9,11 +9,14 @@
 //! batched, kswapd-style reclaim that evicts ahead of demand.
 
 use crate::addr::{PageKey, Pfn};
+use crate::error::{MosaicError, MosaicResult};
+use crate::fault::{FaultInjector, FaultPlan};
 use crate::frame::{FrameEntry, FrameTable};
+use crate::invariants;
 use crate::layout::MemoryLayout;
 use crate::lru::LruIndex;
 use crate::manager::{AccessKind, AccessOutcome, MemoryManager};
-use crate::stats::{PagingStats, UtilizationTracker};
+use crate::stats::{PagingStats, ResilienceStats, UtilizationTracker};
 use std::collections::{HashMap, HashSet};
 
 /// Default low watermark: reclaim begins when free frames fall below
@@ -47,6 +50,10 @@ pub struct LinuxMemory {
     swapped: HashSet<PageKey>,
     low_watermark: usize,
     high_watermark: usize,
+    /// When present, injects deterministic swap I/O (and allocation)
+    /// faults, mirroring the Mosaic manager's robustness harness.
+    fault: Option<FaultInjector>,
+    resilience: ResilienceStats,
     stats: PagingStats,
     util: UtilizationTracker,
 }
@@ -78,9 +85,24 @@ impl LinuxMemory {
             swapped: HashSet::new(),
             low_watermark: low,
             high_watermark: high,
+            fault: None,
+            resilience: ResilienceStats::new(),
             stats: PagingStats::new(),
             util: UtilizationTracker::new(),
         }
+    }
+
+    /// Attaches a deterministic fault injector executing `plan`, seeded by
+    /// `seed`. With [`FaultPlan::NONE`] this is behaviorally identical to
+    /// not attaching one.
+    pub fn with_fault_injector(mut self, plan: FaultPlan, seed: u64) -> Self {
+        self.fault = Some(FaultInjector::new(plan, seed));
+        self
+    }
+
+    /// The fault injector, if one is attached.
+    pub fn fault_injector(&self) -> Option<&FaultInjector> {
+        self.fault.as_ref()
     }
 
     /// The memory layout.
@@ -98,15 +120,51 @@ impl LinuxMemory {
         self.low_watermark
     }
 
-    fn evict_lru_page(&mut self) {
+    /// One (simulated) swap-device transfer, absorbing injected errors
+    /// with bounded retries and counted exponential backoff.
+    fn swap_io(&mut self, write: bool) -> MosaicResult<()> {
+        let Some(max) = self.fault.as_ref().map(|i| i.plan().max_io_retries) else {
+            return Ok(());
+        };
+        let mut retries = 0u32;
+        loop {
+            let failed = self.fault.as_mut().is_some_and(|i| i.io_should_fail());
+            if !failed {
+                return Ok(());
+            }
+            self.resilience.io_faults_injected += 1;
+            if retries >= max {
+                self.resilience.io_failures += 1;
+                return Err(MosaicError::SwapIoFailed { retries, write });
+            }
+            retries += 1;
+            self.resilience.io_retries += 1;
+            self.resilience.io_backoff_ticks += 1u64 << retries.min(16);
+        }
+    }
+
+    fn evict_lru_page(&mut self) -> MosaicResult<()> {
         let (victim, _) = self
             .lru
-            .pop_oldest()
-            .expect("reclaim with no resident pages");
+            .peek_oldest()
+            .ok_or(MosaicError::internal("reclaim with no resident pages"))?;
         let pfn = self
             .resident
-            .remove(&victim)
-            .expect("LRU tracks only resident pages");
+            .get(&victim)
+            .copied()
+            .ok_or(MosaicError::internal("LRU tracks only resident pages"))?;
+        // The write-back (which may fail) comes before any teardown, so an
+        // I/O error leaves the victim resident and reclaim retryable.
+        let needs_writeback = self
+            .frames
+            .entry(pfn)
+            .ok_or(MosaicError::internal("resident page has no frame entry"))?
+            .eviction_needs_writeback();
+        if needs_writeback {
+            self.swap_io(true)?;
+        }
+        self.lru.remove(&victim);
+        self.resident.remove(&victim);
         let entry = self.frames.evict(pfn);
         debug_assert_eq!(entry.key, victim);
         self.stats.live_evictions += 1;
@@ -120,36 +178,64 @@ impl LinuxMemory {
             }
         }
         self.free.push(pfn);
+        Ok(())
     }
 
     /// kswapd-style reclaim: once free memory dips below the low watermark,
-    /// evict LRU pages until it recovers to the high watermark.
-    fn reclaim_if_needed(&mut self) {
+    /// evict LRU pages until it recovers to the high watermark. Degrades
+    /// gracefully under injected I/O failure: reclaim stops early rather
+    /// than aborting, as long as at least one frame is free for the
+    /// current allocation.
+    fn reclaim_if_needed(&mut self) -> MosaicResult<()> {
         if self.free.len() >= self.low_watermark {
-            return;
+            return Ok(());
         }
         while self.free.len() < self.high_watermark && !self.lru.is_empty() {
-            self.evict_lru_page();
+            if let Err(e) = self.evict_lru_page() {
+                // Batched reclaim is opportunistic; only a fully-exhausted
+                // free list makes the failure fatal for this access.
+                if self.free.is_empty() {
+                    return Err(e);
+                }
+                return Ok(());
+            }
         }
+        Ok(())
     }
 }
 
 impl MemoryManager for LinuxMemory {
-    fn access(&mut self, key: PageKey, kind: AccessKind, now: u64) -> AccessOutcome {
+    fn try_access(
+        &mut self,
+        key: PageKey,
+        kind: AccessKind,
+        now: u64,
+    ) -> MosaicResult<AccessOutcome> {
         self.stats.accesses += 1;
 
         if let Some(&pfn) = self.resident.get(&key) {
             self.frames.touch(pfn, now, kind.is_write());
             self.lru.touch(key, now);
-            return AccessOutcome::Hit;
+            return Ok(AccessOutcome::Hit);
         }
 
-        self.reclaim_if_needed();
+        self.reclaim_if_needed()?;
         let pfn = self
             .free
             .pop()
-            .expect("reclaim keeps the free list non-empty");
-        let from_swap = self.swapped.remove(&key);
+            .ok_or(MosaicError::internal(
+                "reclaim keeps the free list non-empty",
+            ))?;
+        let from_swap = self.swapped.contains(&key);
+        if from_swap {
+            // The swap-in read; a persistent failure returns the frame to
+            // the free list and leaves the page on swap, retryable.
+            if let Err(e) = self.swap_io(false) {
+                self.free.push(pfn);
+                return Err(e);
+            }
+            self.swapped.remove(&key);
+        }
         self.frames.install(
             pfn,
             FrameEntry {
@@ -161,14 +247,14 @@ impl MemoryManager for LinuxMemory {
         );
         self.resident.insert(key, pfn);
         self.lru.touch(key, now);
-        if from_swap {
+        Ok(if from_swap {
             self.stats.major_faults += 1;
             self.stats.swapped_in += 1;
             AccessOutcome::MajorFault
         } else {
             self.stats.minor_faults += 1;
             AccessOutcome::MinorFault
-        }
+        })
     }
 
     fn resident_pfn(&self, key: PageKey) -> Option<Pfn> {
@@ -194,6 +280,21 @@ impl MemoryManager for LinuxMemory {
     fn sample_utilization(&mut self) {
         let u = self.utilization();
         self.util.sample(u);
+    }
+
+    fn resilience(&self) -> &ResilienceStats {
+        &self.resilience
+    }
+
+    fn verify(&self) -> MosaicResult<()> {
+        invariants::check_frame_bijection(&self.frames, &self.resident)?;
+        invariants::check_swap_disjoint(&self.resident, &self.swapped)?;
+        invariants::check_lru_tracks_resident(
+            self.lru.len(),
+            |k| self.lru.contains(k),
+            &self.resident,
+        )?;
+        invariants::check_free_list_accounting(self.num_frames(), &self.free, &self.frames)
     }
 }
 
@@ -315,7 +416,7 @@ mod tests {
             }
             let util = mm.utilization();
             assert!(
-                util >= 0.985 && util <= 1.0,
+                (0.985..=1.0).contains(&util),
                 "round {round}: utilization {util}"
             );
         }

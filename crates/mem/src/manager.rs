@@ -6,7 +6,8 @@
 //! reference stream through either.
 
 use crate::addr::{PageKey, Pfn};
-use crate::stats::{PagingStats, UtilizationTracker};
+use crate::error::MosaicResult;
+use crate::stats::{PagingStats, ResilienceStats, UtilizationTracker};
 
 /// Whether an access reads or writes the page (drives dirty tracking and
 /// therefore swap-out accounting).
@@ -51,7 +52,22 @@ pub trait MemoryManager {
     /// Ensures `key` is resident (faulting and evicting as needed) and
     /// records an access at time `now`. `now` must be non-decreasing across
     /// calls.
-    fn access(&mut self, key: PageKey, kind: AccessKind, now: u64) -> AccessOutcome;
+    ///
+    /// Fails only when the manager's fault injector exhausts a retry budget
+    /// (or, defensively, on internal corruption); a failed access leaves the
+    /// manager consistent — the page is simply not mapped in, and the same
+    /// access may be retried later. Without an injector this never fails.
+    fn try_access(&mut self, key: PageKey, kind: AccessKind, now: u64)
+        -> MosaicResult<AccessOutcome>;
+
+    /// Infallible convenience wrapper over [`try_access`](Self::try_access)
+    /// for fault-free runs; panics on the (injected-fault-only) error path.
+    fn access(&mut self, key: PageKey, kind: AccessKind, now: u64) -> AccessOutcome {
+        match self.try_access(key, kind, now) {
+            Ok(outcome) => outcome,
+            Err(e) => panic!("unrecoverable memory fault: {e}"),
+        }
+    }
 
     /// The frame currently backing `key`, if resident.
     fn resident_pfn(&self, key: PageKey) -> Option<Pfn>;
@@ -62,13 +78,32 @@ pub trait MemoryManager {
     /// Frames currently occupied (live or ghost).
     fn resident_frames(&self) -> usize;
 
-    /// Occupied / total, the utilization metric of Table 3.
+    /// Occupied / total, the utilization metric of Table 3. A zero-frame
+    /// manager is vacuously fully utilized rather than NaN.
     fn utilization(&self) -> f64 {
-        self.resident_frames() as f64 / self.num_frames() as f64
+        if self.num_frames() == 0 {
+            1.0
+        } else {
+            self.resident_frames() as f64 / self.num_frames() as f64
+        }
     }
 
     /// Paging counters accumulated so far.
     fn stats(&self) -> &PagingStats;
+
+    /// Fault-injection and recovery counters. All-zero for managers without
+    /// an injector (the default).
+    fn resilience(&self) -> &ResilienceStats {
+        &ResilienceStats::ZERO
+    }
+
+    /// Checks the manager's internal structural invariants (frame-ownership
+    /// bijection, accounting consistency, horizon monotonicity where
+    /// applicable). The pressure driver calls this at configurable
+    /// intervals during fault-injection runs. The default does nothing.
+    fn verify(&self) -> MosaicResult<()> {
+        Ok(())
+    }
 
     /// Utilization milestones (first conflict, steady-state samples).
     fn utilization_tracker(&self) -> &UtilizationTracker;

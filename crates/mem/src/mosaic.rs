@@ -11,13 +11,16 @@
 
 use crate::addr::{PageKey, Pfn};
 use crate::cpfn::{Cpfn, CpfnCodec};
+use crate::error::{MosaicError, MosaicResult};
+use crate::fault::{FaultInjector, FaultPlan};
 use crate::frame::{FrameEntry, FrameTable};
+use crate::invariants;
 use crate::layout::MemoryLayout;
 use crate::lru::LruIndex;
 use crate::manager::{AccessKind, AccessOutcome, MemoryManager};
 use crate::policy::MosaicPolicy;
 use crate::scanner::{AccessScanner, ScannerConfig};
-use crate::stats::{PagingStats, UtilizationTracker};
+use crate::stats::{PagingStats, ResilienceStats, UtilizationTracker};
 use mosaic_hash::XxFamily;
 use mosaic_iceberg::{CandidateSet, Yard};
 use std::collections::{HashMap, HashSet};
@@ -57,6 +60,10 @@ pub struct MosaicMemory {
     /// When present, timestamps come from the §3.2 scanning daemon rather
     /// than being exact.
     scanner: Option<AccessScanner>,
+    /// When present, injects deterministic faults into allocation, swap
+    /// I/O, and cached translations (robustness experiments).
+    fault: Option<FaultInjector>,
+    resilience: ResilienceStats,
     stats: PagingStats,
     util: UtilizationTracker,
 }
@@ -83,9 +90,24 @@ impl MosaicMemory {
             global_lru: LruIndex::new(),
             live_budget,
             scanner: None,
+            fault: None,
+            resilience: ResilienceStats::new(),
             stats: PagingStats::new(),
             util: UtilizationTracker::new(),
         }
+    }
+
+    /// Attaches a deterministic fault injector executing `plan`, seeded by
+    /// `seed`. With [`FaultPlan::NONE`] this is behaviorally identical to
+    /// not attaching one.
+    pub fn with_fault_injector(mut self, plan: FaultPlan, seed: u64) -> Self {
+        self.fault = Some(FaultInjector::new(plan, seed));
+        self
+    }
+
+    /// The fault injector, if one is attached.
+    pub fn fault_injector(&self) -> Option<&FaultInjector> {
+        self.fault.as_ref()
     }
 
     /// Creates a manager whose access timestamps are produced by the
@@ -136,6 +158,12 @@ impl MosaicMemory {
         CandidateSet::compute(&self.family, self.layout().config(), key.hash_key())
     }
 
+    /// Iterates over all resident pages and their frames (inspection; the
+    /// order is unspecified).
+    pub fn resident_pages(&self) -> impl Iterator<Item = (PageKey, Pfn)> + '_ {
+        self.resident.iter().map(|(&k, &p)| (k, p))
+    }
+
     /// The CPFN encoding of `key`'s current frame, if resident.
     ///
     /// This is the value a Mosaic page-table leaf (and hence a TLB ToC
@@ -147,9 +175,121 @@ impl MosaicMemory {
         Some(self.codec.encode_slot(&cands, slot))
     }
 
+    /// Performs one (simulated) swap-device transfer, absorbing injected
+    /// errors with bounded retries and exponential backoff. The backoff is
+    /// counted in abstract ticks rather than slept.
+    fn swap_io(&mut self, write: bool) -> MosaicResult<()> {
+        let Some(max) = self.fault.as_ref().map(|i| i.plan().max_io_retries) else {
+            return Ok(());
+        };
+        let mut retries = 0u32;
+        loop {
+            let failed = self.fault.as_mut().is_some_and(|i| i.io_should_fail());
+            if !failed {
+                return Ok(());
+            }
+            self.resilience.io_faults_injected += 1;
+            if retries >= max {
+                self.resilience.io_failures += 1;
+                return Err(MosaicError::SwapIoFailed { retries, write });
+            }
+            retries += 1;
+            self.resilience.io_retries += 1;
+            self.resilience.io_backoff_ticks += 1u64 << retries.min(16);
+        }
+    }
+
+    /// Whether every candidate slot of `cands` holds a live page — the
+    /// associativity-conflict predicate of Figure 3.
+    fn candidates_fully_live(&self, cands: &CandidateSet) -> bool {
+        let cfg = *self.layout().config();
+        self.frames.front_free_slot(cands.front_bucket).is_none()
+            && self
+                .frames
+                .oldest_ghost_slot(cands.front_bucket, Yard::Front, self.horizon)
+                .is_none()
+            && cands
+                .back_buckets
+                .iter()
+                .all(|&b| self.frames.back_live_count(b, self.horizon) >= cfg.back_slots())
+    }
+
+    /// Gate at the top of every allocation: absorbs injected transient
+    /// failures with bounded retries, classifying an exhausted budget as an
+    /// associativity conflict when the page's candidate set is fully live.
+    fn alloc_gate(&mut self, key: PageKey) -> MosaicResult<()> {
+        let Some(max) = self.fault.as_ref().map(|i| i.plan().max_alloc_retries) else {
+            return Ok(());
+        };
+        let mut attempts = 0u32;
+        loop {
+            let failed = self.fault.as_mut().is_some_and(|i| i.alloc_should_fail());
+            if !failed {
+                return Ok(());
+            }
+            self.resilience.alloc_faults_injected += 1;
+            if attempts >= max {
+                self.resilience.alloc_failures += 1;
+                let cands = self.candidates(key);
+                return Err(if self.candidates_fully_live(&cands) {
+                    MosaicError::AssociativityConflict {
+                        mvpn: key.vpn.0,
+                        load_pct: self.utilization() * 100.0,
+                    }
+                } else {
+                    MosaicError::AllocationFailed { retries: max }
+                });
+            }
+            attempts += 1;
+            self.resilience.alloc_retries += 1;
+        }
+    }
+
+    /// Models a single-event upset in the CPFN a TLB ToC entry caches for a
+    /// hit: flips one bit of the true encoding, detects the corruption
+    /// (the flipped value decodes to a different — or no — candidate slot,
+    /// never to a frame owning `key`), and recovers by a page-table
+    /// re-walk, which in this model is the resident map itself.
+    fn maybe_corrupt_translation(&mut self, key: PageKey, pfn: Pfn) {
+        let flipped = self.fault.as_mut().is_some_and(|i| i.toc_should_flip());
+        if !flipped {
+            return;
+        }
+        self.resilience.toc_flips_injected += 1;
+        let cands = self.candidates(key);
+        let slot = self.layout().slot_of_pfn(pfn);
+        let cpfn = self.codec.encode_slot(&cands, slot);
+        let bits = self.codec.bits();
+        let Some(corrupt) = self.fault.as_mut().map(|i| Cpfn(i.flip_bit(cpfn.0, bits))) else {
+            return;
+        };
+        let detected = match self.codec.try_decode_slot(&cands, corrupt) {
+            // Not a valid encoding, or the unmapped sentinel: obviously bad.
+            Err(_) | Ok(None) => true,
+            // Decodes, but to a slot that does not hold this page. (A flip
+            // in the choice field can alias the same physical slot when the
+            // hash picked duplicate backyard buckets; such a flip is benign
+            // and genuinely undetectable.)
+            Ok(Some(s)) => self.frames.slot_entry(s).is_none_or(|e| e.key != key),
+        };
+        if detected {
+            self.resilience.toc_rewalks += 1;
+        }
+    }
+
     /// Evicts the page in `pfn`, doing swap-I/O accounting, and returns the
-    /// now-free frame.
-    fn evict_frame(&mut self, pfn: Pfn) -> Pfn {
+    /// now-free frame. A failed write-back leaves the page resident.
+    fn evict_frame(&mut self, pfn: Pfn) -> MosaicResult<Pfn> {
+        let needs_writeback = self
+            .frames
+            .entry(pfn)
+            .ok_or(MosaicError::internal("evicting an unoccupied frame"))?
+            .eviction_needs_writeback();
+        // The swap write happens (and may fail) before the frame is torn
+        // down, so an I/O error aborts the eviction with the page intact.
+        if needs_writeback {
+            self.swap_io(true)?;
+        }
         let entry = self.frames.evict(pfn);
         self.resident.remove(&entry.key);
         self.global_lru.remove(&entry.key);
@@ -173,7 +313,7 @@ impl MosaicMemory {
             // Otherwise the page was never written: it is all zeros and
             // simply reverts to untouched (next access is a minor fault).
         }
-        pfn
+        Ok(pfn)
     }
 
     /// Runs the scanning daemon when its interval has elapsed.
@@ -186,8 +326,12 @@ impl MosaicMemory {
     }
 
     /// Finds (or makes) a frame for `key` per the Iceberg + Horizon LRU
-    /// policy, evicting if necessary.
-    fn allocate_frame(&mut self, key: PageKey, _now: u64) -> Pfn {
+    /// policy, evicting if necessary. Fails only on injected faults that
+    /// outlast their retry budget; no state is mutated past the point of
+    /// failure, so the same fault may simply be re-taken later.
+    fn allocate_frame(&mut self, key: PageKey, _now: u64) -> MosaicResult<Pfn> {
+        self.alloc_gate(key)?;
+
         // Prior-work policy: hold live pages below (1 - δ)p by evicting
         // the *global* LRU page at capacity, so candidate slots are
         // (w.h.p.) never all full.
@@ -197,9 +341,13 @@ impl MosaicMemory {
             let (victim, _) = self
                 .global_lru
                 .peek_oldest()
-                .expect("resident pages are LRU-tracked");
-            let pfn = self.resident[&victim];
-            self.evict_frame(pfn);
+                .ok_or(MosaicError::internal("resident pages are LRU-tracked"))?;
+            let pfn = self
+                .resident
+                .get(&victim)
+                .copied()
+                .ok_or(MosaicError::internal("LRU victim is not resident"))?;
+            self.evict_frame(pfn)?;
         }
 
         let cands = self.candidates(key);
@@ -207,7 +355,7 @@ impl MosaicMemory {
 
         // 1. Free front-yard slot.
         if let Some(slot) = self.frames.front_free_slot(cands.front_bucket) {
-            return self.layout().pfn_of_slot(slot);
+            return Ok(self.layout().pfn_of_slot(slot));
         }
         // 2. Ghost in the front yard: actually evict it, reuse its slot.
         if let Some(slot) =
@@ -223,20 +371,23 @@ impl MosaicMemory {
             .iter()
             .copied()
             .min_by_key(|&b| self.frames.back_live_count(b, self.horizon))
-            .expect("d_choices >= 1");
+            .ok_or(MosaicError::internal("d_choices >= 1"))?;
         if self.frames.back_live_count(emptiest, self.horizon) < cfg.back_slots() {
             if let Some(slot) = self.frames.back_free_slot(emptiest) {
-                return self.layout().pfn_of_slot(slot);
+                return Ok(self.layout().pfn_of_slot(slot));
             }
             let slot = self
                 .frames
                 .oldest_ghost_slot(emptiest, Yard::Back, self.horizon)
-                .expect("live count below capacity implies a free or ghost slot");
+                .ok_or(MosaicError::internal(
+                    "live count below capacity implies a free or ghost slot",
+                ))?;
             let pfn = self.layout().pfn_of_slot(slot);
             return self.evict_frame(pfn);
         }
 
-        // 4. Associativity conflict: every candidate slot is live.
+        // 4. Associativity conflict: every candidate slot is live. Fall
+        // back to evicting the LRU candidate instead of aborting.
         self.stats.conflicts += 1;
         if self.stats.conflicts == 1 {
             self.util.record_first_conflict(self.utilization());
@@ -244,27 +395,36 @@ impl MosaicMemory {
         let (victim_slot, victim_ts) = self
             .frames
             .lru_candidate(&cands)
-            .expect("conflict implies every candidate slot is occupied");
+            .ok_or(MosaicError::internal(
+                "conflict implies every candidate slot is occupied",
+            ))?;
         let pfn = self.layout().pfn_of_slot(victim_slot);
-        let freed = self.evict_frame(pfn);
+        let freed = self.evict_frame(pfn)?;
         if self.policy.uses_ghosts() {
             // Raise the horizon: a global LRU would have evicted
             // everything at least as old as the victim by now.
             self.horizon = self.horizon.max(victim_ts);
         }
-        freed
+        Ok(freed)
     }
 }
 
 impl MemoryManager for MosaicMemory {
-    fn access(&mut self, key: PageKey, kind: AccessKind, now: u64) -> AccessOutcome {
+    fn try_access(
+        &mut self,
+        key: PageKey,
+        kind: AccessKind,
+        now: u64,
+    ) -> MosaicResult<AccessOutcome> {
         self.stats.accesses += 1;
 
         if let Some(&pfn) = self.resident.get(&key) {
             let was_ghost = self
                 .frames
                 .entry(pfn)
-                .expect("resident map points at occupied frame")
+                .ok_or(MosaicError::internal(
+                    "resident map points at unoccupied frame",
+                ))?
                 .is_ghost(self.horizon);
             match self.scanner.as_mut() {
                 Some(sc) => {
@@ -281,15 +441,25 @@ impl MemoryManager for MosaicMemory {
                 self.global_lru.touch(key, now);
             }
             self.run_scanner_if_due(now);
-            return if was_ghost {
+            if self.fault.is_some() {
+                self.maybe_corrupt_translation(key, pfn);
+            }
+            return Ok(if was_ghost {
                 AccessOutcome::GhostHit
             } else {
                 AccessOutcome::Hit
-            };
+            });
         }
 
-        let from_swap = self.swapped.remove(&key);
-        let pfn = self.allocate_frame(key, now);
+        let from_swap = self.swapped.contains(&key);
+        let pfn = self.allocate_frame(key, now)?;
+        if from_swap {
+            // The swap-in read; if it fails for good the page stays on the
+            // swap device and the freed frame stays free — consistent, and
+            // the access can be retried.
+            self.swap_io(false)?;
+            self.swapped.remove(&key);
+        }
         let entry = FrameEntry {
             key,
             last_access: now,
@@ -307,14 +477,14 @@ impl MemoryManager for MosaicMemory {
             self.global_lru.touch(key, now);
         }
         self.run_scanner_if_due(now);
-        if from_swap {
+        Ok(if from_swap {
             self.stats.major_faults += 1;
             self.stats.swapped_in += 1;
             AccessOutcome::MajorFault
         } else {
             self.stats.minor_faults += 1;
             AccessOutcome::MinorFault
-        }
+        })
     }
 
     fn resident_pfn(&self, key: PageKey) -> Option<Pfn> {
@@ -340,6 +510,36 @@ impl MemoryManager for MosaicMemory {
     fn sample_utilization(&mut self) {
         let u = self.utilization();
         self.util.sample(u);
+    }
+
+    fn resilience(&self) -> &ResilienceStats {
+        &self.resilience
+    }
+
+    fn verify(&self) -> MosaicResult<()> {
+        invariants::check_frame_bijection(&self.frames, &self.resident)?;
+        invariants::check_swap_disjoint(&self.resident, &self.swapped)?;
+        invariants::check_ghost_census(&self.frames, self.horizon)?;
+        if matches!(self.policy, MosaicPolicy::ReservedCapacity { .. }) {
+            invariants::check_lru_tracks_resident(
+                self.global_lru.len(),
+                |k| self.global_lru.contains(k),
+                &self.resident,
+            )?;
+        }
+        // Placement: every resident page sits inside its candidate set,
+        // so every CPFN stays decodable.
+        let cfg = *self.layout().config();
+        for (pfn, entry) in self.frames.iter_resident() {
+            let slot = self.layout().slot_of_pfn(pfn);
+            if self.candidates(entry.key).index_of_slot(&cfg, slot).is_none() {
+                return Err(MosaicError::invariant(
+                    "candidate-placement",
+                    format!("{:?} at {pfn:?} is outside its candidate set", entry.key),
+                ));
+            }
+        }
+        Ok(())
     }
 }
 

@@ -190,6 +190,29 @@ impl SharedMosaicMemory {
             .access(Self::location_key(loc, offset), kind, now)
     }
 
+    /// Fallible variant of [`access`](Self::access): propagates typed
+    /// errors from the underlying manager (only possible when it carries a
+    /// fault injector) instead of panicking.
+    pub fn try_access(
+        &mut self,
+        asid: Asid,
+        vpn: Vpn,
+        kind: AccessKind,
+        now: u64,
+    ) -> crate::error::MosaicResult<AccessOutcome> {
+        let (mpage, offset) = self.split(vpn);
+        let loc = match self.binding(asid, mpage) {
+            Some(loc) => loc,
+            None => {
+                let loc = self.create_location();
+                self.bindings.insert((asid, mpage), loc);
+                loc
+            }
+        };
+        self.inner
+            .try_access(Self::location_key(loc, offset), kind, now)
+    }
+
     /// The frame backing `(asid, vpn)`, if its page is resident.
     pub fn resident_pfn_of(&self, asid: Asid, vpn: Vpn) -> Option<Pfn> {
         let (mpage, offset) = self.split(vpn);

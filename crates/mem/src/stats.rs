@@ -50,6 +50,125 @@ impl PagingStats {
     pub fn evictions(&self) -> u64 {
         self.ghost_evictions + self.live_evictions
     }
+
+    /// Faults per access, `0.0` for an empty stream (no accesses yet).
+    pub fn fault_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.faults() as f64 / self.accesses as f64
+        }
+    }
+
+    /// Swap I/O operations per access, `0.0` for an empty stream.
+    pub fn swap_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.swap_ops() as f64 / self.accesses as f64
+        }
+    }
+}
+
+/// Counters for injected faults and the manager's recovery work.
+///
+/// Populated only when a manager carries a
+/// [`FaultInjector`](crate::fault::FaultInjector); a fault-free run leaves
+/// every field zero. Reported alongside [`PagingStats`] by the resilience
+/// table of the pressure experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ResilienceStats {
+    /// Transient allocation failures the injector produced.
+    pub alloc_faults_injected: u64,
+    /// Allocation attempts repeated after a transient failure.
+    pub alloc_retries: u64,
+    /// Allocations abandoned after exhausting the retry budget (each
+    /// surfaced as a typed error to the driver).
+    pub alloc_failures: u64,
+    /// Swap I/O errors the injector produced (including burst members).
+    pub io_faults_injected: u64,
+    /// Swap I/O operations repeated after an error.
+    pub io_retries: u64,
+    /// Simulated exponential-backoff delay accumulated across I/O retries,
+    /// in abstract ticks (doubling per consecutive retry).
+    pub io_backoff_ticks: u64,
+    /// Swap I/Os abandoned after exhausting the retry budget.
+    pub io_failures: u64,
+    /// Bit-flips injected into TLB-cached ToC entries (CPFNs).
+    pub toc_flips_injected: u64,
+    /// Corrupted translations recovered by a page-table re-walk.
+    pub toc_rewalks: u64,
+}
+
+impl ResilienceStats {
+    /// The all-zero counters, usable in `const` position.
+    pub const ZERO: ResilienceStats = ResilienceStats {
+        alloc_faults_injected: 0,
+        alloc_retries: 0,
+        alloc_failures: 0,
+        io_faults_injected: 0,
+        io_retries: 0,
+        io_backoff_ticks: 0,
+        io_failures: 0,
+        toc_flips_injected: 0,
+        toc_rewalks: 0,
+    };
+
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::ZERO
+    }
+
+    /// Total faults injected across all classes.
+    pub fn faults_injected(&self) -> u64 {
+        self.alloc_faults_injected + self.io_faults_injected + self.toc_flips_injected
+    }
+
+    /// Total retry attempts spent absorbing transient faults.
+    pub fn retries(&self) -> u64 {
+        self.alloc_retries + self.io_retries
+    }
+
+    /// Faults recovered without surfacing an error: retried-past transient
+    /// failures plus re-walked ToC corruptions.
+    pub fn recoveries(&self) -> u64 {
+        self.alloc_retries + self.io_retries + self.toc_rewalks
+    }
+
+    /// Faults that exhausted their budget and surfaced as typed errors.
+    pub fn hard_failures(&self) -> u64 {
+        self.alloc_failures + self.io_failures
+    }
+
+    /// Folds another manager's counters into this one (for run totals).
+    pub fn merge(&mut self, other: &ResilienceStats) {
+        self.alloc_faults_injected += other.alloc_faults_injected;
+        self.alloc_retries += other.alloc_retries;
+        self.alloc_failures += other.alloc_failures;
+        self.io_faults_injected += other.io_faults_injected;
+        self.io_retries += other.io_retries;
+        self.io_backoff_ticks += other.io_backoff_ticks;
+        self.io_failures += other.io_failures;
+        self.toc_flips_injected += other.toc_flips_injected;
+        self.toc_rewalks += other.toc_rewalks;
+    }
+}
+
+impl core::fmt::Display for ResilienceStats {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "faults {} (alloc {} / io {} / toc {}) | retries {} | backoff {} ticks | rewalks {} | hard failures {}",
+            self.faults_injected(),
+            self.alloc_faults_injected,
+            self.io_faults_injected,
+            self.toc_flips_injected,
+            self.retries(),
+            self.io_backoff_ticks,
+            self.toc_rewalks,
+            self.hard_failures(),
+        )
+    }
 }
 
 impl core::fmt::Display for PagingStats {
@@ -156,6 +275,46 @@ mod tests {
         let text = s.to_string();
         assert!(text.contains("accesses 10"));
         assert!(text.contains("conflicts 2"));
+    }
+
+    #[test]
+    fn rates_guard_empty_stream() {
+        let s = PagingStats::new();
+        assert_eq!(s.fault_rate(), 0.0);
+        assert_eq!(s.swap_rate(), 0.0);
+        let s = PagingStats {
+            accesses: 10,
+            minor_faults: 2,
+            swapped_in: 1,
+            ..PagingStats::new()
+        };
+        assert!((s.fault_rate() - 0.2).abs() < 1e-12);
+        assert!((s.swap_rate() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn resilience_rollups_and_merge() {
+        let mut a = ResilienceStats {
+            alloc_faults_injected: 4,
+            alloc_retries: 3,
+            alloc_failures: 1,
+            io_faults_injected: 2,
+            io_retries: 2,
+            io_backoff_ticks: 6,
+            io_failures: 0,
+            toc_flips_injected: 5,
+            toc_rewalks: 5,
+        };
+        assert_eq!(a.faults_injected(), 11);
+        assert_eq!(a.retries(), 5);
+        assert_eq!(a.recoveries(), 10);
+        assert_eq!(a.hard_failures(), 1);
+        a.merge(&a.clone());
+        assert_eq!(a.faults_injected(), 22);
+        assert_eq!(a.io_backoff_ticks, 12);
+        assert_eq!(ResilienceStats::new(), ResilienceStats::ZERO);
+        let text = a.to_string();
+        assert!(text.contains("retries 10") && text.contains("rewalks 10"));
     }
 
     #[test]

@@ -119,7 +119,7 @@ proptest! {
             }
             prop_assert_eq!(lru.len(), model.len());
             prop_assert_eq!(
-                lru.peek_oldest().map(|(k, t)| (k, t)),
+                lru.peek_oldest(),
                 model.iter().next().map(|(&(t, _), &k)| (k, t))
             );
         }

@@ -14,7 +14,7 @@
 use mosaic_hash::SplitMix64;
 use mosaic_mem::{
     AccessKind, Asid, IcebergConfig, MemoryLayout, MemoryManager, MosaicMemory, PageKey, Pfn,
-    PhysAddr, Vpn, PAGE_SIZE,
+    PhysAddr, PAGE_SIZE,
 };
 use mosaic_mmu::tlb::{Associativity, SetAssocCache, TlbConfig};
 use mosaic_workloads::Workload;
@@ -52,7 +52,10 @@ impl DataCache {
         assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
         assert!(capacity_bytes.is_power_of_two(), "capacity must be a power of two");
         let lines = capacity_bytes / line_bytes;
-        assert!(lines as usize % ways == 0, "lines must divide into ways");
+        assert!(
+            (lines as usize).is_multiple_of(ways),
+            "lines must divide into ways"
+        );
         let num_sets = lines / ways as u64;
         Self {
             cache: SetAssocCache::new(TlbConfig::new(
@@ -328,7 +331,7 @@ mod tests {
             },
             9,
         );
-        let mut cache = DataCache::new(2 << 20, 8, 64);
+        let cache = DataCache::new(2 << 20, 8, 64);
         let mut mosaic = MosaicMemory::new(
             // A huge pool: ~2 % occupancy.
             MemoryLayout::new(IcebergConfig::default()).with_at_least_frames(8192),

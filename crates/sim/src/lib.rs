@@ -29,6 +29,8 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Production code returns typed errors; .unwrap() is for tests only.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod dcache;
 pub mod dual;

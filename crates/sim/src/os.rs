@@ -14,7 +14,8 @@
 //!   under test.
 
 use mosaic_mem::{
-    AccessKind, Asid, MemoryManager, MemoryLayout, MosaicMemory, PageKey, Pfn, Vpn,
+    AccessKind, Asid, MemoryManager, MemoryLayout, MosaicError, MosaicMemory, MosaicResult,
+    PageKey, Pfn, Vpn,
 };
 use mosaic_mmu::{Arity, PageWalker, RadixTable, Toc};
 use std::collections::HashMap;
@@ -184,6 +185,35 @@ impl OsModel {
         self.mosaic_pts.iter().map(|&(a, _)| a).collect()
     }
 
+    /// Checks dual-world agreement: the mosaic manager's own invariants,
+    /// plus — for every resident page and every arity — that the mirrored
+    /// page-table ToC sub-entry stores exactly the CPFN the manager would
+    /// encode today. A stale or corrupted leaf surfaces as
+    /// [`MosaicError::TocMismatch`].
+    ///
+    /// Reads the radix tables directly (no [`PageWalker`] accounting), so
+    /// verification never perturbs the walk counters an experiment reports.
+    pub fn verify(&self) -> MosaicResult<()> {
+        self.mosaic.verify()?;
+        for (key, _) in self.mosaic.resident_pages() {
+            let expected = self.mosaic.cpfn_of(key).ok_or(MosaicError::internal(
+                "resident page has no CPFN encoding",
+            ))?;
+            for (arity, pt) in &self.mosaic_pts {
+                let (mvpn, offset) = arity.split(key.vpn);
+                let found = pt.table().get(mvpn.0).and_then(|toc| toc.get(offset));
+                if found != Some(expected) {
+                    return Err(MosaicError::TocMismatch {
+                        vpn: key.vpn.0,
+                        found: found.map_or(0xFF, |c| c.0),
+                        expected: Some(expected.0),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Total page-table walks performed (vanilla, huge, mosaic).
     pub fn walk_counts(&self) -> (u64, u64, u64) {
         (
@@ -291,6 +321,29 @@ mod tests {
         os.mosaic_walk(0, Vpn(1));
         let (v, h, m) = os.walk_counts();
         assert_eq!((v, h, m), (1, 1, 1));
+    }
+
+    #[test]
+    fn verify_detects_toc_corruption() {
+        let mut os = model();
+        for vpn in 0..200u64 {
+            os.touch(Vpn(vpn), AccessKind::Load);
+        }
+        os.verify().expect("fresh dual mapping agrees");
+        // Corrupt one arity-4 leaf sub-entry behind the OS model's back.
+        let (arity, pt) = &mut os.mosaic_pts[0];
+        let (mvpn, offset) = arity.split(Vpn(42));
+        let wrong = os.mosaic.codec().encode_index(0);
+        let toc = pt.table_mut().get_mut(mvpn.0).expect("mapped");
+        if toc.get(offset) == Some(wrong) {
+            toc.invalidate(offset);
+        } else {
+            toc.set(offset, wrong);
+        }
+        match os.verify() {
+            Err(MosaicError::TocMismatch { vpn, .. }) => assert_eq!(vpn, 42),
+            other => panic!("expected TocMismatch, got {other:?}"),
+        }
     }
 
     #[test]

@@ -13,8 +13,8 @@
 
 use crate::report::{group_digits, Table};
 use mosaic_mem::{
-    Asid, IcebergConfig, LinuxMemory, MemoryLayout, MemoryManager, MosaicMemory,
-    PageKey, PAGE_SIZE,
+    Asid, FaultPlan, IcebergConfig, LinuxMemory, MemoryLayout, MemoryManager, MosaicError,
+    MosaicMemory, MosaicResult, PageKey, ResilienceStats, PAGE_SIZE,
 };
 use mosaic_workloads::{BTreeWorkload, Graph500, Workload, XsBench};
 
@@ -158,24 +158,120 @@ pub struct Table3Row {
 
 const PRESSURE_ASID: Asid = Asid(1);
 
+/// Fault-injection parameters of a resilience run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResilienceConfig {
+    /// What to inject, and at what rates.
+    pub plan: FaultPlan,
+    /// Seed of the injector's decision stream (independent of the
+    /// workload seed, so fault placement can be varied separately).
+    pub fault_seed: u64,
+    /// Accesses between structural `verify()` passes; `0` disables
+    /// interval checking (a final pass still runs).
+    pub verify_every: u64,
+}
+
+impl ResilienceConfig {
+    /// No faults, no interval verification: `run_pressure` semantics.
+    pub fn none() -> Self {
+        Self {
+            plan: FaultPlan::NONE,
+            fault_seed: 0,
+            verify_every: 0,
+        }
+    }
+}
+
+/// What the fault-injection harness observed in one pressure run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResilienceReport {
+    /// Injection/recovery counters of the Mosaic manager.
+    pub mosaic: ResilienceStats,
+    /// Injection/recovery counters of the Linux baseline.
+    pub linux: ResilienceStats,
+    /// Mosaic accesses abandoned with a typed error (retry budget spent).
+    pub mosaic_dropped: u64,
+    /// Linux accesses abandoned with a typed error.
+    pub linux_dropped: u64,
+    /// Structural `verify()` passes that ran (all of which succeeded —
+    /// a failing pass aborts the run with the violation instead).
+    pub verify_passes: u64,
+    /// A sample of the last typed error surfaced, for diagnostics.
+    pub last_error: Option<MosaicError>,
+}
+
+impl ResilienceReport {
+    /// Merged counters of both managers.
+    pub fn combined(&self) -> ResilienceStats {
+        let mut all = self.mosaic;
+        all.merge(&self.linux);
+        all
+    }
+
+    /// Total accesses dropped across both managers.
+    pub fn dropped(&self) -> u64 {
+        self.mosaic_dropped + self.linux_dropped
+    }
+}
+
 /// Runs one workload at one footprint through both managers.
 pub fn run_pressure(
     workload: PressureWorkload,
     footprint_ratio: f64,
     cfg: &PressureConfig,
 ) -> PressureRow {
+    let (row, _) = run_pressure_resilient(workload, footprint_ratio, cfg, &ResilienceConfig::none())
+        .unwrap_or_else(|e| panic!("fault-free pressure run cannot fail: {e}"));
+    row
+}
+
+/// Runs one workload at one footprint through both managers under a fault
+/// plan, verifying structural invariants along the way.
+///
+/// With [`ResilienceConfig::none`] this is exactly [`run_pressure`]: no
+/// injectors are attached and the resulting row is bit-identical to a
+/// fault-free run.
+///
+/// # Errors
+///
+/// Returns the violation if any structural `verify()` pass fails — that is
+/// a bug, not a tolerable fault. Injected faults never surface here; they
+/// are absorbed (retried or dropped) and counted in the report.
+pub fn run_pressure_resilient(
+    workload: PressureWorkload,
+    footprint_ratio: f64,
+    cfg: &PressureConfig,
+    res: &ResilienceConfig,
+) -> MosaicResult<(PressureRow, ResilienceReport)> {
     let target = (cfg.mem_bytes() as f64 * footprint_ratio) as u64;
     let layout = MemoryLayout::new(IcebergConfig::paper_default(cfg.mem_buckets));
     let mut mosaic = MosaicMemory::new(layout, cfg.seed);
     let mut linux = LinuxMemory::new(layout);
+    if !res.plan.is_none() {
+        mosaic = mosaic.with_fault_injector(res.plan, res.fault_seed);
+        linux = linux.with_fault_injector(res.plan, res.fault_seed ^ 0x11);
+    }
+
+    let mut report = ResilienceReport {
+        mosaic: ResilienceStats::ZERO,
+        linux: ResilienceStats::ZERO,
+        mosaic_dropped: 0,
+        linux_dropped: 0,
+        verify_passes: 0,
+        last_error: None,
+    };
 
     // Identical reference streams: the workload is rebuilt with the same
     // seed for each manager so the traces match exactly.
-    let footprint = drive(&mut mosaic, workload, target, cfg.seed);
-    let footprint2 = drive(&mut linux, workload, target, cfg.seed);
+    let (footprint, m_dropped) = drive(&mut mosaic, workload, target, cfg.seed, res, &mut report)?;
+    let (footprint2, l_dropped) = drive(&mut linux, workload, target, cfg.seed, res, &mut report)?;
     debug_assert_eq!(footprint, footprint2);
+    report.mosaic = *mosaic.resilience();
+    report.linux = *linux.resilience();
+    report.mosaic_dropped = m_dropped;
+    report.linux_dropped = l_dropped;
 
-    PressureRow {
+    let row = PressureRow {
         workload: workload.name(),
         footprint_bytes: footprint,
         linux_swaps: linux.stats().swap_ops(),
@@ -192,34 +288,60 @@ pub fn run_pressure(
             .utilization_tracker()
             .steady_state_mean()
             .map(|u| u * 100.0),
-    }
+    };
+    Ok((row, report))
 }
 
-/// Drives one manager with the workload's page-reference stream and
-/// returns the workload's actual footprint in bytes.
+/// Drives one manager with the workload's page-reference stream. Returns
+/// the workload's actual footprint in bytes and the number of accesses
+/// dropped to typed errors; propagates only invariant violations.
 fn drive(
     manager: &mut dyn MemoryManager,
     workload: PressureWorkload,
     footprint_bytes: u64,
     seed: u64,
-) -> u64 {
+    res: &ResilienceConfig,
+    report: &mut ResilienceReport,
+) -> MosaicResult<(u64, u64)> {
     let mut w = workload.build(footprint_bytes, seed);
     let mut now = 0u64;
     // Steady-state sampling every ~64 Ki accesses, after a warmup of one
     // footprint's worth of touches.
     let warmup = footprint_bytes / PAGE_SIZE;
     let mut counter = 0u64;
+    let mut dropped = 0u64;
+    let mut violation: Option<MosaicError> = None;
     w.run(&mut |a| {
+        if violation.is_some() {
+            return;
+        }
         now += 1;
         let key = PageKey::new(PRESSURE_ASID, a.addr.vpn());
-        manager.access(key, a.kind, now);
+        if let Err(e) = manager.try_access(key, a.kind, now) {
+            // Graceful degradation: the access is dropped, the manager
+            // stays consistent, and the experiment keeps running.
+            dropped += 1;
+            report.last_error = Some(e);
+        }
         counter += 1;
         if counter > warmup && counter.is_multiple_of(65_536) {
             manager.sample_utilization();
         }
+        if res.verify_every > 0 && counter.is_multiple_of(res.verify_every) {
+            match manager.verify() {
+                Ok(()) => report.verify_passes += 1,
+                Err(e) => violation = Some(e),
+            }
+        }
     });
+    if let Some(e) = violation {
+        return Err(e);
+    }
     manager.sample_utilization();
-    w.meta().footprint_bytes
+    // Always end on a full structural check.
+    manager.verify()?;
+    report.verify_passes += 1;
+    Ok((w.meta().footprint_bytes, dropped))
 }
 
 /// Runs the full Table 4 grid.
@@ -264,6 +386,58 @@ pub fn render_table4(rows: &[PressureRow]) -> Table {
             group_digits(r.linux_swaps),
             group_digits(r.mosaic_swaps),
             format!("{:+.2}", r.difference_pct()),
+        ]);
+    }
+    t
+}
+
+/// Runs the Table 4 grid under a fault plan, collecting resilience
+/// reports alongside the usual rows.
+///
+/// # Errors
+///
+/// Propagates the first structural invariant violation, if any.
+pub fn run_table4_resilient(
+    cfg: &PressureConfig,
+    ratios: &[f64],
+    res: &ResilienceConfig,
+) -> MosaicResult<Vec<(PressureRow, ResilienceReport)>> {
+    let mut rows = Vec::new();
+    for &w in &PressureWorkload::ALL {
+        for &r in ratios {
+            rows.push(run_pressure_resilient(w, r, cfg, res)?);
+        }
+    }
+    Ok(rows)
+}
+
+/// Renders the fault-injection summary: what was injected and how the
+/// managers absorbed it (combined over Mosaic and the baseline).
+pub fn render_resilience(rows: &[(PressureRow, ResilienceReport)]) -> Table {
+    let mut t = Table::new(vec![
+        "Workload".into(),
+        "Footprint (MiB)".into(),
+        "Faults injected".into(),
+        "Retries".into(),
+        "Backoff (ticks)".into(),
+        "ToC re-walks".into(),
+        "Dropped accesses".into(),
+        "Recovered (%)".into(),
+        "Verify passes".into(),
+    ])
+    .with_title("Resilience: injected faults and recovery under pressure");
+    for (row, rep) in rows {
+        let all = rep.combined();
+        t.row(vec![
+            row.workload.to_string(),
+            format!("{:.0}", row.footprint_bytes as f64 / (1 << 20) as f64),
+            group_digits(all.faults_injected()),
+            group_digits(all.retries()),
+            group_digits(all.io_backoff_ticks),
+            group_digits(all.toc_rewalks),
+            group_digits(rep.dropped()),
+            crate::report::percent_or_dash(all.recoveries(), all.faults_injected()),
+            group_digits(rep.verify_passes),
         ]);
     }
     t
@@ -356,5 +530,62 @@ mod tests {
         assert!(t4.contains("XSBench"));
         let t3 = render_table3(&table3_rows(&rows)).render();
         assert!(t3.contains("XSBench"));
+    }
+
+    #[test]
+    fn zero_fault_plan_is_bit_identical_to_plain_run() {
+        let plain = run_pressure(PressureWorkload::BTree, 1.2, &tiny_cfg());
+        let (resilient, rep) = run_pressure_resilient(
+            PressureWorkload::BTree,
+            1.2,
+            &tiny_cfg(),
+            &ResilienceConfig::none(),
+        )
+        .unwrap();
+        assert_eq!(plain, resilient);
+        assert_eq!(rep.combined(), ResilienceStats::ZERO);
+        assert_eq!(rep.dropped(), 0);
+    }
+
+    #[test]
+    fn faulty_run_survives_and_reports() {
+        let res = ResilienceConfig {
+            plan: FaultPlan::NONE
+                .with_alloc_failures(10_000) // 1% of allocations
+                .with_io_failures(10_000, 1)
+                .with_toc_flips(1_000),
+            fault_seed: 0xF00D,
+            verify_every: 50_000,
+        };
+        let (row, rep) =
+            run_pressure_resilient(PressureWorkload::XsBench, 1.25, &tiny_cfg(), &res)
+                .expect("invariants must hold under injected faults");
+        assert!(row.mosaic_swaps > 0, "overcommit still swaps");
+        let all = rep.combined();
+        assert!(all.faults_injected() > 0, "plan injected nothing");
+        assert!(all.retries() > 0, "no transient fault was retried");
+        assert!(rep.verify_passes >= 2, "interval verification never ran");
+        // Retry budgets (3-4 retries at 1% fault rate) absorb almost
+        // everything; only multi-failure streaks drop an access.
+        assert!(rep.dropped() < all.faults_injected());
+        let table = render_resilience(&[(row, rep)]).render();
+        assert!(table.contains("Faults injected") && table.contains("XSBench"));
+    }
+
+    #[test]
+    fn resilience_report_sample_error_is_transient() {
+        // Drive hard enough that at least one retry budget is exhausted;
+        // the surfaced error must be a typed transient failure.
+        let res = ResilienceConfig {
+            plan: FaultPlan::NONE.with_io_failures(60_000, 6),
+            fault_seed: 9,
+            verify_every: 0,
+        };
+        let (_, rep) =
+            run_pressure_resilient(PressureWorkload::BTree, 1.3, &tiny_cfg(), &res).unwrap();
+        if let Some(e) = &rep.last_error {
+            assert!(e.is_transient(), "unexpected error class: {e}");
+        }
+        assert!(rep.verify_passes >= 2, "final verify always runs");
     }
 }

@@ -144,6 +144,26 @@ impl Table {
     }
 }
 
+/// `num / den` guarded against an empty stream: `0.0` when `den == 0`
+/// instead of NaN/infinity leaking into reports.
+pub fn safe_ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// Formats `num / den` as a percentage with one decimal, or `--` when the
+/// denominator is zero (an empty stream has no meaningful rate).
+pub fn percent_or_dash(num: u64, den: u64) -> String {
+    if den == 0 {
+        "--".to_string()
+    } else {
+        format!("{:.1}%", 100.0 * num as f64 / den as f64)
+    }
+}
+
 /// Formats a count with thousands separators (`1234567` → `1,234,567`).
 pub fn group_digits(n: u64) -> String {
     let s = n.to_string();
@@ -214,6 +234,15 @@ mod tests {
         assert_eq!(group_digits(999), "999");
         assert_eq!(group_digits(1000), "1,000");
         assert_eq!(group_digits(1234567), "1,234,567");
+    }
+
+    #[test]
+    fn guarded_rates() {
+        assert_eq!(safe_ratio(3, 4), 0.75);
+        assert_eq!(safe_ratio(3, 0), 0.0);
+        assert_eq!(safe_ratio(0, 0), 0.0);
+        assert_eq!(percent_or_dash(1, 8), "12.5%");
+        assert_eq!(percent_or_dash(0, 0), "--");
     }
 
     #[test]

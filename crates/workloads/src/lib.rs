@@ -28,6 +28,8 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Production code returns typed errors; .unwrap() is for tests only.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod btree;
 pub mod graph500;
@@ -53,7 +55,7 @@ pub use graph500::{Graph500, Graph500Config};
 pub use gups::{Gups, GupsConfig};
 pub use layout::{ArrayRegion, VirtualLayout};
 pub use trace::{record, Access, TraceStats, Workload, WorkloadMeta};
-pub use tracefile::{load_trace, save_trace, RecordedTrace};
+pub use tracefile::{load_trace, save_trace, RecordedTrace, TraceError};
 pub use xsbench::{XsBench, XsBenchConfig};
 pub use zipf::{ZipfGups, ZipfGupsConfig, ZipfSampler};
 

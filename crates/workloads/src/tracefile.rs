@@ -7,7 +7,8 @@
 //! (addresses are < 2^48, so bit 63 is free).
 
 use crate::trace::{Access, Workload, WorkloadMeta};
-use mosaic_mem::{AccessKind, VirtAddr};
+use mosaic_mem::{AccessKind, MosaicError, VirtAddr};
+use std::fmt;
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
@@ -15,18 +16,152 @@ const MAGIC: &[u8; 12] = b"MOSAICTRACE\0";
 const VERSION: u32 = 1;
 const STORE_BIT: u64 = 1 << 63;
 
+/// A typed trace-file error carrying the file and byte offset at which the
+/// problem was found, so a corrupt recorded run is diagnosable without a
+/// hex dump.
+#[derive(Debug)]
+pub enum TraceError {
+    /// An underlying filesystem error at a known byte offset.
+    Io {
+        /// The trace file.
+        file: String,
+        /// Byte offset of the failed read/write.
+        offset: u64,
+        /// The OS-level error.
+        source: io::Error,
+    },
+    /// The file does not start with the `MOSAICTRACE` magic.
+    BadMagic {
+        /// The trace file.
+        file: String,
+    },
+    /// The header version is not one this build can replay.
+    BadVersion {
+        /// The trace file.
+        file: String,
+        /// The version found in the header.
+        found: u32,
+    },
+    /// The file ends before the header's access count is satisfied.
+    Truncated {
+        /// The trace file.
+        file: String,
+        /// Byte offset at which the stream ran dry.
+        offset: u64,
+        /// Records promised by the header.
+        expected: u64,
+        /// Records actually present.
+        got: u64,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io {
+                file,
+                offset,
+                source,
+            } => write!(f, "trace {file}: I/O error at byte {offset}: {source}"),
+            Self::BadMagic { file } => write!(f, "trace {file}: bad magic (not a mosaic trace)"),
+            Self::BadVersion { file, found } => {
+                write!(f, "trace {file}: unsupported version {found} (want {VERSION})")
+            }
+            Self::Truncated {
+                file,
+                offset,
+                expected,
+                got,
+            } => write!(
+                f,
+                "trace {file}: truncated at byte {offset}: header promises {expected} records, found {got}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl TraceError {
+    /// The byte offset the error was detected at (0 for header-level errors).
+    pub fn offset(&self) -> u64 {
+        match self {
+            Self::Io { offset, .. } | Self::Truncated { offset, .. } => *offset,
+            Self::BadMagic { .. } | Self::BadVersion { .. } => 0,
+        }
+    }
+}
+
+/// Trace errors flow into the simulator's error hierarchy as
+/// [`MosaicError::TraceCorrupt`], preserving the file and offset.
+impl From<TraceError> for MosaicError {
+    fn from(e: TraceError) -> Self {
+        // `detail` carries only the variant-specific message; the mosaic
+        // error's own Display already prints the file and offset.
+        let (file, offset, detail) = match &e {
+            TraceError::Io {
+                file,
+                offset,
+                source,
+            } => (file.clone(), *offset, format!("I/O error: {source}")),
+            TraceError::Truncated {
+                file,
+                offset,
+                expected,
+                got,
+            } => (
+                file.clone(),
+                *offset,
+                format!("truncated: header promises {expected} records, found {got}"),
+            ),
+            TraceError::BadMagic { file } => {
+                (file.clone(), 0, "bad magic (not a mosaic trace)".into())
+            }
+            TraceError::BadVersion { file, found } => (
+                file.clone(),
+                0,
+                format!("unsupported version {found} (want {VERSION})"),
+            ),
+        };
+        MosaicError::TraceCorrupt {
+            file,
+            offset,
+            detail,
+        }
+    }
+}
+
+fn io_err(path: &Path, offset: u64, source: io::Error) -> TraceError {
+    TraceError::Io {
+        file: path.display().to_string(),
+        offset,
+        source,
+    }
+}
+
 /// Writes `workload`'s full trace to `path`, returning the access count.
 ///
 /// # Errors
 ///
-/// Propagates I/O errors from the filesystem.
-pub fn save_trace(path: &Path, workload: &mut dyn Workload) -> io::Result<u64> {
-    let file = std::fs::File::create(path)?;
+/// Returns [`TraceError::Io`] with the failing byte offset on filesystem
+/// errors.
+pub fn save_trace(path: &Path, workload: &mut dyn Workload) -> Result<u64, TraceError> {
+    let file = std::fs::File::create(path).map_err(|e| io_err(path, 0, e))?;
     let mut w = BufWriter::new(file);
-    w.write_all(MAGIC)?;
-    w.write_all(&VERSION.to_le_bytes())?;
+    let header_len = (MAGIC.len() + 4 + 8) as u64;
+    w.write_all(MAGIC).map_err(|e| io_err(path, 0, e))?;
+    w.write_all(&VERSION.to_le_bytes())
+        .map_err(|e| io_err(path, MAGIC.len() as u64, e))?;
     // Count patched in afterwards; reserve the slot.
-    w.write_all(&0u64.to_le_bytes())?;
+    w.write_all(&0u64.to_le_bytes())
+        .map_err(|e| io_err(path, (MAGIC.len() + 4) as u64, e))?;
     let mut count = 0u64;
     let mut err: Option<io::Error> = None;
     workload.run(&mut |a| {
@@ -45,12 +180,16 @@ pub fn save_trace(path: &Path, workload: &mut dyn Workload) -> io::Result<u64> {
         }
     });
     if let Some(e) = err {
-        return Err(e);
+        return Err(io_err(path, header_len + count * 8, e));
     }
-    let mut file = w.into_inner()?;
+    let mut file = w
+        .into_inner()
+        .map_err(|e| io_err(path, header_len + count * 8, e.into_error()))?;
     use std::io::Seek;
-    file.seek(io::SeekFrom::Start((MAGIC.len() + 4) as u64))?;
-    file.write_all(&count.to_le_bytes())?;
+    file.seek(io::SeekFrom::Start((MAGIC.len() + 4) as u64))
+        .map_err(|e| io_err(path, (MAGIC.len() + 4) as u64, e))?;
+    file.write_all(&count.to_le_bytes())
+        .map_err(|e| io_err(path, (MAGIC.len() + 4) as u64, e))?;
     Ok(count)
 }
 
@@ -58,27 +197,51 @@ pub fn save_trace(path: &Path, workload: &mut dyn Workload) -> io::Result<u64> {
 ///
 /// # Errors
 ///
-/// Returns `InvalidData` for bad magic/version/truncation, and propagates
-/// I/O errors.
-pub fn load_trace(path: &Path) -> io::Result<Vec<Access>> {
-    let file = std::fs::File::open(path)?;
+/// Returns [`TraceError::BadMagic`]/[`TraceError::BadVersion`] for foreign
+/// files, [`TraceError::Truncated`] (with the record tally) when the file
+/// ends early, and [`TraceError::Io`] for other filesystem errors — all
+/// carrying the file name and byte offset.
+pub fn load_trace(path: &Path) -> Result<Vec<Access>, TraceError> {
+    let name = path.display().to_string();
+    let file = std::fs::File::open(path).map_err(|e| io_err(path, 0, e))?;
     let mut r = BufReader::new(file);
+    let mut offset = 0u64;
     let mut magic = [0u8; 12];
-    r.read_exact(&mut magic)?;
+    r.read_exact(&mut magic).map_err(|e| io_err(path, 0, e))?;
     if &magic != MAGIC {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad trace magic"));
+        return Err(TraceError::BadMagic { file: name });
     }
+    offset += magic.len() as u64;
     let mut word4 = [0u8; 4];
-    r.read_exact(&mut word4)?;
-    if u32::from_le_bytes(word4) != VERSION {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad trace version"));
+    r.read_exact(&mut word4)
+        .map_err(|e| io_err(path, offset, e))?;
+    let version = u32::from_le_bytes(word4);
+    if version != VERSION {
+        return Err(TraceError::BadVersion {
+            file: name,
+            found: version,
+        });
     }
+    offset += 4;
     let mut word8 = [0u8; 8];
-    r.read_exact(&mut word8)?;
+    r.read_exact(&mut word8)
+        .map_err(|e| io_err(path, offset, e))?;
     let count = u64::from_le_bytes(word8);
+    offset += 8;
     let mut out = Vec::with_capacity(count.min(1 << 28) as usize);
-    for _ in 0..count {
-        r.read_exact(&mut word8)?;
+    for i in 0..count {
+        if let Err(e) = r.read_exact(&mut word8) {
+            if e.kind() == io::ErrorKind::UnexpectedEof {
+                return Err(TraceError::Truncated {
+                    file: name,
+                    offset,
+                    expected: count,
+                    got: i,
+                });
+            }
+            return Err(io_err(path, offset, e));
+        }
+        offset += 8;
         let word = u64::from_le_bytes(word8);
         let kind = if word & STORE_BIT != 0 {
             AccessKind::Store
@@ -94,10 +257,16 @@ pub fn load_trace(path: &Path) -> io::Result<Vec<Access>> {
 }
 
 /// A [`Workload`] that replays a recorded trace.
+///
+/// With a fault injector attached (a [`FaultPlan`](mosaic_mem::FaultPlan)
+/// with a nonzero `trace_truncate_ppm`), each replayed access rolls for
+/// truncation and the replay stops early when it fires — modelling a
+/// recorded run cut short on disk.
 #[derive(Debug, Clone)]
 pub struct RecordedTrace {
     accesses: Vec<Access>,
     footprint_bytes: u64,
+    fault: Option<mosaic_mem::FaultInjector>,
 }
 
 impl RecordedTrace {
@@ -107,7 +276,15 @@ impl RecordedTrace {
         Self {
             footprint_bytes: stats.footprint_bytes(),
             accesses,
+            fault: None,
         }
+    }
+
+    /// Attaches a deterministic fault injector for truncated replays.
+    #[must_use]
+    pub fn with_fault_injector(mut self, plan: mosaic_mem::FaultPlan, seed: u64) -> Self {
+        self.fault = Some(mosaic_mem::FaultInjector::new(plan, seed));
+        self
     }
 
     /// Loads a trace file.
@@ -115,7 +292,7 @@ impl RecordedTrace {
     /// # Errors
     ///
     /// See [`load_trace`].
-    pub fn open(path: &Path) -> io::Result<Self> {
+    pub fn open(path: &Path) -> Result<Self, TraceError> {
         Ok(Self::new(load_trace(path)?))
     }
 
@@ -137,6 +314,9 @@ impl Workload for RecordedTrace {
 
     fn run(&mut self, sink: &mut dyn FnMut(Access)) {
         for &a in &self.accesses {
+            if self.fault.as_mut().is_some_and(|i| i.trace_should_truncate()) {
+                return;
+            }
             sink(a);
         }
     }
@@ -191,12 +371,29 @@ mod tests {
         let path = temp_path("badmagic");
         std::fs::write(&path, b"NOT A TRACE FILE AT ALL....").unwrap();
         let err = load_trace(&path).unwrap_err();
-        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(matches!(err, TraceError::BadMagic { .. }), "{err}");
+        assert!(err.to_string().contains("badmagic"), "names the file: {err}");
         std::fs::remove_file(&path).unwrap();
     }
 
     #[test]
-    fn truncated_file_rejected() {
+    fn bad_version_rejected() {
+        let path = temp_path("badversion");
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&99u32.to_le_bytes());
+        bytes.extend_from_slice(&0u64.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        let err = load_trace(&path).unwrap_err();
+        assert!(
+            matches!(err, TraceError::BadVersion { found: 99, .. }),
+            "{err}"
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn truncated_file_diagnosed_with_offset() {
         let mut g = Gups::new(
             GupsConfig {
                 table_bytes: 1 << 18,
@@ -205,11 +402,58 @@ mod tests {
             1,
         );
         let path = temp_path("truncated");
-        save_trace(&path, &mut g).unwrap();
+        let n = save_trace(&path, &mut g).unwrap();
         let bytes = std::fs::read(&path).unwrap();
         std::fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
-        assert!(load_trace(&path).is_err());
+        let err = load_trace(&path).unwrap_err();
+        match &err {
+            TraceError::Truncated { expected, got, offset, .. } => {
+                assert_eq!(*expected, n);
+                assert_eq!(*got, n - 1);
+                // The last full record ends 8 bytes before the (pre-cut) end.
+                assert_eq!(*offset, bytes.len() as u64 - 8);
+            }
+            other => panic!("expected Truncated, got {other}"),
+        }
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn trace_error_converts_to_mosaic_error() {
+        let err = TraceError::Truncated {
+            file: "runs/gups.trace".into(),
+            offset: 4096,
+            expected: 600,
+            got: 509,
+        };
+        match mosaic_mem::MosaicError::from(err) {
+            mosaic_mem::MosaicError::TraceCorrupt { file, offset, detail } => {
+                assert_eq!(file, "runs/gups.trace");
+                assert_eq!(offset, 4096);
+                assert!(detail.contains("509"), "{detail}");
+            }
+            other => panic!("expected TraceCorrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn injected_truncation_cuts_replay_deterministically() {
+        use mosaic_mem::FaultPlan;
+        let trace: Vec<Access> = (0..10_000u64)
+            .map(|i| Access::load(VirtAddr(i << 12)))
+            .collect();
+        let plan = FaultPlan::NONE.with_trace_truncation(2_000); // 0.2 %
+        let lens: Vec<usize> = (0..2)
+            .map(|_| {
+                let mut w = RecordedTrace::new(trace.clone()).with_fault_injector(plan, 0xCAFE);
+                record(&mut w).len()
+            })
+            .collect();
+        assert_eq!(lens[0], lens[1], "same seed, same cut point");
+        assert!(lens[0] < trace.len(), "a 0.2 % rate fires within 10k accesses");
+        // A zero plan replays in full.
+        let mut w = RecordedTrace::new(trace.clone()).with_fault_injector(FaultPlan::NONE, 0xCAFE);
+        assert_eq!(record(&mut w).len(), trace.len());
     }
 
     #[test]

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Full offline quality gate: release build, test suite, and clippy with
+# warnings denied (including the per-crate `clippy::unwrap_used` gates).
+# Run from anywhere; the script cd's to the repo root.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release (offline)"
+cargo build --release --offline --workspace
+
+echo "==> cargo test (offline)"
+cargo test -q --offline --workspace
+
+echo "==> cargo clippy -D warnings (offline)"
+cargo clippy -q --offline --workspace --all-targets -- -D warnings
+
+echo "All checks passed."

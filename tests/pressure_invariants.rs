@@ -118,3 +118,52 @@ fn managers_agree_on_resident_set_size_bounds() {
     // Mosaic packs tighter than the watermark-bounded baseline.
     assert!(mosaic.utilization() >= linux.utilization() - 0.02);
 }
+
+#[test]
+fn pressure_run_survives_one_percent_alloc_faults() {
+    // ISSUE acceptance: a 1 % transient-allocation-fault plan must not
+    // panic or corrupt structure — every interval and the final verify()
+    // pass, and the run still produces a sane Table 4 row.
+    use mosaic_core::sim::pressure::{run_pressure_resilient, ResilienceConfig};
+
+    let res = ResilienceConfig {
+        plan: FaultPlan::NONE.with_alloc_failures(10_000), // 1 %
+        fault_seed: 0x5EED,
+        verify_every: 100_000,
+    };
+    let (row, rep) = run_pressure_resilient(PressureWorkload::XsBench, 1.25, &cfg(7), &res)
+        .expect("run must survive transient allocation faults");
+    let all = rep.combined();
+    assert!(all.alloc_faults_injected > 0, "plan must actually fire");
+    assert!(all.alloc_retries > 0, "transient faults are retried");
+    assert!(
+        rep.verify_passes >= 2,
+        "interval and final verify() must both run (got {})",
+        rep.verify_passes
+    );
+    assert!(row.mosaic_swaps > 0, "the experiment still exercises swap");
+    assert!(
+        rep.dropped() < all.alloc_faults_injected,
+        "retries absorb most transient faults ({} dropped of {})",
+        rep.dropped(),
+        all.alloc_faults_injected
+    );
+}
+
+#[test]
+fn faulty_and_fault_free_runs_share_workload_stream() {
+    // The injector must not perturb the access stream itself: footprint
+    // and access counts match the fault-free row exactly.
+    use mosaic_core::sim::pressure::{run_pressure, run_pressure_resilient, ResilienceConfig};
+
+    let clean = run_pressure(PressureWorkload::BTree, 1.20, &cfg(8));
+    let res = ResilienceConfig {
+        plan: FaultPlan::NONE.with_alloc_failures(5_000),
+        fault_seed: 1,
+        verify_every: 0,
+    };
+    let (faulty, _) = run_pressure_resilient(PressureWorkload::BTree, 1.20, &cfg(8), &res)
+        .expect("survives");
+    assert_eq!(clean.footprint_bytes, faulty.footprint_bytes);
+    assert_eq!(clean.workload, faulty.workload);
+}

@@ -129,3 +129,73 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    /// Fault injection is replayable: two injectors built from the same
+    /// `(plan, seed)` make identical decisions under an interleaved
+    /// query pattern.
+    #[test]
+    fn fault_injector_is_deterministic(
+        seed in any::<u64>(),
+        alloc_ppm in 0u32..200_000,
+        io_ppm in 0u32..200_000,
+        burst in 0u32..4,
+        toc_ppm in 0u32..200_000,
+    ) {
+        let plan = FaultPlan::NONE
+            .with_alloc_failures(alloc_ppm)
+            .with_io_failures(io_ppm, burst)
+            .with_toc_flips(toc_ppm);
+        let mut a = FaultInjector::new(plan, seed);
+        let mut b = FaultInjector::new(plan, seed);
+        for i in 0..256u32 {
+            match i % 3 {
+                0 => prop_assert_eq!(a.alloc_should_fail(), b.alloc_should_fail()),
+                1 => prop_assert_eq!(a.io_should_fail(), b.io_should_fail()),
+                _ => prop_assert_eq!(a.toc_should_flip(), b.toc_should_flip()),
+            }
+        }
+    }
+
+    /// The empty plan never fires, for any seed — the behavioural half of
+    /// the zero-fault bit-identity guarantee.
+    #[test]
+    fn empty_plan_never_fires(seed in any::<u64>()) {
+        let mut inj = FaultInjector::new(FaultPlan::NONE, seed);
+        for _ in 0..512 {
+            prop_assert!(!inj.alloc_should_fail());
+            prop_assert!(!inj.io_should_fail());
+            prop_assert!(!inj.toc_should_flip());
+            prop_assert!(!inj.trace_should_truncate());
+        }
+    }
+
+    /// A single-event upset flips exactly one bit, inside the stated width.
+    #[test]
+    fn flip_bit_flips_one_in_range(
+        seed in any::<u64>(),
+        raw in any::<u8>(),
+        width in 1u32..=8,
+    ) {
+        let mut inj = FaultInjector::new(FaultPlan::NONE.with_toc_flips(1), seed);
+        let flipped = inj.flip_bit(raw, width);
+        let diff = raw ^ flipped;
+        prop_assert_eq!(diff.count_ones(), 1);
+        prop_assert!(diff.trailing_zeros() < width);
+    }
+
+    /// Disabled fault classes draw no randomness, so adding one to a plan
+    /// at ppm 0 leaves an enabled class's decision stream untouched.
+    #[test]
+    fn disabled_classes_do_not_perturb(seed in any::<u64>(), ppm in 1u32..500_000) {
+        let solo = FaultPlan::NONE.with_alloc_failures(ppm);
+        let mixed = solo.with_io_failures(0, 3).with_trace_truncation(0);
+        let mut a = FaultInjector::new(solo, seed);
+        let mut b = FaultInjector::new(mixed, seed);
+        for _ in 0..256 {
+            prop_assert!(!b.io_should_fail());
+            prop_assert!(!b.trace_should_truncate());
+            prop_assert_eq!(a.alloc_should_fail(), b.alloc_should_fail());
+        }
+    }
+}
