@@ -1,0 +1,111 @@
+//! Criterion microbench for the observability layer's access-path cost.
+//!
+//! The acceptance bar for `mosaic-obs` is that a *disabled* handle
+//! (`ObsHandle::noop()`) adds <2 % overhead to the simulator's inner
+//! loop versus completely uninstrumented code, so the default runs stay
+//! as fast as the seed. The enabled path is also measured so future PRs
+//! can track the cost of turning tracing on.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mosaic_core::hash::SplitMix64;
+use mosaic_core::mem::{Asid, Pfn, Vpn};
+use mosaic_core::mmu::{Associativity, TlbConfig, VanillaTlb};
+use mosaic_obs::ObsHandle;
+
+/// The uninstrumented baseline: the seed's TLB inner loop, untouched.
+fn bench_baseline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("obs_overhead");
+    g.bench_function("tlb_loop_baseline", |b| {
+        let mut tlb = VanillaTlb::new(TlbConfig::new(1024, Associativity::Ways(8)));
+        let mut rng = SplitMix64::new(3);
+        let asid = Asid::new(1);
+        b.iter(|| {
+            let vpn = Vpn::new(rng.next_below(2048));
+            if !tlb.lookup(asid, black_box(vpn)).is_hit() {
+                tlb.fill_base(asid, vpn, Pfn::new(vpn.0));
+            }
+        })
+    });
+    g.finish();
+}
+
+/// Same loop with noop counters on the hit/miss paths — must be within
+/// 2 % of the baseline.
+fn bench_noop(c: &mut Criterion) {
+    let mut g = c.benchmark_group("obs_overhead");
+    g.bench_function("tlb_loop_noop_counters", |b| {
+        let obs = ObsHandle::noop();
+        let hits = obs.counter("tlb.hits");
+        let misses = obs.counter("tlb.misses");
+        let mut tlb = VanillaTlb::new(TlbConfig::new(1024, Associativity::Ways(8)));
+        let mut rng = SplitMix64::new(3);
+        let asid = Asid::new(1);
+        b.iter(|| {
+            let vpn = Vpn::new(rng.next_below(2048));
+            if tlb.lookup(asid, black_box(vpn)).is_hit() {
+                hits.inc();
+            } else {
+                misses.inc();
+                tlb.fill_base(asid, vpn, Pfn::new(vpn.0));
+            }
+        })
+    });
+    g.finish();
+}
+
+/// Same loop with live counters — the cost of `--obs-out`.
+fn bench_enabled(c: &mut Criterion) {
+    let mut g = c.benchmark_group("obs_overhead");
+    g.bench_function("tlb_loop_live_counters", |b| {
+        let obs = ObsHandle::enabled();
+        let hits = obs.counter("tlb.hits");
+        let misses = obs.counter("tlb.misses");
+        let mut tlb = VanillaTlb::new(TlbConfig::new(1024, Associativity::Ways(8)));
+        let mut rng = SplitMix64::new(3);
+        let asid = Asid::new(1);
+        b.iter(|| {
+            let vpn = Vpn::new(rng.next_below(2048));
+            if tlb.lookup(asid, black_box(vpn)).is_hit() {
+                hits.inc();
+            } else {
+                misses.inc();
+                tlb.fill_base(asid, vpn, Pfn::new(vpn.0));
+            }
+        })
+    });
+    g.finish();
+}
+
+/// Raw handle operations, to catch regressions in the primitives
+/// themselves (a noop counter bump should be ~a branch).
+fn bench_primitives(c: &mut Criterion) {
+    let mut g = c.benchmark_group("obs_primitives");
+    g.bench_function("noop_counter_inc", |b| {
+        let c = ObsHandle::noop().counter("x");
+        b.iter(|| c.add(black_box(1)))
+    });
+    g.bench_function("live_counter_inc", |b| {
+        let obs = ObsHandle::enabled();
+        let c = obs.counter("x");
+        b.iter(|| c.add(black_box(1)))
+    });
+    g.bench_function("noop_hist_record", |b| {
+        let h = ObsHandle::noop().histogram("x");
+        b.iter(|| h.record(black_box(17)))
+    });
+    g.bench_function("live_hist_record", |b| {
+        let obs = ObsHandle::enabled();
+        let h = obs.histogram("x");
+        b.iter(|| h.record(black_box(17)))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_baseline,
+    bench_noop,
+    bench_enabled,
+    bench_primitives
+);
+criterion_main!(benches);

@@ -11,9 +11,14 @@
 //!    yards trades first-conflict load against CPFN width.
 //!
 //! ```text
-//! ablation [--buckets N]
+//! ablation [--buckets N] [--obs-out F] [--obs-interval R]
 //! ```
+//!
+//! `--obs-out` exports each ablation run's counters under a per-run
+//! prefix (e.g. `policy-horizon-lru.*`, `baseline-2-list-clock.*`) plus
+//! sweep events as JSONL; render with `obs_report`.
 
+use mosaic_bench::obs::ObsSink;
 use mosaic_bench::Args;
 use mosaic_core::iceberg::{experiments, IcebergConfig};
 use mosaic_core::mem::clock::ClockMemory;
@@ -21,8 +26,41 @@ use mosaic_core::prelude::*;
 use mosaic_core::sim::pressure::PressureWorkload;
 use mosaic_core::mem::scanner::ScannerConfig;
 use mosaic_core::sim::report::Table;
+use mosaic_obs::{ObsHandle, Value};
 
-fn drive(manager: &mut dyn MemoryManager, workload: PressureWorkload, target: u64, seed: u64) {
+/// Metric-name slug for a human-readable run label.
+fn slug(s: &str) -> String {
+    let mut out = String::new();
+    for c in s.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c.to_ascii_lowercase());
+        } else if !out.ends_with('-') && !out.is_empty() {
+            out.push('-');
+        }
+    }
+    out.trim_end_matches('-').to_string()
+}
+
+fn drive(
+    manager: &mut dyn MemoryManager,
+    workload: PressureWorkload,
+    target: u64,
+    seed: u64,
+    label: &str,
+    obs: &ObsHandle,
+    obs_interval: u64,
+) {
+    if obs.is_enabled() {
+        manager.set_obs(obs, &slug(label));
+        obs.event(
+            0,
+            "drive.begin",
+            &[
+                ("mgr", Value::from(slug(label))),
+                ("workload", Value::from(workload.name())),
+            ],
+        );
+    }
     let mut w = workload.build(target, seed);
     let mut now = 0u64;
     w.run(&mut |a| {
@@ -31,13 +69,26 @@ fn drive(manager: &mut dyn MemoryManager, workload: PressureWorkload, target: u6
         if now.is_multiple_of(65_536) {
             manager.sample_utilization();
         }
+        if obs_interval > 0 && now.is_multiple_of(obs_interval) {
+            manager.publish_obs();
+            obs.snapshot(now);
+        }
     });
     manager.sample_utilization();
+    if obs.is_enabled() {
+        manager.publish_obs();
+        obs.snapshot(now);
+    }
 }
 
 fn main() {
     let args = Args::from_env();
     let buckets = args.get_u64("buckets", 64) as usize;
+    let sink = ObsSink::from_args(&args, "ablation");
+    if sink.is_enabled() {
+        sink.handle()
+            .meta(&[("buckets", Value::from(buckets as u64))]);
+    }
     let layout = MemoryLayout::new(IcebergConfig::paper_default(buckets));
     let target = layout.bytes() * 5 / 4; // 125 % footprint
     let workload = PressureWorkload::XsBench;
@@ -63,7 +114,15 @@ fn main() {
     ] {
         eprintln!("[ablation] policy {policy} ...");
         let mut mm = MosaicMemory::with_policy(layout, 7, policy);
-        drive(&mut mm, workload, target, 7);
+        drive(
+            &mut mm,
+            workload,
+            target,
+            7,
+            &format!("policy {policy}"),
+            sink.handle(),
+            sink.interval(),
+        );
         t1.row(vec![
             policy.to_string(),
             mm.stats().swap_ops().to_string(),
@@ -99,7 +158,7 @@ fn main() {
     ];
     for (name, mgr) in managers {
         eprintln!("[ablation] manager {name} ...");
-        drive(mgr, workload, target, 7);
+        drive(mgr, workload, target, 7, name, sink.handle(), sink.interval());
         t2.row(vec![
             name.to_string(),
             mgr.stats().swap_ops().to_string(),
@@ -121,6 +180,14 @@ fn main() {
     for d in [1usize, 2, 3, 4, 6, 8] {
         let cfg = IcebergConfig::new(buckets.max(8), 56, 8, d);
         let s = experiments::first_conflict_summary(cfg, 5, 3);
+        sink.handle().event(
+            d as u64,
+            "ablation.backyard",
+            &[
+                ("d", Value::from(d as u64)),
+                ("first_conflict_mean_pct", Value::from(s.mean)),
+            ],
+        );
         t3.row(vec![
             d.to_string(),
             cfg.associativity().to_string(),
@@ -141,6 +208,15 @@ fn main() {
     for (front, back) in [(63, 1), (60, 4), (56, 8), (48, 16), (32, 32)] {
         let cfg = IcebergConfig::new(buckets.max(8), front, back, 6);
         let s = experiments::first_conflict_summary(cfg, 6, 3);
+        sink.handle().event(
+            back as u64,
+            "ablation.split",
+            &[
+                ("front", Value::from(front as u64)),
+                ("back", Value::from(back as u64)),
+                ("first_conflict_mean_pct", Value::from(s.mean)),
+            ],
+        );
         t4.row(vec![
             format!("{front}/{back}"),
             cfg.associativity().to_string(),
@@ -162,7 +238,15 @@ fn main() {
     {
         eprintln!("[ablation] timestamps: exact ...");
         let mut exact = MosaicMemory::new(layout, 7);
-        drive(&mut exact, workload, target, 7);
+        drive(
+            &mut exact,
+            workload,
+            target,
+            7,
+            "ts exact",
+            sink.handle(),
+            sink.interval(),
+        );
         t5.row(vec![
             "Exact (ideal hardware)".into(),
             exact.stats().swap_ops().to_string(),
@@ -180,7 +264,15 @@ fn main() {
                 ..Default::default()
             },
         );
-        drive(&mut scanned, workload, target, 7);
+        drive(
+            &mut scanned,
+            workload,
+            target,
+            7,
+            "ts scanned",
+            sink.handle(),
+            sink.interval(),
+        );
         let st = *scanned.scanner().expect("scanner mode").stats();
         t5.row(vec![
             "Scanned (access bits + 20% hot sampling)".into(),
@@ -191,4 +283,5 @@ fn main() {
     }
     println!("{}", t5.render());
     println!("Reading: epoch-granular timestamps make Horizon LRU's eviction choices\ncoarser (the fidelity cost of real hardware, quantified above), while hot-page\nsampling avoids a large share of access-bit clears (TLB invalidations).");
+    sink.finish();
 }

@@ -4,15 +4,19 @@
 //!
 //! ```text
 //! fig6 [graph500|btree|gups|xsbench|all] [--scale N] [--entries N] [--no-kernel] [--csv]
+//!      [--obs-out F] [--obs-interval R]
 //! ```
 //!
 //! `--scale 0` is a seconds-fast smoke run; `--scale 1` (default) is the
 //! benchmark size (tens of MiB footprints). The TLB has `--entries`
-//! entries (default 1024, as in Table 1a).
+//! entries (default 1024, as in Table 1a). `--obs-out` exports the whole
+//! TLB grid's counters (and `--obs-interval R` interval snapshots) as
+//! JSONL; render with `obs_report`.
 
+use mosaic_bench::obs::ObsSink;
 use mosaic_bench::Args;
 use mosaic_core::sim::dual::KernelConfig;
-use mosaic_core::sim::fig6::{render, run_workload, Fig6Config, TlbKind};
+use mosaic_core::sim::fig6::{render, run_workload_observed, Fig6Config, TlbKind};
 use mosaic_core::sim::platform::TlbPlatform;
 use mosaic_core::sim::report::Table;
 use mosaic_core::mmu::{Arity, Associativity};
@@ -38,6 +42,14 @@ fn main() {
         },
         seed: args.get_u64("seed", 0xF166),
     };
+    let sink = ObsSink::from_args(&args, "fig6");
+    if sink.is_enabled() {
+        sink.handle().meta(&[
+            ("scale", mosaic_obs::Value::from(u64::from(scale))),
+            ("entries", mosaic_obs::Value::from(entries as u64)),
+            ("seed", mosaic_obs::Value::from(cfg.seed)),
+        ]);
+    }
 
     println!("{}", TlbPlatform {
         tlb_entries: entries,
@@ -98,7 +110,7 @@ fn main() {
     for w in &mut workloads {
         let name = w.meta().name.to_string();
         eprintln!("[fig6] running {name} ...");
-        let rows = run_workload(&cfg, w.as_mut());
+        let rows = run_workload_observed(&cfg, w.as_mut(), sink.handle(), sink.interval());
         let table = render(&name, &rows);
         if args.has("csv") {
             println!("{}", table.render_csv());
@@ -121,4 +133,5 @@ fn main() {
                 .any(|r| r.assoc == *assoc && r.kind == TlbKind::Vanilla));
         }
     }
+    sink.finish();
 }

@@ -1,0 +1,26 @@
+//! Renders a `--obs-out` JSONL stream into a per-interval text report:
+//! miss-rate curves, Iceberg-load/utilization curves, probe-length
+//! histograms, and the fault-event timeline.
+//!
+//! ```text
+//! obs_report <run.jsonl>
+//! ```
+//!
+//! The report is deterministic: the same input file renders to the same
+//! bytes, so fixed-seed runs can be diffed end to end.
+
+use mosaic_bench::obs_report::{parse_stream, render_report};
+use mosaic_bench::Args;
+
+fn main() {
+    let args = Args::from_env();
+    let Some(path) = args.positional().first() else {
+        eprintln!("usage: obs_report <run.jsonl>");
+        std::process::exit(2);
+    };
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+    let stream = parse_stream(&text)
+        .unwrap_or_else(|e| panic!("{path} is not a mosaic-obs JSONL stream: {e}"));
+    print!("{}", render_report(&stream));
+}

@@ -3,16 +3,26 @@
 //! measured from the actual generators.
 //!
 //! ```text
-//! table2 [--scale N] [--csv]
+//! table2 [--scale N] [--csv] [--obs-out F]
 //! ```
+//!
+//! `--obs-out` exports one `workload.inventory` event per row (name,
+//! footprint, access count) as JSONL; render with `obs_report`.
 
+use mosaic_bench::obs::ObsSink;
 use mosaic_bench::Args;
 use mosaic_core::sim::report::{group_digits, Table};
 use mosaic_core::workloads::standard_suite;
+use mosaic_obs::Value;
 
 fn main() {
     let args = Args::from_env();
     let scale = args.get_u64("scale", 1) as u32;
+    let sink = ObsSink::from_args(&args, "table2");
+    if sink.is_enabled() {
+        sink.handle()
+            .meta(&[("scale", Value::from(u64::from(scale)))]);
+    }
 
     let mut t = Table::new(vec![
         "Workload".into(),
@@ -23,8 +33,17 @@ fn main() {
     .with_title(&format!(
         "Table 2: workloads used for evaluating hardware TLB and OS designs (scale {scale})"
     ));
-    for w in standard_suite(scale, 0xB5EED) {
+    for (i, w) in standard_suite(scale, 0xB5EED).into_iter().enumerate() {
         let m = w.meta();
+        sink.handle().event(
+            i as u64,
+            "workload.inventory",
+            &[
+                ("name", Value::from(m.name)),
+                ("footprint_bytes", Value::from(m.footprint_bytes)),
+                ("approx_accesses", Value::from(m.approx_accesses)),
+            ],
+        );
         t.row(vec![
             m.name.to_string(),
             m.description.to_string(),
@@ -41,4 +60,5 @@ fn main() {
         "Paper footprints (Table 2): Graph500 1010 MiB, BTree 2618 MiB, GUPS 8207 MiB,\n\
          XSBench 1012 MiB — scaled down here; the access *patterns* are what the TLB sees."
     );
+    sink.finish();
 }

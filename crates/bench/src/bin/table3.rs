@@ -3,23 +3,36 @@
 //! steady-state utilization over the whole workload.
 //!
 //! ```text
-//! table3 [--buckets N] [--runs K] [--csv]
+//! table3 [--buckets N] [--runs K] [--csv] [--obs-out F] [--obs-interval R]
 //! ```
 //!
 //! `--buckets` sets memory size in Iceberg buckets of 64 frames (default
 //! 64 = 16 MiB, preserving the paper's footprint-to-memory *ratios*
 //! against its 4 GiB pool). `--runs` averages over K seeds (paper: 10).
+//! `--obs-out` exports counters/gauges (and `--obs-interval R` interval
+//! snapshots) as JSONL; render with `obs_report`.
 
+use mosaic_bench::obs::ObsSink;
 use mosaic_bench::Args;
 use mosaic_core::iceberg::stats::Summary;
 use mosaic_core::sim::platform::SwapPlatform;
-use mosaic_core::sim::pressure::{run_pressure, PressureConfig, PressureWorkload};
+use mosaic_core::sim::pressure::{
+    run_pressure_observed, PressureConfig, PressureWorkload, ResilienceConfig,
+};
 use mosaic_core::sim::report::Table;
+use mosaic_obs::Value;
 
 fn main() {
     let args = Args::from_env();
     let buckets = args.get_u64("buckets", 64) as usize;
     let runs = args.get_u64("runs", 3).max(1);
+    let sink = ObsSink::from_args(&args, "table3");
+    if sink.is_enabled() {
+        sink.handle().meta(&[
+            ("buckets", Value::from(buckets as u64)),
+            ("runs", Value::from(runs)),
+        ]);
+    }
 
     println!("{}", SwapPlatform::new(buckets * 64).table().render());
 
@@ -46,7 +59,15 @@ fn main() {
                     // boots would have.
                     seed: 0x7AB1E + run * 131 + widx as u64 * 17,
                 };
-                let row = run_pressure(w, ratio, &cfg);
+                let (row, _) = run_pressure_observed(
+                    w,
+                    ratio,
+                    &cfg,
+                    &ResilienceConfig::none(),
+                    sink.handle(),
+                    sink.interval(),
+                )
+                .unwrap_or_else(|e| panic!("fault-free pressure run cannot fail: {e}"));
                 footprint = row.footprint_bytes;
                 if let (Some(f), Some(s)) = (row.first_conflict_pct, row.steady_state_pct) {
                     first.push(f);
@@ -76,4 +97,5 @@ fn main() {
         "Expected shape (paper): first conflict ≈98% across all rows; steady state ≥99%\n\
          and rising with footprint; the Linux baseline begins swapping at ≈99.2%."
     );
+    sink.finish();
 }

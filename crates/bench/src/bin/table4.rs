@@ -2,7 +2,7 @@
 //! increasing the workload sizes, Linux baseline vs Mosaic (Horizon LRU).
 //!
 //! ```text
-//! table4 [--buckets N] [--csv] [--fault-ppm N]
+//! table4 [--buckets N] [--csv] [--fault-ppm N] [--obs-out F] [--obs-interval R]
 //! ```
 //!
 //! The paper sweeps footprints from 101.5 % to 157.7 % of a 4 GiB pool;
@@ -14,14 +14,21 @@
 //! bit-flips, each at N ppm) and appends the resilience table: faults
 //! injected, retries, backoff, re-walks, dropped accesses, and
 //! structural `verify()` passes.
+//!
+//! With `--obs-out F` the run additionally exports counters, gauges,
+//! interval snapshots (`--obs-interval R` references apart) and — under
+//! `--fault-ppm` — the replayable `fault.injected`/`fault.recovered`/
+//! `fault.unrecovered` event timeline; render `F` with `obs_report`.
 
+use mosaic_bench::obs::ObsSink;
 use mosaic_bench::Args;
 use mosaic_core::prelude::*;
 use mosaic_core::sim::platform::SwapPlatform;
 use mosaic_core::sim::pressure::{
-    render_resilience, render_table4, run_pressure, run_pressure_resilient, PressureConfig,
-    PressureWorkload, ResilienceConfig,
+    render_resilience, render_table4, run_pressure_observed, PressureConfig, PressureWorkload,
+    ResilienceConfig,
 };
+use mosaic_obs::Value;
 
 fn main() {
     let args = Args::from_env();
@@ -32,6 +39,14 @@ fn main() {
         mem_buckets: buckets,
         seed: args.get_u64("seed", 0x7AB1E),
     };
+    let sink = ObsSink::from_args(&args, "table4");
+    if sink.is_enabled() {
+        sink.handle().meta(&[
+            ("buckets", Value::from(buckets as u64)),
+            ("seed", Value::from(cfg.seed)),
+            ("fault_ppm", Value::from(u64::from(fault_ppm))),
+        ]);
+    }
 
     println!("{}", SwapPlatform::new(buckets * 64).table().render());
 
@@ -39,7 +54,17 @@ fn main() {
     for w in PressureWorkload::ALL {
         for &ratio in &PressureConfig::paper_ratios() {
             eprintln!("[table4] {} at ratio {ratio:.3} ...", w.name());
-            rows.push(run_pressure(w, ratio, &cfg));
+            match run_pressure_observed(
+                w,
+                ratio,
+                &cfg,
+                &ResilienceConfig::none(),
+                sink.handle(),
+                sink.interval(),
+            ) {
+                Ok((row, _)) => rows.push(row),
+                Err(e) => panic!("fault-free pressure run cannot fail: {e}"),
+            }
         }
     }
 
@@ -84,7 +109,7 @@ fn main() {
         for w in PressureWorkload::ALL {
             for &ratio in &PressureConfig::paper_ratios() {
                 eprintln!("[table4] {} at ratio {ratio:.3} (faults {fault_ppm} ppm) ...", w.name());
-                match run_pressure_resilient(w, ratio, &cfg, &res) {
+                match run_pressure_observed(w, ratio, &cfg, &res, sink.handle(), sink.interval()) {
                     Ok(row) => frows.push(row),
                     Err(e) => eprintln!("[table4] {} aborted: {e}", w.name()),
                 }
@@ -97,4 +122,6 @@ fn main() {
             println!("{}", rt.render());
         }
     }
+
+    sink.finish();
 }

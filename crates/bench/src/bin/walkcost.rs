@@ -8,9 +8,14 @@
 //! stream.
 //!
 //! ```text
-//! walkcost [--keys N] [--lookups N]
+//! walkcost [--keys N] [--lookups N] [--obs-out F]
 //! ```
+//!
+//! `--obs-out` exports per-design walk-depth histograms
+//! (`ptw.<label>.depth`) and walk-cache hit/miss/fetch counters as
+//! JSONL; render with `obs_report`.
 
+use mosaic_bench::obs::ObsSink;
 use mosaic_bench::Args;
 use mosaic_core::mem::{Asid, PageKey, Vpn};
 use mosaic_core::mmu::{Arity, RadixTable, WalkCache};
@@ -21,6 +26,13 @@ fn main() {
     let args = Args::from_env();
     let keys = args.get_u64("keys", 400_000);
     let lookups = args.get_u64("lookups", 40_000);
+    let sink = ObsSink::from_args(&args, "walkcost");
+    if sink.is_enabled() {
+        sink.handle().meta(&[
+            ("keys", mosaic_obs::Value::from(keys)),
+            ("lookups", mosaic_obs::Value::from(lookups)),
+        ]);
+    }
 
     // Collect the workload's page-touch stream once.
     let mut w = BTreeWorkload::new(
@@ -70,15 +82,27 @@ fn main() {
     ];
 
     for (name, bits, per_level, index_of) in configs {
+        // Short metric label, e.g. "vanilla" / "mosaic-16".
+        let label = name
+            .split_whitespace()
+            .next()
+            .unwrap_or("pt")
+            .to_lowercase();
+        let depth_hist = sink.handle().histogram(&format!("ptw.{label}.depth"));
+        let walks = sink.handle().counter(&format!("ptw.{label}.walks"));
         let mut table: RadixTable<u64> = RadixTable::new(bits, per_level);
         for v in &vpns {
             table.insert(index_of(*v), v.0);
         }
         let mut raw_fetches = 0u64;
         for v in &vpns {
-            raw_fetches += u64::from(table.walk(index_of(*v)).levels_touched);
+            let touched = u64::from(table.walk(index_of(*v)).levels_touched);
+            raw_fetches += touched;
+            walks.inc();
+            depth_hist.record(touched);
         }
         let mut wc = WalkCache::new(16);
+        wc.set_obs(sink.handle(), &label);
         let mut cached_fetches = 0u64;
         for v in &vpns {
             cached_fetches += u64::from(wc.walk(&table, index_of(*v)).1);
@@ -99,4 +123,8 @@ fn main() {
          same footprint with arity-x fewer leaf entries (and fewer levels at high\n\
          arity), and MMU caching (§5.4) stacks on either design."
     );
+    if sink.is_enabled() {
+        sink.handle().snapshot(vpns.len() as u64);
+    }
+    sink.finish();
 }

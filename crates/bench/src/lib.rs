@@ -13,6 +13,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod obs;
+pub mod obs_report;
+
 /// A minimal flag parser: `--name value` pairs plus positional arguments.
 ///
 /// # Example
@@ -38,7 +41,13 @@ impl Args {
         let mut args = args.peekable();
         while let Some(a) = args.next() {
             if let Some(name) = a.strip_prefix("--") {
-                let value = args.next().unwrap_or_default();
+                // A following `--token` is the next flag, not this one's
+                // value, so boolean flags compose in any position
+                // (`--no-kernel --obs-out F`).
+                let value = match args.peek() {
+                    Some(next) if !next.starts_with("--") => args.next().unwrap_or_default(),
+                    _ => String::new(),
+                };
                 out.flags.push((name.to_string(), value));
             } else {
                 out.positional.push(a);
@@ -70,6 +79,15 @@ impl Args {
             .map_or(default, |(_, v)| {
                 v.parse().unwrap_or_else(|_| panic!("--{name} expects a number, got {v:?}"))
             })
+    }
+
+    /// The value of `--name` as a string, if the flag was passed.
+    pub fn get_str(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
     }
 
     /// Whether `--name` was passed at all.
@@ -112,5 +130,13 @@ mod tests {
     fn last_flag_wins() {
         let a = parse(&["bin", "--n", "1", "--n", "2"]);
         assert_eq!(a.get_u64("n", 0), 2);
+    }
+
+    #[test]
+    fn boolean_flag_does_not_swallow_next_flag() {
+        let a = parse(&["bin", "--no-kernel", "--obs-out", "run.jsonl", "--csv"]);
+        assert!(a.has("no-kernel"));
+        assert!(a.has("csv"));
+        assert_eq!(a.get_str("obs-out"), Some("run.jsonl"));
     }
 }

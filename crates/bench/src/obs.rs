@@ -1,0 +1,141 @@
+//! Shared `--obs-out` / `--obs-interval` plumbing for the experiment
+//! binaries.
+//!
+//! Every regenerator binary accepts the same three flags:
+//!
+//! * `--obs-out <path>` — enable metric/event collection and write the
+//!   stream to `path` on exit. Without this flag collection is fully
+//!   disabled ([`mosaic_obs::ObsHandle::noop`]) and the binary's stdout
+//!   is byte-identical to an uninstrumented build.
+//! * `--obs-interval <refs>` — snapshot the whole registry every that
+//!   many simulated references (0, the default, snapshots only at the
+//!   end of each run).
+//! * `--obs-format jsonl|trace` — output format: JSONL records (the
+//!   default; render with `obs_report`) or a Chrome `trace_event` JSON
+//!   file loadable in perfetto / `chrome://tracing`.
+
+use crate::Args;
+use mosaic_obs::{ObsHandle, Value};
+
+/// Export format of the collected stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObsFormat {
+    /// One JSON record per line (see `docs/OBSERVABILITY.md`).
+    Jsonl,
+    /// Chrome `trace_event` JSON for perfetto / `chrome://tracing`.
+    Trace,
+}
+
+/// The observability sink of one binary run: a handle plus where (and
+/// whether) to flush it at exit.
+#[derive(Debug, Clone)]
+pub struct ObsSink {
+    handle: ObsHandle,
+    out: Option<String>,
+    interval: u64,
+    format: ObsFormat,
+}
+
+impl ObsSink {
+    /// Builds the sink from the parsed command line; `bin` is stamped
+    /// into the stream's leading `meta` record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `--obs-format` is neither `jsonl` nor `trace`.
+    pub fn from_args(args: &Args, bin: &str) -> Self {
+        let out = args.get_str("obs-out").map(str::to_string);
+        let interval = args.get_u64("obs-interval", 0);
+        let format = match args.get_str("obs-format") {
+            None | Some("jsonl") => ObsFormat::Jsonl,
+            Some("trace") => ObsFormat::Trace,
+            Some(other) => panic!("--obs-format expects jsonl|trace, got {other:?}"),
+        };
+        let handle = if out.is_some() {
+            let h = ObsHandle::enabled();
+            h.meta(&[("bin", Value::from(bin))]);
+            h
+        } else {
+            ObsHandle::noop()
+        };
+        Self {
+            handle,
+            out,
+            interval,
+            format,
+        }
+    }
+
+    /// The handle to thread through the simulators (a no-op unless
+    /// `--obs-out` was passed).
+    pub fn handle(&self) -> &ObsHandle {
+        &self.handle
+    }
+
+    /// Snapshot interval in simulated references (0 = finals only).
+    pub fn interval(&self) -> u64 {
+        self.interval
+    }
+
+    /// Whether collection is live.
+    pub fn is_enabled(&self) -> bool {
+        self.handle.is_enabled()
+    }
+
+    /// Renders and writes the stream, if `--obs-out` was passed. Reports
+    /// the destination on stderr so experiment stdout stays untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the output file cannot be written.
+    pub fn finish(&self) {
+        let Some(path) = &self.out else {
+            return;
+        };
+        let text = match self.format {
+            ObsFormat::Jsonl => self.handle.render_jsonl(),
+            ObsFormat::Trace => self.handle.render_chrome_trace(),
+        };
+        std::fs::write(path, &text)
+            .unwrap_or_else(|e| panic!("cannot write --obs-out {path}: {e}"));
+        eprintln!(
+            "[obs] wrote {} records to {path}",
+            self.handle.num_records()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(items: &[&str]) -> Args {
+        Args::parse(items.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn disabled_without_flag() {
+        let s = ObsSink::from_args(&parse(&["bin"]), "t");
+        assert!(!s.is_enabled());
+        assert_eq!(s.interval(), 0);
+        s.finish(); // no-op, must not panic
+    }
+
+    #[test]
+    fn enabled_with_flag() {
+        let s = ObsSink::from_args(
+            &parse(&["bin", "--obs-out", "/tmp/x.jsonl", "--obs-interval", "512"]),
+            "t",
+        );
+        assert!(s.is_enabled());
+        assert_eq!(s.interval(), 512);
+        // The meta record is already queued.
+        assert!(s.handle().render_jsonl().contains("\"bin\":\"t\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "jsonl|trace")]
+    fn bad_format_panics() {
+        ObsSink::from_args(&parse(&["bin", "--obs-out", "x", "--obs-format", "xml"]), "t");
+    }
+}

@@ -1,0 +1,436 @@
+//! Renders a `--obs-out` JSONL stream into a per-interval text report:
+//! miss-rate curves, load/utilization curves, probe-length histograms,
+//! and the fault-event timeline.
+//!
+//! The stream is processed in emission order. Consecutive
+//! counter/gauge/hist records sharing one `ref` form a *snapshot* (that
+//! is exactly how [`mosaic_obs::ObsHandle::snapshot`] emits them);
+//! curves are the per-snapshot deltas of the cumulative counters.
+
+use mosaic_obs::fmt::fmt_pct;
+use mosaic_obs::json::{parse, Json};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A summarized histogram record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistRecord {
+    /// Recorded values.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+    /// Quantile estimates (bucket lower bounds).
+    pub p50: u64,
+    /// 90th percentile.
+    pub p90: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// Exact maximum.
+    pub max: u64,
+    /// `(bucket lower bound, count)` for every non-empty bucket.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+/// One registry snapshot: every instrument's cumulative value at `at`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// The simulated reference count the snapshot was taken at.
+    pub at: u64,
+    /// Cumulative counters by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauges by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histograms by name.
+    pub hists: BTreeMap<String, HistRecord>,
+}
+
+/// A structured event (`fault.injected`, `drive.begin`, ...).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventRecord {
+    /// The simulated reference count.
+    pub at: u64,
+    /// Event name.
+    pub name: String,
+    /// Fields as `(key, rendered value)` in emission order.
+    pub fields: Vec<(String, String)>,
+}
+
+/// A parsed stream: metadata, snapshots in order, events in order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ObsStream {
+    /// `meta` record fields (key → rendered value).
+    pub meta: Vec<(String, String)>,
+    /// Snapshots in emission order.
+    pub snapshots: Vec<Snapshot>,
+    /// Events in emission order.
+    pub events: Vec<EventRecord>,
+}
+
+fn render_value(v: &Json) -> String {
+    match v {
+        Json::Str(s) => s.clone(),
+        Json::Num(n) => {
+            if n.fract() == 0.0 && n.abs() < 9e15 {
+                format!("{}", *n as i64)
+            } else {
+                format!("{n:.4}")
+            }
+        }
+        Json::Bool(b) => b.to_string(),
+        Json::Null => "null".to_string(),
+        _ => "?".to_string(),
+    }
+}
+
+fn field_u64(v: &Json, key: &str) -> Result<u64, String> {
+    v.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("missing numeric field {key:?}"))
+}
+
+/// Returns the open snapshot at `at`, closing the previous one into
+/// `done` if the timestamp moved.
+fn open_snapshot<'a>(
+    done: &mut Vec<Snapshot>,
+    cur: &'a mut Option<Snapshot>,
+    at: u64,
+) -> &'a mut Snapshot {
+    if cur.as_ref().is_none_or(|s| s.at != at) {
+        if let Some(prev) = cur.take() {
+            done.push(prev);
+        }
+        *cur = Some(Snapshot {
+            at,
+            ..Snapshot::default()
+        });
+    }
+    cur.as_mut().unwrap_or_else(|| unreachable!("just set"))
+}
+
+/// Parses a JSONL stream.
+///
+/// # Errors
+///
+/// Returns a message naming the first malformed line.
+pub fn parse_stream(text: &str) -> Result<ObsStream, String> {
+    let mut out = ObsStream::default();
+    let mut cur: Option<Snapshot> = None;
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = parse(line).map_err(|e| format!("line {}: {e:?}", lineno + 1))?;
+        let t = v
+            .get("t")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("line {}: missing \"t\"", lineno + 1))?
+            .to_string();
+        let name = || {
+            v.get("name")
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("line {}: missing \"name\"", lineno + 1))
+        };
+        match t.as_str() {
+            "meta" => {
+                if let Json::Obj(map) = &v {
+                    for (k, val) in map {
+                        if k != "t" {
+                            out.meta.push((k.clone(), render_value(val)));
+                        }
+                    }
+                }
+            }
+            "counter" => {
+                let at = field_u64(&v, "ref")?;
+                let value = field_u64(&v, "value")?;
+                open_snapshot(&mut out.snapshots, &mut cur, at)
+                    .counters
+                    .insert(name()?, value);
+            }
+            "gauge" => {
+                let at = field_u64(&v, "ref")?;
+                let value = v
+                    .get("value")
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| format!("line {}: missing gauge value", lineno + 1))?;
+                open_snapshot(&mut out.snapshots, &mut cur, at)
+                    .gauges
+                    .insert(name()?, value);
+            }
+            "hist" => {
+                let at = field_u64(&v, "ref")?;
+                let mut buckets = Vec::new();
+                if let Some(arr) = v.get("buckets").and_then(Json::as_arr) {
+                    for b in arr {
+                        if let Some(pair) = b.as_arr() {
+                            if let (Some(lo), Some(n)) =
+                                (pair.first().and_then(Json::as_u64), pair.get(1).and_then(Json::as_u64))
+                            {
+                                buckets.push((lo, n));
+                            }
+                        }
+                    }
+                }
+                let rec = HistRecord {
+                    count: field_u64(&v, "count")?,
+                    sum: field_u64(&v, "sum")?,
+                    p50: field_u64(&v, "p50")?,
+                    p90: field_u64(&v, "p90")?,
+                    p99: field_u64(&v, "p99")?,
+                    max: field_u64(&v, "max")?,
+                    buckets,
+                };
+                open_snapshot(&mut out.snapshots, &mut cur, at)
+                    .hists
+                    .insert(name()?, rec);
+            }
+            "event" => {
+                let at = field_u64(&v, "ref")?;
+                let mut fields = Vec::new();
+                if let Some(Json::Obj(map)) = v.get("fields") {
+                    for (k, val) in map {
+                        fields.push((k.clone(), render_value(val)));
+                    }
+                }
+                out.events.push(EventRecord {
+                    at,
+                    name: name()?,
+                    fields,
+                });
+            }
+            other => return Err(format!("line {}: unknown record type {other:?}", lineno + 1)),
+        }
+    }
+    if let Some(done) = cur.take() {
+        out.snapshots.push(done);
+    }
+    Ok(out)
+}
+
+/// A miss-rate series: cumulative numerator/denominator counter names.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Series {
+    label: String,
+    num: Vec<String>,
+    den: String,
+}
+
+/// Discovers miss-rate series from counter names: every `<x>.accesses`
+/// with a sibling `<x>.misses` (TLB/walk-cache style) or
+/// `<x>.minor_faults`/`<x>.major_faults` (memory-manager style).
+fn discover_series(snapshots: &[Snapshot]) -> Vec<Series> {
+    let mut names: BTreeMap<String, ()> = BTreeMap::new();
+    for s in snapshots {
+        for k in s.counters.keys() {
+            names.insert(k.clone(), ());
+        }
+    }
+    let mut series = Vec::new();
+    for name in names.keys() {
+        let Some(label) = name.strip_suffix(".accesses") else {
+            continue;
+        };
+        let misses = format!("{label}.misses");
+        let minor = format!("{label}.minor_faults");
+        let major = format!("{label}.major_faults");
+        if names.contains_key(&misses) {
+            series.push(Series {
+                label: format!("{label} (misses/accesses)"),
+                num: vec![misses],
+                den: name.clone(),
+            });
+        } else if names.contains_key(&minor) {
+            series.push(Series {
+                label: format!("{label} (faults/accesses)"),
+                num: vec![minor, major],
+                den: name.clone(),
+            });
+        }
+    }
+    series
+}
+
+fn counter(s: &Snapshot, name: &str) -> u64 {
+    s.counters.get(name).copied().unwrap_or(0)
+}
+
+/// Renders the full text report.
+pub fn render_report(stream: &ObsStream) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== obs report ==");
+    for (k, v) in &stream.meta {
+        let _ = writeln!(out, "meta: {k} = {v}");
+    }
+    let _ = writeln!(
+        out,
+        "{} snapshot(s), {} event(s)",
+        stream.snapshots.len(),
+        stream.events.len()
+    );
+
+    // ── Miss-rate curves ──────────────────────────────────────────────
+    for series in discover_series(&stream.snapshots) {
+        let _ = writeln!(out, "\n-- interval curve: {} --", series.label);
+        let _ = writeln!(
+            out,
+            "{:>12} {:>14} {:>12} {:>8}",
+            "ref", "Δaccesses", "Δmisses", "rate"
+        );
+        let mut prev_den = 0u64;
+        let mut prev_num = 0u64;
+        for s in &stream.snapshots {
+            let den = counter(s, &series.den);
+            let num: u64 = series.num.iter().map(|n| counter(s, n)).sum();
+            // Counters are cumulative and monotone within a run; a
+            // grid-style stream (several runs, one registry) keeps
+            // accumulating, so deltas stay meaningful throughout.
+            let dden = den.saturating_sub(prev_den);
+            let dnum = num.saturating_sub(prev_num);
+            if dden == 0 && dnum == 0 {
+                continue; // this series was idle in the interval
+            }
+            let _ = writeln!(
+                out,
+                "{:>12} {:>14} {:>12} {:>8}",
+                s.at,
+                dden,
+                dnum,
+                fmt_pct(dnum, dden)
+            );
+            prev_den = den;
+            prev_num = num;
+        }
+    }
+
+    // ── Load / utilization curves ─────────────────────────────────────
+    let mut gauge_names: Vec<String> = Vec::new();
+    for s in &stream.snapshots {
+        for k in s.gauges.keys() {
+            if !gauge_names.contains(k) {
+                gauge_names.push(k.clone());
+            }
+        }
+    }
+    gauge_names.sort();
+    for g in &gauge_names {
+        let _ = writeln!(out, "\n-- load curve: {g} --");
+        let _ = writeln!(out, "{:>12} {:>10}", "ref", "value");
+        for s in &stream.snapshots {
+            if let Some(v) = s.gauges.get(g) {
+                let _ = writeln!(out, "{:>12} {:>10.4}", s.at, v);
+            }
+        }
+    }
+
+    // ── Histograms (final snapshot wins: counters are cumulative) ─────
+    let mut last_hists: BTreeMap<&str, &HistRecord> = BTreeMap::new();
+    for s in &stream.snapshots {
+        for (k, h) in &s.hists {
+            last_hists.insert(k, h);
+        }
+    }
+    for (name, h) in &last_hists {
+        let _ = writeln!(
+            out,
+            "\n-- histogram: {name} (n={}, p50={}, p90={}, p99={}, max={}) --",
+            h.count, h.p50, h.p90, h.p99, h.max
+        );
+        let peak = h.buckets.iter().map(|&(_, n)| n).max().unwrap_or(1).max(1);
+        for &(lo, n) in &h.buckets {
+            let bar = "#".repeat(((n * 40).div_ceil(peak)) as usize);
+            let _ = writeln!(out, "{lo:>10} | {n:>10} {bar}");
+        }
+    }
+
+    // ── Event timeline ────────────────────────────────────────────────
+    if !stream.events.is_empty() {
+        let _ = writeln!(out, "\n-- events --");
+        let mut tally: BTreeMap<&str, u64> = BTreeMap::new();
+        for e in &stream.events {
+            *tally.entry(&e.name).or_insert(0) += 1;
+        }
+        for (name, n) in &tally {
+            let _ = writeln!(out, "{name}: {n}");
+        }
+        // The full timeline, capped for readability on huge fault runs.
+        const MAX_LINES: usize = 2000;
+        let shown = stream.events.len().min(MAX_LINES);
+        for e in &stream.events[..shown] {
+            let fields: Vec<String> =
+                e.fields.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            let _ = writeln!(out, "{:>12} {} {}", e.at, e.name, fields.join(" "));
+        }
+        if stream.events.len() > shown {
+            let _ = writeln!(
+                out,
+                "... {} more event(s) elided",
+                stream.events.len() - shown
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mosaic_obs::{ObsHandle, Value};
+
+    fn sample_stream() -> String {
+        let obs = ObsHandle::enabled();
+        obs.meta(&[("bin", Value::from("test"))]);
+        let acc = obs.counter("tlb.v.accesses");
+        let miss = obs.counter("tlb.v.misses");
+        let load = obs.gauge("iceberg.a.load");
+        let h = obs.histogram("iceberg.a.probe_front");
+        acc.add(100);
+        miss.add(10);
+        load.set(0.5);
+        h.record(1);
+        h.record(3);
+        obs.snapshot(1000);
+        acc.add(100);
+        miss.add(30);
+        load.set(0.75);
+        obs.event(1500, "fault.injected", &[("mgr", Value::from("mosaic"))]);
+        obs.snapshot(2000);
+        obs.render_jsonl()
+    }
+
+    #[test]
+    fn parses_snapshots_in_order() {
+        let s = parse_stream(&sample_stream()).unwrap();
+        assert_eq!(s.snapshots.len(), 2);
+        assert_eq!(s.snapshots[0].at, 1000);
+        assert_eq!(s.snapshots[1].at, 2000);
+        assert_eq!(s.snapshots[1].counters["tlb.v.accesses"], 200);
+        assert_eq!(s.events.len(), 1);
+        assert_eq!(s.meta, vec![("bin".to_string(), "test".to_string())]);
+    }
+
+    #[test]
+    fn report_contains_interval_rates() {
+        let s = parse_stream(&sample_stream()).unwrap();
+        let r = render_report(&s);
+        // First interval: 10/100; second: 30/100.
+        assert!(r.contains("10.0%"), "{r}");
+        assert!(r.contains("30.0%"), "{r}");
+        assert!(r.contains("load curve: iceberg.a.load"));
+        assert!(r.contains("histogram: iceberg.a.probe_front"));
+        assert!(r.contains("fault.injected: 1"));
+    }
+
+    #[test]
+    fn report_is_deterministic() {
+        let s1 = parse_stream(&sample_stream()).unwrap();
+        let s2 = parse_stream(&sample_stream()).unwrap();
+        assert_eq!(render_report(&s1), render_report(&s2));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_stream("{\"t\":\"wat\"}").is_err());
+        assert!(parse_stream("not json").is_err());
+    }
+}

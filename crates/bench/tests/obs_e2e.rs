@@ -1,0 +1,54 @@
+//! End-to-end observability test: a fixed-seed observed pressure run
+//! exports a JSONL stream that `obs_report` parses and renders into
+//! interval miss-rate and load curves, deterministically.
+
+use mosaic_bench::obs_report::{parse_stream, render_report};
+use mosaic_core::sim::pressure::{
+    run_pressure_observed, PressureConfig, PressureWorkload, ResilienceConfig,
+};
+use mosaic_obs::ObsHandle;
+
+fn observed_jsonl() -> String {
+    let obs = ObsHandle::enabled();
+    let cfg = PressureConfig {
+        mem_buckets: 8,
+        seed: 0x7AB1E,
+    };
+    run_pressure_observed(
+        PressureWorkload::BTree,
+        1.2,
+        &cfg,
+        &ResilienceConfig::none(),
+        &obs,
+        10_000,
+    )
+    .expect("fault-free pressure run cannot fail");
+    obs.render_jsonl()
+}
+
+/// The exported stream renders into a report with interval fault-rate
+/// curves for both managers and a utilization load curve.
+#[test]
+fn report_renders_interval_and_load_curves() {
+    let jsonl = observed_jsonl();
+    let stream = parse_stream(&jsonl).expect("export must be parseable");
+    assert!(
+        stream.snapshots.len() > 2,
+        "interval snapshots expected, got {}",
+        stream.snapshots.len()
+    );
+    let report = render_report(&stream);
+    assert!(report.contains("interval curve: mosaic"), "{report}");
+    assert!(report.contains("interval curve: linux"), "{report}");
+    assert!(report.contains("load curve: mosaic.util"), "{report}");
+}
+
+/// Export → parse → render is byte-deterministic for a fixed seed.
+#[test]
+fn report_is_byte_deterministic_across_runs() {
+    let (a, b) = (observed_jsonl(), observed_jsonl());
+    assert_eq!(a, b, "JSONL must be byte-identical");
+    let ra = render_report(&parse_stream(&a).expect("parse a"));
+    let rb = render_report(&parse_stream(&b).expect("parse b"));
+    assert_eq!(ra, rb);
+}

@@ -58,11 +58,7 @@ impl OccupancyStats {
 
     /// Fraction of *occupied* slots that live in the backyard.
     pub fn backyard_fraction(&self) -> f64 {
-        if self.occupied() == 0 {
-            0.0
-        } else {
-            self.back_occupied as f64 / self.occupied() as f64
-        }
+        mosaic_obs::fmt::safe_ratio(self.back_occupied as u64, self.occupied() as u64)
     }
 
     /// Load factor of the front yard alone.

@@ -132,6 +132,25 @@ pub struct IcebergTable<K, V, F> {
     /// Per-bucket backyard occupancy, for O(1) power-of-d-choices.
     back_occupancy: Vec<u32>,
     len: usize,
+    obs: TableObs,
+}
+
+/// Observability handles for one table (all no-ops by default, so the
+/// probe paths cost a branch each unless `set_obs` binds them).
+#[derive(Debug, Clone, Default)]
+struct TableObs {
+    /// Front-yard slots scanned per placing insert.
+    probe_front: mosaic_obs::Histogram,
+    /// Backyard slots scanned per placing insert (after power-of-d).
+    probe_back: mosaic_obs::Histogram,
+    /// Candidate slots examined per key lookup.
+    probe_lookup: mosaic_obs::Histogram,
+    /// Successful placements.
+    inserts: mosaic_obs::Counter,
+    /// Associativity conflicts (insert failed with every candidate full).
+    conflicts: mosaic_obs::Counter,
+    /// Current load factor.
+    load: mosaic_obs::Gauge,
 }
 
 impl<K: IcebergKey, V, F: HashFamily> IcebergTable<K, V, F> {
@@ -158,7 +177,26 @@ impl<K: IcebergKey, V, F: HashFamily> IcebergTable<K, V, F> {
             len: 0,
             cfg,
             family,
+            obs: TableObs::default(),
         }
+    }
+
+    /// Exports this table's probe lengths and load under
+    /// `iceberg.<label>.*` (histograms `probe_front`, `probe_back`,
+    /// `probe_lookup`; counters `inserts`, `conflicts`; gauge `load`).
+    ///
+    /// A no-op when `obs` is disabled; table behavior is identical
+    /// either way.
+    pub fn set_obs(&mut self, obs: &mosaic_obs::ObsHandle, label: &str) {
+        self.obs = TableObs {
+            probe_front: obs.histogram(&format!("iceberg.{label}.probe_front")),
+            probe_back: obs.histogram(&format!("iceberg.{label}.probe_back")),
+            probe_lookup: obs.histogram(&format!("iceberg.{label}.probe_lookup")),
+            inserts: obs.counter(&format!("iceberg.{label}.inserts")),
+            conflicts: obs.counter(&format!("iceberg.{label}.conflicts")),
+            load: obs.gauge(&format!("iceberg.{label}.load")),
+        };
+        self.obs.load.set(self.load_factor());
     }
 
     /// The table geometry.
@@ -212,9 +250,12 @@ impl<K: IcebergKey, V, F: HashFamily> IcebergTable<K, V, F> {
     /// Finds the slot currently holding `key`, if present.
     pub fn slot_of(&self, key: &K) -> Option<SlotRef> {
         let cands = self.candidates(key);
-        let found = cands
-            .slots(&self.cfg)
-            .find(|&s| matches!(self.cell(s), Some((k, _)) if k == key));
+        let mut probed = 0u64;
+        let found = cands.slots(&self.cfg).find(|&s| {
+            probed += 1;
+            matches!(self.cell(s), Some((k, _)) if k == key)
+        });
+        self.obs.probe_lookup.record(probed);
         found
     }
 
@@ -277,6 +318,9 @@ impl<K: IcebergKey, V, F: HashFamily> IcebergTable<K, V, F> {
             if self.cell(slot).is_none() {
                 *self.cell_mut(slot) = Some((key, value));
                 self.len += 1;
+                self.obs.probe_front.record(slot.slot as u64 + 1);
+                self.obs.inserts.inc();
+                self.obs.load.set(self.load_factor());
                 return Ok(InsertOutcome::PlacedFront(slot));
             }
         }
@@ -300,9 +344,16 @@ impl<K: IcebergKey, V, F: HashFamily> IcebergTable<K, V, F> {
             *self.cell_mut(slot) = Some((key, value));
             self.back_occupancy[emptiest] += 1;
             self.len += 1;
+            self.obs
+                .probe_front
+                .record(self.cfg.front_slots() as u64);
+            self.obs.probe_back.record(slot.slot as u64 + 1);
+            self.obs.inserts.inc();
+            self.obs.load.set(self.load_factor());
             return Ok(InsertOutcome::PlacedBack(slot));
         }
 
+        self.obs.conflicts.inc();
         Err(InsertError { value })
     }
 
@@ -314,6 +365,7 @@ impl<K: IcebergKey, V, F: HashFamily> IcebergTable<K, V, F> {
             self.back_occupancy[slot.bucket] -= 1;
         }
         self.len -= 1;
+        self.obs.load.set(self.load_factor());
         Some(value)
     }
 

@@ -16,7 +16,9 @@ use crate::frame::{FrameEntry, FrameTable};
 use crate::invariants;
 use crate::layout::MemoryLayout;
 use crate::manager::{AccessKind, AccessOutcome, MemoryManager};
+use crate::obs::MemObs;
 use crate::stats::{PagingStats, UtilizationTracker};
+use mosaic_obs::ObsHandle;
 use std::collections::{HashMap, HashSet, VecDeque};
 
 /// Per-page reclaim state.
@@ -60,6 +62,7 @@ pub struct ClockMemory {
     high_watermark: usize,
     stats: PagingStats,
     util: UtilizationTracker,
+    obs: MemObs,
 }
 
 impl ClockMemory {
@@ -80,6 +83,7 @@ impl ClockMemory {
             high_watermark: high,
             stats: PagingStats::new(),
             util: UtilizationTracker::new(),
+            obs: MemObs::noop(),
         }
     }
 
@@ -106,11 +110,14 @@ impl ClockMemory {
         let entry = self.frames.evict(pfn);
         self.lru_state.remove(&victim);
         self.stats.live_evictions += 1;
+        self.obs.live_evictions.inc();
         if entry.eviction_needs_writeback() {
             self.stats.swapped_out += 1;
+            self.obs.swapped_out.inc();
             self.swapped.insert(victim);
         } else {
             self.stats.clean_drops += 1;
+            self.obs.clean_drops.inc();
             if entry.has_swap_copy {
                 self.swapped.insert(victim);
             }
@@ -189,6 +196,7 @@ impl MemoryManager for ClockMemory {
         now: u64,
     ) -> MosaicResult<AccessOutcome> {
         self.stats.accesses += 1;
+        self.obs.accesses.inc();
 
         if let Some(&pfn) = self.resident.get(&key) {
             self.frames.touch(pfn, now, kind.is_write());
@@ -197,6 +205,7 @@ impl MemoryManager for ClockMemory {
                 .get_mut(&key)
                 .ok_or(MosaicError::internal("resident pages have state"))?
                 .referenced = true;
+            self.obs.hits.inc();
             return Ok(AccessOutcome::Hit);
         }
 
@@ -229,9 +238,12 @@ impl MemoryManager for ClockMemory {
         Ok(if from_swap {
             self.stats.major_faults += 1;
             self.stats.swapped_in += 1;
+            self.obs.major_faults.inc();
+            self.obs.swapped_in.inc();
             AccessOutcome::MajorFault
         } else {
             self.stats.minor_faults += 1;
+            self.obs.minor_faults.inc();
             AccessOutcome::MinorFault
         })
     }
@@ -259,6 +271,14 @@ impl MemoryManager for ClockMemory {
     fn sample_utilization(&mut self) {
         let u = self.utilization();
         self.util.sample(u);
+    }
+
+    fn set_obs(&mut self, obs: &ObsHandle, prefix: &str) {
+        self.obs = MemObs::register(obs, prefix);
+    }
+
+    fn publish_obs(&self) {
+        self.obs.util.set(self.utilization());
     }
 
     fn verify(&self) -> MosaicResult<()> {

@@ -57,6 +57,7 @@ pub mod linux;
 pub mod lru;
 pub mod manager;
 pub mod mosaic;
+pub mod obs;
 pub mod policy;
 pub mod scanner;
 pub mod sharing;
@@ -73,6 +74,7 @@ pub mod prelude {
     pub use crate::linux::LinuxMemory;
     pub use crate::manager::{AccessKind, AccessOutcome, MemoryManager};
     pub use crate::mosaic::MosaicMemory;
+    pub use crate::obs::MemObs;
     pub use crate::policy::MosaicPolicy;
     pub use crate::stats::{PagingStats, ResilienceStats};
     pub use mosaic_iceberg::IcebergConfig;
@@ -88,6 +90,7 @@ pub use clock::ClockMemory;
 pub use linux::LinuxMemory;
 pub use manager::{AccessKind, AccessOutcome, MemoryManager};
 pub use mosaic::MosaicMemory;
+pub use obs::MemObs;
 pub use policy::MosaicPolicy;
 pub use scanner::{AccessScanner, ScannerConfig, ScannerStats};
 pub use sharing::SharedMosaicMemory;

@@ -16,7 +16,9 @@ use crate::invariants;
 use crate::layout::MemoryLayout;
 use crate::lru::LruIndex;
 use crate::manager::{AccessKind, AccessOutcome, MemoryManager};
+use crate::obs::MemObs;
 use crate::stats::{PagingStats, ResilienceStats, UtilizationTracker};
+use mosaic_obs::ObsHandle;
 use std::collections::{HashMap, HashSet};
 
 /// Default low watermark: reclaim begins when free frames fall below
@@ -56,6 +58,9 @@ pub struct LinuxMemory {
     resilience: ResilienceStats,
     stats: PagingStats,
     util: UtilizationTracker,
+    obs: MemObs,
+    /// Reference count of the in-flight access, for event timestamps.
+    obs_now: u64,
 }
 
 impl LinuxMemory {
@@ -89,6 +94,8 @@ impl LinuxMemory {
             resilience: ResilienceStats::new(),
             stats: PagingStats::new(),
             util: UtilizationTracker::new(),
+            obs: MemObs::noop(),
+            obs_now: 0,
         }
     }
 
@@ -133,13 +140,17 @@ impl LinuxMemory {
                 return Ok(());
             }
             self.resilience.io_faults_injected += 1;
+            self.obs.record_fault_injected(self.obs_now, "io");
             if retries >= max {
                 self.resilience.io_failures += 1;
+                self.obs
+                    .record_fault_unrecovered(self.obs_now, "io", "budget-exhausted");
                 return Err(MosaicError::SwapIoFailed { retries, write });
             }
             retries += 1;
             self.resilience.io_retries += 1;
             self.resilience.io_backoff_ticks += 1u64 << retries.min(16);
+            self.obs.record_fault_recovered(self.obs_now, "io", "retry");
         }
     }
 
@@ -168,11 +179,14 @@ impl LinuxMemory {
         let entry = self.frames.evict(pfn);
         debug_assert_eq!(entry.key, victim);
         self.stats.live_evictions += 1;
+        self.obs.live_evictions.inc();
         if entry.eviction_needs_writeback() {
             self.stats.swapped_out += 1;
+            self.obs.swapped_out.inc();
             self.swapped.insert(victim);
         } else {
             self.stats.clean_drops += 1;
+            self.obs.clean_drops.inc();
             if entry.has_swap_copy {
                 self.swapped.insert(victim);
             }
@@ -212,10 +226,13 @@ impl MemoryManager for LinuxMemory {
         now: u64,
     ) -> MosaicResult<AccessOutcome> {
         self.stats.accesses += 1;
+        self.obs.accesses.inc();
+        self.obs_now = now;
 
         if let Some(&pfn) = self.resident.get(&key) {
             self.frames.touch(pfn, now, kind.is_write());
             self.lru.touch(key, now);
+            self.obs.hits.inc();
             return Ok(AccessOutcome::Hit);
         }
 
@@ -250,9 +267,12 @@ impl MemoryManager for LinuxMemory {
         Ok(if from_swap {
             self.stats.major_faults += 1;
             self.stats.swapped_in += 1;
+            self.obs.major_faults.inc();
+            self.obs.swapped_in.inc();
             AccessOutcome::MajorFault
         } else {
             self.stats.minor_faults += 1;
+            self.obs.minor_faults.inc();
             AccessOutcome::MinorFault
         })
     }
@@ -284,6 +304,14 @@ impl MemoryManager for LinuxMemory {
 
     fn resilience(&self) -> &ResilienceStats {
         &self.resilience
+    }
+
+    fn set_obs(&mut self, obs: &ObsHandle, prefix: &str) {
+        self.obs = MemObs::register(obs, prefix);
+    }
+
+    fn publish_obs(&self) {
+        self.obs.util.set(self.utilization());
     }
 
     fn verify(&self) -> MosaicResult<()> {

@@ -8,6 +8,7 @@
 use crate::addr::{PageKey, Pfn};
 use crate::error::MosaicResult;
 use crate::stats::{PagingStats, ResilienceStats, UtilizationTracker};
+use mosaic_obs::ObsHandle;
 
 /// Whether an access reads or writes the page (drives dirty tracking and
 /// therefore swap-out accounting).
@@ -104,6 +105,17 @@ pub trait MemoryManager {
     fn verify(&self) -> MosaicResult<()> {
         Ok(())
     }
+
+    /// Binds this manager's counters and events to `obs` under
+    /// `<prefix>.*` names (see `docs/OBSERVABILITY.md` for the schema).
+    /// The default ignores the handle; managers that implement it must
+    /// keep behavior identical whether or not tracing is attached.
+    fn set_obs(&mut self, _obs: &ObsHandle, _prefix: &str) {}
+
+    /// Publishes slow-moving gauges (utilization, horizon, ghost count)
+    /// to the attached registry. The experiment driver calls this just
+    /// before each interval snapshot; the default does nothing.
+    fn publish_obs(&self) {}
 
     /// Utilization milestones (first conflict, steady-state samples).
     fn utilization_tracker(&self) -> &UtilizationTracker;

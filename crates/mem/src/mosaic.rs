@@ -18,6 +18,7 @@ use crate::invariants;
 use crate::layout::MemoryLayout;
 use crate::lru::LruIndex;
 use crate::manager::{AccessKind, AccessOutcome, MemoryManager};
+use crate::obs::MemObs;
 use crate::policy::MosaicPolicy;
 use crate::scanner::{AccessScanner, ScannerConfig};
 use crate::stats::{PagingStats, ResilienceStats, UtilizationTracker};
@@ -66,6 +67,11 @@ pub struct MosaicMemory {
     resilience: ResilienceStats,
     stats: PagingStats,
     util: UtilizationTracker,
+    /// Exported metric handles (no-ops unless `set_obs` binds them).
+    obs: MemObs,
+    /// Timestamp of the in-flight access, for event records emitted from
+    /// helpers that do not receive `now` (swap I/O, the alloc gate).
+    obs_now: u64,
 }
 
 impl MosaicMemory {
@@ -94,6 +100,8 @@ impl MosaicMemory {
             resilience: ResilienceStats::new(),
             stats: PagingStats::new(),
             util: UtilizationTracker::new(),
+            obs: MemObs::noop(),
+            obs_now: 0,
         }
     }
 
@@ -189,13 +197,17 @@ impl MosaicMemory {
                 return Ok(());
             }
             self.resilience.io_faults_injected += 1;
+            self.obs.record_fault_injected(self.obs_now, "io");
             if retries >= max {
                 self.resilience.io_failures += 1;
+                self.obs
+                    .record_fault_unrecovered(self.obs_now, "io", "budget-exhausted");
                 return Err(MosaicError::SwapIoFailed { retries, write });
             }
             retries += 1;
             self.resilience.io_retries += 1;
             self.resilience.io_backoff_ticks += 1u64 << retries.min(16);
+            self.obs.record_fault_recovered(self.obs_now, "io", "retry");
         }
     }
 
@@ -228,8 +240,11 @@ impl MosaicMemory {
                 return Ok(());
             }
             self.resilience.alloc_faults_injected += 1;
+            self.obs.record_fault_injected(self.obs_now, "alloc");
             if attempts >= max {
                 self.resilience.alloc_failures += 1;
+                self.obs
+                    .record_fault_unrecovered(self.obs_now, "alloc", "budget-exhausted");
                 let cands = self.candidates(key);
                 return Err(if self.candidates_fully_live(&cands) {
                     MosaicError::AssociativityConflict {
@@ -242,6 +257,7 @@ impl MosaicMemory {
             }
             attempts += 1;
             self.resilience.alloc_retries += 1;
+            self.obs.record_fault_recovered(self.obs_now, "alloc", "retry");
         }
     }
 
@@ -256,6 +272,7 @@ impl MosaicMemory {
             return;
         }
         self.resilience.toc_flips_injected += 1;
+        self.obs.record_fault_injected(self.obs_now, "toc");
         let cands = self.candidates(key);
         let slot = self.layout().slot_of_pfn(pfn);
         let cpfn = self.codec.encode_slot(&cands, slot);
@@ -274,6 +291,10 @@ impl MosaicMemory {
         };
         if detected {
             self.resilience.toc_rewalks += 1;
+            self.obs.record_fault_recovered(self.obs_now, "toc", "rewalk");
+        } else {
+            self.obs
+                .record_fault_unrecovered(self.obs_now, "toc", "benign-alias");
         }
     }
 
@@ -298,14 +319,18 @@ impl MosaicMemory {
         }
         if entry.is_ghost(self.horizon) {
             self.stats.ghost_evictions += 1;
+            self.obs.ghost_evictions.inc();
         } else {
             self.stats.live_evictions += 1;
+            self.obs.live_evictions.inc();
         }
         if entry.eviction_needs_writeback() {
             self.stats.swapped_out += 1;
+            self.obs.swapped_out.inc();
             self.swapped.insert(entry.key);
         } else {
             self.stats.clean_drops += 1;
+            self.obs.clean_drops.inc();
             if entry.has_swap_copy {
                 // The swap copy is still the page's contents.
                 self.swapped.insert(entry.key);
@@ -389,8 +414,11 @@ impl MosaicMemory {
         // 4. Associativity conflict: every candidate slot is live. Fall
         // back to evicting the LRU candidate instead of aborting.
         self.stats.conflicts += 1;
+        self.obs.conflicts.inc();
         if self.stats.conflicts == 1 {
             self.util.record_first_conflict(self.utilization());
+            let load_pct = self.utilization() * 100.0;
+            self.obs.record_first_conflict(self.obs_now, load_pct);
         }
         let (victim_slot, victim_ts) = self
             .frames
@@ -417,6 +445,8 @@ impl MemoryManager for MosaicMemory {
         now: u64,
     ) -> MosaicResult<AccessOutcome> {
         self.stats.accesses += 1;
+        self.obs.accesses.inc();
+        self.obs_now = now;
 
         if let Some(&pfn) = self.resident.get(&key) {
             let was_ghost = self
@@ -445,8 +475,10 @@ impl MemoryManager for MosaicMemory {
                 self.maybe_corrupt_translation(key, pfn);
             }
             return Ok(if was_ghost {
+                self.obs.ghost_hits.inc();
                 AccessOutcome::GhostHit
             } else {
+                self.obs.hits.inc();
                 AccessOutcome::Hit
             });
         }
@@ -480,11 +512,24 @@ impl MemoryManager for MosaicMemory {
         Ok(if from_swap {
             self.stats.major_faults += 1;
             self.stats.swapped_in += 1;
+            self.obs.major_faults.inc();
+            self.obs.swapped_in.inc();
             AccessOutcome::MajorFault
         } else {
             self.stats.minor_faults += 1;
+            self.obs.minor_faults.inc();
             AccessOutcome::MinorFault
         })
+    }
+
+    fn set_obs(&mut self, obs: &mosaic_obs::ObsHandle, prefix: &str) {
+        self.obs = MemObs::register(obs, prefix);
+    }
+
+    fn publish_obs(&self) {
+        self.obs.util.set(self.utilization());
+        self.obs.horizon.set(self.horizon as f64);
+        self.obs.ghosts.set(self.ghost_count() as f64);
     }
 
     fn resident_pfn(&self, key: PageKey) -> Option<Pfn> {

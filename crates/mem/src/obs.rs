@@ -1,0 +1,190 @@
+//! Observability handles for the memory managers.
+//!
+//! A [`MemObs`] bundle mirrors [`crate::stats::PagingStats`] as live
+//! counter handles plus the fault-injection outcome events the
+//! resilience harness (PR 1) produces. Managers own one bundle each,
+//! registered under a prefix (`mosaic.*`, `linux.*`, `clock.*`) so a
+//! dual-manager pressure run exports both sides in one stream.
+//!
+//! Fault outcomes obey a conservation law the integration tests assert:
+//! every `fault.injected` event is followed by exactly one of
+//! `fault.recovered` (a retry or re-walk absorbed it) or
+//! `fault.unrecovered` (retry budget exhausted → typed error, or an
+//! undetectable benign ToC flip). So `injected == recovered +
+//! unrecovered`, both as events and as the `<prefix>.fault.*` counters.
+
+use mosaic_obs::{Counter, Gauge, ObsHandle, Value};
+
+/// Per-manager metric handles (all no-ops by default).
+#[derive(Debug, Clone, Default)]
+pub struct MemObs {
+    handle: ObsHandle,
+    prefix: String,
+    /// `<prefix>.accesses`
+    pub accesses: Counter,
+    /// `<prefix>.hits`
+    pub hits: Counter,
+    /// `<prefix>.ghost_hits`
+    pub ghost_hits: Counter,
+    /// `<prefix>.minor_faults`
+    pub minor_faults: Counter,
+    /// `<prefix>.major_faults`
+    pub major_faults: Counter,
+    /// `<prefix>.swapped_in`
+    pub swapped_in: Counter,
+    /// `<prefix>.swapped_out`
+    pub swapped_out: Counter,
+    /// `<prefix>.clean_drops`
+    pub clean_drops: Counter,
+    /// `<prefix>.ghost_evictions`
+    pub ghost_evictions: Counter,
+    /// `<prefix>.live_evictions`
+    pub live_evictions: Counter,
+    /// `<prefix>.conflicts`
+    pub conflicts: Counter,
+    /// `<prefix>.fault.injected`
+    pub fault_injected: Counter,
+    /// `<prefix>.fault.recovered`
+    pub fault_recovered: Counter,
+    /// `<prefix>.fault.unrecovered`
+    pub fault_unrecovered: Counter,
+    /// `<prefix>.util` — fraction of frames occupied.
+    pub util: Gauge,
+    /// `<prefix>.horizon` — the Horizon LRU high-water mark.
+    pub horizon: Gauge,
+    /// `<prefix>.ghosts` — resident ghost pages.
+    pub ghosts: Gauge,
+}
+
+impl MemObs {
+    /// A disabled bundle.
+    pub fn noop() -> Self {
+        Self::default()
+    }
+
+    /// Registers the bundle under `<prefix>.*` names on `obs`.
+    pub fn register(obs: &ObsHandle, prefix: &str) -> Self {
+        let c = |name: &str| obs.counter(&format!("{prefix}.{name}"));
+        Self {
+            handle: obs.clone(),
+            prefix: prefix.to_string(),
+            accesses: c("accesses"),
+            hits: c("hits"),
+            ghost_hits: c("ghost_hits"),
+            minor_faults: c("minor_faults"),
+            major_faults: c("major_faults"),
+            swapped_in: c("swapped_in"),
+            swapped_out: c("swapped_out"),
+            clean_drops: c("clean_drops"),
+            ghost_evictions: c("ghost_evictions"),
+            live_evictions: c("live_evictions"),
+            conflicts: c("conflicts"),
+            fault_injected: c("fault.injected"),
+            fault_recovered: c("fault.recovered"),
+            fault_unrecovered: c("fault.unrecovered"),
+            util: obs.gauge(&format!("{prefix}.util")),
+            horizon: obs.gauge(&format!("{prefix}.horizon")),
+            ghosts: obs.gauge(&format!("{prefix}.ghosts")),
+        }
+    }
+
+    /// Whether the bundle is bound to a live registry.
+    pub fn is_enabled(&self) -> bool {
+        self.handle.is_enabled()
+    }
+
+    /// A fault was injected (`kind` ∈ `alloc`/`io`/`toc`). Emits the
+    /// `fault.injected` event and bumps the counter.
+    pub fn record_fault_injected(&self, now: u64, kind: &str) {
+        self.fault_injected.inc();
+        if self.handle.is_enabled() {
+            self.handle.event(
+                now,
+                "fault.injected",
+                &[
+                    ("mgr", Value::from(self.prefix.as_str())),
+                    ("kind", Value::from(kind)),
+                ],
+            );
+        }
+    }
+
+    /// An injected fault was absorbed by a recovery action
+    /// (`via` ∈ `retry`/`rewalk`).
+    pub fn record_fault_recovered(&self, now: u64, kind: &str, via: &str) {
+        self.fault_recovered.inc();
+        if self.handle.is_enabled() {
+            self.handle.event(
+                now,
+                "fault.recovered",
+                &[
+                    ("mgr", Value::from(self.prefix.as_str())),
+                    ("kind", Value::from(kind)),
+                    ("via", Value::from(via)),
+                ],
+            );
+        }
+    }
+
+    /// An injected fault was *not* absorbed: the retry budget was
+    /// exhausted (`how = "budget-exhausted"`, surfaced to the caller as
+    /// a typed error) or the corruption is genuinely undetectable
+    /// (`how = "benign-alias"`).
+    pub fn record_fault_unrecovered(&self, now: u64, kind: &str, how: &str) {
+        self.fault_unrecovered.inc();
+        if self.handle.is_enabled() {
+            self.handle.event(
+                now,
+                "fault.unrecovered",
+                &[
+                    ("mgr", Value::from(self.prefix.as_str())),
+                    ("kind", Value::from(kind)),
+                    ("how", Value::from(how)),
+                ],
+            );
+        }
+    }
+
+    /// Milestone: the first associativity conflict of the run (Table 3's
+    /// headline number). Later conflicts only bump the counter.
+    pub fn record_first_conflict(&self, now: u64, load_pct: f64) {
+        if self.handle.is_enabled() {
+            self.handle.event(
+                now,
+                "mosaic.first_conflict",
+                &[
+                    ("mgr", Value::from(self.prefix.as_str())),
+                    ("load_pct", Value::from(load_pct)),
+                ],
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_bundle_records_nothing() {
+        let o = MemObs::noop();
+        o.accesses.inc();
+        o.record_fault_injected(1, "io");
+        o.record_fault_recovered(2, "io", "retry");
+        assert_eq!(o.accesses.get(), 0);
+        assert_eq!(o.fault_injected.get(), 0);
+    }
+
+    #[test]
+    fn fault_events_carry_manager_prefix() {
+        let obs = ObsHandle::enabled();
+        let o = MemObs::register(&obs, "mosaic");
+        o.record_fault_injected(10, "alloc");
+        o.record_fault_unrecovered(11, "alloc", "budget-exhausted");
+        assert_eq!(obs.counter_value("mosaic.fault.injected"), 1);
+        assert_eq!(obs.counter_value("mosaic.fault.unrecovered"), 1);
+        let text = obs.render_jsonl();
+        assert!(text.contains("\"fault.injected\""));
+        assert!(text.contains("\"budget-exhausted\""));
+    }
+}

@@ -53,20 +53,12 @@ impl PagingStats {
 
     /// Faults per access, `0.0` for an empty stream (no accesses yet).
     pub fn fault_rate(&self) -> f64 {
-        if self.accesses == 0 {
-            0.0
-        } else {
-            self.faults() as f64 / self.accesses as f64
-        }
+        mosaic_obs::fmt::safe_ratio(self.faults(), self.accesses)
     }
 
     /// Swap I/O operations per access, `0.0` for an empty stream.
     pub fn swap_rate(&self) -> f64 {
-        if self.accesses == 0 {
-            0.0
-        } else {
-            self.swap_ops() as f64 / self.accesses as f64
-        }
+        mosaic_obs::fmt::safe_ratio(self.swap_ops(), self.accesses)
     }
 }
 

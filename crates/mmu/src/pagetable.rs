@@ -297,6 +297,8 @@ pub struct PageWalker<V> {
     table: RadixTable<V>,
     walks: u64,
     node_accesses: u64,
+    obs_walks: mosaic_obs::Counter,
+    obs_depth: mosaic_obs::Histogram,
 }
 
 impl<V> PageWalker<V> {
@@ -306,7 +308,18 @@ impl<V> PageWalker<V> {
             table,
             walks: 0,
             node_accesses: 0,
+            obs_walks: mosaic_obs::Counter::noop(),
+            obs_depth: mosaic_obs::Histogram::noop(),
         }
+    }
+
+    /// Exports this walker's counters as `ptw.<label>.walks` and the
+    /// per-walk depth distribution as histogram `ptw.<label>.depth`.
+    ///
+    /// A no-op when `obs` is disabled.
+    pub fn set_obs(&mut self, obs: &mosaic_obs::ObsHandle, label: &str) {
+        self.obs_walks = obs.counter(&format!("ptw.{label}.walks"));
+        self.obs_depth = obs.histogram(&format!("ptw.{label}.depth"));
     }
 
     /// The underlying table (for mapping setup).
@@ -324,6 +337,8 @@ impl<V> PageWalker<V> {
         self.walks += 1;
         let walk = self.table.walk(index);
         self.node_accesses += u64::from(walk.levels_touched);
+        self.obs_walks.inc();
+        self.obs_depth.record(u64::from(walk.levels_touched));
         walk.value
     }
 
@@ -339,11 +354,7 @@ impl<V> PageWalker<V> {
 
     /// Mean memory accesses per walk (0 if no walks yet).
     pub fn mean_walk_cost(&self) -> f64 {
-        if self.walks == 0 {
-            0.0
-        } else {
-            self.node_accesses as f64 / self.walks as f64
-        }
+        mosaic_obs::fmt::safe_ratio(self.node_accesses, self.walks)
     }
 }
 

@@ -10,11 +10,13 @@
 mod cache;
 mod coalesce;
 mod mosaic;
+mod obs;
 mod stats;
 mod vanilla;
 
 pub use cache::{Associativity, SetAssocCache, TlbConfig};
 pub use coalesce::{CoalescedTlb, ColtLookup};
 pub use mosaic::{MosaicLookup, MosaicTlb};
+pub use obs::TlbObs;
 pub use stats::TlbStats;
 pub use vanilla::{VanillaLookup, VanillaTlb};

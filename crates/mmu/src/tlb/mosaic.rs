@@ -7,7 +7,9 @@
 //! intact. Whole entries are evicted LRU on capacity misses.
 
 use super::cache::{SetAssocCache, TlbConfig};
+use super::obs::TlbObs;
 use super::stats::TlbStats;
+use mosaic_obs::ObsHandle;
 use crate::arity::{Arity, Mvpn};
 use crate::toc::Toc;
 use mosaic_mem::{Asid, Cpfn, Vpn};
@@ -61,6 +63,7 @@ pub struct MosaicTlb {
     arity: Arity,
     unmapped: Cpfn,
     stats: TlbStats,
+    obs: TlbObs,
 }
 
 impl MosaicTlb {
@@ -78,7 +81,16 @@ impl MosaicTlb {
             arity,
             unmapped,
             stats: TlbStats::new(),
+            obs: TlbObs::noop(),
         }
+    }
+
+    /// Exports this TLB's counters as `tlb.<label>.*` on `obs`.
+    ///
+    /// A no-op when `obs` is disabled; simulation behavior is
+    /// unchanged either way.
+    pub fn set_obs(&mut self, obs: &ObsHandle, label: &str) {
+        self.obs = TlbObs::register(obs, label);
     }
 
     /// The TLB geometry.
@@ -109,21 +121,26 @@ impl MosaicTlb {
     /// Looks up the translation for `(asid, vpn)`, counting hit/miss.
     pub fn lookup(&mut self, asid: Asid, vpn: Vpn) -> MosaicLookup {
         self.stats.accesses += 1;
+        self.obs.accesses.inc();
         let (tag, offset) = self.tag(asid, vpn);
         match self.cache.lookup(tag.mvpn.0 as usize, tag) {
             Some(toc) => match toc.get(offset) {
                 Some(cpfn) => {
                     self.stats.hits += 1;
+                    self.obs.hits.inc();
                     MosaicLookup::Hit(cpfn)
                 }
                 None => {
                     self.stats.misses += 1;
                     self.stats.sub_entry_misses += 1;
+                    self.obs.misses.inc();
+                    self.obs.sub_misses.inc();
                     MosaicLookup::SubMiss
                 }
             },
             None => {
                 self.stats.misses += 1;
+                self.obs.misses.inc();
                 MosaicLookup::Miss
             }
         }
@@ -142,6 +159,7 @@ impl MosaicTlb {
         let evicted = self.cache.insert(tag.mvpn.0 as usize, tag, toc);
         if evicted.is_some() {
             self.stats.evictions += 1;
+            self.obs.evictions.inc();
         }
     }
 

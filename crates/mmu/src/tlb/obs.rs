@@ -1,0 +1,66 @@
+//! Observability handles for the TLB hot path.
+//!
+//! A [`TlbObs`] bundle is a set of [`mosaic_obs::Counter`] handles that
+//! default to no-ops; [`TlbObs::register`] binds them to a live
+//! registry under `tlb.<label>.*` names. The lookup/fill paths bump
+//! these alongside the local [`super::TlbStats`] counters, so enabling
+//! tracing never changes simulation behavior — only what gets exported.
+
+use mosaic_obs::{Counter, ObsHandle};
+
+/// Per-TLB-instance counter handles (all no-ops by default).
+#[derive(Debug, Clone, Default)]
+pub struct TlbObs {
+    /// Total lookups: `tlb.<label>.accesses`.
+    pub accesses: Counter,
+    /// Lookup hits: `tlb.<label>.hits`.
+    pub hits: Counter,
+    /// Lookup misses (including sub-entry misses): `tlb.<label>.misses`.
+    pub misses: Counter,
+    /// Mosaic sub-entry misses: `tlb.<label>.sub_misses`.
+    pub sub_misses: Counter,
+    /// Whole-entry evictions on fill: `tlb.<label>.evictions`.
+    pub evictions: Counter,
+}
+
+impl TlbObs {
+    /// A disabled bundle (every counter is a no-op).
+    pub fn noop() -> Self {
+        Self::default()
+    }
+
+    /// Registers the bundle's counters as `tlb.<label>.*` on `obs`.
+    pub fn register(obs: &ObsHandle, label: &str) -> Self {
+        Self {
+            accesses: obs.counter(&format!("tlb.{label}.accesses")),
+            hits: obs.counter(&format!("tlb.{label}.hits")),
+            misses: obs.counter(&format!("tlb.{label}.misses")),
+            sub_misses: obs.counter(&format!("tlb.{label}.sub_misses")),
+            evictions: obs.counter(&format!("tlb.{label}.evictions")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_bundle_counts_nothing() {
+        let o = TlbObs::noop();
+        o.accesses.inc();
+        o.hits.add(5);
+        assert_eq!(o.accesses.get(), 0);
+        assert_eq!(o.hits.get(), 0);
+    }
+
+    #[test]
+    fn registered_bundle_exports_names() {
+        let obs = ObsHandle::enabled();
+        let o = TlbObs::register(&obs, "vanilla.8-way");
+        o.accesses.add(3);
+        o.misses.inc();
+        assert_eq!(obs.counter_value("tlb.vanilla.8-way.accesses"), 3);
+        assert_eq!(obs.counter_value("tlb.vanilla.8-way.misses"), 1);
+    }
+}

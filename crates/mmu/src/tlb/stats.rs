@@ -25,20 +25,12 @@ impl TlbStats {
 
     /// Miss rate in `[0, 1]`; zero when no accesses have happened.
     pub fn miss_rate(&self) -> f64 {
-        if self.accesses == 0 {
-            0.0
-        } else {
-            self.misses as f64 / self.accesses as f64
-        }
+        mosaic_obs::fmt::safe_ratio(self.misses, self.accesses)
     }
 
     /// Hit rate in `[0, 1]`; zero when no accesses have happened.
     pub fn hit_rate(&self) -> f64 {
-        if self.accesses == 0 {
-            0.0
-        } else {
-            self.hits as f64 / self.accesses as f64
-        }
+        mosaic_obs::fmt::safe_ratio(self.hits, self.accesses)
     }
 }
 

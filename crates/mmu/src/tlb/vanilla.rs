@@ -7,7 +7,9 @@
 //! structure, with the set index derived from each size's own page number.
 
 use super::cache::{SetAssocCache, TlbConfig};
+use super::obs::TlbObs;
 use super::stats::TlbStats;
+use mosaic_obs::ObsHandle;
 use crate::arity::{huge_index, HUGE_PAGE_SPAN};
 use mosaic_mem::{Asid, Pfn, Vpn};
 
@@ -63,6 +65,7 @@ pub struct VanillaTlb {
     cache: SetAssocCache<VanillaTag, VanillaEntry>,
     cfg: TlbConfig,
     stats: TlbStats,
+    obs: TlbObs,
 }
 
 impl VanillaTlb {
@@ -72,7 +75,16 @@ impl VanillaTlb {
             cache: SetAssocCache::new(cfg),
             cfg,
             stats: TlbStats::new(),
+            obs: TlbObs::noop(),
         }
+    }
+
+    /// Exports this TLB's counters as `tlb.<label>.*` on `obs`.
+    ///
+    /// A no-op when `obs` is disabled; simulation behavior is
+    /// unchanged either way.
+    pub fn set_obs(&mut self, obs: &ObsHandle, label: &str) {
+        self.obs = TlbObs::register(obs, label);
     }
 
     /// The TLB geometry.
@@ -108,10 +120,12 @@ impl VanillaTlb {
     /// correctness because a page is mapped at one size at a time).
     pub fn lookup(&mut self, asid: Asid, vpn: Vpn) -> VanillaLookup {
         self.stats.accesses += 1;
+        self.obs.accesses.inc();
         let base = Self::base_tag(asid, vpn);
         if let Some(e) = self.cache.lookup(vpn.0 as usize, base) {
             let pfn = e.pfn;
             self.stats.hits += 1;
+            self.obs.hits.inc();
             return VanillaLookup::HitBase(pfn);
         }
         let huge = Self::huge_tag(asid, vpn);
@@ -119,9 +133,11 @@ impl VanillaTlb {
             // Derive the base frame within the huge mapping.
             let pfn = Pfn(e.pfn.0 + (vpn.0 % HUGE_PAGE_SPAN));
             self.stats.hits += 1;
+            self.obs.hits.inc();
             return VanillaLookup::HitHuge(pfn);
         }
         self.stats.misses += 1;
+        self.obs.misses.inc();
         VanillaLookup::Miss
     }
 
@@ -132,6 +148,7 @@ impl VanillaTlb {
             .insert(vpn.0 as usize, Self::base_tag(asid, vpn), VanillaEntry { pfn });
         if evicted.is_some() {
             self.stats.evictions += 1;
+            self.obs.evictions.inc();
         }
     }
 
@@ -144,6 +161,7 @@ impl VanillaTlb {
             .insert(tag.page as usize, tag, VanillaEntry { pfn: first_pfn });
         if evicted.is_some() {
             self.stats.evictions += 1;
+            self.obs.evictions.inc();
         }
     }
 

@@ -39,6 +39,9 @@ pub struct WalkCache {
     tick: u64,
     hits: u64,
     misses: u64,
+    obs_hits: mosaic_obs::Counter,
+    obs_misses: mosaic_obs::Counter,
+    obs_fetches: mosaic_obs::Histogram,
 }
 
 impl WalkCache {
@@ -56,7 +59,19 @@ impl WalkCache {
             tick: 0,
             hits: 0,
             misses: 0,
+            obs_hits: mosaic_obs::Counter::noop(),
+            obs_misses: mosaic_obs::Counter::noop(),
+            obs_fetches: mosaic_obs::Histogram::noop(),
         }
+    }
+
+    /// Exports this cache's counters as `walkcache.<label>.{hits,misses}`
+    /// and the per-walk fetch count as histogram
+    /// `walkcache.<label>.fetches`. A no-op when `obs` is disabled.
+    pub fn set_obs(&mut self, obs: &mosaic_obs::ObsHandle, label: &str) {
+        self.obs_hits = obs.counter(&format!("walkcache.{label}.hits"));
+        self.obs_misses = obs.counter(&format!("walkcache.{label}.misses"));
+        self.obs_fetches = obs.histogram(&format!("walkcache.{label}.fetches"));
     }
 
     /// Cached-entry count.
@@ -120,15 +135,18 @@ impl WalkCache {
             if self.entries.contains_key(&key) {
                 self.lru.touch(key, self.tick);
                 self.hits += 1;
+                self.obs_hits.inc();
                 start = level + 1;
                 break;
             }
             self.misses += 1;
+            self.obs_misses.inc();
         }
         // The raw walk tells us the value and how deep the tree goes.
         let raw = table.walk(index);
         let reached = raw.levels_touched; // 1..=levels
         let fetches = reached.saturating_sub(start);
+        self.obs_fetches.record(u64::from(fetches));
         // Cache every upper-level node the walk traversed.
         for level in 0..reached.min(levels - 1) {
             let key = (level, Self::prefix(table.index_bits(), bits, index, level));

@@ -1,0 +1,70 @@
+//! Shared numeric-formatting helpers with division-by-zero guards.
+//!
+//! Every rate printed by the simulator is a ratio of two counters, and
+//! every one of them must survive an empty stream (`den == 0`) without
+//! leaking `NaN`/`inf` into a report. PR 1 scattered these guards
+//! across `sim::report`, `mem::stats`, and `mmu::tlb::stats`; this
+//! module is the single shared copy they all route through.
+
+/// `num / den` guarded against an empty stream: `0.0` when `den == 0`
+/// instead of NaN/infinity leaking into reports.
+#[inline]
+pub fn safe_ratio(num: u64, den: u64) -> f64 {
+    safe_div(num as f64, den as f64)
+}
+
+/// Floating-point division returning `0.0` for a zero (or non-finite)
+/// denominator.
+#[inline]
+pub fn safe_div(num: f64, den: f64) -> f64 {
+    if den == 0.0 || !den.is_finite() {
+        0.0
+    } else {
+        num / den
+    }
+}
+
+/// Formats `num / den` as a percentage with one decimal, or `--` when
+/// the denominator is zero (an empty stream has no meaningful rate).
+pub fn fmt_pct(num: u64, den: u64) -> String {
+    if den == 0 {
+        "--".to_string()
+    } else {
+        format!("{:.1}%", 100.0 * num as f64 / den as f64)
+    }
+}
+
+/// Formats `num / den` with `decimals` fractional digits, or `--` when
+/// the denominator is zero.
+pub fn fmt_ratio(num: u64, den: u64, decimals: usize) -> String {
+    if den == 0 {
+        "--".to_string()
+    } else {
+        format!("{:.*}", decimals, num as f64 / den as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_guard_zero_denominator() {
+        assert_eq!(safe_ratio(3, 4), 0.75);
+        assert_eq!(safe_ratio(3, 0), 0.0);
+        assert_eq!(safe_ratio(0, 0), 0.0);
+        assert_eq!(safe_div(1.0, 0.0), 0.0);
+        assert_eq!(safe_div(1.0, f64::NAN), 0.0);
+        assert_eq!(safe_div(1.0, f64::INFINITY), 0.0);
+        assert_eq!(safe_div(3.0, 4.0), 0.75);
+    }
+
+    #[test]
+    fn pct_and_ratio_render_dash_on_empty() {
+        assert_eq!(fmt_pct(1, 8), "12.5%");
+        assert_eq!(fmt_pct(0, 0), "--");
+        assert_eq!(fmt_ratio(3, 4, 2), "0.75");
+        assert_eq!(fmt_ratio(3, 0, 2), "--");
+        assert_eq!(fmt_ratio(1, 3, 3), "0.333");
+    }
+}

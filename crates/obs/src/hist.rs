@@ -1,0 +1,273 @@
+//! Log-linear histogram with bounded relative error.
+//!
+//! Values are bucketed HDR-style: the first 16 buckets are exact
+//! (width 1), and every octave above that is split into 16 linear
+//! sub-buckets, so the bucket width never exceeds 1/16th of the value
+//! it covers (~6.25 % relative error). That bound is what the property
+//! tests in this crate assert: any reported quantile lies within one
+//! bucket width of the exact sample quantile.
+//!
+//! The layout is dense and fixed-size (976 buckets for the full `u64`
+//! range), so merging two histograms is element-wise addition and a
+//! histogram built from concatenated samples is *identical* (not just
+//! approximately equal) to the merge of per-sample histograms.
+
+/// Number of low bits kept linear per octave (16 sub-buckets).
+const LINEAR_BITS: u32 = 4;
+/// Sub-buckets per octave.
+const SUB: u64 = 1 << LINEAR_BITS;
+/// Total bucket count covering all of `u64`.
+/// Buckets `0..16` are exact; octave `o` (1..=60) holds 16 buckets.
+pub const NUM_BUCKETS: usize = (61 * SUB) as usize;
+
+/// Index of the bucket holding `v`.
+#[inline]
+pub fn bucket_of(v: u64) -> usize {
+    if v < SUB {
+        v as usize
+    } else {
+        let msb = 63 - v.leading_zeros();
+        let shift = msb - LINEAR_BITS;
+        let sub = ((v >> shift) & (SUB - 1)) as usize;
+        ((msb - LINEAR_BITS + 1) as usize) * SUB as usize + sub
+    }
+}
+
+/// Smallest value mapped to bucket `b` (the reported quantile estimate).
+#[inline]
+pub fn bucket_lower(b: usize) -> u64 {
+    let b64 = b as u64;
+    if b64 < SUB {
+        b64
+    } else {
+        let octave = b64 / SUB;
+        let sub = b64 % SUB;
+        (SUB + sub) << (octave - 1)
+    }
+}
+
+/// Width of bucket `b` (number of distinct values it covers).
+#[inline]
+pub fn bucket_width(b: usize) -> u64 {
+    let b64 = b as u64;
+    if b64 < SUB {
+        1
+    } else {
+        1u64 << (b64 / SUB - 1)
+    }
+}
+
+/// A plain (single-threaded) log-linear histogram.
+///
+/// This is the value type behind [`crate::Histogram`] handles; it is
+/// also usable directly when no shared registry is needed.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Histo {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histo {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Histo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histo")
+            .field("count", &self.count)
+            .field("min", &self.min)
+            .field("max", &self.max)
+            .field("p50", &self.quantile(0.50))
+            .field("p99", &self.quantile(0.99))
+            .finish()
+    }
+}
+
+impl Histo {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: vec![0; NUM_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Record one observation of `v`.
+    pub fn record(&mut self, v: u64) {
+        self.buckets[bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Record `n` observations of `v`.
+    pub fn record_n(&mut self, v: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.buckets[bucket_of(v)] += n;
+        self.count += n;
+        self.sum = self.sum.saturating_add(v.saturating_mul(n));
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded values (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded value, or 0 if empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded value, or 0 if empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of recorded values, or 0.0 if empty.
+    pub fn mean(&self) -> f64 {
+        crate::fmt::safe_div(self.sum as f64, self.count as f64)
+    }
+
+    /// Lower bound of the bucket containing the `q`-quantile
+    /// (`0.0 <= q <= 1.0`). Returns 0 for an empty histogram.
+    ///
+    /// The exact sample quantile lies in the same bucket, so the error
+    /// is below one bucket width (see [`bucket_width`]).
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the target observation, 1-based ("nearest rank").
+        let target = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return bucket_lower(b);
+            }
+        }
+        self.max
+    }
+
+    /// Merge another histogram into this one (element-wise addition).
+    pub fn merge(&mut self, other: &Histo) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Non-empty buckets as `(lower_bound, count)` pairs, in value order.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(b, &n)| (bucket_lower(b), n))
+            .collect()
+    }
+
+    /// Fixed summary quantiles: `(p50, p90, p99, max)`.
+    pub fn summary(&self) -> (u64, u64, u64, u64) {
+        (
+            self.quantile(0.50),
+            self.quantile(0.90),
+            self.quantile(0.99),
+            self.max(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_contiguous_and_monotone() {
+        let mut prev = bucket_of(0);
+        assert_eq!(prev, 0);
+        for v in 1u64..100_000 {
+            let b = bucket_of(v);
+            assert!(b == prev || b == prev + 1, "gap at v={v}: {prev} -> {b}");
+            assert!(bucket_lower(b) <= v);
+            assert!(v < bucket_lower(b) + bucket_width(b));
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn extremes_fit() {
+        assert!(bucket_of(u64::MAX) < NUM_BUCKETS);
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(15), 15);
+        assert_eq!(bucket_of(16), 16);
+        assert_eq!(bucket_lower(bucket_of(16)), 16);
+    }
+
+    #[test]
+    fn exact_below_sixteen() {
+        let mut h = Histo::new();
+        for v in [1u64, 2, 3, 4, 5, 6, 7, 8, 9, 10] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.5), 5);
+        assert_eq!(h.quantile(1.0), 10);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 10);
+        assert!((h.mean() - 5.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_histogram_is_zeroed() {
+        let h = Histo::new();
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.summary(), (0, 0, 0, 0));
+    }
+
+    #[test]
+    fn merge_equals_concat_smoke() {
+        let mut a = Histo::new();
+        let mut b = Histo::new();
+        let mut c = Histo::new();
+        for v in 0..1000u64 {
+            let x = v * v % 7919;
+            if v % 2 == 0 {
+                a.record(x);
+            } else {
+                b.record(x);
+            }
+            c.record(x);
+        }
+        a.merge(&b);
+        assert_eq!(a, c);
+    }
+}

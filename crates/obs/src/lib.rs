@@ -1,0 +1,687 @@
+//! Observability layer for the Mosaic Pages simulator.
+//!
+//! A registry of named **counters**, **gauges**, and log-linear
+//! **histograms** plus a structured **event sink**, exported as JSONL
+//! or a Chrome `trace_event` file (loadable in perfetto or
+//! `chrome://tracing`).
+//!
+//! Design constraints (see `docs/OBSERVABILITY.md`):
+//!
+//! * **Zero-cost when disabled.** [`ObsHandle::noop`] hands out metric
+//!   handles whose inner `Option` is `None`; the hot-path `inc()` /
+//!   `record()` is a single branch on a `None` discriminant. The
+//!   criterion microbench (`crates/bench/benches/obs.rs`) keeps this
+//!   honest (<2 % overhead on the access path).
+//! * **Deterministic.** Timestamps are *simulated reference counts*
+//!   supplied by the caller — never wall clock. Snapshot output is
+//!   sorted by metric name, numbers use Rust's shortest-roundtrip
+//!   formatting, so a fixed-seed run serializes byte-identically.
+//!
+//! ```
+//! use mosaic_obs::{ObsHandle, Value};
+//!
+//! let obs = ObsHandle::enabled();
+//! let hits = obs.counter("tlb.hits");
+//! hits.inc();
+//! obs.event(42, "fault.injected", &[("kind", Value::from("io"))]);
+//! obs.snapshot(100);
+//! let jsonl = obs.render_jsonl();
+//! assert!(jsonl.contains("\"tlb.hits\""));
+//!
+//! // Disabled: same call sites, no work, no output.
+//! let off = ObsHandle::noop();
+//! off.counter("tlb.hits").inc();
+//! assert!(off.render_jsonl().is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
+pub mod fmt;
+pub mod hist;
+pub mod json;
+
+pub use hist::Histo;
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Locks a mutex, recovering the data from a poisoned lock (metrics
+/// must never take the process down).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// A field value attached to an event or meta record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Float (serialized with shortest-roundtrip formatting).
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::U64(v as u64)
+    }
+}
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::U64(u64::from(v))
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl Value {
+    fn write_json(&self, out: &mut String) {
+        match self {
+            Value::U64(v) => {
+                out.push_str(&v.to_string());
+            }
+            Value::I64(v) => {
+                out.push_str(&v.to_string());
+            }
+            Value::F64(v) => json::write_f64(out, *v),
+            Value::Str(s) => json::write_str(out, s),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        }
+    }
+}
+
+/// One serialized record in the output stream.
+#[derive(Debug, Clone)]
+enum Record {
+    /// Run-level metadata (binary name, seed, config...).
+    Meta(Vec<(String, Value)>),
+    /// Counter value at a snapshot instant.
+    Counter { now: u64, name: String, value: u64 },
+    /// Gauge value at a snapshot instant.
+    Gauge { now: u64, name: String, value: f64 },
+    /// Histogram summary at a snapshot instant.
+    Hist {
+        now: u64,
+        name: String,
+        count: u64,
+        sum: u64,
+        p50: u64,
+        p90: u64,
+        p99: u64,
+        max: u64,
+        buckets: Vec<(u64, u64)>,
+    },
+    /// A discrete structured event.
+    Event {
+        now: u64,
+        name: String,
+        fields: Vec<(String, Value)>,
+    },
+}
+
+/// Shared state behind an enabled [`ObsHandle`].
+#[derive(Debug, Default)]
+struct ObsCore {
+    counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    gauges: Mutex<BTreeMap<String, Arc<AtomicU64>>>, // f64 bits
+    hists: Mutex<BTreeMap<String, Arc<Mutex<Histo>>>>,
+    records: Mutex<Vec<Record>>,
+}
+
+/// A named counter handle: one relaxed atomic add when enabled,
+/// a branch on `None` when not.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Option<Arc<AtomicU64>>);
+
+impl Counter {
+    /// A disabled counter (all operations are no-ops).
+    pub const fn noop() -> Self {
+        Counter(None)
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(c) = &self.0 {
+            c.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value (0 when disabled).
+    pub fn get(&self) -> u64 {
+        self.0.as_ref().map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+}
+
+/// A named gauge holding an `f64` (stored as bits in an atomic).
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Option<Arc<AtomicU64>>);
+
+impl Gauge {
+    /// A disabled gauge.
+    pub const fn noop() -> Self {
+        Gauge(None)
+    }
+
+    /// Sets the gauge.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        if let Some(g) = &self.0 {
+            g.store(v.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0.0 when disabled).
+    pub fn get(&self) -> f64 {
+        self.0
+            .as_ref()
+            .map_or(0.0, |g| f64::from_bits(g.load(Ordering::Relaxed)))
+    }
+}
+
+/// A named histogram handle over a shared [`Histo`].
+#[derive(Debug, Clone, Default)]
+pub struct Histogram(Option<Arc<Mutex<Histo>>>);
+
+impl Histogram {
+    /// A disabled histogram.
+    pub const fn noop() -> Self {
+        Histogram(None)
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if let Some(h) = &self.0 {
+            lock(h).record(v);
+        }
+    }
+
+    /// Copies out the current distribution (empty when disabled).
+    pub fn snapshot(&self) -> Histo {
+        self.0.as_ref().map_or_else(Histo::new, |h| lock(h).clone())
+    }
+}
+
+/// Cheap-to-clone entry point: either a shared registry or a no-op.
+///
+/// Constructors and instrumented structs default to [`ObsHandle::noop`],
+/// which keeps the default simulation paths byte-identical to the
+/// uninstrumented build.
+#[derive(Debug, Clone, Default)]
+pub struct ObsHandle {
+    core: Option<Arc<ObsCore>>,
+}
+
+impl ObsHandle {
+    /// A disabled handle: every metric it hands out is a no-op and
+    /// rendering produces empty output.
+    pub const fn noop() -> Self {
+        ObsHandle { core: None }
+    }
+
+    /// A live handle with a fresh empty registry.
+    pub fn enabled() -> Self {
+        ObsHandle {
+            core: Some(Arc::new(ObsCore::default())),
+        }
+    }
+
+    /// Whether this handle records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.core.is_some()
+    }
+
+    /// Registers (or re-fetches) the counter `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        match &self.core {
+            None => Counter(None),
+            Some(core) => {
+                let mut map = lock(&core.counters);
+                let cell = map
+                    .entry(name.to_string())
+                    .or_insert_with(|| Arc::new(AtomicU64::new(0)));
+                Counter(Some(Arc::clone(cell)))
+            }
+        }
+    }
+
+    /// Registers (or re-fetches) the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        match &self.core {
+            None => Gauge(None),
+            Some(core) => {
+                let mut map = lock(&core.gauges);
+                let cell = map
+                    .entry(name.to_string())
+                    .or_insert_with(|| Arc::new(AtomicU64::new(0f64.to_bits())));
+                Gauge(Some(Arc::clone(cell)))
+            }
+        }
+    }
+
+    /// Registers (or re-fetches) the histogram `name`.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        match &self.core {
+            None => Histogram(None),
+            Some(core) => {
+                let mut map = lock(&core.hists);
+                let cell = map
+                    .entry(name.to_string())
+                    .or_insert_with(|| Arc::new(Mutex::new(Histo::new())));
+                Histogram(Some(Arc::clone(cell)))
+            }
+        }
+    }
+
+    /// Current value of counter `name` (0 if unknown or disabled).
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.core.as_ref().map_or(0, |core| {
+            lock(&core.counters)
+                .get(name)
+                .map_or(0, |c| c.load(Ordering::Relaxed))
+        })
+    }
+
+    /// Appends run-level metadata (binary name, seed, config...).
+    pub fn meta(&self, fields: &[(&str, Value)]) {
+        if let Some(core) = &self.core {
+            lock(&core.records).push(Record::Meta(
+                fields
+                    .iter()
+                    .map(|(k, v)| ((*k).to_string(), v.clone()))
+                    .collect(),
+            ));
+        }
+    }
+
+    /// Records a discrete event at simulated time `now` (a reference
+    /// count, never wall clock).
+    pub fn event(&self, now: u64, name: &str, fields: &[(&str, Value)]) {
+        if let Some(core) = &self.core {
+            lock(&core.records).push(Record::Event {
+                now,
+                name: name.to_string(),
+                fields: fields
+                    .iter()
+                    .map(|(k, v)| ((*k).to_string(), v.clone()))
+                    .collect(),
+            });
+        }
+    }
+
+    /// Emits the current value of every registered counter, gauge, and
+    /// histogram as records stamped with simulated time `now`.
+    ///
+    /// Output order is deterministic: counters, then gauges, then
+    /// histograms, each sorted by name.
+    pub fn snapshot(&self, now: u64) {
+        let Some(core) = &self.core else { return };
+        let mut batch = Vec::new();
+        for (name, cell) in lock(&core.counters).iter() {
+            batch.push(Record::Counter {
+                now,
+                name: name.clone(),
+                value: cell.load(Ordering::Relaxed),
+            });
+        }
+        for (name, cell) in lock(&core.gauges).iter() {
+            batch.push(Record::Gauge {
+                now,
+                name: name.clone(),
+                value: f64::from_bits(cell.load(Ordering::Relaxed)),
+            });
+        }
+        for (name, cell) in lock(&core.hists).iter() {
+            let h = lock(cell);
+            let (p50, p90, p99, max) = h.summary();
+            batch.push(Record::Hist {
+                now,
+                name: name.clone(),
+                count: h.count(),
+                sum: h.sum(),
+                p50,
+                p90,
+                p99,
+                max,
+                buckets: h.nonzero_buckets(),
+            });
+        }
+        lock(&core.records).extend(batch);
+    }
+
+    /// Number of buffered records (0 when disabled).
+    pub fn num_records(&self) -> usize {
+        self.core.as_ref().map_or(0, |c| lock(&c.records).len())
+    }
+
+    /// Serializes the record stream as JSONL (one record per line).
+    ///
+    /// Empty string when disabled — callers can skip file creation.
+    pub fn render_jsonl(&self) -> String {
+        let Some(core) = &self.core else {
+            return String::new();
+        };
+        let mut out = String::new();
+        for rec in lock(&core.records).iter() {
+            render_jsonl_record(&mut out, rec);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Serializes the record stream as a Chrome `trace_event` document
+    /// (open in perfetto / `chrome://tracing`). Counter and histogram
+    /// snapshots become `"C"` (counter) events; discrete events become
+    /// `"i"` (instant) events. `ts` is the simulated reference count.
+    pub fn render_chrome_trace(&self) -> String {
+        let Some(core) = &self.core else {
+            return String::new();
+        };
+        let mut out = String::from("{\"traceEvents\":[\n");
+        let mut first = true;
+        for rec in lock(&core.records).iter() {
+            let mut line = String::new();
+            if render_trace_record(&mut line, rec) {
+                if !first {
+                    out.push_str(",\n");
+                }
+                first = false;
+                out.push_str(&line);
+            }
+        }
+        out.push_str("\n],\"displayTimeUnit\":\"ns\"}\n");
+        out
+    }
+}
+
+fn write_fields_obj(out: &mut String, fields: &[(String, Value)]) {
+    out.push('{');
+    for (i, (k, v)) in fields.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        json::write_str(out, k);
+        out.push(':');
+        v.write_json(out);
+    }
+    out.push('}');
+}
+
+fn render_jsonl_record(out: &mut String, rec: &Record) {
+    use std::fmt::Write as _;
+    match rec {
+        Record::Meta(fields) => {
+            out.push_str("{\"t\":\"meta\"");
+            for (k, v) in fields {
+                out.push(',');
+                json::write_str(out, k);
+                out.push(':');
+                v.write_json(out);
+            }
+            out.push('}');
+        }
+        Record::Counter { now, name, value } => {
+            out.push_str("{\"t\":\"counter\",\"ref\":");
+            let _ = write!(out, "{now}");
+            out.push_str(",\"name\":");
+            json::write_str(out, name);
+            let _ = write!(out, ",\"value\":{value}}}");
+        }
+        Record::Gauge { now, name, value } => {
+            out.push_str("{\"t\":\"gauge\",\"ref\":");
+            let _ = write!(out, "{now}");
+            out.push_str(",\"name\":");
+            json::write_str(out, name);
+            out.push_str(",\"value\":");
+            json::write_f64(out, *value);
+            out.push('}');
+        }
+        Record::Hist {
+            now,
+            name,
+            count,
+            sum,
+            p50,
+            p90,
+            p99,
+            max,
+            buckets,
+        } => {
+            out.push_str("{\"t\":\"hist\",\"ref\":");
+            let _ = write!(out, "{now}");
+            out.push_str(",\"name\":");
+            json::write_str(out, name);
+            let _ = write!(
+                out,
+                ",\"count\":{count},\"sum\":{sum},\"p50\":{p50},\"p90\":{p90},\"p99\":{p99},\"max\":{max},\"buckets\":["
+            );
+            for (i, (lo, n)) in buckets.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "[{lo},{n}]");
+            }
+            out.push_str("]}");
+        }
+        Record::Event { now, name, fields } => {
+            out.push_str("{\"t\":\"event\",\"ref\":");
+            let _ = write!(out, "{now}");
+            out.push_str(",\"name\":");
+            json::write_str(out, name);
+            out.push_str(",\"fields\":");
+            write_fields_obj(out, fields);
+            out.push('}');
+        }
+    }
+}
+
+/// Renders one record as a Chrome trace event. Returns false for
+/// records that have no trace representation.
+fn render_trace_record(out: &mut String, rec: &Record) -> bool {
+    use std::fmt::Write as _;
+    match rec {
+        Record::Meta(fields) => {
+            out.push_str(
+                "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\"args\":{\"name\":\"mosaic-sim\"}}",
+            );
+            // Also surface the metadata as an instant event at t=0 so it
+            // is visible in the timeline.
+            out.push_str(",\n{\"name\":\"run.meta\",\"ph\":\"i\",\"ts\":0,\"pid\":0,\"tid\":0,\"s\":\"g\",\"args\":");
+            write_fields_obj(out, fields);
+            out.push('}');
+            true
+        }
+        Record::Counter { now, name, value } => {
+            out.push_str("{\"name\":");
+            json::write_str(out, name);
+            let _ = write!(
+                out,
+                ",\"ph\":\"C\",\"ts\":{now},\"pid\":0,\"tid\":0,\"args\":{{\"value\":{value}}}}}"
+            );
+            true
+        }
+        Record::Gauge { now, name, value } => {
+            out.push_str("{\"name\":");
+            json::write_str(out, name);
+            let _ = write!(out, ",\"ph\":\"C\",\"ts\":{now},\"pid\":0,\"tid\":0,\"args\":{{\"value\":");
+            json::write_f64(out, *value);
+            out.push_str("}}");
+            true
+        }
+        Record::Hist {
+            now,
+            name,
+            p50,
+            p99,
+            max,
+            ..
+        } => {
+            out.push_str("{\"name\":");
+            json::write_str(out, name);
+            let _ = write!(
+                out,
+                ",\"ph\":\"C\",\"ts\":{now},\"pid\":0,\"tid\":0,\"args\":{{\"p50\":{p50},\"p99\":{p99},\"max\":{max}}}}}"
+            );
+            true
+        }
+        Record::Event { now, name, fields } => {
+            out.push_str("{\"name\":");
+            json::write_str(out, name);
+            let _ = write!(out, ",\"ph\":\"i\",\"ts\":{now},\"pid\":0,\"tid\":0,\"s\":\"g\",\"args\":");
+            write_fields_obj(out, fields);
+            out.push('}');
+            true
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_handle_is_inert() {
+        let obs = ObsHandle::noop();
+        assert!(!obs.is_enabled());
+        let c = obs.counter("x");
+        c.inc();
+        c.add(100);
+        assert_eq!(c.get(), 0);
+        obs.gauge("g").set(1.5);
+        obs.histogram("h").record(7);
+        obs.event(1, "e", &[("k", Value::from(1u64))]);
+        obs.snapshot(2);
+        assert_eq!(obs.num_records(), 0);
+        assert!(obs.render_jsonl().is_empty());
+        assert!(obs.render_chrome_trace().is_empty());
+    }
+
+    #[test]
+    fn counters_are_shared_by_name() {
+        let obs = ObsHandle::enabled();
+        let a = obs.counter("tlb.hits");
+        let b = obs.counter("tlb.hits");
+        a.add(2);
+        b.inc();
+        assert_eq!(a.get(), 3);
+        assert_eq!(obs.counter_value("tlb.hits"), 3);
+        assert_eq!(obs.counter_value("missing"), 0);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_parses() {
+        let obs = ObsHandle::enabled();
+        obs.counter("z.second").add(2);
+        obs.counter("a.first").inc();
+        obs.gauge("m.load").set(0.75);
+        let h = obs.histogram("probe");
+        for v in [1u64, 2, 2, 3, 40] {
+            h.record(v);
+        }
+        obs.snapshot(1000);
+        let text = obs.render_jsonl();
+        let a = text.find("a.first").expect("a.first present");
+        let z = text.find("z.second").expect("z.second present");
+        assert!(a < z, "counters must be sorted by name");
+        for line in text.lines() {
+            let v = json::parse(line).expect("every JSONL line parses");
+            assert!(v.get("t").is_some());
+        }
+    }
+
+    #[test]
+    fn events_round_trip() {
+        let obs = ObsHandle::enabled();
+        obs.event(
+            7,
+            "fault.injected",
+            &[("kind", Value::from("io")), ("n", Value::from(2u64))],
+        );
+        let text = obs.render_jsonl();
+        let v = json::parse(text.trim()).unwrap();
+        assert_eq!(v.get("t").and_then(json::Json::as_str), Some("event"));
+        assert_eq!(v.get("ref").and_then(json::Json::as_u64), Some(7));
+        assert_eq!(
+            v.get("fields")
+                .and_then(|f| f.get("kind"))
+                .and_then(json::Json::as_str),
+            Some("io")
+        );
+    }
+
+    #[test]
+    fn identical_runs_serialize_identically() {
+        let run = || {
+            let obs = ObsHandle::enabled();
+            obs.meta(&[("bin", Value::from("test")), ("seed", Value::from(42u64))]);
+            let c = obs.counter("c");
+            let h = obs.histogram("h");
+            for i in 0..1000u64 {
+                c.add(i % 3);
+                h.record(i * i % 257);
+                if i % 100 == 0 {
+                    obs.event(i, "tick", &[("i", Value::from(i))]);
+                    obs.snapshot(i);
+                }
+            }
+            obs.snapshot(1000);
+            (obs.render_jsonl(), obs.render_chrome_trace())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json() {
+        let obs = ObsHandle::enabled();
+        obs.meta(&[("bin", Value::from("t"))]);
+        obs.counter("c").inc();
+        obs.event(5, "e", &[("why", Value::from("test"))]);
+        obs.snapshot(9);
+        let doc = json::parse(&obs.render_chrome_trace()).expect("trace parses");
+        let events = doc.get("traceEvents").and_then(json::Json::as_arr).unwrap();
+        assert!(events.len() >= 3);
+    }
+}

@@ -1,0 +1,136 @@
+//! Property tests for the log-linear histogram (vendored proptest shim).
+//!
+//! Two guarantees the tentpole relies on:
+//!
+//! 1. **Quantile accuracy**: for any sample set, a reported quantile is
+//!    within one bucket width of the exact (nearest-rank) sample
+//!    quantile — for both uniform and zipf-like distributions.
+//! 2. **Mergeability**: merging per-shard histograms is *identical* to
+//!    building one histogram from the concatenated samples, so interval
+//!    snapshots can be combined without error.
+
+use mosaic_obs::hist::{bucket_of, bucket_width};
+use mosaic_obs::Histo;
+use proptest::prelude::*;
+
+/// Exact nearest-rank quantile of a sample set.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    assert!(!sorted.is_empty());
+    let target = ((q * sorted.len() as f64).ceil() as usize).max(1);
+    sorted[target - 1]
+}
+
+/// Asserts the histogram quantile is within one bucket width of the
+/// exact sample quantile, for a spread of q values.
+fn check_quantiles(samples: &[u64]) -> Result<(), TestCaseError> {
+    let mut h = Histo::new();
+    let mut sorted = samples.to_vec();
+    for &v in samples {
+        h.record(v);
+    }
+    sorted.sort_unstable();
+    for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+        let exact = exact_quantile(&sorted, q);
+        let est = h.quantile(q);
+        let width = bucket_width(bucket_of(exact));
+        // The estimate is the lower bound of the bucket holding the
+        // exact quantile, so it can undershoot by at most width - 1
+        // and never overshoot past the bucket's upper edge.
+        let lo = exact.saturating_sub(width);
+        let hi = exact.saturating_add(width);
+        prop_assert!(
+            est >= lo && est <= hi,
+            "q={} exact={} est={} width={}",
+            q,
+            exact,
+            est,
+            width
+        );
+    }
+    prop_assert_eq!(h.max(), *sorted.last().expect("non-empty"));
+    prop_assert_eq!(h.min(), sorted[0]);
+    prop_assert_eq!(h.count(), sorted.len() as u64);
+    Ok(())
+}
+
+/// Deterministic zipf-ish sampler: rank r gets weight 1/r, sampled via
+/// an inverse-CDF walk over a fixed harmonic table.
+fn zipf_samples(seed: u64, n: usize, ranks: u64) -> Vec<u64> {
+    let harmonics: Vec<f64> = (1..=ranks)
+        .scan(0.0, |acc, r| {
+            *acc += 1.0 / r as f64;
+            Some(*acc)
+        })
+        .collect();
+    let total = *harmonics.last().expect("ranks >= 1");
+    let mut state = seed | 1;
+    (0..n)
+        .map(|_| {
+            // SplitMix64 step.
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let u = (z >> 11) as f64 / (1u64 << 53) as f64 * total;
+            harmonics.partition_point(|&h| h < u) as u64 + 1
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn uniform_quantiles_within_one_bucket(
+        samples in prop::collection::vec(0u64..1_000_000, 1..400)
+    ) {
+        check_quantiles(&samples)?;
+    }
+
+    #[test]
+    fn small_value_quantiles_are_exact(
+        samples in prop::collection::vec(0u64..16, 1..200)
+    ) {
+        // Buckets 0..16 have width 1, so quantiles are exact.
+        let mut h = Histo::new();
+        let mut sorted = samples.clone();
+        for &v in &samples { h.record(v); }
+        sorted.sort_unstable();
+        for q in [0.1, 0.5, 0.95, 1.0] {
+            prop_assert_eq!(h.quantile(q), exact_quantile(&sorted, q));
+        }
+    }
+
+    #[test]
+    fn zipf_quantiles_within_one_bucket(seed in any::<u64>(), n in 1usize..500) {
+        let samples = zipf_samples(seed, n, 10_000);
+        check_quantiles(&samples)?;
+    }
+
+    #[test]
+    fn merge_equals_concat(
+        a in prop::collection::vec(any::<u64>(), 0..200),
+        b in prop::collection::vec(any::<u64>(), 0..200),
+    ) {
+        let mut ha = Histo::new();
+        let mut hb = Histo::new();
+        let mut hc = Histo::new();
+        for &v in &a { ha.record(v); hc.record(v); }
+        for &v in &b { hb.record(v); hc.record(v); }
+        ha.merge(&hb);
+        prop_assert_eq!(&ha, &hc);
+        // Summaries agree too (count/sum/min/max and quantiles).
+        prop_assert_eq!(ha.summary(), hc.summary());
+        prop_assert_eq!(ha.count(), (a.len() + b.len()) as u64);
+    }
+
+    #[test]
+    fn record_n_equals_repeated_record(v in any::<u64>(), n in 0u64..100) {
+        let mut bulk = Histo::new();
+        let mut looped = Histo::new();
+        bulk.record_n(v, n);
+        for _ in 0..n { looped.record(v); }
+        prop_assert_eq!(&bulk, &looped);
+    }
+}

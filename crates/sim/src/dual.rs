@@ -171,6 +171,33 @@ impl DualSim {
         }
     }
 
+    /// Binds every TLB instance (and the shared OS model) to a live
+    /// metrics registry. Instance labels are
+    /// `<design>.<associativity>` in lowercase — e.g.
+    /// `tlb.vanilla.direct.misses`, `tlb.mosaic-4.full.accesses` — so a
+    /// whole Figure 6 grid exports into one stream.
+    pub fn set_obs(&mut self, obs: &mosaic_obs::ObsHandle) {
+        self.os.set_obs(obs);
+        let arities = self.os.arities();
+        for (assoc, inst) in &mut self.instances {
+            let assoc_label = assoc.to_string().to_lowercase();
+            match inst {
+                Instance::Vanilla(tlb) => {
+                    tlb.set_obs(obs, &format!("vanilla.{assoc_label}"));
+                }
+                Instance::Mosaic(idx, tlb) => {
+                    let label = format!("mosaic-{}.{assoc_label}", arities[*idx].get());
+                    tlb.set_obs(obs, &label);
+                }
+            }
+        }
+    }
+
+    /// Publishes point-in-time gauges (allocator utilization).
+    pub fn publish_obs(&self) {
+        self.os.publish_obs();
+    }
+
     /// User (workload) accesses driven so far.
     pub fn user_accesses(&self) -> u64 {
         self.user_accesses

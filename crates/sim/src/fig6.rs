@@ -88,6 +88,20 @@ impl Fig6Row {
 /// Runs the sweep for one workload: a single pass over its trace feeds
 /// every (associativity × design) TLB simultaneously.
 pub fn run_workload(cfg: &Fig6Config, workload: &mut dyn Workload) -> Vec<Fig6Row> {
+    run_workload_observed(cfg, workload, &mosaic_obs::ObsHandle::noop(), 0)
+}
+
+/// [`run_workload`] with metric export: every TLB instance and page-table
+/// walker registers on `obs` (see [`DualSim::set_obs`] for the labeling),
+/// and — when `obs_interval > 0` — the registry is snapshotted every
+/// `obs_interval` user accesses, producing the per-interval miss-rate
+/// series. With a noop handle this is exactly [`run_workload`].
+pub fn run_workload_observed(
+    cfg: &Fig6Config,
+    workload: &mut dyn Workload,
+    obs: &mosaic_obs::ObsHandle,
+    obs_interval: u64,
+) -> Vec<Fig6Row> {
     let meta = workload.meta();
     let footprint_pages = meta.footprint_bytes.div_ceil(PAGE_SIZE) + 16;
     let mut sim = DualSim::new(
@@ -98,7 +112,25 @@ pub fn run_workload(cfg: &Fig6Config, workload: &mut dyn Workload) -> Vec<Fig6Ro
         cfg.kernel,
         cfg.seed,
     );
-    workload.run(&mut |a| sim.access(a));
+    if obs.is_enabled() {
+        sim.set_obs(obs);
+        obs.event(
+            0,
+            "drive.begin",
+            &[("workload", mosaic_obs::Value::from(meta.name))],
+        );
+    }
+    workload.run(&mut |a| {
+        sim.access(a);
+        if obs_interval > 0 && sim.user_accesses().is_multiple_of(obs_interval) {
+            sim.publish_obs();
+            obs.snapshot(sim.user_accesses());
+        }
+    });
+    if obs.is_enabled() {
+        sim.publish_obs();
+        obs.snapshot(sim.user_accesses());
+    }
     sim.results()
         .into_iter()
         .map(|(assoc, arity, stats)| Fig6Row {

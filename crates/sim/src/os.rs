@@ -88,6 +88,25 @@ impl OsModel {
         &self.mosaic
     }
 
+    /// Binds the model's page-table walkers (and the mosaic allocator)
+    /// to a live metrics registry: walk counts and depths export as
+    /// `ptw.vanilla.*` / `ptw.mosaic-<arity>.*`, allocator counters as
+    /// `mosaic.*`.
+    pub fn set_obs(&mut self, obs: &mosaic_obs::ObsHandle) {
+        use mosaic_mem::MemoryManager as _;
+        self.mosaic.set_obs(obs, "mosaic");
+        self.vanilla_pt.set_obs(obs, "vanilla");
+        for (arity, pt) in &mut self.mosaic_pts {
+            pt.set_obs(obs, &format!("mosaic-{}", arity.get()));
+        }
+    }
+
+    /// Publishes the allocator's point-in-time gauges.
+    pub fn publish_obs(&self) {
+        use mosaic_mem::MemoryManager as _;
+        self.mosaic.publish_obs();
+    }
+
     /// Demand-maps `vpn` in both worlds if needed and records the access.
     ///
     /// # Panics

@@ -16,6 +16,7 @@ use mosaic_mem::{
     Asid, FaultPlan, IcebergConfig, LinuxMemory, MemoryLayout, MemoryManager, MosaicError,
     MosaicMemory, MosaicResult, PageKey, ResilienceStats, PAGE_SIZE,
 };
+use mosaic_obs::{ObsHandle, Value};
 use mosaic_workloads::{BTreeWorkload, Graph500, Workload, XsBench};
 
 /// The workloads the swapping experiments use (the paper's Tables 3–4
@@ -243,6 +244,31 @@ pub fn run_pressure_resilient(
     cfg: &PressureConfig,
     res: &ResilienceConfig,
 ) -> MosaicResult<(PressureRow, ResilienceReport)> {
+    run_pressure_observed(workload, footprint_ratio, cfg, res, &ObsHandle::noop(), 0)
+}
+
+/// [`run_pressure_resilient`] with metric/event export: both managers
+/// register their counters (under `mosaic.*` and `linux.*`) on `obs`, and
+/// — when `obs_interval > 0` — a full registry snapshot is taken every
+/// `obs_interval` references, yielding the interval time series
+/// `obs_report` renders. With a [`ObsHandle::noop`] handle this is
+/// exactly [`run_pressure_resilient`].
+///
+/// The reference timeline is continuous across the two managers (Mosaic
+/// drives first, then the baseline resumes at the next reference), so
+/// snapshot and event timestamps in the export are strictly increasing.
+///
+/// # Errors
+///
+/// Returns the violation if any structural `verify()` pass fails.
+pub fn run_pressure_observed(
+    workload: PressureWorkload,
+    footprint_ratio: f64,
+    cfg: &PressureConfig,
+    res: &ResilienceConfig,
+    obs: &ObsHandle,
+    obs_interval: u64,
+) -> MosaicResult<(PressureRow, ResilienceReport)> {
     let target = (cfg.mem_bytes() as f64 * footprint_ratio) as u64;
     let layout = MemoryLayout::new(IcebergConfig::paper_default(cfg.mem_buckets));
     let mut mosaic = MosaicMemory::new(layout, cfg.seed);
@@ -250,6 +276,10 @@ pub fn run_pressure_resilient(
     if !res.plan.is_none() {
         mosaic = mosaic.with_fault_injector(res.plan, res.fault_seed);
         linux = linux.with_fault_injector(res.plan, res.fault_seed ^ 0x11);
+    }
+    if obs.is_enabled() {
+        mosaic.set_obs(obs, "mosaic");
+        linux.set_obs(obs, "linux");
     }
 
     let mut report = ResilienceReport {
@@ -263,13 +293,47 @@ pub fn run_pressure_resilient(
 
     // Identical reference streams: the workload is rebuilt with the same
     // seed for each manager so the traces match exactly.
-    let (footprint, m_dropped) = drive(&mut mosaic, workload, target, cfg.seed, res, &mut report)?;
-    let (footprint2, l_dropped) = drive(&mut linux, workload, target, cfg.seed, res, &mut report)?;
+    if obs.is_enabled() {
+        obs.event(
+            0,
+            "drive.begin",
+            &[
+                ("mgr", Value::from("mosaic")),
+                ("workload", Value::from(workload.name())),
+                ("ratio", Value::from(footprint_ratio)),
+            ],
+        );
+    }
+    let (footprint, m_dropped, end) =
+        drive(&mut mosaic, workload, target, cfg.seed, res, &mut report, 0, obs, obs_interval)?;
+    // The baseline's timeline resumes where Mosaic's stopped (only when
+    // exporting; `now` offsets never change manager behavior, but the
+    // default path stays untouched for bit-identity with the seed).
+    let start2 = if obs.is_enabled() { end } else { 0 };
+    if obs.is_enabled() {
+        obs.event(
+            start2,
+            "drive.begin",
+            &[
+                ("mgr", Value::from("linux")),
+                ("workload", Value::from(workload.name())),
+                ("ratio", Value::from(footprint_ratio)),
+            ],
+        );
+    }
+    let (footprint2, l_dropped, end2) = drive(
+        &mut linux, workload, target, cfg.seed, res, &mut report, start2, obs, obs_interval,
+    )?;
     debug_assert_eq!(footprint, footprint2);
     report.mosaic = *mosaic.resilience();
     report.linux = *linux.resilience();
     report.mosaic_dropped = m_dropped;
     report.linux_dropped = l_dropped;
+    if obs.is_enabled() {
+        mosaic.publish_obs();
+        linux.publish_obs();
+        obs.snapshot(end2);
+    }
 
     let row = PressureRow {
         workload: workload.name(),
@@ -293,8 +357,10 @@ pub fn run_pressure_resilient(
 }
 
 /// Drives one manager with the workload's page-reference stream. Returns
-/// the workload's actual footprint in bytes and the number of accesses
-/// dropped to typed errors; propagates only invariant violations.
+/// the workload's actual footprint in bytes, the number of accesses
+/// dropped to typed errors, and the final reference count; propagates
+/// only invariant violations.
+#[allow(clippy::too_many_arguments)]
 fn drive(
     manager: &mut dyn MemoryManager,
     workload: PressureWorkload,
@@ -302,9 +368,12 @@ fn drive(
     seed: u64,
     res: &ResilienceConfig,
     report: &mut ResilienceReport,
-) -> MosaicResult<(u64, u64)> {
+    start_now: u64,
+    obs: &ObsHandle,
+    obs_interval: u64,
+) -> MosaicResult<(u64, u64, u64)> {
     let mut w = workload.build(footprint_bytes, seed);
-    let mut now = 0u64;
+    let mut now = start_now;
     // Steady-state sampling every ~64 Ki accesses, after a warmup of one
     // footprint's worth of touches.
     let warmup = footprint_bytes / PAGE_SIZE;
@@ -327,6 +396,10 @@ fn drive(
         if counter > warmup && counter.is_multiple_of(65_536) {
             manager.sample_utilization();
         }
+        if obs_interval > 0 && counter.is_multiple_of(obs_interval) {
+            manager.publish_obs();
+            obs.snapshot(now);
+        }
         if res.verify_every > 0 && counter.is_multiple_of(res.verify_every) {
             match manager.verify() {
                 Ok(()) => report.verify_passes += 1,
@@ -341,7 +414,7 @@ fn drive(
     // Always end on a full structural check.
     manager.verify()?;
     report.verify_passes += 1;
-    Ok((w.meta().footprint_bytes, dropped))
+    Ok((w.meta().footprint_bytes, dropped, now))
 }
 
 /// Runs the full Table 4 grid.
@@ -402,10 +475,28 @@ pub fn run_table4_resilient(
     ratios: &[f64],
     res: &ResilienceConfig,
 ) -> MosaicResult<Vec<(PressureRow, ResilienceReport)>> {
+    run_table4_observed(cfg, ratios, res, &ObsHandle::noop(), 0)
+}
+
+/// The Table 4 grid with metric/event export: every (workload, ratio)
+/// cell runs through [`run_pressure_observed`] against the shared `obs`
+/// registry, so one JSONL stream carries the full grid (counters are
+/// cumulative across cells; `drive.begin` events delimit them).
+///
+/// # Errors
+///
+/// Propagates the first structural invariant violation, if any.
+pub fn run_table4_observed(
+    cfg: &PressureConfig,
+    ratios: &[f64],
+    res: &ResilienceConfig,
+    obs: &ObsHandle,
+    obs_interval: u64,
+) -> MosaicResult<Vec<(PressureRow, ResilienceReport)>> {
     let mut rows = Vec::new();
     for &w in &PressureWorkload::ALL {
         for &r in ratios {
-            rows.push(run_pressure_resilient(w, r, cfg, res)?);
+            rows.push(run_pressure_observed(w, r, cfg, res, obs, obs_interval)?);
         }
     }
     Ok(rows)

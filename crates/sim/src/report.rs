@@ -144,24 +144,23 @@ impl Table {
     }
 }
 
+pub use mosaic_obs::fmt::{fmt_pct, fmt_ratio};
+
 /// `num / den` guarded against an empty stream: `0.0` when `den == 0`
 /// instead of NaN/infinity leaking into reports.
+///
+/// Delegates to the shared guard in [`mosaic_obs::fmt`] so every crate
+/// formats rates identically.
 pub fn safe_ratio(num: u64, den: u64) -> f64 {
-    if den == 0 {
-        0.0
-    } else {
-        num as f64 / den as f64
-    }
+    mosaic_obs::fmt::safe_ratio(num, den)
 }
 
 /// Formats `num / den` as a percentage with one decimal, or `--` when the
 /// denominator is zero (an empty stream has no meaningful rate).
+///
+/// Delegates to [`mosaic_obs::fmt::fmt_pct`].
 pub fn percent_or_dash(num: u64, den: u64) -> String {
-    if den == 0 {
-        "--".to_string()
-    } else {
-        format!("{:.1}%", 100.0 * num as f64 / den as f64)
-    }
+    fmt_pct(num, den)
 }
 
 /// Formats a count with thousands separators (`1234567` → `1,234,567`).

@@ -15,4 +15,20 @@ cargo test -q --offline --workspace
 echo "==> cargo clippy -D warnings (offline)"
 cargo clippy -q --offline --workspace --all-targets -- -D warnings
 
+echo "==> obs access-path microbench (noop handle must stay ~free)"
+cargo bench -q --offline -p mosaic-bench --bench obs
+
+echo "==> obs golden determinism gate (fixed-seed GUPS JSONL, two runs)"
+OBS_TMP="$(mktemp -d)"
+trap 'rm -rf "$OBS_TMP"' EXIT
+for run in 1 2; do
+  ./target/release/fig6 gups --scale 0 --entries 64 --no-kernel \
+    --obs-out "$OBS_TMP/run$run.jsonl" --obs-interval 5000 \
+    > "$OBS_TMP/stdout$run.txt" 2>/dev/null
+done
+cmp "$OBS_TMP/run1.jsonl" "$OBS_TMP/run2.jsonl"
+cmp "$OBS_TMP/stdout1.txt" "$OBS_TMP/stdout2.txt"
+./target/release/obs_report "$OBS_TMP/run1.jsonl" > "$OBS_TMP/report.txt"
+grep -q "interval curve" "$OBS_TMP/report.txt"
+
 echo "All checks passed."
