@@ -1,0 +1,51 @@
+//! Criterion bench for the full simulator step: one workload access
+//! driven through an entire Figure 6 instance grid ([`DualSim::access`]),
+//! the unit of work every parallel cell replays. Guards the hot-path
+//! micro-optimisations (precomputed set-index masks, per-reference
+//! CPFN scratch) against regression.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use mosaic_core::hash::SplitMix64;
+use mosaic_core::mem::VirtAddr;
+use mosaic_core::mmu::{Arity, Associativity};
+use mosaic_core::sim::dual::{DualSim, KernelConfig};
+use mosaic_core::workloads::Access;
+
+const PAGE: u64 = 4096;
+
+fn grid(entries: usize, kernel: Option<KernelConfig>) -> DualSim {
+    DualSim::new(
+        entries,
+        &Associativity::FIGURE6_SWEEP,
+        &[4, 8, 16, 32, 64].map(Arity::new),
+        8192,
+        kernel,
+        0xF166,
+    )
+}
+
+fn bench_step(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dual_sim_step");
+    for (name, kernel) in [
+        ("no_kernel", None),
+        ("with_kernel", Some(KernelConfig::default())),
+    ] {
+        g.bench_with_input(BenchmarkId::new("access", name), &kernel, |b, &kernel| {
+            let mut sim = grid(256, kernel);
+            let mut rng = SplitMix64::new(3);
+            // Warm the grid so steady-state hits/sub-misses dominate,
+            // as they do mid-replay.
+            for _ in 0..20_000 {
+                sim.access(Access::load(VirtAddr(rng.next_below(4096) * PAGE)));
+            }
+            b.iter(|| {
+                let addr = VirtAddr(rng.next_below(4096) * PAGE);
+                sim.access(black_box(Access::load(addr)));
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_step);
+criterion_main!(benches);

@@ -11,7 +11,7 @@
 //!    yards trades first-conflict load against CPFN width.
 //!
 //! ```text
-//! ablation [--buckets N] [--obs-out F] [--obs-interval R]
+//! ablation [--buckets N] [--obs-out F] [--obs-interval R] [--jobs N]
 //! ```
 //!
 //! `--obs-out` exports each ablation run's counters under a per-run
@@ -19,14 +19,32 @@
 //! sweep events as JSONL; render with `obs_report`.
 
 use mosaic_bench::obs::ObsSink;
-use mosaic_bench::Args;
+use mosaic_bench::{Args, JOBS_HELP};
 use mosaic_core::iceberg::{experiments, IcebergConfig};
 use mosaic_core::mem::clock::ClockMemory;
 use mosaic_core::prelude::*;
 use mosaic_core::sim::pressure::PressureWorkload;
+use mosaic_core::sim::run_cells;
 use mosaic_core::mem::scanner::ScannerConfig;
 use mosaic_core::sim::report::Table;
 use mosaic_obs::{ObsHandle, Value};
+
+const USAGE: &str = "\
+ablation [--buckets N] [--obs-out F] [--obs-interval R] [--jobs N]
+
+Runs the five design-choice ablations. Each section's runs are
+independent cells (policies, baselines, d values, splits, timestamp
+modes) fanned out over --jobs threads; tables, sweep events, and merged
+observability are emitted in the serial order afterwards.";
+
+/// Per-cell observability child, merged into the sink post-join.
+fn mk_child(enabled: bool) -> ObsHandle {
+    if enabled {
+        ObsHandle::enabled()
+    } else {
+        ObsHandle::noop()
+    }
+}
 
 /// Metric-name slug for a human-readable run label.
 fn slug(s: &str) -> String {
@@ -83,12 +101,16 @@ fn drive(
 
 fn main() {
     let args = Args::from_env();
+    args.maybe_help(&format!("{USAGE}\n{JOBS_HELP}"));
+    let jobs = args.jobs_or_exit();
     let buckets = args.get_u64("buckets", 64) as usize;
     let sink = ObsSink::from_args(&args, "ablation");
     if sink.is_enabled() {
         sink.handle()
             .meta(&[("buckets", Value::from(buckets as u64))]);
     }
+    let enabled = sink.is_enabled();
+    let obs_interval = sink.interval();
     let layout = MemoryLayout::new(IcebergConfig::paper_default(buckets));
     let target = layout.bytes() * 5 / 4; // 125 % footprint
     let workload = PressureWorkload::XsBench;
@@ -105,14 +127,16 @@ fn main() {
         "Ablation 1: eviction policy (XSBench at 125% of {} MiB)",
         layout.bytes() >> 20
     ));
-    for policy in [
+    let policies = vec![
         MosaicPolicy::HorizonLru,
         MosaicPolicy::CandidateLru,
         MosaicPolicy::ReservedCapacity { reserve_permille: 20 },
         MosaicPolicy::ReservedCapacity { reserve_permille: 40 },
         MosaicPolicy::ReservedCapacity { reserve_permille: 80 },
-    ] {
-        eprintln!("[ablation] policy {policy} ...");
+    ];
+    eprintln!("[ablation] {} policy cells on {jobs} thread(s) ...", policies.len());
+    for (row, child) in run_cells(jobs, policies, |_, policy| {
+        let child = mk_child(enabled);
         let mut mm = MosaicMemory::with_policy(layout, 7, policy);
         drive(
             &mut mm,
@@ -120,10 +144,10 @@ fn main() {
             target,
             7,
             &format!("policy {policy}"),
-            sink.handle(),
-            sink.interval(),
+            &child,
+            obs_interval,
         );
-        t1.row(vec![
+        let row = vec![
             policy.to_string(),
             mm.stats().swap_ops().to_string(),
             mm.stats().conflicts.to_string(),
@@ -132,7 +156,13 @@ fn main() {
                 "{:.2}",
                 mm.utilization_tracker().steady_state_mean().unwrap_or(0.0) * 100.0
             ),
-        ]);
+        ];
+        (row, child)
+    }) {
+        if enabled {
+            sink.handle().merge_from(&child);
+        }
+        t1.row(row);
     }
     println!("{}", t1.render());
     println!(
@@ -148,25 +178,44 @@ fn main() {
         "Steady-state util (%)".into(),
     ])
     .with_title("Ablation 2: Mosaic vs baseline reclaim fidelity (same stream)");
-    let mut mosaic = MosaicMemory::new(layout, 7);
-    let mut exact = LinuxMemory::new(layout);
-    let mut clock = ClockMemory::new(layout);
-    let managers: [(&str, &mut dyn MemoryManager); 3] = [
-        ("Mosaic (Horizon LRU)", &mut mosaic),
-        ("Baseline: exact LRU", &mut exact),
-        ("Baseline: 2-list clock", &mut clock),
-    ];
-    for (name, mgr) in managers {
-        eprintln!("[ablation] manager {name} ...");
-        drive(mgr, workload, target, 7, name, sink.handle(), sink.interval());
-        t2.row(vec![
+    let baselines = ["Mosaic (Horizon LRU)", "Baseline: exact LRU", "Baseline: 2-list clock"];
+    eprintln!("[ablation] {} manager cells on {jobs} thread(s) ...", baselines.len());
+    for (row, child) in run_cells(jobs, (0..baselines.len()).collect(), |_, which| {
+        let child = mk_child(enabled);
+        let name = baselines[which];
+        // Each cell builds its own manager so the drives are independent.
+        let mut mosaic;
+        let mut exact;
+        let mut clock;
+        let mgr: &mut dyn MemoryManager = match which {
+            0 => {
+                mosaic = MosaicMemory::new(layout, 7);
+                &mut mosaic
+            }
+            1 => {
+                exact = LinuxMemory::new(layout);
+                &mut exact
+            }
+            _ => {
+                clock = ClockMemory::new(layout);
+                &mut clock
+            }
+        };
+        drive(mgr, workload, target, 7, name, &child, obs_interval);
+        let row = vec![
             name.to_string(),
             mgr.stats().swap_ops().to_string(),
             format!(
                 "{:.2}",
                 mgr.utilization_tracker().steady_state_mean().unwrap_or(0.0) * 100.0
             ),
-        ]);
+        ];
+        (row, child)
+    }) {
+        if enabled {
+            sink.handle().merge_from(&child);
+        }
+        t2.row(row);
     }
     println!("{}", t2.render());
 
@@ -177,9 +226,10 @@ fn main() {
         "First-conflict load (%)".into(),
     ])
     .with_title("Ablation 3: power-of-d-choices vs achievable load (56 + d x 8 geometry)");
-    for d in [1usize, 2, 3, 4, 6, 8] {
+    for (d, cfg, s) in run_cells(jobs, vec![1usize, 2, 3, 4, 6, 8], |_, d| {
         let cfg = IcebergConfig::new(buckets.max(8), 56, 8, d);
-        let s = experiments::first_conflict_summary(cfg, 5, 3);
+        (d, cfg, experiments::first_conflict_summary(cfg, 5, 3))
+    }) {
         sink.handle().event(
             d as u64,
             "ablation.backyard",
@@ -205,9 +255,14 @@ fn main() {
         "First-conflict load (%)".into(),
     ])
     .with_title("Ablation 4: bucket split between yards (64 frames per bucket, d = 6)");
-    for (front, back) in [(63, 1), (60, 4), (56, 8), (48, 16), (32, 32)] {
-        let cfg = IcebergConfig::new(buckets.max(8), front, back, 6);
-        let s = experiments::first_conflict_summary(cfg, 6, 3);
+    for (front, back, cfg, s) in run_cells(
+        jobs,
+        vec![(63, 1), (60, 4), (56, 8), (48, 16), (32, 32)],
+        |_, (front, back)| {
+            let cfg = IcebergConfig::new(buckets.max(8), front, back, 6);
+            (front, back, cfg, experiments::first_conflict_summary(cfg, 6, 3))
+        },
+    ) {
         sink.handle().event(
             back as u64,
             "ablation.split",
@@ -235,51 +290,44 @@ fn main() {
         "Assumed accessed".into(),
     ])
     .with_title("Ablation 5: exact timestamps vs the access-bit scanning daemon (§3.2)");
-    {
-        eprintln!("[ablation] timestamps: exact ...");
-        let mut exact = MosaicMemory::new(layout, 7);
-        drive(
-            &mut exact,
-            workload,
-            target,
-            7,
-            "ts exact",
-            sink.handle(),
-            sink.interval(),
-        );
-        t5.row(vec![
-            "Exact (ideal hardware)".into(),
-            exact.stats().swap_ops().to_string(),
-            "-".into(),
-            "-".into(),
-        ]);
-        eprintln!("[ablation] timestamps: scanned ...");
-        // Scan interval ~ one pass over memory, the analogue of the
-        // paper's 1 s wall-clock interval on its 4 GiB pool.
-        let mut scanned = MosaicMemory::with_scanner(
-            layout,
-            7,
-            ScannerConfig {
-                interval: layout.num_frames() as u64 * 2,
-                ..Default::default()
-            },
-        );
-        drive(
-            &mut scanned,
-            workload,
-            target,
-            7,
-            "ts scanned",
-            sink.handle(),
-            sink.interval(),
-        );
-        let st = *scanned.scanner().expect("scanner mode").stats();
-        t5.row(vec![
-            "Scanned (access bits + 20% hot sampling)".into(),
-            scanned.stats().swap_ops().to_string(),
-            st.bits_cleared.to_string(),
-            st.assumed_accessed.to_string(),
-        ]);
+    eprintln!("[ablation] 2 timestamp cells on {jobs} thread(s) ...");
+    for (row, child) in run_cells(jobs, vec![false, true], |_, use_scanner| {
+        let child = mk_child(enabled);
+        let row = if use_scanner {
+            // Scan interval ~ one pass over memory, the analogue of the
+            // paper's 1 s wall-clock interval on its 4 GiB pool.
+            let mut scanned = MosaicMemory::with_scanner(
+                layout,
+                7,
+                ScannerConfig {
+                    interval: layout.num_frames() as u64 * 2,
+                    ..Default::default()
+                },
+            );
+            drive(&mut scanned, workload, target, 7, "ts scanned", &child, obs_interval);
+            let st = *scanned.scanner().expect("scanner mode").stats();
+            vec![
+                "Scanned (access bits + 20% hot sampling)".into(),
+                scanned.stats().swap_ops().to_string(),
+                st.bits_cleared.to_string(),
+                st.assumed_accessed.to_string(),
+            ]
+        } else {
+            let mut exact = MosaicMemory::new(layout, 7);
+            drive(&mut exact, workload, target, 7, "ts exact", &child, obs_interval);
+            vec![
+                "Exact (ideal hardware)".into(),
+                exact.stats().swap_ops().to_string(),
+                "-".into(),
+                "-".into(),
+            ]
+        };
+        (row, child)
+    }) {
+        if enabled {
+            sink.handle().merge_from(&child);
+        }
+        t5.row(row);
     }
     println!("{}", t5.render());
     println!("Reading: epoch-granular timestamps make Horizon LRU's eviction choices\ncoarser (the fidelity cost of real hardware, quantified above), while hot-page\nsampling avoids a large share of access-bit clears (TLB invalidations).");

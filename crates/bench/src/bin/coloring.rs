@@ -15,8 +15,18 @@ use mosaic_core::sim::dcache::{run_coloring, Placement};
 use mosaic_core::sim::report::Table;
 use mosaic_core::workloads::{Gups, GupsConfig};
 
+const USAGE: &str = "\
+coloring [--cache-kib N] [--ways N]
+
+Answers the §5.3 page-coloring question over four frame placements.
+The placements share one mutable cache model, so this driver runs
+serially and takes no --jobs flag; the parallel sweeps live in
+fig6/table3/table4 --jobs N.
+  --help        Print this help and exit.";
+
 fn main() {
     let args = Args::from_env();
+    args.maybe_help(USAGE);
     let cache_bytes = args.get_u64("cache-kib", 512) << 10;
     let ways = args.get_u64("ways", 8) as usize;
 

@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! fig6 [graph500|btree|gups|xsbench|all] [--scale N] [--entries N] [--no-kernel] [--csv]
-//!      [--obs-out F] [--obs-interval R]
+//!      [--obs-out F] [--obs-interval R] [--jobs N]
 //! ```
 //!
 //! `--scale 0` is a seconds-fast smoke run; `--scale 1` (default) is the
@@ -14,16 +14,26 @@
 //! JSONL; render with `obs_report`.
 
 use mosaic_bench::obs::ObsSink;
-use mosaic_bench::Args;
+use mosaic_bench::{Args, JOBS_HELP};
 use mosaic_core::sim::dual::KernelConfig;
-use mosaic_core::sim::fig6::{render, run_workload_observed, Fig6Config, TlbKind};
+use mosaic_core::sim::fig6::{render, run_workload_observed_jobs, Fig6Config, TlbKind};
 use mosaic_core::sim::platform::TlbPlatform;
 use mosaic_core::sim::report::Table;
 use mosaic_core::mmu::{Arity, Associativity};
 use mosaic_core::workloads::{standard_suite, Workload};
 
+const USAGE: &str = "\
+fig6 [graph500|btree|gups|xsbench|all] [--scale N] [--entries N] [--no-kernel]
+     [--csv] [--obs-out F] [--obs-interval R] [--jobs N]
+
+Regenerates Figure 6 (TLB misses across arity x associativity).
+With --jobs N the reference stream is recorded once per workload and the
+grid's (associativity, TLB-kind) cells replay it on N threads.";
+
 fn main() {
     let args = Args::from_env();
+    args.maybe_help(&format!("{USAGE}\n{JOBS_HELP}"));
+    let jobs = args.jobs_or_exit();
     let scale = args.get_u64("scale", 1) as u32;
     let entries = args.get_u64("entries", 1024) as usize;
     let which = args
@@ -109,8 +119,8 @@ fn main() {
 
     for w in &mut workloads {
         let name = w.meta().name.to_string();
-        eprintln!("[fig6] running {name} ...");
-        let rows = run_workload_observed(&cfg, w.as_mut(), sink.handle(), sink.interval());
+        eprintln!("[fig6] running {name} on {jobs} thread(s) ...");
+        let rows = run_workload_observed_jobs(&cfg, w.as_mut(), sink.handle(), sink.interval(), jobs);
         let table = render(&name, &rows);
         if args.has("csv") {
             println!("{}", table.render_csv());

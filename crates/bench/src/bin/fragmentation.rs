@@ -9,16 +9,25 @@
 //! vanilla 4 KiB, opportunistic THP, CoLT-style coalescing, and Mosaic-4.
 //!
 //! ```text
-//! fragmentation [--keys N] [--lookups N] [--csv]
+//! fragmentation [--keys N] [--lookups N] [--csv] [--jobs N]
 //! ```
 
-use mosaic_bench::Args;
-use mosaic_core::sim::frag::{run_frag, FragConfig};
+use mosaic_bench::{Args, JOBS_HELP};
+use mosaic_core::sim::frag::{run_frag_jobs, FragConfig};
 use mosaic_core::sim::report::{humanize, Table};
 use mosaic_core::workloads::{BTreeConfig, BTreeWorkload};
 
+const USAGE: &str = "\
+fragmentation [--keys N] [--lookups N] [--csv] [--jobs N]
+
+Pre-fragments physical memory and compares four designs' TLB misses on
+the same BTree workload. The workload trace is recorded once and the
+fragmentation levels replay it as independent cells on --jobs threads.";
+
 fn main() {
     let args = Args::from_env();
+    args.maybe_help(&format!("{USAGE}\n{JOBS_HELP}"));
+    let jobs = args.jobs_or_exit();
     let keys = args.get_u64("keys", 600_000);
     let lookups = args.get_u64("lookups", 60_000);
 
@@ -35,16 +44,22 @@ fn main() {
         "Fragmentation sweep: TLB misses, BTree ({keys} keys), 256-entry 8-way TLBs"
     ));
 
-    for frag in [0.0, 0.05, 0.10, 0.25, 0.50, 0.75, 0.90] {
-        eprintln!("[fragmentation] level {frag:.2} ...");
-        let mut w = BTreeWorkload::new(
-            BTreeConfig {
-                num_keys: keys,
-                num_lookups: lookups,
-            },
-            7,
-        );
-        let r = run_frag(&FragConfig::new(frag, 21), &mut w);
+    let levels = [0.0, 0.05, 0.10, 0.25, 0.50, 0.75, 0.90];
+    let cfgs: Vec<FragConfig> = levels.iter().map(|&f| FragConfig::new(f, 21)).collect();
+    // One recording of the BTree stream feeds every fragmentation level.
+    let mut w = BTreeWorkload::new(
+        BTreeConfig {
+            num_keys: keys,
+            num_lookups: lookups,
+        },
+        7,
+    );
+    eprintln!(
+        "[fragmentation] {} levels on {jobs} thread(s) ...",
+        levels.len()
+    );
+    let results = run_frag_jobs(&cfgs, &mut w, jobs);
+    for (frag, r) in levels.into_iter().zip(results) {
         t.row(vec![
             format!("{:.0}%", frag * 100.0),
             humanize(r.vanilla_misses),

@@ -27,8 +27,17 @@ fn reduction(entries: usize, cfg: ZipfGupsConfig) -> f64 {
     report.miss_reduction_percent()
 }
 
+const USAGE: &str = "\
+locality [--entries N] [--updates N]
+
+Sweeps the Zipf skew exponent over spatial vs scrambled hotspots.
+This short sweep runs serially and takes no --jobs flag; the parallel
+sweeps live in fig6/table3/table4 --jobs N.
+  --help        Print this help and exit.";
+
 fn main() {
     let args = Args::from_env();
+    args.maybe_help(USAGE);
     let entries = args.get_u64("entries", 256) as usize;
     let updates = args.get_u64("updates", 2_000_000);
     let table_bytes = 64u64 << 20; // 16 Ki pages >> TLB reach

@@ -12,8 +12,19 @@
 use mosaic_bench::obs_report::{parse_stream, render_report};
 use mosaic_bench::Args;
 
+const USAGE: &str = "\
+obs_report <run.jsonl>
+
+Renders a --obs-out JSONL stream into a deterministic text report.
+Rendering is a single pass over one file, so this tool runs serially
+and takes no --jobs flag; it renders streams produced by parallel
+(--jobs N) runs just the same, since those merge observability back
+into serial order before export.
+  --help        Print this help and exit.";
+
 fn main() {
     let args = Args::from_env();
+    args.maybe_help(USAGE);
     let Some(path) = args.positional().first() else {
         eprintln!("usage: obs_report <run.jsonl>");
         std::process::exit(2);

@@ -15,8 +15,17 @@ use mosaic_core::sim::report::{group_digits, Table};
 use mosaic_core::workloads::standard_suite;
 use mosaic_obs::Value;
 
+const USAGE: &str = "\
+table2 [--scale N] [--csv] [--obs-out F]
+
+Regenerates Table 2 (workload inventory). This driver makes a single
+cheap pass per workload, so it runs serially and takes no --jobs flag;
+use fig6/table3/table4 --jobs N for the parallel sweeps.
+  --help        Print this help and exit.";
+
 fn main() {
     let args = Args::from_env();
+    args.maybe_help(USAGE);
     let scale = args.get_u64("scale", 1) as u32;
     let sink = ObsSink::from_args(&args, "table2");
     if sink.is_enabled() {

@@ -3,7 +3,7 @@
 //! steady-state utilization over the whole workload.
 //!
 //! ```text
-//! table3 [--buckets N] [--runs K] [--csv] [--obs-out F] [--obs-interval R]
+//! table3 [--buckets N] [--runs K] [--csv] [--obs-out F] [--obs-interval R] [--jobs N]
 //! ```
 //!
 //! `--buckets` sets memory size in Iceberg buckets of 64 frames (default
@@ -13,17 +13,28 @@
 //! snapshots) as JSONL; render with `obs_report`.
 
 use mosaic_bench::obs::ObsSink;
-use mosaic_bench::Args;
+use mosaic_bench::{Args, JOBS_HELP};
 use mosaic_core::iceberg::stats::Summary;
 use mosaic_core::sim::platform::SwapPlatform;
 use mosaic_core::sim::pressure::{
     run_pressure_observed, PressureConfig, PressureWorkload, ResilienceConfig,
 };
 use mosaic_core::sim::report::Table;
-use mosaic_obs::Value;
+use mosaic_core::sim::run_cells;
+use mosaic_obs::{ObsHandle, Value};
+
+const USAGE: &str = "\
+table3 [--buckets N] [--runs K] [--csv] [--obs-out F] [--obs-interval R] [--jobs N]
+
+Regenerates Table 3 (memory utilization at first conflict / steady state).
+With --jobs N the (footprint-ratio, workload) grid cells run on N threads;
+every cell keeps its exact per-(workload, run) hash seeds, so the table is
+identical at any thread count.";
 
 fn main() {
     let args = Args::from_env();
+    args.maybe_help(&format!("{USAGE}\n{JOBS_HELP}"));
+    let jobs = args.jobs_or_exit();
     let buckets = args.get_u64("buckets", 64) as usize;
     let runs = args.get_u64("runs", 3).max(1);
     let sink = ObsSink::from_args(&args, "table3");
@@ -45,47 +56,66 @@ fn main() {
     .with_title("Table 3: memory utilization under Mosaic page allocation");
 
     // The paper's Table 3 rows: footprints ≈ 101.5/107.7/114/120 % of
-    // memory, one row per (footprint, workload).
+    // memory, one row per (footprint, workload). Each (ratio, workload)
+    // cell is independent, so the grid fans out across `--jobs` threads;
+    // seeds stay tied to (workload, run), never to the thread.
+    let obs_interval = sink.interval();
+    let enabled = sink.is_enabled();
+    let mut grid = Vec::new();
     for &ratio in &PressureConfig::table3_ratios() {
         for (widx, w) in PressureWorkload::ALL.into_iter().enumerate() {
-            eprintln!("[table3] {} at ratio {ratio:.3} ...", w.name());
-            let mut first = Vec::new();
-            let mut steady = Vec::new();
-            let mut footprint = 0u64;
-            for run in 0..runs {
-                let cfg = PressureConfig {
-                    mem_buckets: buckets,
-                    // Distinct hash seeds per (workload, run), as distinct
-                    // boots would have.
-                    seed: 0x7AB1E + run * 131 + widx as u64 * 17,
-                };
-                let (row, _) = run_pressure_observed(
-                    w,
-                    ratio,
-                    &cfg,
-                    &ResilienceConfig::none(),
-                    sink.handle(),
-                    sink.interval(),
-                )
-                .unwrap_or_else(|e| panic!("fault-free pressure run cannot fail: {e}"));
-                footprint = row.footprint_bytes;
-                if let (Some(f), Some(s)) = (row.first_conflict_pct, row.steady_state_pct) {
-                    first.push(f);
-                    steady.push(s);
-                }
-            }
-            if first.is_empty() {
-                continue; // no conflict at this footprint (headroom run)
-            }
-            let f = Summary::of(&first);
-            let s = Summary::of(&steady);
-            table.row(vec![
-                w.name().to_string(),
-                format!("{:.0}", footprint as f64 / (1 << 20) as f64),
-                format!("{:.2} ±{:.2}", f.mean, f.stddev),
-                format!("{:.2} ±{:.2}", s.mean, s.stddev),
-            ]);
+            let child = if enabled {
+                ObsHandle::enabled()
+            } else {
+                ObsHandle::noop()
+            };
+            grid.push((ratio, widx, w, child));
         }
+    }
+    eprintln!("[table3] {} cells x {runs} run(s) on {jobs} thread(s) ...", grid.len());
+    let outcomes = run_cells(jobs, grid, |_, (ratio, widx, w, child)| {
+        let mut first = Vec::new();
+        let mut steady = Vec::new();
+        let mut footprint = 0u64;
+        for run in 0..runs {
+            let cfg = PressureConfig {
+                mem_buckets: buckets,
+                // Distinct hash seeds per (workload, run), as distinct
+                // boots would have.
+                seed: 0x7AB1E + run * 131 + widx as u64 * 17,
+            };
+            let (row, _) = run_pressure_observed(
+                w,
+                ratio,
+                &cfg,
+                &ResilienceConfig::none(),
+                &child,
+                obs_interval,
+            )
+            .unwrap_or_else(|e| panic!("fault-free pressure run cannot fail: {e}"));
+            footprint = row.footprint_bytes;
+            if let (Some(f), Some(s)) = (row.first_conflict_pct, row.steady_state_pct) {
+                first.push(f);
+                steady.push(s);
+            }
+        }
+        ((w, footprint, first, steady), child)
+    });
+    for ((w, footprint, first, steady), child) in outcomes {
+        if enabled {
+            sink.handle().merge_from(&child);
+        }
+        if first.is_empty() {
+            continue; // no conflict at this footprint (headroom run)
+        }
+        let f = Summary::of(&first);
+        let s = Summary::of(&steady);
+        table.row(vec![
+            w.name().to_string(),
+            format!("{:.0}", footprint as f64 / (1 << 20) as f64),
+            format!("{:.2} ±{:.2}", f.mean, f.stddev),
+            format!("{:.2} ±{:.2}", s.mean, s.stddev),
+        ]);
     }
 
     if args.has("csv") {

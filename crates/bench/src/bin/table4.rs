@@ -2,7 +2,7 @@
 //! increasing the workload sizes, Linux baseline vs Mosaic (Horizon LRU).
 //!
 //! ```text
-//! table4 [--buckets N] [--csv] [--fault-ppm N] [--obs-out F] [--obs-interval R]
+//! table4 [--buckets N] [--csv] [--fault-ppm N] [--obs-out F] [--obs-interval R] [--jobs N]
 //! ```
 //!
 //! The paper sweeps footprints from 101.5 % to 157.7 % of a 4 GiB pool;
@@ -21,17 +21,29 @@
 //! `fault.unrecovered` event timeline; render `F` with `obs_report`.
 
 use mosaic_bench::obs::ObsSink;
-use mosaic_bench::Args;
+use mosaic_bench::{Args, JOBS_HELP};
 use mosaic_core::prelude::*;
 use mosaic_core::sim::platform::SwapPlatform;
 use mosaic_core::sim::pressure::{
-    render_resilience, render_table4, run_pressure_observed, PressureConfig, PressureWorkload,
-    ResilienceConfig,
+    render_resilience, render_table4, run_table4_cells, run_table4_observed_jobs, PressureConfig,
+    PressureWorkload, ResilienceConfig,
 };
 use mosaic_obs::Value;
 
+const USAGE: &str = "\
+table4 [--buckets N] [--csv] [--fault-ppm N] [--obs-out F] [--obs-interval R]
+       [--jobs N]
+
+Regenerates Table 4 (swap I/O under pressure, Linux vs Mosaic).
+With --jobs N the (workload, footprint-ratio) grid cells run on N threads;
+each cell records its workload once and replays it for both managers.
+Under --fault-ppm every cell derives its own injector seed from the cell
+index, so fault sweeps are reproducible at any thread count.";
+
 fn main() {
     let args = Args::from_env();
+    args.maybe_help(&format!("{USAGE}\n{JOBS_HELP}"));
+    let jobs = args.jobs_or_exit();
     let buckets = args.get_u64("buckets", 64) as usize;
     // Parsed up front so a malformed value fails before the long sweep.
     let fault_ppm = args.get_u64("fault-ppm", 0) as u32;
@@ -50,23 +62,23 @@ fn main() {
 
     println!("{}", SwapPlatform::new(buckets * 64).table().render());
 
-    let mut rows = Vec::new();
-    for w in PressureWorkload::ALL {
-        for &ratio in &PressureConfig::paper_ratios() {
-            eprintln!("[table4] {} at ratio {ratio:.3} ...", w.name());
-            match run_pressure_observed(
-                w,
-                ratio,
-                &cfg,
-                &ResilienceConfig::none(),
-                sink.handle(),
-                sink.interval(),
-            ) {
-                Ok((row, _)) => rows.push(row),
-                Err(e) => panic!("fault-free pressure run cannot fail: {e}"),
-            }
-        }
-    }
+    let ratios = PressureConfig::paper_ratios();
+    eprintln!(
+        "[table4] {} cells on {jobs} thread(s) ...",
+        PressureWorkload::ALL.len() * ratios.len()
+    );
+    let rows: Vec<_> = run_table4_observed_jobs(
+        &cfg,
+        &ratios,
+        &ResilienceConfig::none(),
+        sink.handle(),
+        sink.interval(),
+        jobs,
+    )
+    .unwrap_or_else(|e| panic!("fault-free pressure run cannot fail: {e}"))
+    .into_iter()
+    .map(|(row, _)| row)
+    .collect();
 
     let table = render_table4(&rows);
     if args.has("csv") {
@@ -105,13 +117,23 @@ fn main() {
             fault_seed: cfg.seed ^ 0xFA17,
             verify_every: 250_000,
         };
-        let mut frows = Vec::new();
+        eprintln!(
+            "[table4] {} cells on {jobs} thread(s) (faults {fault_ppm} ppm) ...",
+            PressureWorkload::ALL.len() * ratios.len()
+        );
+        let mut grid = Vec::new();
         for w in PressureWorkload::ALL {
-            for &ratio in &PressureConfig::paper_ratios() {
-                eprintln!("[table4] {} at ratio {ratio:.3} (faults {fault_ppm} ppm) ...", w.name());
-                match run_pressure_observed(w, ratio, &cfg, &res, sink.handle(), sink.interval()) {
-                    Ok(row) => frows.push(row),
-                    Err(e) => eprintln!("[table4] {} aborted: {e}", w.name()),
+            for &ratio in &ratios {
+                grid.push((w, ratio));
+            }
+        }
+        let mut frows = Vec::new();
+        let outs = run_table4_cells(&cfg, &ratios, &res, sink.handle(), sink.interval(), jobs);
+        for ((w, ratio), out) in grid.into_iter().zip(outs) {
+            match out {
+                Ok(row) => frows.push(row),
+                Err(e) => {
+                    eprintln!("[table4] {} at ratio {ratio:.3} aborted: {e}", w.name());
                 }
             }
         }

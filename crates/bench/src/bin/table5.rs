@@ -2,20 +2,30 @@
 //! circuit vs hash-function count) and the §4.4 28 nm ASIC results.
 //!
 //! ```text
-//! table5 [--csv] [--obs-out F]
+//! table5 [--csv] [--obs-out F] [--jobs N]
 //! ```
 //!
 //! `--obs-out` exports one `fpga.synth` / `asic.synth` event per
 //! synthesis point as JSONL; render with `obs_report`.
 
 use mosaic_bench::obs::ObsSink;
-use mosaic_bench::Args;
+use mosaic_bench::{Args, JOBS_HELP};
 use mosaic_core::hw::{asic, circuit::TabHashCircuit, fpga};
 use mosaic_core::sim::report::Table;
+use mosaic_core::sim::run_cells;
 use mosaic_obs::Value;
+
+const USAGE: &str = "\
+table5 [--csv] [--obs-out F] [--jobs N]
+
+Regenerates Table 5 (FPGA cost of the tabulation-hash circuit) and the
+28 nm ASIC results. With --jobs N the per-H synthesis points run as
+independent cells; rows and events are emitted in H order afterwards.";
 
 fn main() {
     let args = Args::from_env();
+    args.maybe_help(&format!("{USAGE}\n{JOBS_HELP}"));
+    let jobs = args.jobs_or_exit();
     let sink = ObsSink::from_args(&args, "table5");
 
     // First prove the datapath is bit-exact against the behavioural model
@@ -37,7 +47,12 @@ fn main() {
         "Latency".into(),
     ])
     .with_title("Table 5: size and latency of the Tabulation Hash circuit on an FPGA");
-    for r in fpga::table5(&[1, 2, 4, 8]) {
+    // Each synthesis point is a pure function of H, so the sweep fans out
+    // as cells; rows/events are emitted post-join in H order regardless.
+    let points = run_cells(jobs, vec![1usize, 2, 4, 8], |_, h| {
+        (fpga::synthesize(h), asic::synthesize(h))
+    });
+    for (r, _) in &points {
         sink.handle().event(
             r.hash_functions as u64,
             "fpga.synth",
@@ -75,8 +90,8 @@ fn main() {
         "Area (KGE)".into(),
     ])
     .with_title("§4.4: 28 nm CMOS synthesis (worst-case corner: TrFF, VddMIN, RCBEST, 1V, 125C)");
-    for h in [1usize, 2, 4, 8] {
-        let r = asic::synthesize(h);
+    for (f, r) in &points {
+        let h = f.hash_functions;
         sink.handle().event(
             h as u64,
             "asic.synth",

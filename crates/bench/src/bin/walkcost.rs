@@ -8,7 +8,7 @@
 //! stream.
 //!
 //! ```text
-//! walkcost [--keys N] [--lookups N] [--obs-out F]
+//! walkcost [--keys N] [--lookups N] [--obs-out F] [--jobs N]
 //! ```
 //!
 //! `--obs-out` exports per-design walk-depth histograms
@@ -16,14 +16,40 @@
 //! JSONL; render with `obs_report`.
 
 use mosaic_bench::obs::ObsSink;
-use mosaic_bench::Args;
+use mosaic_bench::{Args, JOBS_HELP};
 use mosaic_core::mem::{Asid, PageKey, Vpn};
 use mosaic_core::mmu::{Arity, RadixTable, WalkCache};
 use mosaic_core::sim::report::Table;
+use mosaic_core::sim::run_cells;
 use mosaic_core::workloads::{BTreeConfig, BTreeWorkload, Workload};
+use mosaic_obs::ObsHandle;
+
+const USAGE: &str = "\
+walkcost [--keys N] [--lookups N] [--obs-out F] [--jobs N]
+
+Measures page-walk fetches per design over a BTree miss stream. The
+stream is collected once; the four page-table designs walk it as
+independent cells on --jobs threads, sharing the read-only VPN list.";
+
+// Per-design MVPN extraction as plain `fn` pointers so the cell inputs
+// are `Send` and the sweep can fan out across threads.
+fn vpn_index(v: Vpn) -> u64 {
+    v.0
+}
+fn mvpn4_index(v: Vpn) -> u64 {
+    Arity::new(4).split(v).0 .0
+}
+fn mvpn16_index(v: Vpn) -> u64 {
+    Arity::new(16).split(v).0 .0
+}
+fn mvpn64_index(v: Vpn) -> u64 {
+    Arity::new(64).split(v).0 .0
+}
 
 fn main() {
     let args = Args::from_env();
+    args.maybe_help(&format!("{USAGE}\n{JOBS_HELP}"));
+    let jobs = args.jobs_or_exit();
     let keys = args.get_u64("keys", 400_000);
     let lookups = args.get_u64("lookups", 40_000);
     let sink = ObsSink::from_args(&args, "walkcost");
@@ -58,64 +84,66 @@ fn main() {
 
     // Vanilla: 36-bit VPN space at 9 bits/level (x86). Mosaic: MVPN
     // spaces shrink with arity, walked 10 bits/level as in Figure 5.
-    type WalkConfig = (String, u32, u32, Box<dyn Fn(Vpn) -> u64>);
+    type WalkConfig = (String, u32, u32, fn(Vpn) -> u64);
     let configs: Vec<WalkConfig> = vec![
-        ("Vanilla (VPN, 36-bit)".into(), 36, 9, Box::new(|v: Vpn| v.0)),
-        (
-            "Mosaic-4 (MVPN, 34-bit)".into(),
-            34,
-            10,
-            Box::new(|v: Vpn| Arity::new(4).split(v).0 .0),
-        ),
-        (
-            "Mosaic-16 (MVPN, 32-bit)".into(),
-            32,
-            10,
-            Box::new(|v: Vpn| Arity::new(16).split(v).0 .0),
-        ),
-        (
-            "Mosaic-64 (MVPN, 30-bit)".into(),
-            30,
-            10,
-            Box::new(|v: Vpn| Arity::new(64).split(v).0 .0),
-        ),
+        ("Vanilla (VPN, 36-bit)".into(), 36, 9, vpn_index),
+        ("Mosaic-4 (MVPN, 34-bit)".into(), 34, 10, mvpn4_index),
+        ("Mosaic-16 (MVPN, 32-bit)".into(), 32, 10, mvpn16_index),
+        ("Mosaic-64 (MVPN, 30-bit)".into(), 30, 10, mvpn64_index),
     ];
 
-    for (name, bits, per_level, index_of) in configs {
+    // Every design walks the same shared, read-only stream; each cell
+    // owns its page table and an obs child merged back in design order.
+    let enabled = sink.is_enabled();
+    let vpns = &vpns;
+    eprintln!("[walkcost] {} designs on {jobs} thread(s) ...", configs.len());
+    let outcomes = run_cells(jobs, configs, |_, (name, bits, per_level, index_of)| {
+        let child = if enabled {
+            ObsHandle::enabled()
+        } else {
+            ObsHandle::noop()
+        };
         // Short metric label, e.g. "vanilla" / "mosaic-16".
         let label = name
             .split_whitespace()
             .next()
             .unwrap_or("pt")
             .to_lowercase();
-        let depth_hist = sink.handle().histogram(&format!("ptw.{label}.depth"));
-        let walks = sink.handle().counter(&format!("ptw.{label}.walks"));
+        let depth_hist = child.histogram(&format!("ptw.{label}.depth"));
+        let walks = child.counter(&format!("ptw.{label}.walks"));
         let mut table: RadixTable<u64> = RadixTable::new(bits, per_level);
-        for v in &vpns {
+        for v in vpns {
             table.insert(index_of(*v), v.0);
         }
         let mut raw_fetches = 0u64;
-        for v in &vpns {
+        for v in vpns {
             let touched = u64::from(table.walk(index_of(*v)).levels_touched);
             raw_fetches += touched;
             walks.inc();
             depth_hist.record(touched);
         }
         let mut wc = WalkCache::new(16);
-        wc.set_obs(sink.handle(), &label);
+        wc.set_obs(&child, &label);
         let mut cached_fetches = 0u64;
-        for v in &vpns {
+        for v in vpns {
             cached_fetches += u64::from(wc.walk(&table, index_of(*v)).1);
         }
         let n = vpns.len() as f64;
-        t.row(vec![
+        let row = vec![
             name,
             table.levels().to_string(),
             table.len().to_string(),
             table.node_count().to_string(),
             format!("{:.2}", raw_fetches as f64 / n),
             format!("{:.2}", cached_fetches as f64 / n),
-        ]);
+        ];
+        (row, child)
+    });
+    for (row, child) in outcomes {
+        if enabled {
+            sink.handle().merge_from(&child);
+        }
+        t.row(row);
     }
     println!("{}", t.render());
     println!(

@@ -16,6 +16,45 @@
 pub mod obs;
 pub mod obs_report;
 
+/// A malformed command-line flag, reported instead of a panic so the
+/// binaries can print a usage-style diagnostic and exit with a status
+/// code rather than a backtrace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgsError {
+    /// A flag that expects a number got something else.
+    NotANumber {
+        /// Flag name, without the leading `--`.
+        flag: String,
+        /// The value that failed to parse.
+        value: String,
+    },
+    /// `--jobs 0` — there is no such thing as a zero-thread sweep.
+    ZeroJobs,
+}
+
+impl std::fmt::Display for ArgsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArgsError::NotANumber { flag, value } => {
+                write!(f, "--{flag} expects a number, got {value:?}")
+            }
+            ArgsError::ZeroJobs => {
+                write!(f, "--jobs must be at least 1 (use 1 for the serial engine)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArgsError {}
+
+/// The shared `--jobs` paragraph appended to every binary's `--help`.
+pub const JOBS_HELP: &str = "\
+  --jobs N      Worker threads for the sweep (default 1). The grid is split
+                into independent cells, each replaying a shared recorded
+                trace; results and observability are merged back in serial
+                order, so output bytes are identical at every N.
+  --help        Print this help and exit.";
+
 /// A minimal flag parser: `--name value` pairs plus positional arguments.
 ///
 /// # Example
@@ -81,6 +120,56 @@ impl Args {
             })
     }
 
+    /// The value of `--name` as a `u64`, or `default` — with a typed
+    /// error instead of a panic when the value is not a number.
+    ///
+    /// # Errors
+    ///
+    /// [`ArgsError::NotANumber`] if the flag is present but malformed.
+    pub fn try_get_u64(&self, name: &str, default: u64) -> Result<u64, ArgsError> {
+        self.flags
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map_or(Ok(default), |(_, v)| {
+                v.parse().map_err(|_| ArgsError::NotANumber {
+                    flag: name.to_string(),
+                    value: v.clone(),
+                })
+            })
+    }
+
+    /// The validated `--jobs` value (default 1).
+    ///
+    /// # Errors
+    ///
+    /// [`ArgsError::NotANumber`] for non-numeric values and
+    /// [`ArgsError::ZeroJobs`] for `--jobs 0`.
+    pub fn jobs(&self) -> Result<usize, ArgsError> {
+        match self.try_get_u64("jobs", 1)? {
+            0 => Err(ArgsError::ZeroJobs),
+            n => Ok(n as usize),
+        }
+    }
+
+    /// [`Args::jobs`] for binaries: prints the error and exits 2.
+    pub fn jobs_or_exit(&self) -> usize {
+        self.jobs().unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        })
+    }
+
+    /// Prints `usage` and exits 0 when `--help` was passed; otherwise
+    /// does nothing. Parallel binaries append [`JOBS_HELP`] to their
+    /// usage text; serial ones state that they run single-threaded.
+    pub fn maybe_help(&self, usage: &str) {
+        if self.has("help") {
+            println!("{usage}");
+            std::process::exit(0);
+        }
+    }
+
     /// The value of `--name` as a string, if the flag was passed.
     pub fn get_str(&self, name: &str) -> Option<&str> {
         self.flags
@@ -130,6 +219,41 @@ mod tests {
     fn last_flag_wins() {
         let a = parse(&["bin", "--n", "1", "--n", "2"]);
         assert_eq!(a.get_u64("n", 0), 2);
+    }
+
+    #[test]
+    fn jobs_defaults_to_one() {
+        assert_eq!(parse(&["bin"]).jobs(), Ok(1));
+    }
+
+    #[test]
+    fn jobs_parses_a_count() {
+        assert_eq!(parse(&["bin", "--jobs", "8"]).jobs(), Ok(8));
+    }
+
+    #[test]
+    fn jobs_rejects_zero_with_typed_error() {
+        assert_eq!(parse(&["bin", "--jobs", "0"]).jobs(), Err(ArgsError::ZeroJobs));
+    }
+
+    #[test]
+    fn jobs_rejects_non_numeric_with_typed_error() {
+        let err = parse(&["bin", "--jobs", "many"]).jobs().unwrap_err();
+        assert_eq!(
+            err,
+            ArgsError::NotANumber {
+                flag: "jobs".into(),
+                value: "many".into(),
+            }
+        );
+        assert!(err.to_string().contains("expects a number"));
+    }
+
+    #[test]
+    fn try_get_u64_returns_error_not_panic() {
+        let a = parse(&["bin", "--scale", "abc"]);
+        assert!(a.try_get_u64("scale", 0).is_err());
+        assert_eq!(a.try_get_u64("missing", 7), Ok(7));
     }
 
     #[test]

@@ -128,15 +128,21 @@ impl<T: Copy + Eq + Hash, E> CacheSet<T, E> {
 pub struct SetAssocCache<T, E> {
     sets: Vec<CacheSet<T, E>>,
     ways: usize,
+    /// `sets.len() - 1` when the set count is a power of two (every
+    /// Figure 6 geometry), so the hot-path set index is a single AND
+    /// instead of an integer division; `None` falls back to modulo.
+    set_mask: Option<usize>,
     tick: u64,
 }
 
 impl<T: Copy + Eq + Hash, E> SetAssocCache<T, E> {
     /// Creates an empty cache from a TLB configuration.
     pub fn new(cfg: TlbConfig) -> Self {
+        let num_sets = cfg.num_sets();
         Self {
-            sets: (0..cfg.num_sets()).map(|_| CacheSet::new()).collect(),
+            sets: (0..num_sets).map(|_| CacheSet::new()).collect(),
             ways: cfg.ways(),
+            set_mask: num_sets.is_power_of_two().then(|| num_sets - 1),
             tick: 0,
         }
     }
@@ -167,7 +173,10 @@ impl<T: Copy + Eq + Hash, E> SetAssocCache<T, E> {
     }
 
     fn set_of(&self, set: usize) -> usize {
-        set % self.sets.len()
+        match self.set_mask {
+            Some(mask) => set & mask,
+            None => set % self.sets.len(),
+        }
     }
 
     /// Looks up `tag` in `set`, refreshing its LRU position on a hit.

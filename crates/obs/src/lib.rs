@@ -392,6 +392,38 @@ impl ObsHandle {
         lock(&core.records).extend(batch);
     }
 
+    /// Merges another registry into this one: counter values add,
+    /// gauges take the child's value, histograms merge bucket-wise
+    /// ([`Histo::merge`]), and the child's buffered records are appended
+    /// in their original order.
+    ///
+    /// This is the join side of per-thread observability: give each
+    /// parallel cell its own enabled handle, then merge the children
+    /// into the parent **in a fixed order** (e.g. cell index) after the
+    /// threads join — the merged stream is then independent of thread
+    /// scheduling. A disabled handle on either side makes this a no-op.
+    pub fn merge_from(&self, child: &ObsHandle) {
+        let (Some(core), Some(child_core)) = (&self.core, &child.core) else {
+            return;
+        };
+        for (name, cell) in lock(&child_core.counters).iter() {
+            self.counter(name).add(cell.load(Ordering::Relaxed));
+        }
+        for (name, cell) in lock(&child_core.gauges).iter() {
+            self.gauge(name)
+                .set(f64::from_bits(cell.load(Ordering::Relaxed)));
+        }
+        for (name, cell) in lock(&child_core.hists).iter() {
+            let theirs = lock(cell).clone();
+            let ours = self.histogram(name);
+            if let Some(h) = &ours.0 {
+                lock(h).merge(&theirs);
+            }
+        }
+        let child_records = lock(&child_core.records).clone();
+        lock(&core.records).extend(child_records);
+    }
+
     /// Number of buffered records (0 when disabled).
     pub fn num_records(&self) -> usize {
         self.core.as_ref().map_or(0, |c| lock(&c.records).len())
@@ -683,5 +715,75 @@ mod tests {
         let doc = json::parse(&obs.render_chrome_trace()).expect("trace parses");
         let events = doc.get("traceEvents").and_then(json::Json::as_arr).unwrap();
         assert!(events.len() >= 3);
+    }
+
+    #[test]
+    fn merge_adds_counters_and_merges_hists() {
+        let parent = ObsHandle::enabled();
+        parent.counter("shared").add(10);
+        parent.histogram("lat").record(1);
+
+        let child = ObsHandle::enabled();
+        child.counter("shared").add(5);
+        child.counter("child.only").add(3);
+        child.gauge("util").set(0.5);
+        child.histogram("lat").record(9);
+
+        parent.merge_from(&child);
+        assert_eq!(parent.counter_value("shared"), 15);
+        assert_eq!(parent.counter_value("child.only"), 3);
+        assert!((parent.gauge("util").get() - 0.5).abs() < 1e-12);
+        let h = parent.histogram("lat").snapshot();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum(), 10);
+    }
+
+    #[test]
+    fn merge_appends_child_records_in_order() {
+        let parent = ObsHandle::enabled();
+        parent.event(1, "parent.first", &[]);
+        let child = ObsHandle::enabled();
+        child.event(2, "child.a", &[]);
+        child.event(3, "child.b", &[]);
+        parent.merge_from(&child);
+        let jsonl = parent.render_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("parent.first"));
+        assert!(lines[1].contains("child.a"));
+        assert!(lines[2].contains("child.b"));
+    }
+
+    #[test]
+    fn merge_in_fixed_order_is_deterministic() {
+        let run = || {
+            let parent = ObsHandle::enabled();
+            let children: Vec<ObsHandle> = (0..4)
+                .map(|i| {
+                    let c = ObsHandle::enabled();
+                    c.counter("n").add(i);
+                    c.event(i, "cell.done", &[]);
+                    c
+                })
+                .collect();
+            for c in &children {
+                parent.merge_from(c);
+            }
+            parent.snapshot(100);
+            parent.render_jsonl()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn merge_with_disabled_handles_is_a_noop() {
+        let parent = ObsHandle::enabled();
+        parent.counter("c").inc();
+        parent.merge_from(&ObsHandle::noop());
+        assert_eq!(parent.counter_value("c"), 1);
+        assert_eq!(parent.num_records(), 0);
+        let disabled = ObsHandle::noop();
+        disabled.merge_from(&parent);
+        assert_eq!(disabled.num_records(), 0);
     }
 }

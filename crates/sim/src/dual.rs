@@ -64,12 +64,70 @@ impl Default for KernelConfig {
     }
 }
 
+/// The kernel-injection state machine, factored out of [`DualSim`] so
+/// the parallel engine's record-once reference pass replays *exactly*
+/// the serial simulator's kernel stream (same RNG seeding, same due
+/// counter semantics).
+#[derive(Debug)]
+pub(crate) struct KernelInjector {
+    cfg: KernelConfig,
+    rng: SplitMix64,
+    due: u64,
+}
+
+impl KernelInjector {
+    /// Builds the injector exactly as [`DualSim::new`] seeds it.
+    pub(crate) fn new(cfg: KernelConfig, seed: u64) -> Self {
+        Self {
+            cfg,
+            rng: SplitMix64::new(seed ^ 0x4B45_524E),
+            due: 0,
+        }
+    }
+
+    /// Called once after every user access; returns the kernel VPN to
+    /// inject when one is due.
+    pub(crate) fn after_user_access(&mut self) -> Option<Vpn> {
+        self.due += 1;
+        if self.due >= self.cfg.period {
+            self.due = 0;
+            let page = self.cfg.next_page(&mut self.rng);
+            Some(Vpn(KERNEL_VPN_BASE + page))
+        } else {
+            None
+        }
+    }
+}
+
+/// Builds the OS model sized as every Figure 6 driver sizes it. Shared
+/// by [`DualSim::new`] and the parallel engine's reference pass so the
+/// two can never drift apart.
+pub(crate) fn reference_os(
+    arities: &[Arity],
+    footprint_pages: u64,
+    kernel_pages: u64,
+    seed: u64,
+) -> OsModel {
+    let frames = frames_for_footprint(footprint_pages, kernel_pages);
+    let layout = MemoryLayout::default().with_at_least_frames(frames);
+    OsModel::new(layout, arities, seed)
+}
+
 /// One simultaneously-simulated TLB configuration and its counters.
 #[derive(Debug)]
 enum Instance {
     Vanilla(VanillaTlb),
     /// `usize` is the index into the OS model's per-arity page tables.
     Mosaic(usize, MosaicTlb),
+}
+
+/// Per-reference scratch reused across the instance loop. The CPFN of a
+/// sub-page is arity- and associativity-independent, so one resolution
+/// serves every TLB instance that sub-misses on the same reference
+/// (counted page walks stay per-instance — they model per-TLB walkers).
+#[derive(Debug, Default, Clone, Copy)]
+struct StepScratch {
+    cpfn: Option<mosaic_mem::Cpfn>,
 }
 
 /// A dual-TLB simulation over one shared OS model.
@@ -79,7 +137,8 @@ pub struct DualSim {
     asid: Asid,
     /// `(associativity, instance)` pairs, all fed every access.
     instances: Vec<(Associativity, Instance)>,
-    kernel: Option<(KernelConfig, SplitMix64, u64)>,
+    kernel: Option<KernelInjector>,
+    scratch: StepScratch,
     user_accesses: u64,
 }
 
@@ -95,9 +154,7 @@ impl DualSim {
         seed: u64,
     ) -> Self {
         let kernel_pages = kernel.map_or(0, |k| k.pages);
-        let frames = frames_for_footprint(footprint_pages, kernel_pages);
-        let layout = MemoryLayout::default().with_at_least_frames(frames);
-        let os = OsModel::new(layout, arities, seed);
+        let os = reference_os(arities, footprint_pages, kernel_pages, seed);
         let asid = crate::os::USER_ASID;
 
         let mut instances = Vec::new();
@@ -112,12 +169,13 @@ impl DualSim {
             }
         }
 
-        let kernel = kernel.map(|k| (k, SplitMix64::new(seed ^ 0x4B45_524E), 0));
+        let kernel = kernel.map(|k| KernelInjector::new(k, seed));
         Self {
             os,
             asid,
             instances,
             kernel,
+            scratch: StepScratch::default(),
             user_accesses: 0,
         }
     }
@@ -128,12 +186,8 @@ impl DualSim {
         self.user_accesses += 1;
         self.reference(access.addr.vpn(), access.kind);
         // Kernel injection.
-        if let Some((cfg, rng, due)) = &mut self.kernel {
-            *due += 1;
-            if *due >= cfg.period {
-                *due = 0;
-                let page = cfg.next_page(rng);
-                let vpn = Vpn(KERNEL_VPN_BASE + page);
+        if let Some(injector) = &mut self.kernel {
+            if let Some(vpn) = injector.after_user_access() {
                 self.reference(vpn, AccessKind::Load);
             }
         }
@@ -143,6 +197,7 @@ impl DualSim {
     fn reference(&mut self, vpn: Vpn, kind: AccessKind) {
         self.os.touch(vpn, kind);
         let asid = self.asid;
+        self.scratch.cpfn = None;
         for (_, inst) in &mut self.instances {
             match inst {
                 Instance::Vanilla(tlb) => {
@@ -156,10 +211,17 @@ impl DualSim {
                 Instance::Mosaic(arity_idx, tlb) => match tlb.lookup(asid, vpn) {
                     MosaicLookup::Hit(_) => {}
                     MosaicLookup::SubMiss => {
-                        let cpfn = self
-                            .os
-                            .cpfn_of(vpn)
-                            .expect("touched page must be mapped");
+                        let cpfn = match self.scratch.cpfn {
+                            Some(c) => c,
+                            None => {
+                                let c = self
+                                    .os
+                                    .cpfn_of(vpn)
+                                    .expect("touched page must be mapped");
+                                self.scratch.cpfn = Some(c);
+                                c
+                            }
+                        };
                         tlb.fill_sub(asid, vpn, cpfn);
                     }
                     MosaicLookup::Miss => {

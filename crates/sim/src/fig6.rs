@@ -1,11 +1,30 @@
 //! The Figure 6 experiment: TLB misses across workloads, mosaic arity,
 //! and TLB associativity.
+//!
+//! Two execution engines produce byte-identical results:
+//!
+//! * the **serial** engine ([`run_workload`]) drives one [`DualSim`]
+//!   whose grid of TLBs shares a single pass over the trace;
+//! * the **parallel** engine ([`run_workload_jobs`]) records the
+//!   combined user+kernel reference stream once into a
+//!   [`TraceBuffer`], resolves all demand mapping in that single
+//!   reference pass, then fans the (associativity × design) cells out
+//!   across threads — each cell replaying the shared stream against its
+//!   own TLB and page-table walker. Results are collected in the serial
+//!   engine's instance order, so output is identical at any `--jobs`.
 
-use crate::dual::{DualSim, KernelConfig};
+use crate::dual::{reference_os, DualSim, KernelConfig, KernelInjector};
+use crate::os::OsModel;
+use crate::parallel::run_cells;
 use crate::report::{humanize, Table};
-use mosaic_mem::PAGE_SIZE;
-use mosaic_mmu::{Arity, Associativity, TlbStats};
-use mosaic_workloads::Workload;
+use crate::trace_buffer::{TraceBuffer, TraceBufferBuilder};
+use mosaic_mem::{AccessKind, Cpfn, Pfn, VirtAddr, PAGE_SIZE};
+use mosaic_mmu::{
+    Arity, Associativity, MosaicLookup, MosaicTlb, PageWalker, RadixTable, TlbConfig, TlbStats,
+    Toc, VanillaTlb,
+};
+use mosaic_workloads::{Access, Workload};
+use std::collections::HashMap;
 
 /// Which TLB design a result row belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -142,6 +161,296 @@ pub fn run_workload_observed(
         .collect()
 }
 
+/// One cell of the parallel grid: which TLB design at which
+/// associativity.
+#[derive(Debug, Clone, Copy)]
+enum CellSpec {
+    Vanilla(Associativity),
+    Mosaic(Associativity, Arity),
+}
+
+/// A cell's private simulation state: its TLB plus its own page-table
+/// walker over state derived from the frozen reference [`OsModel`].
+enum CellSim<'a> {
+    Vanilla {
+        tlb: VanillaTlb,
+        /// A private walker over a clone of the final vanilla table.
+        /// Mapped 4 KiB walks always touch all four levels and the
+        /// translations never change after first touch, so walking the
+        /// final table reproduces the serial engine's walk counters and
+        /// depth histograms exactly.
+        walker: PageWalker<Pfn>,
+        /// Kernel 2 MiB mappings, shared read-only (huge walks bypass
+        /// the radix walker in the serial engine too).
+        huge: &'a HashMap<u64, Pfn>,
+    },
+    Mosaic {
+        tlb: MosaicTlb,
+        /// An incremental *shadow* page table, grown on each VPN's
+        /// first occurrence in the stream. A cell cannot walk the
+        /// frozen reference table: a ToC fill caches the leaf's
+        /// point-in-time validity, and the fully-populated final ToCs
+        /// would turn later sub-entry misses into hits.
+        shadow: PageWalker<Toc>,
+        arity: Arity,
+        sentinel: Cpfn,
+        os: &'a OsModel,
+    },
+}
+
+impl CellSim<'_> {
+    /// Feeds one reference through the cell, mirroring
+    /// `DualSim::reference` for this single instance.
+    fn step(&mut self, a: Access) {
+        let asid = crate::os::USER_ASID;
+        let vpn = a.addr.vpn();
+        match self {
+            CellSim::Vanilla { tlb, walker, huge } => {
+                if !tlb.lookup(asid, vpn).is_hit() {
+                    if OsModel::is_kernel(vpn) {
+                        let idx = mosaic_mmu::arity::huge_index(vpn);
+                        let first = *huge.get(&idx).expect("kernel page touched before walk");
+                        tlb.fill_huge(asid, vpn, first);
+                    } else {
+                        let pfn = *walker.walk(vpn.0).expect("page touched before walk");
+                        tlb.fill_base(asid, vpn, pfn);
+                    }
+                }
+            }
+            CellSim::Mosaic {
+                tlb,
+                shadow,
+                arity,
+                sentinel,
+                os,
+            } => {
+                let (mvpn, offset) = arity.split(vpn);
+                // First occurrence of this VPN in the stream: mirror the
+                // mapping into the shadow table, exactly as the
+                // reference pass mapped it (pages are never evicted, so
+                // "absent from the shadow" ⟺ "not yet touched").
+                let mapped = shadow
+                    .table()
+                    .get(mvpn.0)
+                    .and_then(|toc| toc.get(offset))
+                    .is_some();
+                if !mapped {
+                    let cpfn = os.cpfn_of(vpn).expect("page in stream must be mapped");
+                    match shadow.table_mut().get_mut(mvpn.0) {
+                        Some(toc) => toc.set(offset, cpfn),
+                        None => {
+                            let mut toc = Toc::new(*arity, *sentinel);
+                            toc.set(offset, cpfn);
+                            shadow.table_mut().insert(mvpn.0, toc);
+                        }
+                    }
+                }
+                match tlb.lookup(asid, vpn) {
+                    MosaicLookup::Hit(_) => {}
+                    MosaicLookup::SubMiss => {
+                        let cpfn = os.cpfn_of(vpn).expect("touched page must be mapped");
+                        tlb.fill_sub(asid, vpn, cpfn);
+                    }
+                    MosaicLookup::Miss => {
+                        let toc = shadow.walk(mvpn.0).expect("page touched before walk").clone();
+                        tlb.fill_toc(asid, vpn, toc);
+                    }
+                }
+            }
+        }
+    }
+
+    fn stats(&self) -> TlbStats {
+        match self {
+            CellSim::Vanilla { tlb, .. } => *tlb.stats(),
+            CellSim::Mosaic { tlb, .. } => *tlb.stats(),
+        }
+    }
+}
+
+/// Runs one cell: replays the shared reference stream against a private
+/// TLB + walker, snapshotting its child registry at the recorded
+/// positions so merged observability matches a serial run's cadence.
+fn run_fig6_cell(
+    os: &OsModel,
+    trace: &TraceBuffer,
+    tlb_entries: usize,
+    spec: CellSpec,
+    child: &mosaic_obs::ObsHandle,
+    snapshots: &[(u64, u64)],
+) -> TlbStats {
+    let mut sim = match spec {
+        CellSpec::Vanilla(assoc) => {
+            let mut tlb = VanillaTlb::new(TlbConfig::new(tlb_entries, assoc));
+            let mut walker = PageWalker::new(os.vanilla_table().clone());
+            if child.is_enabled() {
+                let assoc_label = assoc.to_string().to_lowercase();
+                tlb.set_obs(child, &format!("vanilla.{assoc_label}"));
+                walker.set_obs(child, "vanilla");
+            }
+            CellSim::Vanilla {
+                tlb,
+                walker,
+                huge: os.vanilla_huge_map(),
+            }
+        }
+        CellSpec::Mosaic(assoc, arity) => {
+            let mut tlb = MosaicTlb::new(TlbConfig::new(tlb_entries, assoc), arity);
+            let mvpn_bits = 36 - arity.offset_bits();
+            let mut shadow = PageWalker::new(RadixTable::new(mvpn_bits, 9));
+            if child.is_enabled() {
+                let assoc_label = assoc.to_string().to_lowercase();
+                tlb.set_obs(child, &format!("mosaic-{}.{assoc_label}", arity.get()));
+                shadow.set_obs(child, &format!("mosaic-{}", arity.get()));
+            }
+            CellSim::Mosaic {
+                tlb,
+                shadow,
+                arity,
+                sentinel: os.unmapped_sentinel(),
+                os,
+            }
+        }
+    };
+    let mut refs = 0u64;
+    let mut snap = snapshots.iter().copied().peekable();
+    trace
+        .replay(&mut |a| {
+            sim.step(a);
+            refs += 1;
+            if snap.peek().is_some_and(|&(r, _)| r == refs) {
+                let (_, user_accesses) = snap.next().expect("peeked position");
+                child.snapshot(user_accesses);
+            }
+        })
+        .expect("reference trace replay failed");
+    sim.stats()
+}
+
+/// [`run_workload`] on `jobs` threads, byte-identical at any job count.
+///
+/// `jobs == 1` routes to the serial engine; otherwise the reference
+/// stream is recorded once and the grid's cells replay it in parallel.
+/// `jobs == 0` uses the machine's available parallelism.
+pub fn run_workload_jobs(
+    cfg: &Fig6Config,
+    workload: &mut dyn Workload,
+    jobs: usize,
+) -> Vec<Fig6Row> {
+    run_workload_observed_jobs(cfg, workload, &mosaic_obs::ObsHandle::noop(), 0, jobs)
+}
+
+/// [`run_workload_observed`] on `jobs` threads.
+///
+/// The reference pass registers the allocator and emits the interval
+/// snapshots it can observe (allocator gauges evolve during recording);
+/// each cell registers its TLB and walker on a private child registry
+/// under the serial engine's labels and snapshots it at the same
+/// user-access positions. Children merge into `obs` in cell-index order
+/// after the join, so the export is deterministic at any `--jobs` and
+/// merged counter totals equal a serial run's.
+pub fn run_workload_observed_jobs(
+    cfg: &Fig6Config,
+    workload: &mut dyn Workload,
+    obs: &mosaic_obs::ObsHandle,
+    obs_interval: u64,
+    jobs: usize,
+) -> Vec<Fig6Row> {
+    if jobs == 1 {
+        return run_workload_observed(cfg, workload, obs, obs_interval);
+    }
+    let meta = workload.meta();
+    let footprint_pages = meta.footprint_bytes.div_ceil(PAGE_SIZE) + 16;
+    let kernel_pages = cfg.kernel.map_or(0, |k| k.pages);
+    let mut os = reference_os(&cfg.arities, footprint_pages, kernel_pages, cfg.seed);
+    if obs.is_enabled() {
+        os.set_obs(obs);
+        obs.event(
+            0,
+            "drive.begin",
+            &[("workload", mosaic_obs::Value::from(meta.name))],
+        );
+    }
+    let mut kernel = cfg.kernel.map(|k| KernelInjector::new(k, cfg.seed));
+
+    // Reference pass: record the combined user+kernel stream once while
+    // resolving every demand mapping in stream order.
+    let mut builder = TraceBufferBuilder::new();
+    let mut user_accesses = 0u64;
+    let mut refs = 0u64;
+    let mut snapshots: Vec<(u64, u64)> = Vec::new();
+    workload.run(&mut |a| {
+        user_accesses += 1;
+        os.touch(a.addr.vpn(), a.kind);
+        builder.push(a);
+        refs += 1;
+        if let Some(injector) = kernel.as_mut() {
+            if let Some(kvpn) = injector.after_user_access() {
+                os.touch(kvpn, AccessKind::Load);
+                builder.push(Access {
+                    addr: VirtAddr(kvpn.0 * PAGE_SIZE),
+                    kind: AccessKind::Load,
+                });
+                refs += 1;
+            }
+        }
+        if obs_interval > 0 && user_accesses.is_multiple_of(obs_interval) && obs.is_enabled() {
+            snapshots.push((refs, user_accesses));
+            os.publish_obs();
+            obs.snapshot(user_accesses);
+        }
+    });
+    let trace = builder
+        .finish(meta.clone())
+        .expect("failed to record reference trace");
+
+    // Fan the grid out: serial instance order (per associativity, the
+    // vanilla cell then one mosaic cell per arity).
+    let mut inputs: Vec<(CellSpec, mosaic_obs::ObsHandle)> = Vec::new();
+    for &assoc in &cfg.associativities {
+        inputs.push((CellSpec::Vanilla(assoc), child_handle(obs)));
+        for &arity in &cfg.arities {
+            inputs.push((CellSpec::Mosaic(assoc, arity), child_handle(obs)));
+        }
+    }
+    let outcomes = run_cells(jobs, inputs, |_, (spec, child)| {
+        let stats = run_fig6_cell(&os, &trace, cfg.tlb_entries, spec, &child, &snapshots);
+        (spec, stats, child)
+    });
+
+    let mut rows = Vec::with_capacity(outcomes.len());
+    for (spec, stats, child) in outcomes {
+        if obs.is_enabled() {
+            obs.merge_from(&child);
+        }
+        let (assoc, kind) = match spec {
+            CellSpec::Vanilla(assoc) => (assoc, TlbKind::Vanilla),
+            CellSpec::Mosaic(assoc, arity) => (assoc, TlbKind::Mosaic(arity)),
+        };
+        rows.push(Fig6Row {
+            workload: meta.name.to_string(),
+            assoc,
+            kind,
+            stats,
+        });
+    }
+    if obs.is_enabled() {
+        os.publish_obs();
+        obs.snapshot(user_accesses);
+    }
+    rows
+}
+
+/// A private enabled registry for one cell when observability is on, a
+/// noop handle otherwise.
+pub(crate) fn child_handle(obs: &mosaic_obs::ObsHandle) -> mosaic_obs::ObsHandle {
+    if obs.is_enabled() {
+        mosaic_obs::ObsHandle::enabled()
+    } else {
+        mosaic_obs::ObsHandle::noop()
+    }
+}
+
 /// Renders one workload's rows as the paper lays Figure 6 out: one row
 /// per design, one column per associativity.
 pub fn render(workload: &str, rows: &[Fig6Row]) -> Table {
@@ -253,5 +562,83 @@ mod tests {
         let red = reduction_percent(&rows, Associativity::Full, Arity::new(4));
         assert!(red.is_some());
         assert!(red.unwrap() <= 100.0);
+    }
+
+    fn gups_at(seed: u64) -> Gups {
+        Gups::new(
+            GupsConfig {
+                table_bytes: 1 << 20,
+                updates: 20_000,
+            },
+            seed,
+        )
+    }
+
+    #[test]
+    fn parallel_engine_matches_serial_without_kernel() {
+        let cfg = Fig6Config::quick_test();
+        let serial = run_workload(&cfg, &mut gups_at(5));
+        for jobs in [2, 4] {
+            let par = run_workload_jobs(&cfg, &mut gups_at(5), jobs);
+            assert_eq!(par, serial, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn parallel_engine_matches_serial_with_kernel_injection() {
+        // The kernel model exercises the huge-page path and the
+        // record-once combined stream (user + injected accesses).
+        let mut cfg = Fig6Config::quick_test();
+        cfg.kernel = Some(KernelConfig {
+            pages: 64,
+            period: 16,
+        });
+        cfg.arities = vec![Arity::new(4), Arity::new(8)];
+        let serial = run_workload(&cfg, &mut gups_at(9));
+        for jobs in [2, 8] {
+            let par = run_workload_jobs(&cfg, &mut gups_at(9), jobs);
+            assert_eq!(par, serial, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn parallel_obs_merge_matches_serial_counter_totals() {
+        let mut cfg = Fig6Config::quick_test();
+        cfg.kernel = Some(KernelConfig {
+            pages: 32,
+            period: 8,
+        });
+        let serial_obs = mosaic_obs::ObsHandle::enabled();
+        let serial = run_workload_observed(&cfg, &mut gups_at(7), &serial_obs, 5_000);
+        let par_obs = mosaic_obs::ObsHandle::enabled();
+        let par = run_workload_observed_jobs(&cfg, &mut gups_at(7), &par_obs, 5_000, 4);
+        assert_eq!(par, serial);
+        for name in [
+            "tlb.vanilla.direct.misses",
+            "tlb.vanilla.full.misses",
+            "tlb.mosaic-4.direct.misses",
+            "tlb.mosaic-4.full.accesses",
+            "ptw.vanilla.walks",
+            "ptw.mosaic-4.walks",
+        ] {
+            assert_eq!(
+                par_obs.counter_value(name),
+                serial_obs.counter_value(name),
+                "counter {name}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_obs_export_is_deterministic_across_job_counts() {
+        let cfg = Fig6Config::quick_test();
+        let export = |jobs| {
+            let obs = mosaic_obs::ObsHandle::enabled();
+            run_workload_observed_jobs(&cfg, &mut gups_at(3), &obs, 5_000, jobs);
+            obs.render_jsonl()
+        };
+        let two = export(2);
+        assert_eq!(two, export(4));
+        assert_eq!(two, export(8));
     }
 }

@@ -217,6 +217,9 @@ pub fn run_frag(cfg: &FragConfig, workload: &mut dyn Workload) -> FragResult {
     let mut map_thp_base: HashMap<u64, Pfn> = HashMap::new();
     let mut accesses = 0u64;
     let mut now = filler;
+    // CoLT neighbor-window scratch, reused across misses instead of
+    // allocating a fresh Vec per miss on the hot path.
+    let mut neighbors: Vec<Option<Pfn>> = Vec::with_capacity(cfg.span);
 
     workload.run(&mut |a| {
         accesses += 1;
@@ -262,9 +265,9 @@ pub fn run_frag(cfg: &FragConfig, workload: &mut dyn Workload) -> FragResult {
         // -- CoLT --
         if !colt.lookup(ASID, vpn).is_hit() {
             let window_base = vpn.0 / cfg.span as u64 * cfg.span as u64;
-            let neighbors: Vec<Option<Pfn>> = (0..cfg.span as u64)
-                .map(|j| map4k.get(&(window_base + j)).copied())
-                .collect();
+            neighbors.clear();
+            neighbors
+                .extend((0..cfg.span as u64).map(|j| map4k.get(&(window_base + j)).copied()));
             colt.fill(ASID, vpn, pfn4k, &neighbors);
         }
         // -- Mosaic --
@@ -300,6 +303,35 @@ pub fn run_frag(cfg: &FragConfig, workload: &mut dyn Workload) -> FragResult {
         colt_mean_pack: colt.mean_pack(),
         accesses,
     }
+}
+
+/// Runs a whole fragmentation sweep — one [`run_frag`] per config — on
+/// `jobs` threads. The workload's trace is recorded once and every
+/// level replays the same stream, so results are identical to serial
+/// per-level runs (workload generation is deterministic) while the
+/// generation cost is paid once instead of per level.
+///
+/// # Panics
+///
+/// Panics if a workload over-commits the (auto-sized) pools, or if the
+/// recorded trace cannot be spilled/replayed.
+pub fn run_frag_jobs(
+    cfgs: &[FragConfig],
+    workload: &mut dyn Workload,
+    jobs: usize,
+) -> Vec<FragResult> {
+    let trace = crate::trace_buffer::TraceBuffer::record(workload)
+        .expect("failed to record fragmentation trace");
+    crate::parallel::run_cells(jobs, cfgs.to_vec(), |_, cfg| {
+        let mut replay = trace.replayer();
+        let result = run_frag(&cfg, &mut replay);
+        assert!(
+            replay.error().is_none(),
+            "fragmentation trace replay failed: {:?}",
+            replay.into_error()
+        );
+        result
+    })
 }
 
 #[cfg(test)]

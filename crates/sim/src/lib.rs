@@ -37,13 +37,17 @@ pub mod dual;
 pub mod fig6;
 pub mod frag;
 pub mod os;
+pub mod parallel;
 pub mod platform;
 pub mod pressure;
 pub mod report;
+pub mod trace_buffer;
 
 pub use dcache::{run_coloring, ColoringResult, DataCache, Placement};
 pub use dual::{DualSim, KernelConfig};
 pub use fig6::{Fig6Config, Fig6Row, TlbKind};
-pub use frag::{run_frag, FragConfig, FragResult};
+pub use frag::{run_frag, run_frag_jobs, FragConfig, FragResult};
+pub use parallel::{derive_seed, run_cells};
 pub use pressure::{PressureConfig, PressureRow, PressureWorkload, Table3Row};
 pub use report::Table;
+pub use trace_buffer::{TraceBuffer, TraceBufferBuilder, TraceReplayer};

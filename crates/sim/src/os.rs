@@ -204,6 +204,25 @@ impl OsModel {
         self.mosaic_pts.iter().map(|&(a, _)| a).collect()
     }
 
+    /// The vanilla 4 KiB radix table (parallel cells clone it into a
+    /// private walker so per-cell walk accounting stays independent).
+    pub(crate) fn vanilla_table(&self) -> &RadixTable<Pfn> {
+        self.vanilla_pt.table()
+    }
+
+    /// The vanilla 2 MiB kernel mappings, shared read-only by parallel
+    /// cells (huge walks never touch the radix walker's counters).
+    pub(crate) fn vanilla_huge_map(&self) -> &HashMap<u64, Pfn> {
+        &self.vanilla_huge
+    }
+
+    /// The unmapped-sub-page sentinel CPFN new ToCs are initialized
+    /// with — parallel cells use it to grow their shadow page tables
+    /// exactly as [`OsModel::touch`] grows the reference ones.
+    pub(crate) fn unmapped_sentinel(&self) -> mosaic_mem::Cpfn {
+        self.mosaic.codec().unmapped()
+    }
+
     /// Checks dual-world agreement: the mosaic manager's own invariants,
     /// plus — for every resident page and every arity — that the mirrored
     /// page-table ToC sub-entry stores exactly the CPFN the manager would

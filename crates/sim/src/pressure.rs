@@ -11,7 +11,9 @@
 //! * the **steady-state utilization** (ghosts push it past `1 − δ`);
 //! * total **swap I/O** for each manager (Table 4's columns).
 
+use crate::parallel::{derive_seed, run_cells};
 use crate::report::{group_digits, Table};
+use crate::trace_buffer::TraceBuffer;
 use mosaic_mem::{
     Asid, FaultPlan, IcebergConfig, LinuxMemory, MemoryLayout, MemoryManager, MosaicError,
     MosaicMemory, MosaicResult, PageKey, ResilienceStats, PAGE_SIZE,
@@ -291,8 +293,13 @@ pub fn run_pressure_observed(
         last_error: None,
     };
 
-    // Identical reference streams: the workload is rebuilt with the same
-    // seed for each manager so the traces match exactly.
+    // Identical reference streams for both managers: the workload is
+    // built and recorded once, then replayed read-only for each drive —
+    // the stream each manager sees is the same *object*, not merely the
+    // same seed, and the generation cost is paid once instead of twice.
+    let mut source = workload.build(target, cfg.seed);
+    let trace = TraceBuffer::record(source.as_mut()).map_err(MosaicError::from)?;
+    drop(source);
     if obs.is_enabled() {
         obs.event(
             0,
@@ -304,8 +311,12 @@ pub fn run_pressure_observed(
             ],
         );
     }
+    let mut replay = trace.replayer();
     let (footprint, m_dropped, end) =
-        drive(&mut mosaic, workload, target, cfg.seed, res, &mut report, 0, obs, obs_interval)?;
+        drive(&mut mosaic, &mut replay, target, res, &mut report, 0, obs, obs_interval)?;
+    if let Some(e) = replay.into_error() {
+        return Err(e.into());
+    }
     // The baseline's timeline resumes where Mosaic's stopped (only when
     // exporting; `now` offsets never change manager behavior, but the
     // default path stays untouched for bit-identity with the seed).
@@ -321,9 +332,13 @@ pub fn run_pressure_observed(
             ],
         );
     }
+    let mut replay = trace.replayer();
     let (footprint2, l_dropped, end2) = drive(
-        &mut linux, workload, target, cfg.seed, res, &mut report, start2, obs, obs_interval,
+        &mut linux, &mut replay, target, res, &mut report, start2, obs, obs_interval,
     )?;
+    if let Some(e) = replay.into_error() {
+        return Err(e.into());
+    }
     debug_assert_eq!(footprint, footprint2);
     report.mosaic = *mosaic.resilience();
     report.linux = *linux.resilience();
@@ -356,23 +371,22 @@ pub fn run_pressure_observed(
     Ok((row, report))
 }
 
-/// Drives one manager with the workload's page-reference stream. Returns
-/// the workload's actual footprint in bytes, the number of accesses
-/// dropped to typed errors, and the final reference count; propagates
-/// only invariant violations.
+/// Drives one manager with `w`'s page-reference stream (callers build —
+/// or replay — the workload; `footprint_bytes` is the *target* footprint
+/// and only sizes the warmup window). Returns the workload's actual
+/// footprint in bytes, the number of accesses dropped to typed errors,
+/// and the final reference count; propagates only invariant violations.
 #[allow(clippy::too_many_arguments)]
 fn drive(
     manager: &mut dyn MemoryManager,
-    workload: PressureWorkload,
+    w: &mut dyn Workload,
     footprint_bytes: u64,
-    seed: u64,
     res: &ResilienceConfig,
     report: &mut ResilienceReport,
     start_now: u64,
     obs: &ObsHandle,
     obs_interval: u64,
 ) -> MosaicResult<(u64, u64, u64)> {
-    let mut w = workload.build(footprint_bytes, seed);
     let mut now = start_now;
     // Steady-state sampling every ~64 Ki accesses, after a warmup of one
     // footprint's worth of touches.
@@ -500,6 +514,94 @@ pub fn run_table4_observed(
         }
     }
     Ok(rows)
+}
+
+/// [`run_table4_resilient`] on `jobs` threads.
+///
+/// # Errors
+///
+/// Propagates the first structural invariant violation, if any.
+pub fn run_table4_jobs(
+    cfg: &PressureConfig,
+    ratios: &[f64],
+    res: &ResilienceConfig,
+    jobs: usize,
+) -> MosaicResult<Vec<(PressureRow, ResilienceReport)>> {
+    run_table4_observed_jobs(cfg, ratios, res, &ObsHandle::noop(), 0, jobs)
+}
+
+/// [`run_table4_observed`] on `jobs` threads: every (workload, ratio)
+/// cell is independent (own managers, own recorded trace), so the grid
+/// fans out freely; results and merged observability come back in the
+/// serial grid order.
+///
+/// Fault runs derive each cell's injector seed from
+/// (`res.fault_seed`, cell index) via [`derive_seed`] — at *every* job
+/// count, including 1 — so resilience sweeps are identical no matter
+/// how many threads run them. Fault-free `jobs == 1` runs route to the
+/// serial engine unchanged.
+///
+/// # Errors
+///
+/// Propagates the first structural invariant violation, if any.
+pub fn run_table4_observed_jobs(
+    cfg: &PressureConfig,
+    ratios: &[f64],
+    res: &ResilienceConfig,
+    obs: &ObsHandle,
+    obs_interval: u64,
+    jobs: usize,
+) -> MosaicResult<Vec<(PressureRow, ResilienceReport)>> {
+    if jobs == 1 && res.plan.is_none() {
+        return run_table4_observed(cfg, ratios, res, obs, obs_interval);
+    }
+    run_table4_cells(cfg, ratios, res, obs, obs_interval, jobs)
+        .into_iter()
+        .collect()
+}
+
+/// [`run_table4_observed_jobs`] with per-cell outcomes: a cell that dies
+/// under fault injection comes back as `Err` *in place* (grid order is
+/// preserved), so callers can skip the row and keep the rest of the
+/// sweep — the graceful-degradation contract the resilience harness
+/// promises. Observability from every cell, failed or not, is merged
+/// into `obs` in grid order.
+pub fn run_table4_cells(
+    cfg: &PressureConfig,
+    ratios: &[f64],
+    res: &ResilienceConfig,
+    obs: &ObsHandle,
+    obs_interval: u64,
+    jobs: usize,
+) -> Vec<MosaicResult<(PressureRow, ResilienceReport)>> {
+    let mut inputs = Vec::new();
+    for &w in &PressureWorkload::ALL {
+        for &r in ratios {
+            inputs.push((w, r, crate::fig6::child_handle(obs)));
+        }
+    }
+    let outcomes = run_cells(jobs, inputs, |i, (w, r, child)| {
+        let cell_res = if res.plan.is_none() {
+            *res
+        } else {
+            ResilienceConfig {
+                plan: res.plan,
+                fault_seed: derive_seed(res.fault_seed, i as u64),
+                verify_every: res.verify_every,
+            }
+        };
+        let out = run_pressure_observed(w, r, cfg, &cell_res, &child, obs_interval);
+        (out, child)
+    });
+    outcomes
+        .into_iter()
+        .map(|(out, child)| {
+            if obs.is_enabled() {
+                obs.merge_from(&child);
+            }
+            out
+        })
+        .collect()
 }
 
 /// Renders the fault-injection summary: what was injected and how the

@@ -1,0 +1,131 @@
+//! Cross-thread-count determinism suite for the parallel sweep engine.
+//!
+//! Every driver that fans cells out over a rayon pool must produce
+//! results byte-identical to its serial twin at any `--jobs` value:
+//! the record-once/replay-many trace plus deterministic per-cell seed
+//! derivation make thread count a pure throughput knob. These tests pin
+//! that contract for the Figure 6 grid, the Table 4 pressure sweep
+//! (fault-free and fault-injected), and the fragmentation sweep.
+
+use mosaic_mem::{FaultPlan, ResilienceStats};
+use mosaic_sim::fig6::{run_workload, run_workload_jobs, Fig6Config};
+use mosaic_sim::frag::{run_frag, run_frag_jobs, FragConfig};
+use mosaic_sim::pressure::{
+    run_table4, run_table4_jobs, PressureConfig, ResilienceConfig,
+};
+use mosaic_workloads::{BTreeConfig, BTreeWorkload, Gups, GupsConfig};
+
+const JOB_COUNTS: [usize; 3] = [1, 2, 8];
+
+fn quick_gups() -> Gups {
+    Gups::new(
+        GupsConfig {
+            table_bytes: 1 << 20,
+            updates: 20_000,
+        },
+        5,
+    )
+}
+
+fn tiny_pressure_cfg() -> PressureConfig {
+    PressureConfig {
+        mem_buckets: 16, // 1024 frames = 4 MiB
+        seed: 5,
+    }
+}
+
+fn small_btree() -> BTreeWorkload {
+    BTreeWorkload::new(
+        BTreeConfig {
+            num_keys: 50_000,
+            num_lookups: 5_000,
+        },
+        7,
+    )
+}
+
+#[test]
+fn fig6_rows_identical_across_job_counts() {
+    let cfg = Fig6Config::quick_test();
+    let serial = run_workload(&cfg, &mut quick_gups());
+    for jobs in JOB_COUNTS {
+        let rows = run_workload_jobs(&cfg, &mut quick_gups(), jobs);
+        assert_eq!(rows, serial, "fig6 rows diverged at jobs={jobs}");
+    }
+}
+
+#[test]
+fn fig6_with_kernel_identical_across_job_counts() {
+    // The kernel model interleaves page-table-walker accesses into the
+    // recorded reference stream; replay must preserve them verbatim.
+    let cfg = Fig6Config {
+        kernel: Some(mosaic_sim::dual::KernelConfig::default()),
+        ..Fig6Config::quick_test()
+    };
+    let serial = run_workload(&cfg, &mut quick_gups());
+    for jobs in JOB_COUNTS {
+        let rows = run_workload_jobs(&cfg, &mut quick_gups(), jobs);
+        assert_eq!(rows, serial, "fig6 kernel rows diverged at jobs={jobs}");
+    }
+}
+
+#[test]
+fn table4_zero_fault_parallel_matches_serial_bit_for_bit() {
+    let cfg = tiny_pressure_cfg();
+    let ratios = [1.25];
+    let serial = run_table4(&cfg, &ratios);
+    for jobs in JOB_COUNTS {
+        let cells = run_table4_jobs(&cfg, &ratios, &ResilienceConfig::none(), jobs)
+            .expect("fault-free table4 cannot fail");
+        let rows: Vec<_> = cells.iter().map(|(row, _)| row.clone()).collect();
+        assert_eq!(rows, serial, "table4 rows diverged at jobs={jobs}");
+        for (_, rep) in &cells {
+            assert_eq!(
+                rep.combined(),
+                ResilienceStats::ZERO,
+                "zero-fault run reported faults at jobs={jobs}"
+            );
+        }
+    }
+}
+
+#[test]
+fn table4_fault_plan_identical_across_job_counts() {
+    // With an active plan every cell derives its injector seed from
+    // (base seed, cell index), so fault placement is a function of the
+    // grid position — never of which thread ran the cell.
+    let cfg = tiny_pressure_cfg();
+    let ratios = [1.25];
+    let res = ResilienceConfig {
+        plan: FaultPlan::NONE
+            .with_alloc_failures(5_000)
+            .with_io_failures(5_000, 1)
+            .with_toc_flips(500),
+        fault_seed: 0xF00D,
+        verify_every: 50_000,
+    };
+    let baseline = run_table4_jobs(&cfg, &ratios, &res, 1).expect("faulty run at jobs=1");
+    assert!(
+        baseline
+            .iter()
+            .any(|(_, rep)| rep.combined() != ResilienceStats::ZERO),
+        "plan injected nothing; test would not exercise fault determinism"
+    );
+    for jobs in JOB_COUNTS {
+        let cells = run_table4_jobs(&cfg, &ratios, &res, jobs).expect("faulty run");
+        assert_eq!(cells, baseline, "faulty table4 diverged at jobs={jobs}");
+    }
+}
+
+#[test]
+fn frag_results_identical_across_job_counts() {
+    let cfgs = [FragConfig::new(0.0, 11), FragConfig::new(0.5, 11)];
+    let serial: Vec<_> = cfgs
+        .iter()
+        .map(|c| run_frag(c, &mut small_btree()))
+        .collect();
+    for jobs in JOB_COUNTS {
+        let results = run_frag_jobs(&cfgs, &mut small_btree(), jobs);
+        assert_eq!(results, serial, "frag results diverged at jobs={jobs}");
+    }
+}

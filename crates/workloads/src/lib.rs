@@ -55,7 +55,10 @@ pub use graph500::{Graph500, Graph500Config};
 pub use gups::{Gups, GupsConfig};
 pub use layout::{ArrayRegion, VirtualLayout};
 pub use trace::{record, Access, TraceStats, Workload, WorkloadMeta};
-pub use tracefile::{load_trace, save_trace, RecordedTrace, TraceError};
+pub use tracefile::{
+    decode_access, encode_access, load_trace, save_trace, RecordedTrace, TraceError, TraceReader,
+    TraceWriter,
+};
 pub use xsbench::{XsBench, XsBenchConfig};
 pub use zipf::{ZipfGups, ZipfGupsConfig, ZipfSampler};
 

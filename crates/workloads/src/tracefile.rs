@@ -146,6 +146,205 @@ fn io_err(path: &Path, offset: u64, source: io::Error) -> TraceError {
     }
 }
 
+/// Packs one access into the trace file's 8-byte record: the virtual
+/// address with the load/store flag in bit 63.
+///
+/// The same packing backs `mosaic-sim`'s in-memory `TraceBuffer`, so a
+/// buffered stream and its disk spill are bit-for-bit the same records.
+pub fn encode_access(a: Access) -> u64 {
+    let mut word = a.addr.0;
+    debug_assert_eq!(word & STORE_BIT, 0, "address uses the flag bit");
+    if a.kind == AccessKind::Store {
+        word |= STORE_BIT;
+    }
+    word
+}
+
+/// Unpacks a record written by [`encode_access`].
+pub fn decode_access(word: u64) -> Access {
+    Access {
+        addr: VirtAddr(word & !STORE_BIT),
+        kind: if word & STORE_BIT != 0 {
+            AccessKind::Store
+        } else {
+            AccessKind::Load
+        },
+    }
+}
+
+const HEADER_LEN: u64 = (MAGIC.len() + 4 + 8) as u64;
+
+/// An incremental trace-file writer: accesses are streamed to disk as
+/// they arrive instead of materializing the whole trace first, and the
+/// header's record count is patched in by [`TraceWriter::finish`].
+///
+/// This is the spill path of the simulator's record-once/replay-many
+/// `TraceBuffer`: a stream that outgrows its in-memory byte budget
+/// continues on disk in exactly the [`save_trace`] format.
+#[derive(Debug)]
+pub struct TraceWriter {
+    w: BufWriter<std::fs::File>,
+    path: std::path::PathBuf,
+    count: u64,
+}
+
+impl TraceWriter {
+    /// Creates `path` and writes the header with a zero count (patched on
+    /// finish).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Io`] on filesystem errors.
+    pub fn create(path: &Path) -> Result<Self, TraceError> {
+        let file = std::fs::File::create(path).map_err(|e| io_err(path, 0, e))?;
+        let mut w = BufWriter::new(file);
+        w.write_all(MAGIC).map_err(|e| io_err(path, 0, e))?;
+        w.write_all(&VERSION.to_le_bytes())
+            .map_err(|e| io_err(path, MAGIC.len() as u64, e))?;
+        // Count patched in afterwards; reserve the slot.
+        w.write_all(&0u64.to_le_bytes())
+            .map_err(|e| io_err(path, (MAGIC.len() + 4) as u64, e))?;
+        Ok(Self {
+            w,
+            path: path.to_path_buf(),
+            count: 0,
+        })
+    }
+
+    /// Appends one access record.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Io`] with the failing byte offset.
+    pub fn push(&mut self, a: Access) -> Result<(), TraceError> {
+        self.w
+            .write_all(&encode_access(a).to_le_bytes())
+            .map_err(|e| io_err(&self.path, HEADER_LEN + self.count * 8, e))?;
+        self.count += 1;
+        Ok(())
+    }
+
+    /// Records written so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Flushes, patches the header's record count, and returns it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Io`] on filesystem errors.
+    pub fn finish(self) -> Result<u64, TraceError> {
+        let count = self.count;
+        let path = self.path;
+        let mut file = self
+            .w
+            .into_inner()
+            .map_err(|e| io_err(&path, HEADER_LEN + count * 8, e.into_error()))?;
+        use std::io::Seek;
+        file.seek(io::SeekFrom::Start((MAGIC.len() + 4) as u64))
+            .map_err(|e| io_err(&path, (MAGIC.len() + 4) as u64, e))?;
+        file.write_all(&count.to_le_bytes())
+            .map_err(|e| io_err(&path, (MAGIC.len() + 4) as u64, e))?;
+        Ok(count)
+    }
+}
+
+/// A streaming trace-file reader: validates the header on open, then
+/// yields one access at a time without loading the file into memory.
+///
+/// Each reader owns its own file handle, so any number of concurrent
+/// replayers can stream the same spilled trace independently.
+#[derive(Debug)]
+pub struct TraceReader {
+    r: BufReader<std::fs::File>,
+    name: String,
+    count: u64,
+    read: u64,
+    offset: u64,
+}
+
+impl TraceReader {
+    /// Opens `path` and validates the `MOSAICTRACE` header.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::BadMagic`]/[`TraceError::BadVersion`] for
+    /// foreign files and [`TraceError::Io`] for filesystem errors.
+    pub fn open(path: &Path) -> Result<Self, TraceError> {
+        let name = path.display().to_string();
+        let file = std::fs::File::open(path).map_err(|e| io_err(path, 0, e))?;
+        let mut r = BufReader::new(file);
+        let mut offset = 0u64;
+        let mut magic = [0u8; 12];
+        r.read_exact(&mut magic).map_err(|e| io_err(path, 0, e))?;
+        if &magic != MAGIC {
+            return Err(TraceError::BadMagic { file: name });
+        }
+        offset += magic.len() as u64;
+        let mut word4 = [0u8; 4];
+        r.read_exact(&mut word4)
+            .map_err(|e| io_err(path, offset, e))?;
+        let version = u32::from_le_bytes(word4);
+        if version != VERSION {
+            return Err(TraceError::BadVersion {
+                file: name,
+                found: version,
+            });
+        }
+        offset += 4;
+        let mut word8 = [0u8; 8];
+        r.read_exact(&mut word8)
+            .map_err(|e| io_err(path, offset, e))?;
+        let count = u64::from_le_bytes(word8);
+        offset += 8;
+        Ok(Self {
+            r,
+            name,
+            count,
+            read: 0,
+            offset,
+        })
+    }
+
+    /// Records the header promises.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The next access, or `None` once the promised count is exhausted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Truncated`] if the file ends before the
+    /// header's count is satisfied, and [`TraceError::Io`] for other
+    /// filesystem errors.
+    pub fn next_access(&mut self) -> Result<Option<Access>, TraceError> {
+        if self.read == self.count {
+            return Ok(None);
+        }
+        let mut word8 = [0u8; 8];
+        if let Err(e) = self.r.read_exact(&mut word8) {
+            if e.kind() == io::ErrorKind::UnexpectedEof {
+                return Err(TraceError::Truncated {
+                    file: self.name.clone(),
+                    offset: self.offset,
+                    expected: self.count,
+                    got: self.read,
+                });
+            }
+            return Err(TraceError::Io {
+                file: self.name.clone(),
+                offset: self.offset,
+                source: e,
+            });
+        }
+        self.offset += 8;
+        self.read += 1;
+        Ok(Some(decode_access(u64::from_le_bytes(word8))))
+    }
+}
+
 /// Writes `workload`'s full trace to `path`, returning the access count.
 ///
 /// # Errors
@@ -153,44 +352,20 @@ fn io_err(path: &Path, offset: u64, source: io::Error) -> TraceError {
 /// Returns [`TraceError::Io`] with the failing byte offset on filesystem
 /// errors.
 pub fn save_trace(path: &Path, workload: &mut dyn Workload) -> Result<u64, TraceError> {
-    let file = std::fs::File::create(path).map_err(|e| io_err(path, 0, e))?;
-    let mut w = BufWriter::new(file);
-    let header_len = (MAGIC.len() + 4 + 8) as u64;
-    w.write_all(MAGIC).map_err(|e| io_err(path, 0, e))?;
-    w.write_all(&VERSION.to_le_bytes())
-        .map_err(|e| io_err(path, MAGIC.len() as u64, e))?;
-    // Count patched in afterwards; reserve the slot.
-    w.write_all(&0u64.to_le_bytes())
-        .map_err(|e| io_err(path, (MAGIC.len() + 4) as u64, e))?;
-    let mut count = 0u64;
-    let mut err: Option<io::Error> = None;
+    let mut w = TraceWriter::create(path)?;
+    let mut err: Option<TraceError> = None;
     workload.run(&mut |a| {
         if err.is_some() {
             return;
         }
-        let mut word = a.addr.0;
-        debug_assert_eq!(word & STORE_BIT, 0, "address uses the flag bit");
-        if a.kind == AccessKind::Store {
-            word |= STORE_BIT;
-        }
-        if let Err(e) = w.write_all(&word.to_le_bytes()) {
+        if let Err(e) = w.push(a) {
             err = Some(e);
-        } else {
-            count += 1;
         }
     });
     if let Some(e) = err {
-        return Err(io_err(path, header_len + count * 8, e));
+        return Err(e);
     }
-    let mut file = w
-        .into_inner()
-        .map_err(|e| io_err(path, header_len + count * 8, e.into_error()))?;
-    use std::io::Seek;
-    file.seek(io::SeekFrom::Start((MAGIC.len() + 4) as u64))
-        .map_err(|e| io_err(path, (MAGIC.len() + 4) as u64, e))?;
-    file.write_all(&count.to_le_bytes())
-        .map_err(|e| io_err(path, (MAGIC.len() + 4) as u64, e))?;
-    Ok(count)
+    w.finish()
 }
 
 /// Loads a trace saved by [`save_trace`].
@@ -202,56 +377,10 @@ pub fn save_trace(path: &Path, workload: &mut dyn Workload) -> Result<u64, Trace
 /// ends early, and [`TraceError::Io`] for other filesystem errors — all
 /// carrying the file name and byte offset.
 pub fn load_trace(path: &Path) -> Result<Vec<Access>, TraceError> {
-    let name = path.display().to_string();
-    let file = std::fs::File::open(path).map_err(|e| io_err(path, 0, e))?;
-    let mut r = BufReader::new(file);
-    let mut offset = 0u64;
-    let mut magic = [0u8; 12];
-    r.read_exact(&mut magic).map_err(|e| io_err(path, 0, e))?;
-    if &magic != MAGIC {
-        return Err(TraceError::BadMagic { file: name });
-    }
-    offset += magic.len() as u64;
-    let mut word4 = [0u8; 4];
-    r.read_exact(&mut word4)
-        .map_err(|e| io_err(path, offset, e))?;
-    let version = u32::from_le_bytes(word4);
-    if version != VERSION {
-        return Err(TraceError::BadVersion {
-            file: name,
-            found: version,
-        });
-    }
-    offset += 4;
-    let mut word8 = [0u8; 8];
-    r.read_exact(&mut word8)
-        .map_err(|e| io_err(path, offset, e))?;
-    let count = u64::from_le_bytes(word8);
-    offset += 8;
-    let mut out = Vec::with_capacity(count.min(1 << 28) as usize);
-    for i in 0..count {
-        if let Err(e) = r.read_exact(&mut word8) {
-            if e.kind() == io::ErrorKind::UnexpectedEof {
-                return Err(TraceError::Truncated {
-                    file: name,
-                    offset,
-                    expected: count,
-                    got: i,
-                });
-            }
-            return Err(io_err(path, offset, e));
-        }
-        offset += 8;
-        let word = u64::from_le_bytes(word8);
-        let kind = if word & STORE_BIT != 0 {
-            AccessKind::Store
-        } else {
-            AccessKind::Load
-        };
-        out.push(Access {
-            addr: VirtAddr(word & !STORE_BIT),
-            kind,
-        });
+    let mut r = TraceReader::open(path)?;
+    let mut out = Vec::with_capacity(r.count().min(1 << 28) as usize);
+    while let Some(a) = r.next_access()? {
+        out.push(a);
     }
     Ok(out)
 }
@@ -348,6 +477,89 @@ mod tests {
         let loaded = load_trace(&path).unwrap();
         assert_eq!(loaded, expect);
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn streaming_writer_matches_save_trace_byte_for_byte() {
+        let cfg = GupsConfig {
+            table_bytes: 1 << 18,
+            updates: 1_500,
+        };
+        let saved = temp_path("stream-saved");
+        save_trace(&saved, &mut Gups::new(cfg, 9)).unwrap();
+        let streamed = temp_path("stream-pushed");
+        let mut w = TraceWriter::create(&streamed).unwrap();
+        for a in record(&mut Gups::new(cfg, 9)) {
+            w.push(a).unwrap();
+        }
+        let n = w.finish().unwrap();
+        assert_eq!(
+            std::fs::read(&saved).unwrap(),
+            std::fs::read(&streamed).unwrap()
+        );
+        assert_eq!(load_trace(&streamed).unwrap().len() as u64, n);
+        std::fs::remove_file(&saved).unwrap();
+        std::fs::remove_file(&streamed).unwrap();
+    }
+
+    #[test]
+    fn streaming_reader_yields_all_records_then_none() {
+        let cfg = GupsConfig {
+            table_bytes: 1 << 18,
+            updates: 800,
+        };
+        let path = temp_path("stream-read");
+        save_trace(&path, &mut Gups::new(cfg, 11)).unwrap();
+        let expect = record(&mut Gups::new(cfg, 11));
+        let mut r = TraceReader::open(&path).unwrap();
+        assert_eq!(r.count() as usize, expect.len());
+        let mut got = Vec::new();
+        while let Some(a) = r.next_access().unwrap() {
+            got.push(a);
+        }
+        assert_eq!(got, expect);
+        assert!(r.next_access().unwrap().is_none(), "stays exhausted");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn streaming_reader_detects_truncation() {
+        let cfg = GupsConfig {
+            table_bytes: 1 << 18,
+            updates: 100,
+        };
+        let path = temp_path("stream-trunc");
+        save_trace(&path, &mut Gups::new(cfg, 3)).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 12]).unwrap();
+        let mut r = TraceReader::open(&path).unwrap();
+        let mut got = 0u64;
+        let err = loop {
+            match r.next_access() {
+                Ok(Some(_)) => got += 1,
+                Ok(None) => panic!("truncated file must not read to completion"),
+                Err(e) => break e,
+            }
+        };
+        match err {
+            TraceError::Truncated { expected, got: g, .. } => {
+                assert_eq!(g, got);
+                assert!(g < expected);
+            }
+            other => panic!("expected Truncated, got {other:?}"),
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn encode_decode_round_trips_both_kinds() {
+        for kind in [AccessKind::Load, AccessKind::Store] {
+            let a = Access {
+                addr: VirtAddr(0x1234_5678_9ABC),
+                kind,
+            };
+            assert_eq!(decode_access(encode_access(a)), a);
+        }
     }
 
     #[test]

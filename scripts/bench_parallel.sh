@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# Measures serial-vs-parallel wall times for the sweep drivers and
+# writes BENCH_parallel.json.
+#
+# The engine's contract is byte-identical output at any --jobs value;
+# the speedup is whatever the host's cores allow. On a single-CPU
+# container the fan-out cannot beat the serial engine — the numbers
+# then record the engine's overhead honestly (host_cores in the JSON
+# says which regime a record came from).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -q -p mosaic-bench
+BIN=target/release
+HOST_CORES=$(nproc)
+JOBS_SWEEP=(1 2 4 8)
+
+# Wall time of one invocation, in milliseconds.
+time_ms() {
+    local start end
+    start=$(date +%s%N)
+    "$@" >/dev/null 2>&1
+    end=$(date +%s%N)
+    echo $(( (end - start) / 1000000 ))
+}
+
+fig6_times=()
+table4_times=()
+for jobs in "${JOBS_SWEEP[@]}"; do
+    echo "[bench_parallel] fig6 gups --scale 1 --jobs ${jobs}" >&2
+    fig6_times+=("$(time_ms "$BIN/fig6" gups --scale 1 --jobs "$jobs")")
+    echo "[bench_parallel] table4 --jobs ${jobs}" >&2
+    table4_times+=("$(time_ms "$BIN/table4" --jobs "$jobs")")
+done
+
+join_records() {
+    local -n times=$1
+    local out="" i
+    for i in "${!JOBS_SWEEP[@]}"; do
+        out+="      {\"jobs\": ${JOBS_SWEEP[$i]}, \"wall_ms\": ${times[$i]}},"$'\n'
+    done
+    printf '%s' "${out%,$'\n'}"
+}
+
+speedup() {
+    local -n times=$1
+    awk -v s="${times[0]}" -v p="${times[${#times[@]}-1]}" \
+        'BEGIN { printf (p > 0 ? "%.2f" : "0"), s / p }'
+}
+
+cat > BENCH_parallel.json <<EOF
+{
+  "host_cores": ${HOST_CORES},
+  "jobs_sweep": [$(IFS=,; echo "${JOBS_SWEEP[*]}")],
+  "benchmarks": [
+    {
+      "name": "fig6_gups_scale1",
+      "command": "fig6 gups --scale 1 --jobs N",
+      "cells": 30,
+      "runs": [
+$(join_records fig6_times)
+      ],
+      "speedup_at_max_jobs": $(speedup fig6_times)
+    },
+    {
+      "name": "table4_default",
+      "command": "table4 --jobs N",
+      "cells": 30,
+      "runs": [
+$(join_records table4_times)
+      ],
+      "speedup_at_max_jobs": $(speedup table4_times)
+    }
+  ],
+  "note": "Wall-clock times from scripts/bench_parallel.sh. Output is byte-identical at every jobs value (gated in scripts/check.sh and crates/sim/tests/parallel_determinism.rs); speedup scales with host_cores. On a host_cores=1 container the parallel engine cannot beat the serial one and these numbers record its overhead instead — rerun on a multi-core host for real scaling."
+}
+EOF
+echo "[bench_parallel] wrote BENCH_parallel.json (host_cores=${HOST_CORES})" >&2

@@ -31,4 +31,21 @@ cmp "$OBS_TMP/stdout1.txt" "$OBS_TMP/stdout2.txt"
 ./target/release/obs_report "$OBS_TMP/run1.jsonl" > "$OBS_TMP/report.txt"
 grep -q "interval curve" "$OBS_TMP/report.txt"
 
+echo "==> parallel determinism gate (fig6 --jobs 1 vs --jobs 4, stdout + JSONL)"
+for jobs in 1 4; do
+  ./target/release/fig6 gups --scale 0 --entries 64 --no-kernel --jobs "$jobs" \
+    --obs-out "$OBS_TMP/par$jobs.jsonl" --obs-interval 5000 \
+    > "$OBS_TMP/parout$jobs.txt" 2>/dev/null
+done
+diff "$OBS_TMP/parout1.txt" "$OBS_TMP/parout4.txt"
+# The parallel export is self-deterministic: a second --jobs 4 run must
+# reproduce the first byte-for-byte.
+./target/release/fig6 gups --scale 0 --entries 64 --no-kernel --jobs 4 \
+  --obs-out "$OBS_TMP/par4b.jsonl" --obs-interval 5000 \
+  > "$OBS_TMP/parout4b.txt" 2>/dev/null
+cmp "$OBS_TMP/par4.jsonl" "$OBS_TMP/par4b.jsonl"
+cmp "$OBS_TMP/parout4.txt" "$OBS_TMP/parout4b.txt"
+./target/release/obs_report "$OBS_TMP/par4.jsonl" > "$OBS_TMP/parreport.txt"
+grep -q "interval curve" "$OBS_TMP/parreport.txt"
+
 echo "All checks passed."

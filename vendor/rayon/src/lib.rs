@@ -1,0 +1,339 @@
+//! Offline shim of the `rayon` data-parallelism API surface this
+//! workspace uses.
+//!
+//! The build environment has no reachable crates.io registry, so — like
+//! the `proptest` and `criterion` shims next to it — this crate is an
+//! original implementation of just the public API the repo calls, not a
+//! copy of upstream:
+//!
+//! * [`ThreadPoolBuilder`] / [`ThreadPool::install`] /
+//!   [`current_num_threads`];
+//! * `prelude::*` with [`IntoParallelIterator`] for `Vec<T>` and
+//!   `Range<usize>`, and a `ParIter::map(..).collect::<Vec<_>>()`
+//!   pipeline.
+//!
+//! Work items are executed on `std::thread::scope` workers pulling from
+//! an atomic index counter; results land in index-ordered slots, so
+//! `collect` always returns results in the input order regardless of
+//! scheduling — the property the simulator's determinism gates rely on.
+//! A panic in any work item propagates out of `collect` (the scope joins
+//! its workers first), matching upstream rayon's behavior.
+//!
+//! Nested parallelism is not modelled: worker threads do not inherit the
+//! installed pool and run nested `collect` calls serially, which is
+//! sufficient (and deterministic) for this workspace.
+
+#![forbid(unsafe_code)]
+
+use std::cell::Cell;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+thread_local! {
+    /// Thread count installed by the innermost enclosing
+    /// [`ThreadPool::install`] on this thread, if any.
+    static INSTALLED_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// The number of threads parallel iterators on this thread will use: the
+/// installed pool's size, or the machine's available parallelism outside
+/// any [`ThreadPool::install`].
+pub fn current_num_threads() -> usize {
+    INSTALLED_THREADS.with(|c| c.get()).unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// Error building a [`ThreadPool`]. The shim's pools are plain
+/// configuration and cannot actually fail to build; the type exists for
+/// API compatibility with upstream.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builds a [`ThreadPool`] with a configured thread count.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// A builder with the default configuration (machine parallelism).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the pool's thread count; `0` means "use the machine default".
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds the pool.
+    ///
+    /// # Errors
+    ///
+    /// Never fails in this shim; the `Result` mirrors upstream's API.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = if self.num_threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { num_threads: n })
+    }
+}
+
+/// A configured degree of parallelism. Unlike upstream, no threads are
+/// kept alive between operations: workers are scoped threads spawned per
+/// `collect`, which keeps the shim dependency-free and `forbid(unsafe)`.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+/// Restores the previously installed thread count when dropped, even on
+/// unwind.
+struct InstallGuard {
+    prev: Option<usize>,
+}
+
+impl Drop for InstallGuard {
+    fn drop(&mut self) {
+        INSTALLED_THREADS.with(|c| c.set(self.prev));
+    }
+}
+
+impl ThreadPool {
+    /// The pool's thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// Runs `op` with this pool installed: parallel iterators inside it
+    /// use the pool's thread count.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        let _guard = INSTALLED_THREADS.with(|c| {
+            let prev = c.get();
+            c.set(Some(self.num_threads));
+            InstallGuard { prev }
+        });
+        op()
+    }
+}
+
+/// Runs `f` over `items` on up to `current_num_threads()` scoped worker
+/// threads, returning results in input order.
+fn execute<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let workers = current_num_threads().min(items.len()).max(1);
+    if workers == 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..slots.len()).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    {
+        let (f, slots, results, next) = (&f, &slots, &results, &next);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(move || loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= slots.len() {
+                            break;
+                        }
+                        let item = slots[i]
+                            .lock()
+                            .unwrap_or_else(|e| e.into_inner())
+                            .take()
+                            .expect("work item claimed twice");
+                        let out = f(item);
+                        *results[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(out);
+                    })
+                })
+                .collect();
+            // Join explicitly so a worker panic resurfaces with its
+            // original payload (upstream rayon's behavior), not the
+            // scope's generic message.
+            for h in handles {
+                if let Err(payload) = h.join() {
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        });
+    }
+    results
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .unwrap_or_else(|e| e.into_inner())
+                .expect("worker completed without storing a result")
+        })
+        .collect()
+}
+
+pub mod iter {
+    //! The parallel-iterator subset: `into_par_iter().map(..).collect()`.
+
+    use super::execute;
+
+    /// Conversion into a [`ParIter`].
+    pub trait IntoParallelIterator {
+        /// Element type.
+        type Item: Send;
+        /// Converts `self` into a parallel iterator over its elements.
+        fn into_par_iter(self) -> ParIter<Self::Item>;
+    }
+
+    impl<T: Send> IntoParallelIterator for Vec<T> {
+        type Item = T;
+        fn into_par_iter(self) -> ParIter<T> {
+            ParIter { items: self }
+        }
+    }
+
+    impl IntoParallelIterator for std::ops::Range<usize> {
+        type Item = usize;
+        fn into_par_iter(self) -> ParIter<usize> {
+            ParIter {
+                items: self.collect(),
+            }
+        }
+    }
+
+    /// A parallel iterator over an owned list of items.
+    pub struct ParIter<T> {
+        items: Vec<T>,
+    }
+
+    impl<T: Send> ParIter<T> {
+        /// Maps each item through `f` (in parallel at collect time).
+        pub fn map<R, F>(self, f: F) -> ParMap<T, F>
+        where
+            R: Send,
+            F: Fn(T) -> R + Sync,
+        {
+            ParMap {
+                items: self.items,
+                f,
+            }
+        }
+    }
+
+    /// A mapped parallel iterator, executed by [`ParMap::collect`].
+    pub struct ParMap<T, F> {
+        items: Vec<T>,
+        f: F,
+    }
+
+    impl<T, F> ParMap<T, F>
+    where
+        T: Send,
+    {
+        /// Runs the map on the installed pool and collects the results in
+        /// input order.
+        pub fn collect<C, R>(self) -> C
+        where
+            R: Send,
+            F: Fn(T) -> R + Sync,
+            C: From<Vec<R>>,
+        {
+            C::from(execute(self.items, self.f))
+        }
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface matching `rayon::prelude::*`.
+    pub use crate::iter::{IntoParallelIterator, ParIter, ParMap};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn collect_preserves_input_order() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let out: Vec<usize> = pool.install(|| (0..100).into_par_iter().map(|i| i * 2).collect());
+        assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn vec_source_and_single_thread() {
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let out: Vec<String> = pool.install(|| {
+            vec!["a", "b", "c"]
+                .into_par_iter()
+                .map(|s| s.to_uppercase())
+                .collect()
+        });
+        assert_eq!(out, vec!["A", "B", "C"]);
+    }
+
+    #[test]
+    fn install_sets_and_restores_thread_count() {
+        let outside = current_num_threads();
+        let pool = ThreadPoolBuilder::new().num_threads(7).build().unwrap();
+        pool.install(|| assert_eq!(current_num_threads(), 7));
+        assert_eq!(current_num_threads(), outside);
+    }
+
+    #[test]
+    fn zero_threads_means_machine_default() {
+        let pool = ThreadPoolBuilder::new().num_threads(0).build().unwrap();
+        assert!(pool.current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn work_actually_spreads_across_threads() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let ids: Vec<std::thread::ThreadId> = pool.install(|| {
+            (0..64)
+                .into_par_iter()
+                .map(|_| {
+                    // A tiny stall so several workers get a slice of the work.
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                    std::thread::current().id()
+                })
+                .collect()
+        });
+        // On a single-core host the scheduler may still serialize onto one
+        // worker; the hard guarantee is only that results exist for all items.
+        assert_eq!(ids.len(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn worker_panic_propagates() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let _: Vec<()> = pool.install(|| {
+            (0..8)
+                .into_par_iter()
+                .map(|i| {
+                    if i == 3 {
+                        panic!("boom");
+                    }
+                })
+                .collect()
+        });
+    }
+}
