@@ -41,6 +41,7 @@
 //! | [`mmu`] | vanilla + mosaic TLBs, ToCs, radix page tables |
 //! | [`workloads`] | Graph500, BTree, GUPS, XSBench trace generators |
 //! | [`sim`] | dual-TLB + memory-pressure experiment drivers |
+//! | [`tenants`] | multi-tenant address spaces, COW fork, fairness |
 //! | [`hw`] | FPGA / 28 nm feasibility models (Table 5) |
 
 #![forbid(unsafe_code)]
@@ -52,6 +53,7 @@ pub use mosaic_iceberg as iceberg;
 pub use mosaic_mem as mem;
 pub use mosaic_mmu as mmu;
 pub use mosaic_sim as sim;
+pub use mosaic_tenants as tenants;
 pub use mosaic_workloads as workloads;
 
 use mosaic_mem::PAGE_SIZE;

@@ -127,6 +127,22 @@ impl LinuxMemory {
         self.low_watermark
     }
 
+    /// Forgets page `key` entirely: frees its frame (if resident) and
+    /// drops any swap copy, with no swap I/O and no eviction accounting
+    /// (process-exit reclaim, not displacement). Returns whether a frame
+    /// was actually freed.
+    pub fn release(&mut self, key: PageKey) -> bool {
+        self.swapped.remove(&key);
+        let Some(pfn) = self.resident.remove(&key) else {
+            return false;
+        };
+        self.lru.remove(&key);
+        let entry = self.frames.evict(pfn);
+        debug_assert_eq!(entry.key, key);
+        self.free.push(pfn);
+        true
+    }
+
     /// One (simulated) swap-device transfer, absorbing injected errors
     /// with bounded retries and counted exponential backoff.
     fn swap_io(&mut self, write: bool) -> MosaicResult<()> {
@@ -279,6 +295,27 @@ impl MemoryManager for LinuxMemory {
 
     fn resident_pfn(&self, key: PageKey) -> Option<Pfn> {
         self.resident.get(&key).copied()
+    }
+
+    fn release_asid(&mut self, asid: crate::addr::Asid) -> u64 {
+        let mut keys: Vec<PageKey> = self
+            .resident
+            .keys()
+            .chain(self.swapped.iter())
+            .filter(|k| k.asid == asid)
+            .copied()
+            .collect();
+        // Freed frames return to the free stack in key order, so the
+        // placement of later allocations is independent of hash-map
+        // iteration order (byte-identical replays need this).
+        keys.sort_unstable_by_key(|k| k.hash_key());
+        let mut freed = 0;
+        for key in keys {
+            if self.release(key) {
+                freed += 1;
+            }
+        }
+        freed
     }
 
     fn num_frames(&self) -> usize {
@@ -448,6 +485,28 @@ mod tests {
                 "round {round}: utilization {util}"
             );
         }
+    }
+
+    #[test]
+    fn release_asid_returns_frames_to_free_list() {
+        let mut mm = memory(8);
+        let mut now = 0;
+        for n in 0..60u64 {
+            now += 1;
+            mm.access(PageKey::new(Asid(1), Vpn(n)), AccessKind::Store, now);
+            now += 1;
+            mm.access(PageKey::new(Asid(2), Vpn(n)), AccessKind::Store, now);
+        }
+        let free_before = mm.free_frames();
+        let io_before = mm.stats().swap_ops();
+        assert_eq!(mm.release_asid(Asid(2)), 60);
+        assert_eq!(mm.free_frames(), free_before + 60);
+        assert_eq!(mm.stats().swap_ops(), io_before, "exit reclaim is I/O-free");
+        for n in 0..60u64 {
+            assert!(mm.resident_pfn(PageKey::new(Asid(2), Vpn(n))).is_none());
+            assert!(mm.resident_pfn(PageKey::new(Asid(1), Vpn(n))).is_some());
+        }
+        mm.verify().unwrap();
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! this trait, so the swapping experiments (Tables 3–4) run the identical
 //! reference stream through either.
 
-use crate::addr::{PageKey, Pfn};
+use crate::addr::{Asid, PageKey, Pfn};
 use crate::error::MosaicResult;
 use crate::stats::{PagingStats, ResilienceStats, UtilizationTracker};
 use mosaic_obs::ObsHandle;
@@ -72,6 +72,18 @@ pub trait MemoryManager {
 
     /// The frame currently backing `key`, if resident.
     fn resident_pfn(&self, key: PageKey) -> Option<Pfn>;
+
+    /// Releases every page belonging to `asid` — resident frames *and*
+    /// swap copies — without any swap I/O, returning the number of frames
+    /// freed. This is process-exit reclaim: the pages' contents are dead,
+    /// so eviction accounting (write-back, swap-out counters) does not
+    /// apply. Callers owning TLBs must shoot down the ASID separately.
+    ///
+    /// The default does nothing and returns 0, for managers that never see
+    /// more than one address space.
+    fn release_asid(&mut self, _asid: Asid) -> u64 {
+        0
+    }
 
     /// Total physical frames managed.
     fn num_frames(&self) -> usize;

@@ -341,6 +341,25 @@ impl MosaicMemory {
         Ok(pfn)
     }
 
+    /// Forgets page `key` entirely: frees its frame (if resident) and
+    /// drops any swap copy, with **no** swap I/O and no eviction
+    /// accounting — the page's contents are dead, not displaced. Returns
+    /// whether a frame was actually freed. Process-exit reclaim and
+    /// shared-location teardown go through here.
+    pub fn release(&mut self, key: PageKey) -> bool {
+        self.swapped.remove(&key);
+        let Some(pfn) = self.resident.remove(&key) else {
+            return false;
+        };
+        let entry = self.frames.evict(pfn);
+        debug_assert_eq!(entry.key, key);
+        self.global_lru.remove(&key);
+        if let Some(sc) = self.scanner.as_mut() {
+            sc.reset(pfn);
+        }
+        true
+    }
+
     /// Runs the scanning daemon when its interval has elapsed.
     fn run_scanner_if_due(&mut self, now: u64) {
         if let Some(sc) = self.scanner.as_mut() {
@@ -534,6 +553,26 @@ impl MemoryManager for MosaicMemory {
 
     fn resident_pfn(&self, key: PageKey) -> Option<Pfn> {
         self.resident.get(&key).copied()
+    }
+
+    fn release_asid(&mut self, asid: crate::addr::Asid) -> u64 {
+        let mut keys: Vec<PageKey> = self
+            .resident
+            .keys()
+            .chain(self.swapped.iter())
+            .filter(|k| k.asid == asid)
+            .copied()
+            .collect();
+        // Iceberg placement depends only on table state, not release
+        // order, but a deterministic order keeps replays auditable.
+        keys.sort_unstable_by_key(|k| k.hash_key());
+        let mut freed = 0;
+        for key in keys {
+            if self.release(key) {
+                freed += 1;
+            }
+        }
+        freed
     }
 
     fn num_frames(&self) -> usize {
@@ -781,6 +820,60 @@ mod tests {
             assert!(mm.horizon() >= last, "horizon went backwards");
             last = mm.horizon();
         }
+    }
+
+    #[test]
+    fn release_frees_frame_and_swap_copy_without_io() {
+        let mut mm = memory(8);
+        let frames = mm.num_frames() as u64;
+        let mut now = 0;
+        // Overcommit so some pages land on swap.
+        for n in 0..frames + 100 {
+            now += 1;
+            mm.access(key(n), AccessKind::Store, now);
+        }
+        let io_before = mm.stats().swap_ops();
+        let resident_before = mm.resident_frames();
+        // Release one resident page and one swapped-out page.
+        let resident_key = (0..frames + 100)
+            .map(key)
+            .find(|&k| mm.resident_pfn(k).is_some())
+            .unwrap();
+        let swapped_key = (0..frames + 100)
+            .map(key)
+            .find(|&k| mm.resident_pfn(k).is_none())
+            .unwrap();
+        assert!(mm.release(resident_key));
+        assert!(!mm.release(swapped_key), "no frame to free for a swapped page");
+        assert_eq!(mm.resident_frames(), resident_before - 1);
+        assert_eq!(mm.stats().swap_ops(), io_before, "release must not do I/O");
+        // The released pages revert to untouched: next access zero-fills.
+        now += 1;
+        assert_eq!(mm.access(resident_key, AccessKind::Load, now), AccessOutcome::MinorFault);
+        now += 1;
+        assert_eq!(mm.access(swapped_key, AccessKind::Load, now), AccessOutcome::MinorFault);
+        mm.verify().unwrap();
+    }
+
+    #[test]
+    fn release_asid_reclaims_only_that_asid() {
+        let mut mm = memory(8);
+        let mut now = 0;
+        for n in 0..100u64 {
+            now += 1;
+            mm.access(PageKey::new(Asid(1), Vpn(n)), AccessKind::Store, now);
+            now += 1;
+            mm.access(PageKey::new(Asid(2), Vpn(n)), AccessKind::Store, now);
+        }
+        let freed = mm.release_asid(Asid(1));
+        assert_eq!(freed, 100);
+        assert_eq!(mm.resident_frames(), 100);
+        for n in 0..100u64 {
+            assert!(mm.resident_pfn(PageKey::new(Asid(1), Vpn(n))).is_none());
+            assert!(mm.resident_pfn(PageKey::new(Asid(2), Vpn(n))).is_some());
+        }
+        assert_eq!(mm.release_asid(Asid(7)), 0, "unknown asid frees nothing");
+        mm.verify().unwrap();
     }
 
     #[test]

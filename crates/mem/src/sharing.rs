@@ -213,6 +213,40 @@ impl SharedMosaicMemory {
             .try_access(Self::location_key(loc, offset), kind, now)
     }
 
+    /// Tears down a location: frees the frames (and swap copies) of all
+    /// `arity` sub-pages — no swap I/O; the contents are dead — and
+    /// retires the ID. Returns the number of frames actually freed.
+    ///
+    /// Callers must have removed every binding of `loc` first (the
+    /// refcounting that decides *when* the last binding is gone lives a
+    /// layer up, in the COW/tenant code).
+    ///
+    /// # Errors
+    ///
+    /// [`MapError::UnknownLocation`] if `loc` wasn't issued here.
+    pub fn release_location(&mut self, loc: LocationId) -> Result<usize, MapError> {
+        if !self.locations.contains(&loc) {
+            return Err(MapError::UnknownLocation);
+        }
+        debug_assert!(
+            self.bindings.values().all(|&l| l != loc),
+            "releasing a location that is still bound"
+        );
+        let mut freed = 0;
+        for offset in 0..self.arity {
+            if self.inner.release(Self::location_key(loc, offset)) {
+                freed += 1;
+            }
+        }
+        self.locations.remove(&loc);
+        Ok(freed)
+    }
+
+    /// Locations currently issued (diagnostics).
+    pub fn location_count(&self) -> usize {
+        self.locations.len()
+    }
+
     /// The frame backing `(asid, vpn)`, if its page is resident.
     pub fn resident_pfn_of(&self, asid: Asid, vpn: Vpn) -> Option<Pfn> {
         let (mpage, offset) = self.split(vpn);
@@ -267,6 +301,25 @@ mod tests {
         // And the second process's accesses are hits, not faults.
         let out = mm.access(Asid(2), Vpn(9 * 4), AccessKind::Load, 100);
         assert_eq!(out, AccessOutcome::Hit);
+    }
+
+    #[test]
+    fn release_location_frees_frames_and_forgets_the_id() {
+        let mut mm = memory();
+        let loc = mm.create_location();
+        mm.map(Asid(1), 0, loc).unwrap();
+        for off in 0..4u64 {
+            mm.access(Asid(1), Vpn(off), AccessKind::Store, off + 1);
+        }
+        let resident = mm.inner().resident_frames();
+        mm.unmap(Asid(1), 0).unwrap();
+        assert_eq!(mm.release_location(loc), Ok(4));
+        assert_eq!(mm.inner().resident_frames(), resident - 4);
+        assert_eq!(mm.location_count(), 0);
+        // The id is gone: releasing again or mapping it is an error.
+        assert_eq!(mm.release_location(loc), Err(MapError::UnknownLocation));
+        assert_eq!(mm.map(Asid(2), 0, loc), Err(MapError::UnknownLocation));
+        mm.inner().verify().unwrap();
     }
 
     #[test]

@@ -198,17 +198,20 @@ impl MosaicTlb {
         self.cache.flush();
     }
 
-    /// Drops every entry belonging to `asid`.
-    pub fn flush_asid(&mut self, asid: Asid) {
+    /// Drops every entry belonging to `asid`, returning how many entries
+    /// were invalidated so exit-time reclaim can be audited.
+    pub fn flush_asid(&mut self, asid: Asid) -> usize {
         let victims: Vec<(usize, MosaicTag)> = self
             .cache
             .iter()
             .filter(|(t, _)| t.asid == asid)
             .map(|(t, _)| (t.mvpn.0 as usize, *t))
             .collect();
+        let invalidated = victims.len();
         for (set, tag) in victims {
             self.cache.invalidate(set, tag);
         }
+        invalidated
     }
 
     /// Entries currently cached.

@@ -177,17 +177,20 @@ impl VanillaTlb {
     }
 
     /// Drops every entry belonging to `asid` (a context-switch shootdown
-    /// on hardware without ASID-tagged retention).
-    pub fn flush_asid(&mut self, asid: Asid) {
+    /// on hardware without ASID-tagged retention), returning how many
+    /// entries were invalidated so exit-time reclaim can be audited.
+    pub fn flush_asid(&mut self, asid: Asid) -> usize {
         let victims: Vec<(usize, VanillaTag)> = self
             .cache
             .iter()
             .filter(|(t, _)| t.asid == asid)
             .map(|(t, _)| (t.page as usize, *t))
             .collect();
+        let invalidated = victims.len();
         for (set, tag) in victims {
             self.cache.invalidate(set, tag);
         }
+        invalidated
     }
 
     /// Entries currently cached.

@@ -19,7 +19,7 @@ fn vanilla_flush_asid_is_selective() {
         t.fill_base(Asid::new(2), Vpn::new(vpn), Pfn::new(100 + vpn));
     }
     t.fill_huge(Asid::new(1), Vpn::new(1024), Pfn::new(512));
-    t.flush_asid(Asid::new(1));
+    assert_eq!(t.flush_asid(Asid::new(1)), 11, "10 base + 1 huge entry");
     for vpn in 0..10u64 {
         assert!(
             !t.lookup(Asid::new(1), Vpn::new(vpn)).is_hit(),
@@ -45,7 +45,7 @@ fn mosaic_flush_asid_is_selective() {
         t.fill_toc(Asid::new(2), Vpn::new(mvpn * 4), toc.clone());
     }
     assert_eq!(t.len(), 16);
-    t.flush_asid(Asid::new(2));
+    assert_eq!(t.flush_asid(Asid::new(2)), 8);
     assert_eq!(t.len(), 8);
     assert!(t.lookup(Asid::new(1), Vpn::new(0)).is_hit());
     assert_eq!(t.lookup(Asid::new(2), Vpn::new(0)), MosaicLookup::Miss);
@@ -55,13 +55,57 @@ fn mosaic_flush_asid_is_selective() {
 fn flush_missing_asid_is_noop() {
     let mut t = vanilla();
     t.fill_base(Asid::new(1), Vpn::new(0), Pfn::new(0));
-    t.flush_asid(Asid::new(9));
+    assert_eq!(t.flush_asid(Asid::new(9)), 0);
     assert_eq!(t.len(), 1);
 
     let mut m = mosaic();
     let mut toc = m.blank_toc();
     toc.set(0, Cpfn(1));
     m.fill_toc(Asid::new(1), Vpn::new(0), toc);
-    m.flush_asid(Asid::new(9));
+    assert_eq!(m.flush_asid(Asid::new(9)), 0);
     assert_eq!(m.len(), 1);
+}
+
+/// The stale-ASID regression: after a tenant exits and its ASID is flushed,
+/// no sequence of other-tenant traffic may ever surface one of its old
+/// translations again. A post-exit hit on the dead ASID would alias the
+/// dead tenant's frames into whichever process the ASID is recycled to.
+#[test]
+fn exited_asid_never_hits_after_shootdown() {
+    let dead = Asid::new(3);
+    let live = Asid::new(4);
+
+    let mut t = vanilla();
+    for vpn in 0..32u64 {
+        t.fill_base(dead, Vpn::new(vpn), Pfn::new(vpn));
+    }
+    let flushed = t.flush_asid(dead);
+    assert_eq!(flushed, 32);
+    // Survivor traffic churns the same sets the dead entries occupied.
+    for vpn in 0..32u64 {
+        t.fill_base(live, Vpn::new(vpn), Pfn::new(200 + vpn));
+        assert!(
+            !t.lookup(dead, Vpn::new(vpn)).is_hit(),
+            "vanilla: stale hit for exited asid at vpn {vpn}"
+        );
+    }
+
+    let mut m = mosaic();
+    let mut toc = m.blank_toc();
+    toc.set(0, Cpfn(2));
+    for mvpn in 0..8u64 {
+        m.fill_toc(dead, Vpn::new(mvpn * 4), toc.clone());
+    }
+    assert_eq!(m.flush_asid(dead), 8);
+    for mvpn in 0..8u64 {
+        m.fill_toc(live, Vpn::new(mvpn * 4), toc.clone());
+        assert_eq!(
+            m.lookup(dead, Vpn::new(mvpn * 4)),
+            MosaicLookup::Miss,
+            "mosaic: stale hit for exited asid at mvpn {mvpn}"
+        );
+    }
+    // A second shootdown of the already-dead ASID finds nothing.
+    assert_eq!(m.flush_asid(dead), 0);
+    assert_eq!(t.flush_asid(dead), 0);
 }

@@ -107,10 +107,11 @@ pub(crate) fn reference_os(
     footprint_pages: u64,
     kernel_pages: u64,
     seed: u64,
+    asid: Asid,
 ) -> OsModel {
     let frames = frames_for_footprint(footprint_pages, kernel_pages);
     let layout = MemoryLayout::default().with_at_least_frames(frames);
-    OsModel::new(layout, arities, seed)
+    OsModel::with_asid(layout, arities, seed, asid)
 }
 
 /// One simultaneously-simulated TLB configuration and its counters.
@@ -144,7 +145,8 @@ pub struct DualSim {
 
 impl DualSim {
     /// Builds a simulation: a vanilla TLB and one mosaic TLB per arity,
-    /// for every associativity, over memory sized for `footprint_pages`.
+    /// for every associativity, over memory sized for `footprint_pages`,
+    /// running as the default [`crate::os::USER_ASID`].
     pub fn new(
         tlb_entries: usize,
         associativities: &[Associativity],
@@ -153,9 +155,31 @@ impl DualSim {
         kernel: Option<KernelConfig>,
         seed: u64,
     ) -> Self {
+        Self::with_asid(
+            tlb_entries,
+            associativities,
+            arities,
+            footprint_pages,
+            kernel,
+            seed,
+            crate::os::USER_ASID,
+        )
+    }
+
+    /// Like [`DualSim::new`], but tags every mapping and TLB entry with an
+    /// explicit `asid` (a tenant identity minted by a registry).
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_asid(
+        tlb_entries: usize,
+        associativities: &[Associativity],
+        arities: &[Arity],
+        footprint_pages: u64,
+        kernel: Option<KernelConfig>,
+        seed: u64,
+        asid: Asid,
+    ) -> Self {
         let kernel_pages = kernel.map_or(0, |k| k.pages);
-        let os = reference_os(arities, footprint_pages, kernel_pages, seed);
-        let asid = crate::os::USER_ASID;
+        let os = reference_os(arities, footprint_pages, kernel_pages, seed, asid);
 
         let mut instances = Vec::new();
         for &assoc in associativities {

@@ -18,7 +18,7 @@ use crate::os::OsModel;
 use crate::parallel::run_cells;
 use crate::report::{humanize, Table};
 use crate::trace_buffer::{TraceBuffer, TraceBufferBuilder};
-use mosaic_mem::{AccessKind, Cpfn, Pfn, VirtAddr, PAGE_SIZE};
+use mosaic_mem::{AccessKind, Asid, Cpfn, Pfn, VirtAddr, PAGE_SIZE};
 use mosaic_mmu::{
     Arity, Associativity, MosaicLookup, MosaicTlb, PageWalker, RadixTable, TlbConfig, TlbStats,
     Toc, VanillaTlb,
@@ -201,8 +201,7 @@ enum CellSim<'a> {
 impl CellSim<'_> {
     /// Feeds one reference through the cell, mirroring
     /// `DualSim::reference` for this single instance.
-    fn step(&mut self, a: Access) {
-        let asid = crate::os::USER_ASID;
+    fn step(&mut self, asid: Asid, a: Access) {
         let vpn = a.addr.vpn();
         match self {
             CellSim::Vanilla { tlb, walker, huge } => {
@@ -314,9 +313,10 @@ fn run_fig6_cell(
     };
     let mut refs = 0u64;
     let mut snap = snapshots.iter().copied().peekable();
+    let asid = os.asid();
     trace
         .replay(&mut |a| {
-            sim.step(a);
+            sim.step(asid, a);
             refs += 1;
             if snap.peek().is_some_and(|&(r, _)| r == refs) {
                 let (_, user_accesses) = snap.next().expect("peeked position");
@@ -362,7 +362,13 @@ pub fn run_workload_observed_jobs(
     let meta = workload.meta();
     let footprint_pages = meta.footprint_bytes.div_ceil(PAGE_SIZE) + 16;
     let kernel_pages = cfg.kernel.map_or(0, |k| k.pages);
-    let mut os = reference_os(&cfg.arities, footprint_pages, kernel_pages, cfg.seed);
+    let mut os = reference_os(
+        &cfg.arities,
+        footprint_pages,
+        kernel_pages,
+        cfg.seed,
+        crate::os::USER_ASID,
+    );
     if obs.is_enabled() {
         os.set_obs(obs);
         obs.event(

@@ -20,8 +20,11 @@ use mosaic_mem::{
 use mosaic_mmu::{Arity, PageWalker, RadixTable, Toc};
 use std::collections::HashMap;
 
-/// The ASID every simulated process (and the kernel's global mappings)
-/// runs under in the Figure 6 experiments.
+/// The ASID the single simulated process (and the kernel's global
+/// mappings) runs under in the Figure 6 experiments. Multi-tenant runs
+/// mint their own ASIDs through `mosaic_tenants::TenantRegistry` and pass
+/// them via [`OsModel::with_asid`]; this default makes the classic
+/// experiments the one-tenant special case.
 pub const USER_ASID: Asid = Asid(1);
 
 /// First VPN of the simulated kernel region (top of the 36-bit VPN space).
@@ -52,13 +55,22 @@ pub struct OsModel {
     huge_walks: u64,
     /// One ToC-leaved page table per arity under test.
     mosaic_pts: Vec<(Arity, PageWalker<Toc>)>,
+    /// The address space every touch is keyed under.
+    asid: Asid,
     now: u64,
 }
 
 impl OsModel {
     /// Creates the OS model over `layout` worth of mosaic-managed memory,
-    /// with page tables for each arity in `arities`.
+    /// with page tables for each arity in `arities`, running as the
+    /// default [`USER_ASID`].
     pub fn new(layout: MemoryLayout, arities: &[Arity], seed: u64) -> Self {
+        Self::with_asid(layout, arities, seed, USER_ASID)
+    }
+
+    /// Like [`OsModel::new`], but keys every mapping under an explicit
+    /// `asid` (a tenant identity minted by a registry).
+    pub fn with_asid(layout: MemoryLayout, arities: &[Arity], seed: u64, asid: Asid) -> Self {
         let mosaic = MosaicMemory::new(layout, seed);
         let mosaic_pts = arities
             .iter()
@@ -74,8 +86,14 @@ impl OsModel {
             vanilla_next_pfn: 0,
             huge_walks: 0,
             mosaic_pts,
+            asid,
             now: 0,
         }
+    }
+
+    /// The ASID this model's mappings are keyed under.
+    pub fn asid(&self) -> Asid {
+        self.asid
     }
 
     /// Whether a VPN is in the simulated kernel region.
@@ -116,7 +134,7 @@ impl OsModel {
     /// [`frames_for_footprint`]).
     pub fn touch(&mut self, vpn: Vpn, kind: AccessKind) {
         self.now += 1;
-        let key = PageKey::new(USER_ASID, vpn);
+        let key = PageKey::new(self.asid, vpn);
         let newly_mapped = self.mosaic.resident_pfn(key).is_none();
         self.mosaic.access(key, kind, self.now);
         assert_eq!(
@@ -196,7 +214,7 @@ impl OsModel {
 
     /// The CPFN of one sub-page (for sub-entry fills).
     pub fn cpfn_of(&self, vpn: Vpn) -> Option<mosaic_mem::Cpfn> {
-        self.mosaic.cpfn_of(PageKey::new(USER_ASID, vpn))
+        self.mosaic.cpfn_of(PageKey::new(self.asid, vpn))
     }
 
     /// The arities this model maintains page tables for.

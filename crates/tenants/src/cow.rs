@@ -1,0 +1,458 @@
+//! Fork-style copy-on-write sharing over the §2.5 location-ID layer.
+//!
+//! [`SharedMosaicMemory`] gives every mosaic page a *location ID* whose
+//! `(location, i)` pairs — not `(ASID, VPN)` — feed the Iceberg hash, so
+//! the same physical placement can be bound into several address spaces.
+//! [`CowMemory`] layers the process semantics on top:
+//!
+//! * **fork** duplicates a parent's bindings into the child and marks
+//!   both sides copy-on-write — parent and child now share every frame
+//!   and every CPFN, so a forked ToC is valid in both TLBs;
+//! * the **first write** through a COW binding unshares it: the writer
+//!   gets a fresh location (a private re-placement through the Iceberg
+//!   table), the page *contents* are copied, and the other side keeps
+//!   the original frames;
+//! * **exit** unbinds everything; a location whose last binding is gone
+//!   is torn down through
+//!   [`release_location`](SharedMosaicMemory::release_location), which
+//!   frees its frames with no swap I/O.
+//!
+//! Page contents are modeled as one `u64` token per base page (enough to
+//! prove copies preserve data without simulating byte arrays); the
+//! proptests assert a write buried under any fork/unshare/exit sequence
+//! reads back exactly once and only where it was written.
+
+use mosaic_mem::sharing::{LocationId, SharedMosaicMemory};
+use mosaic_mem::{
+    AccessKind, AccessOutcome, Asid, MemoryLayout, MemoryManager, MosaicError, MosaicResult, Vpn,
+};
+use std::collections::{BTreeMap, HashMap};
+
+/// COW bookkeeping counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CowStats {
+    /// Forks performed.
+    pub forks: u64,
+    /// COW breaks (first write to a shared mosaic page).
+    pub unshares: u64,
+    /// Base pages whose contents were copied by unshares.
+    pub pages_copied: u64,
+    /// Locations torn down after their last binding exited.
+    pub locations_freed: u64,
+    /// Frames returned to the pool by exits.
+    pub frames_reclaimed: u64,
+}
+
+/// Per-mosaic-page binding state of one address space.
+#[derive(Debug, Clone, Copy)]
+struct Binding {
+    loc: LocationId,
+    /// Set by fork; cleared by unshare (or when the peer exits and this
+    /// side becomes the sole owner).
+    cow: bool,
+}
+
+/// Fork/exit/COW process semantics over a shared mosaic frame pool.
+#[derive(Debug)]
+pub struct CowMemory {
+    mem: SharedMosaicMemory,
+    /// Per-tenant mosaic-page bindings, deterministic iteration order.
+    spaces: HashMap<Asid, BTreeMap<u64, Binding>>,
+    /// How many bindings (across all address spaces) reference each
+    /// location issued through this layer.
+    refs: HashMap<LocationId, u32>,
+    /// Modeled page contents: one token per existing base page.
+    contents: HashMap<(LocationId, usize), u64>,
+    stats: CowStats,
+    now: u64,
+}
+
+impl CowMemory {
+    /// A COW manager over `layout` with the given mosaic arity.
+    pub fn new(layout: MemoryLayout, arity: usize, seed: u64) -> Self {
+        Self {
+            mem: SharedMosaicMemory::new(layout, arity, seed),
+            spaces: HashMap::new(),
+            refs: HashMap::new(),
+            contents: HashMap::new(),
+            stats: CowStats::default(),
+            now: 0,
+        }
+    }
+
+    /// The mosaic arity.
+    pub fn arity(&self) -> usize {
+        self.mem.arity()
+    }
+
+    /// The underlying shared manager (stats, utilization, `verify`).
+    pub fn mem(&self) -> &SharedMosaicMemory {
+        &self.mem
+    }
+
+    /// COW bookkeeping counters.
+    pub fn stats(&self) -> &CowStats {
+        &self.stats
+    }
+
+    fn split(&self, vpn: Vpn) -> (u64, usize) {
+        let arity = self.mem.arity() as u64;
+        (vpn.0 / arity, (vpn.0 % arity) as usize)
+    }
+
+    fn vpn_of(&self, mpage: u64, offset: usize) -> Vpn {
+        Vpn(mpage * self.mem.arity() as u64 + offset as u64)
+    }
+
+    /// Writes `token` to `(asid, vpn)`, faulting the page in (and
+    /// breaking COW sharing first if the binding is shared).
+    pub fn write(&mut self, asid: Asid, vpn: Vpn, token: u64) -> AccessOutcome {
+        let out = self.touch(asid, vpn, AccessKind::Store);
+        let (mpage, offset) = self.split(vpn);
+        if let Some(b) = self.spaces.get(&asid).and_then(|s| s.get(&mpage)) {
+            self.contents.insert((b.loc, offset), token);
+        }
+        out
+    }
+
+    /// Reads `(asid, vpn)`: faults the page in if needed and returns its
+    /// content token (`0` for a never-written page — demand-zero).
+    pub fn read(&mut self, asid: Asid, vpn: Vpn) -> u64 {
+        self.touch(asid, vpn, AccessKind::Load);
+        let (mpage, offset) = self.split(vpn);
+        self.spaces
+            .get(&asid)
+            .and_then(|s| s.get(&mpage))
+            .and_then(|b| self.contents.get(&(b.loc, offset)))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// One access from `asid`: demand-binds a private location on first
+    /// touch of a mosaic page, breaks COW on the first `Store` through a
+    /// shared binding, then drives the underlying manager.
+    pub fn touch(&mut self, asid: Asid, vpn: Vpn, kind: AccessKind) -> AccessOutcome {
+        self.now += 1;
+        let now = self.now;
+        let (mpage, _) = self.split(vpn);
+        let space = self.spaces.entry(asid).or_default();
+        match space.get(&mpage).copied() {
+            None => {
+                // Anonymous first touch: mint a private location.
+                let loc = self.mem.create_location();
+                self.mem
+                    .map(asid, mpage, loc)
+                    .expect("fresh location cannot be already mapped");
+                space.insert(mpage, Binding { loc, cow: false });
+                self.refs.insert(loc, 1);
+                self.mem.access(asid, vpn, kind, now)
+            }
+            Some(b) if b.cow && kind.is_write() => {
+                self.unshare(asid, mpage);
+                let now = self.bump();
+                self.mem.access(asid, vpn, kind, now)
+            }
+            Some(_) => self.mem.access(asid, vpn, kind, now),
+        }
+    }
+
+    fn bump(&mut self) -> u64 {
+        self.now += 1;
+        self.now
+    }
+
+    /// Breaks the COW binding at `(asid, mpage)`: if this side is the
+    /// last reference the flag is simply cleared (nothing left to share
+    /// with); otherwise the page is re-placed under a fresh location and
+    /// its contents copied.
+    fn unshare(&mut self, asid: Asid, mpage: u64) {
+        self.stats.unshares += 1;
+        let old = self.spaces[&asid][&mpage];
+        let old_refs = self.refs[&old.loc];
+        if old_refs == 1 {
+            // The peers already exited; take exclusive ownership in place.
+            if let Some(b) = self.spaces.get_mut(&asid).and_then(|s| s.get_mut(&mpage)) {
+                b.cow = false;
+            }
+            return;
+        }
+        let new_loc = self.mem.create_location();
+        self.mem.unmap(asid, mpage);
+        self.mem
+            .map(asid, mpage, new_loc)
+            .expect("fresh location cannot be already mapped");
+        if let Some(b) = self.spaces.get_mut(&asid).and_then(|s| s.get_mut(&mpage)) {
+            *b = Binding {
+                loc: new_loc,
+                cow: false,
+            };
+        }
+        self.refs.insert(new_loc, 1);
+        self.refs.insert(old.loc, old_refs - 1);
+        if old_refs - 1 == 1 {
+            self.clear_sole_cow(old.loc);
+        }
+        // Copy every existing page of the mosaic page into the private
+        // placement (the kernel's copy loop: fault in + memcpy).
+        for offset in 0..self.mem.arity() {
+            if let Some(&token) = self.contents.get(&(old.loc, offset)) {
+                let vpn = self.vpn_of(mpage, offset);
+                let now = self.bump();
+                self.mem.access(asid, vpn, AccessKind::Store, now);
+                self.contents.insert((new_loc, offset), token);
+                self.stats.pages_copied += 1;
+            }
+        }
+    }
+
+    /// When a location drops to a single reference, the survivor's
+    /// binding no longer needs the COW flag — there is no one left to
+    /// copy for.
+    fn clear_sole_cow(&mut self, loc: LocationId) {
+        for space in self.spaces.values_mut() {
+            for b in space.values_mut() {
+                if b.loc == loc {
+                    b.cow = false;
+                }
+            }
+        }
+    }
+
+    /// Spawns `child` as a fork of `parent`: every mosaic page of the
+    /// parent is bound into the child under the *same* location, and both
+    /// sides are marked copy-on-write.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the child already has bindings (forks target fresh
+    /// address spaces).
+    pub fn fork(&mut self, parent: Asid, child: Asid) {
+        assert!(
+            self.spaces.get(&child).is_none_or(|s| s.is_empty()),
+            "fork target {child:?} already has mappings"
+        );
+        self.stats.forks += 1;
+        let parent_pages: Vec<(u64, LocationId)> = self
+            .spaces
+            .get(&parent)
+            .map(|s| s.iter().map(|(&m, b)| (m, b.loc)).collect())
+            .unwrap_or_default();
+        for (mpage, loc) in parent_pages {
+            self.mem
+                .map(child, mpage, loc)
+                .expect("fresh child cannot be already mapped");
+            self.spaces
+                .entry(child)
+                .or_default()
+                .insert(mpage, Binding { loc, cow: true });
+            if let Some(b) = self
+                .spaces
+                .get_mut(&parent)
+                .and_then(|s| s.get_mut(&mpage))
+            {
+                b.cow = true;
+            }
+            *self.refs.entry(loc).or_insert(0) += 1;
+        }
+    }
+
+    /// Tears down `asid`: every binding is removed, and each location
+    /// whose last reference this was is released (frames freed, no swap
+    /// I/O). Returns the number of frames reclaimed.
+    pub fn exit(&mut self, asid: Asid) -> u64 {
+        let Some(space) = self.spaces.remove(&asid) else {
+            return 0;
+        };
+        let mut reclaimed = 0u64;
+        for (mpage, b) in space {
+            self.mem.unmap(asid, mpage);
+            let r = self.refs[&b.loc] - 1;
+            if r == 0 {
+                self.refs.remove(&b.loc);
+                for offset in 0..self.mem.arity() {
+                    self.contents.remove(&(b.loc, offset));
+                }
+                let freed = self
+                    .mem
+                    .release_location(b.loc)
+                    .expect("refcounted location must exist") as u64;
+                reclaimed += freed;
+                self.stats.locations_freed += 1;
+            } else {
+                self.refs.insert(b.loc, r);
+                if r == 1 {
+                    self.clear_sole_cow(b.loc);
+                }
+            }
+        }
+        self.stats.frames_reclaimed += reclaimed;
+        reclaimed
+    }
+
+    /// Live mosaic-page bindings of `asid`.
+    pub fn mapped_mpages(&self, asid: Asid) -> usize {
+        self.spaces.get(&asid).map_or(0, |s| s.len())
+    }
+
+    /// The location bound at `(asid, mpage)` and whether it is COW.
+    pub fn binding_of(&self, asid: Asid, mpage: u64) -> Option<(LocationId, bool)> {
+        self.spaces
+            .get(&asid)
+            .and_then(|s| s.get(&mpage))
+            .map(|b| (b.loc, b.cow))
+    }
+
+    /// Structural invariants of the COW layer *and* the managers below:
+    ///
+    /// * the inner Iceberg manager's own `verify()` holds;
+    /// * location reference counts equal the number of live bindings;
+    /// * every binding points at a location the sharing layer still has;
+    /// * a non-shared (refs == 1) binding is never COW-flagged unless a
+    ///   fork set it and no write has landed since — COW with refs == 1
+    ///   is legal only transiently, so we check only the converse:
+    ///   a location referenced from two spaces must be COW on all sides
+    ///   or none (partial sharing is a bookkeeping bug).
+    ///
+    /// # Errors
+    ///
+    /// Returns the violated invariant as a [`MosaicError`].
+    pub fn verify(&self) -> MosaicResult<()> {
+        self.mem.inner().verify()?;
+        let mut counted: HashMap<LocationId, u32> = HashMap::new();
+        for space in self.spaces.values() {
+            for b in space.values() {
+                *counted.entry(b.loc).or_insert(0) += 1;
+            }
+        }
+        if counted != self.refs {
+            return Err(MosaicError::internal(
+                "location refcounts disagree with live bindings",
+            ));
+        }
+        if self.refs.values().any(|&n| n == 0) {
+            return Err(MosaicError::internal("zero-ref location not released"));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{Tenant, TenantRegistry};
+    use mosaic_iceberg::IcebergConfig;
+
+    fn cow() -> CowMemory {
+        CowMemory::new(MemoryLayout::new(IcebergConfig::paper_default(8)), 4, 7)
+    }
+
+    #[test]
+    fn fork_shares_frames_until_first_write() {
+        let mut m = cow();
+        let (p, c) = (Asid(1), Asid(2));
+        m.write(p, Vpn(0), 0xAAAA);
+        m.write(p, Vpn(1), 0xBBBB);
+        m.fork(p, c);
+        // Shared: same frames through both ASIDs.
+        assert_eq!(
+            m.mem().resident_pfn_of(p, Vpn(0)),
+            m.mem().resident_pfn_of(c, Vpn(0)),
+        );
+        assert_eq!(m.read(c, Vpn(0)), 0xAAAA, "child sees parent data");
+        // Child writes page 0: COW break, private re-placement.
+        m.write(c, Vpn(0), 0xCCCC);
+        assert_ne!(
+            m.mem().binding(p, 0),
+            m.mem().binding(c, 0),
+            "write must unshare the location"
+        );
+        assert_eq!(m.read(c, Vpn(0)), 0xCCCC);
+        assert_eq!(m.read(p, Vpn(0)), 0xAAAA, "parent data is untouched");
+        // The *other* page of the same mosaic page was copied too (the
+        // unshare is per mosaic page, the sharing granule).
+        assert_eq!(m.read(c, Vpn(1)), 0xBBBB);
+        assert!(m.stats().unshares == 1 && m.stats().pages_copied >= 1);
+        m.verify().unwrap();
+    }
+
+    #[test]
+    fn parent_write_also_breaks_sharing() {
+        let mut m = cow();
+        let (p, c) = (Asid(1), Asid(2));
+        m.write(p, Vpn(8), 1);
+        m.fork(p, c);
+        m.write(p, Vpn(8), 2);
+        assert_eq!(m.read(p, Vpn(8)), 2);
+        assert_eq!(m.read(c, Vpn(8)), 1, "child keeps the pre-fork value");
+        m.verify().unwrap();
+    }
+
+    #[test]
+    fn exit_reclaims_only_unshared_locations() {
+        let mut m = cow();
+        let (p, c) = (Asid(1), Asid(2));
+        for v in 0..8u64 {
+            m.write(p, Vpn(v), v);
+        }
+        m.fork(p, c);
+        let resident_before = m.mem().inner().resident_frames();
+        // Child exits without writing: everything is still shared, so no
+        // frames are freed — the parent still owns them.
+        assert_eq!(m.exit(c), 0);
+        assert_eq!(m.mem().inner().resident_frames(), resident_before);
+        for v in 0..8u64 {
+            assert_eq!(m.read(p, Vpn(v)), v);
+        }
+        // Parent exits: now the frames go.
+        let freed = m.exit(p);
+        assert_eq!(freed, 8);
+        assert_eq!(m.mem().inner().resident_frames(), resident_before - 8);
+        assert_eq!(m.mem().location_count(), 0);
+        m.verify().unwrap();
+    }
+
+    #[test]
+    fn reads_never_unshare() {
+        let mut m = cow();
+        let (p, c) = (Asid(1), Asid(2));
+        m.write(p, Vpn(0), 9);
+        m.fork(p, c);
+        for _ in 0..10 {
+            assert_eq!(m.read(c, Vpn(0)), 9);
+            assert_eq!(m.read(p, Vpn(0)), 9);
+        }
+        assert_eq!(m.stats().unshares, 0);
+        assert_eq!(m.mem().binding(p, 0), m.mem().binding(c, 0));
+        m.verify().unwrap();
+    }
+
+    #[test]
+    fn sole_survivor_write_skips_the_copy() {
+        let mut m = cow();
+        let (p, c) = (Asid(1), Asid(2));
+        m.write(p, Vpn(0), 5);
+        m.fork(p, c);
+        m.exit(c);
+        // Peer gone; the write happens in place, no re-placement.
+        let loc_before = m.mem().binding(p, 0);
+        m.write(p, Vpn(0), 6);
+        assert_eq!(m.mem().binding(p, 0), loc_before);
+        assert_eq!(m.stats().pages_copied, 0);
+        m.verify().unwrap();
+    }
+
+    #[test]
+    fn registry_integration_full_lifecycle() {
+        let mut reg = TenantRegistry::new();
+        let mut m = cow();
+        let parent = reg.spawn().unwrap();
+        m.write(parent.asid, Vpn(0), 42);
+        let child = reg.spawn().unwrap();
+        m.fork(parent.asid, child.asid);
+        m.write(child.asid, Vpn(0), 43);
+        let Tenant { asid, .. } = reg.exit(child.id).unwrap();
+        assert!(m.exit(asid) > 0, "private COW copy must free frames");
+        assert_eq!(m.read(parent.asid, Vpn(0)), 42);
+        m.verify().unwrap();
+    }
+}

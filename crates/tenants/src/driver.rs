@@ -1,0 +1,739 @@
+//! The deterministic multi-tenant pressure driver.
+//!
+//! Many tenants share one frame pool. Each tenant *slot* (= Zipf rank;
+//! slot 0 is the hot head) records its own workload trace once, then a
+//! seeded Zipf(θ) scheduler interleaves the per-slot streams into a
+//! single schedule of [`TenantOp`]s — accesses tagged with the issuing
+//! tenant's ASID, plus exit/respawn churn events. The schedule is built
+//! **once** and replayed against both managers (Mosaic, then the Linux
+//! baseline), exactly like the Table 3/4 pressure driver replays its
+//! recorded trace: both managers see the same object, and the whole run
+//! is a pure function of the config.
+//!
+//! A one-tenant, churn-free schedule degenerates to the slot's trace in
+//! recording order with `Asid(1)` — bit-identical to
+//! [`run_pressure`](mosaic_sim::pressure::run_pressure), the oracle the
+//! equivalence tests pin.
+
+use crate::fairness::TenantSlotStats;
+use crate::registry::TenantRegistry;
+use mosaic_hash::SplitMix64;
+use mosaic_mem::{
+    AccessKind, Asid, IcebergConfig, LinuxMemory, MemoryLayout, MemoryManager, MosaicMemory,
+    MosaicResult, PageKey, ResilienceStats, Vpn, PAGE_SIZE,
+};
+use mosaic_obs::{ObsHandle, Value};
+use mosaic_sim::parallel::{derive_seed, run_cells};
+use mosaic_sim::pressure::{PressureRow, PressureWorkload, ResilienceConfig, ResilienceReport};
+use mosaic_sim::PressureConfig;
+use mosaic_workloads::{record, Access, ZipfSampler};
+
+/// How workloads are assigned to tenant slots.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TenantMix {
+    /// Every slot runs the same workload (the oracle-equivalence shape).
+    Single(PressureWorkload),
+    /// Slot `r` runs `PressureWorkload::ALL[r % 3]` — a seeded
+    /// GUPS-free mix of Graph500/XSBench/BTree across the population.
+    Rotate,
+}
+
+impl TenantMix {
+    fn workload_for(self, rank: usize) -> PressureWorkload {
+        match self {
+            TenantMix::Single(w) => w,
+            TenantMix::Rotate => PressureWorkload::ALL[rank % PressureWorkload::ALL.len()],
+        }
+    }
+}
+
+/// Parameters of one multi-tenant run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantsConfig {
+    /// Concurrent tenant slots (Zipf ranks).
+    pub tenants: usize,
+    /// Iceberg buckets of shared memory (64 frames each).
+    pub mem_buckets: usize,
+    /// Run seed: workload generation, Zipf scheduling, and Iceberg
+    /// hashing all derive from it.
+    pub seed: u64,
+    /// Zipf skew over tenants (θ; 0.99 is the classic "millions of
+    /// users" shape).
+    pub theta: f64,
+    /// Aggregate footprint as a fraction of physical memory (0.90 =
+    /// 90 % load).
+    pub load: f64,
+    /// Accesses to schedule; `0` replays every slot's trace exactly once
+    /// (the one-pass mode the oracle tests use).
+    pub steps: u64,
+    /// Exit + respawn one tail-half tenant every this many accesses;
+    /// `0` disables churn.
+    pub churn_every: u64,
+    /// Workload assignment.
+    pub mix: TenantMix,
+}
+
+impl TenantsConfig {
+    /// A fast smoke-test shape: 8 tenants on 4096 frames.
+    pub fn quick() -> Self {
+        Self {
+            tenants: 8,
+            mem_buckets: 64,
+            seed: 0x7E4A47,
+            theta: 0.99,
+            load: 0.90,
+            steps: 200_000,
+            churn_every: 25_000,
+            mix: TenantMix::Rotate,
+        }
+    }
+
+    /// The golden-results shape: 64 tenants, Zipf(0.99), 90 % load.
+    pub fn golden() -> Self {
+        Self {
+            tenants: 64,
+            mem_buckets: 64,
+            seed: 0x7E4A47,
+            theta: 0.99,
+            load: 0.90,
+            steps: 400_000,
+            churn_every: 20_000,
+            mix: TenantMix::Rotate,
+        }
+    }
+
+    /// Shared physical memory, in bytes.
+    pub fn mem_bytes(&self) -> u64 {
+        (self.mem_buckets * 64) as u64 * PAGE_SIZE
+    }
+
+    /// The aggregate footprint target, in bytes.
+    pub fn target_bytes(&self) -> u64 {
+        (self.mem_bytes() as f64 * self.load) as u64
+    }
+
+    /// Per-tenant footprint target: an even share of the aggregate,
+    /// clamped to the smallest footprint every workload generator
+    /// supports (64 KiB).
+    pub fn per_tenant_bytes(&self) -> u64 {
+        (self.target_bytes() / self.tenants.max(1) as u64).max(64 * 1024)
+    }
+}
+
+/// One schedule event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TenantOp {
+    /// A memory access by the tenant currently occupying `slot`.
+    Access {
+        /// Zipf rank of the issuing tenant.
+        slot: u32,
+        /// Its ASID at issue time.
+        asid: Asid,
+        /// Virtual page.
+        vpn: Vpn,
+        /// Load or store.
+        kind: AccessKind,
+    },
+    /// The tenant in `slot` exits; its successor (same slot, fresh ASID)
+    /// issues subsequent accesses.
+    Exit {
+        /// Zipf rank of the exiting tenant.
+        slot: u32,
+        /// The retiring ASID (release + shoot down).
+        asid: Asid,
+    },
+}
+
+/// The frozen, manager-independent schedule of one run.
+#[derive(Debug)]
+pub struct Schedule {
+    ops: Vec<TenantOp>,
+    /// Sum of the slots' actual workload footprints (bytes).
+    footprint_bytes: u64,
+    /// Access ops in `ops` (exits excluded).
+    accesses: u64,
+    /// Exit ops in `ops`.
+    exits: u64,
+    slots: usize,
+}
+
+impl Schedule {
+    /// Access count (the `steps` actually scheduled).
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Exit/respawn events scheduled.
+    pub fn exits(&self) -> u64 {
+        self.exits
+    }
+
+    /// Sum of per-slot workload footprints, bytes.
+    pub fn footprint_bytes(&self) -> u64 {
+        self.footprint_bytes
+    }
+
+    /// The ops, in schedule order.
+    pub fn ops(&self) -> &[TenantOp] {
+        &self.ops
+    }
+}
+
+/// Builds the schedule: records each slot's trace, then interleaves
+/// under Zipf(θ) with optional churn.
+///
+/// # Panics
+///
+/// Panics if `cfg.tenants == 0`, or if churn exhausts the 16-bit ASID
+/// space (practically unreachable: it needs 65 534 spawns).
+pub fn build_schedule(cfg: &TenantsConfig) -> Schedule {
+    assert!(cfg.tenants > 0, "need at least one tenant");
+    let per_tenant = cfg.per_tenant_bytes();
+    let mut registry = TenantRegistry::new();
+    let mut traces: Vec<Vec<Access>> = Vec::with_capacity(cfg.tenants);
+    let mut asids: Vec<Asid> = Vec::with_capacity(cfg.tenants);
+    let mut footprint = 0u64;
+    for rank in 0..cfg.tenants {
+        // Slot 0 records with the base seed itself so the one-tenant
+        // schedule is the classic pressure trace verbatim.
+        let wseed = if rank == 0 {
+            cfg.seed
+        } else {
+            derive_seed(cfg.seed, rank as u64)
+        };
+        let mut w = cfg.mix.workload_for(rank).build(per_tenant, wseed);
+        footprint += w.meta().footprint_bytes;
+        traces.push(record(w.as_mut()));
+        asids.push(registry.spawn().expect("tenant count fits the ASID space").asid);
+    }
+
+    let zipf = ZipfSampler::new(cfg.tenants as u64, cfg.theta);
+    let mut rng = SplitMix64::new(cfg.seed ^ 0x21BF_7E4A);
+    let mut cursors = vec![0usize; cfg.tenants];
+    let one_pass = cfg.steps == 0;
+    let total_steps = if one_pass {
+        traces.iter().map(|t| t.len() as u64).sum()
+    } else {
+        cfg.steps
+    };
+
+    let mut ops = Vec::with_capacity(total_steps as usize);
+    let mut emitted = 0u64;
+    let mut exits = 0u64;
+    // Churn rotates through the tail half of the population (the cold
+    // tenants a serving system actually cycles).
+    let mut churn_slot = cfg.tenants / 2;
+    while emitted < total_steps {
+        if cfg.churn_every > 0 && emitted > 0 && emitted.is_multiple_of(cfg.churn_every) && exits < emitted {
+            let slot = churn_slot.min(cfg.tenants - 1);
+            churn_slot = if churn_slot + 1 >= cfg.tenants {
+                cfg.tenants / 2
+            } else {
+                churn_slot + 1
+            };
+            ops.push(TenantOp::Exit {
+                slot: slot as u32,
+                asid: asids[slot],
+            });
+            exits += 1;
+            // The successor reuses the slot's binary (same recorded
+            // trace, restarted) under a fresh ASID.
+            asids[slot] = registry.spawn().expect("churn within ASID space").asid;
+            cursors[slot] = 0;
+        }
+        let drawn = zipf.sample(&mut rng) as usize;
+        // One-pass mode retires exhausted slots: take the next live slot
+        // in rank order (wrapping), which keeps the draw deterministic.
+        let slot = if one_pass {
+            let mut s = drawn;
+            let mut hops = 0;
+            while cursors[s] >= traces[s].len() {
+                s = (s + 1) % cfg.tenants;
+                hops += 1;
+                assert!(hops <= cfg.tenants, "all slots exhausted before steps ran out");
+            }
+            s
+        } else {
+            drawn
+        };
+        let a = traces[slot][cursors[slot]];
+        cursors[slot] = if one_pass {
+            cursors[slot] + 1
+        } else {
+            (cursors[slot] + 1) % traces[slot].len()
+        };
+        ops.push(TenantOp::Access {
+            slot: slot as u32,
+            asid: asids[slot],
+            vpn: a.addr.vpn(),
+            kind: a.kind,
+        });
+        emitted += 1;
+    }
+
+    Schedule {
+        ops,
+        footprint_bytes: footprint,
+        accesses: emitted,
+        exits,
+        slots: cfg.tenants,
+    }
+}
+
+/// Everything one manager's replay of a schedule produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriveOutcome {
+    /// Per-slot (rank) fault and conflict accounting.
+    pub slots: Vec<TenantSlotStats>,
+    /// Accesses dropped to typed errors (fault injection only).
+    pub dropped: u64,
+    /// Frames reclaimed by tenant exits.
+    pub frames_reclaimed: u64,
+    /// Final reference count (`now` after the last access).
+    pub end_now: u64,
+}
+
+/// The measured outcome of one multi-tenant run: the aggregate pressure
+/// row plus per-tenant fairness accounting for both managers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantsRow {
+    /// Tenant slots.
+    pub tenants: usize,
+    /// Configured load (fraction of physical memory).
+    pub load: f64,
+    /// The aggregate [`PressureRow`] (same fields as a Table 3/4 run).
+    pub pressure: PressureRow,
+    /// Per-slot accounting under Mosaic.
+    pub mosaic_slots: Vec<TenantSlotStats>,
+    /// Per-slot accounting under the Linux baseline.
+    pub linux_slots: Vec<TenantSlotStats>,
+    /// Exit/respawn events replayed (same schedule for both managers).
+    pub exits: u64,
+    /// Frames reclaimed by exits under Mosaic.
+    pub mosaic_frames_reclaimed: u64,
+    /// Frames reclaimed by exits under the baseline.
+    pub linux_frames_reclaimed: u64,
+}
+
+/// Replays `schedule` into `manager`, mirroring the pressure driver's
+/// cadence exactly: `now` advances once per access, steady-state
+/// utilization samples every 64 Ki accesses after one warmup footprint,
+/// `verify()` at the configured interval, and a final sample + verify.
+/// Exits release the retiring ASID's frames (no swap I/O) and do not
+/// advance the reference clock.
+#[allow(clippy::too_many_arguments)]
+fn drive_schedule(
+    manager: &mut dyn MemoryManager,
+    schedule: &Schedule,
+    warmup_bytes: u64,
+    res: &ResilienceConfig,
+    report: &mut ResilienceReport,
+    start_now: u64,
+    obs: &ObsHandle,
+    obs_interval: u64,
+) -> MosaicResult<DriveOutcome> {
+    let mut now = start_now;
+    let warmup = warmup_bytes / PAGE_SIZE;
+    let mut counter = 0u64;
+    let mut dropped = 0u64;
+    let mut frames_reclaimed = 0u64;
+    let mut slots = vec![TenantSlotStats::default(); schedule.slots];
+    for (rank, s) in slots.iter_mut().enumerate() {
+        s.rank = rank as u32;
+    }
+    for op in &schedule.ops {
+        match *op {
+            TenantOp::Access { slot, asid, vpn, kind } => {
+                now += 1;
+                let key = PageKey::new(asid, vpn);
+                let conflicts_before = manager.stats().conflicts;
+                let stats = &mut slots[slot as usize];
+                stats.accesses += 1;
+                match manager.try_access(key, kind, now) {
+                    Ok(outcome) => {
+                        if outcome.faulted() {
+                            stats.faults += 1;
+                        }
+                        if outcome == mosaic_mem::AccessOutcome::MajorFault {
+                            stats.major_faults += 1;
+                        }
+                    }
+                    Err(e) => {
+                        dropped += 1;
+                        stats.dropped += 1;
+                        report.last_error = Some(e);
+                    }
+                }
+                let conflict_delta = manager.stats().conflicts - conflicts_before;
+                if conflict_delta > 0 {
+                    stats.conflicts += conflict_delta;
+                    if stats.first_conflict_step.is_none() {
+                        stats.first_conflict_step = Some(counter);
+                    }
+                }
+                counter += 1;
+                if counter > warmup && counter.is_multiple_of(65_536) {
+                    manager.sample_utilization();
+                }
+                if obs_interval > 0 && counter.is_multiple_of(obs_interval) {
+                    manager.publish_obs();
+                    obs.snapshot(now);
+                }
+                if res.verify_every > 0 && counter.is_multiple_of(res.verify_every) {
+                    match manager.verify() {
+                        Ok(()) => report.verify_passes += 1,
+                        Err(e) => return Err(e),
+                    }
+                }
+            }
+            TenantOp::Exit { slot, asid } => {
+                let freed = manager.release_asid(asid);
+                frames_reclaimed += freed;
+                slots[slot as usize].generations += 1;
+                if obs.is_enabled() {
+                    obs.event(
+                        now,
+                        "tenant.exit",
+                        &[
+                            ("slot", Value::from(u64::from(slot))),
+                            ("asid", Value::from(u64::from(asid.0))),
+                            ("frames", Value::from(freed)),
+                        ],
+                    );
+                }
+            }
+        }
+    }
+    manager.sample_utilization();
+    manager.verify()?;
+    report.verify_passes += 1;
+    Ok(DriveOutcome {
+        slots,
+        dropped,
+        frames_reclaimed,
+        end_now: now,
+    })
+}
+
+/// Runs one multi-tenant configuration through both managers, fault-free.
+pub fn run_tenants(cfg: &TenantsConfig) -> TenantsRow {
+    let (row, _) = run_tenants_observed(cfg, &ResilienceConfig::none(), &ObsHandle::noop(), 0)
+        .unwrap_or_else(|e| panic!("fault-free tenant run cannot fail: {e}"));
+    row
+}
+
+/// [`run_tenants`] under a fault plan, with metric/event export.
+///
+/// The schedule is built once; Mosaic replays it first, then the Linux
+/// baseline (resuming the reference timeline only when exporting, like
+/// the pressure driver). Per-slot fairness metrics are published to
+/// `obs` as `mosaic.tenants.*` / `linux.tenants.*` histograms.
+///
+/// # Errors
+///
+/// Returns the violation if any structural `verify()` pass fails;
+/// injected faults are absorbed and counted, never surfaced.
+pub fn run_tenants_observed(
+    cfg: &TenantsConfig,
+    res: &ResilienceConfig,
+    obs: &ObsHandle,
+    obs_interval: u64,
+) -> MosaicResult<(TenantsRow, ResilienceReport)> {
+    let layout = MemoryLayout::new(IcebergConfig::paper_default(cfg.mem_buckets));
+    let mut mosaic = MosaicMemory::new(layout, cfg.seed);
+    let mut linux = LinuxMemory::new(layout);
+    if !res.plan.is_none() {
+        mosaic = mosaic.with_fault_injector(res.plan, res.fault_seed);
+        linux = linux.with_fault_injector(res.plan, res.fault_seed ^ 0x11);
+    }
+    if obs.is_enabled() {
+        mosaic.set_obs(obs, "mosaic");
+        linux.set_obs(obs, "linux");
+    }
+
+    let mut report = ResilienceReport {
+        mosaic: ResilienceStats::ZERO,
+        linux: ResilienceStats::ZERO,
+        mosaic_dropped: 0,
+        linux_dropped: 0,
+        verify_passes: 0,
+        last_error: None,
+    };
+
+    let schedule = build_schedule(cfg);
+    let warmup_bytes = cfg.target_bytes();
+    if obs.is_enabled() {
+        obs.event(
+            0,
+            "drive.begin",
+            &[
+                ("mgr", Value::from("mosaic")),
+                ("tenants", Value::from(cfg.tenants as u64)),
+                ("load", Value::from(cfg.load)),
+            ],
+        );
+    }
+    let m = drive_schedule(
+        &mut mosaic, &schedule, warmup_bytes, res, &mut report, 0, obs, obs_interval,
+    )?;
+    let start2 = if obs.is_enabled() { m.end_now } else { 0 };
+    if obs.is_enabled() {
+        obs.event(
+            start2,
+            "drive.begin",
+            &[
+                ("mgr", Value::from("linux")),
+                ("tenants", Value::from(cfg.tenants as u64)),
+                ("load", Value::from(cfg.load)),
+            ],
+        );
+    }
+    let l = drive_schedule(
+        &mut linux, &schedule, warmup_bytes, res, &mut report, start2, obs, obs_interval,
+    )?;
+    report.mosaic = *mosaic.resilience();
+    report.linux = *linux.resilience();
+    report.mosaic_dropped = m.dropped;
+    report.linux_dropped = l.dropped;
+    if obs.is_enabled() {
+        mosaic.publish_obs();
+        linux.publish_obs();
+        publish_fairness(obs, "mosaic", &m.slots);
+        publish_fairness(obs, "linux", &l.slots);
+        obs.counter("tenants.exits").add(schedule.exits());
+        obs.counter("tenants.frames_reclaimed.mosaic")
+            .add(m.frames_reclaimed);
+        obs.counter("tenants.frames_reclaimed.linux")
+            .add(l.frames_reclaimed);
+        obs.snapshot(l.end_now);
+    }
+
+    let pressure = PressureRow {
+        workload: match cfg.mix {
+            TenantMix::Single(w) => w.name(),
+            TenantMix::Rotate => "Mixed",
+        },
+        footprint_bytes: schedule.footprint_bytes(),
+        linux_swaps: linux.stats().swap_ops(),
+        mosaic_swaps: mosaic.stats().swap_ops(),
+        first_conflict_pct: mosaic
+            .utilization_tracker()
+            .first_conflict()
+            .map(|u| u * 100.0),
+        steady_state_pct: mosaic
+            .utilization_tracker()
+            .steady_state_mean()
+            .map(|u| u * 100.0),
+        linux_steady_pct: linux
+            .utilization_tracker()
+            .steady_state_mean()
+            .map(|u| u * 100.0),
+    };
+    Ok((
+        TenantsRow {
+            tenants: cfg.tenants,
+            load: cfg.load,
+            pressure,
+            mosaic_slots: m.slots,
+            linux_slots: l.slots,
+            exits: schedule.exits(),
+            mosaic_frames_reclaimed: m.frames_reclaimed,
+            linux_frames_reclaimed: l.frames_reclaimed,
+        },
+        report,
+    ))
+}
+
+/// Publishes per-tenant fairness distributions under
+/// `<prefix>.tenants.*`: one fault-rate histogram sample per slot, and
+/// conflict-onset steps for the slots that conflicted.
+fn publish_fairness(obs: &ObsHandle, prefix: &str, slots: &[TenantSlotStats]) {
+    let ppm = obs.histogram(&format!("{prefix}.tenants.fault_ppm"));
+    let onset = obs.histogram(&format!("{prefix}.tenants.conflict_onset"));
+    for s in slots {
+        ppm.record(s.fault_ppm());
+        if let Some(step) = s.first_conflict_step {
+            onset.record(step);
+        }
+    }
+}
+
+/// Runs a (tenant-count × load) grid on `jobs` threads via the parallel
+/// engine: each cell is an independent [`run_tenants_observed`] whose
+/// fault seed (under a fault plan) derives from the cell index, so
+/// sweeps are byte-identical at any `--jobs` value. Results, and merged
+/// observability, come back in grid order (tenant-counts outer, loads
+/// inner).
+pub fn run_tenants_grid(
+    base: &TenantsConfig,
+    tenant_counts: &[usize],
+    loads: &[f64],
+    res: &ResilienceConfig,
+    obs: &ObsHandle,
+    obs_interval: u64,
+    jobs: usize,
+) -> Vec<MosaicResult<(TenantsRow, ResilienceReport)>> {
+    let mut inputs = Vec::new();
+    for &tenants in tenant_counts {
+        for &load in loads {
+            let cell_cfg = TenantsConfig {
+                tenants,
+                load,
+                ..base.clone()
+            };
+            inputs.push((cell_cfg, child_handle(obs)));
+        }
+    }
+    let outcomes = run_cells(jobs, inputs, |i, (cell_cfg, child)| {
+        let cell_res = if res.plan.is_none() {
+            *res
+        } else {
+            ResilienceConfig {
+                plan: res.plan,
+                fault_seed: derive_seed(res.fault_seed, i as u64),
+                verify_every: res.verify_every,
+            }
+        };
+        let out = run_tenants_observed(&cell_cfg, &cell_res, &child, obs_interval);
+        (out, child)
+    });
+    outcomes
+        .into_iter()
+        .map(|(out, child)| {
+            if obs.is_enabled() {
+                obs.merge_from(&child);
+            }
+            out
+        })
+        .collect()
+}
+
+/// A detached child registry for one grid cell (merged back in grid
+/// order), so parallel cells never contend on the shared registry.
+fn child_handle(obs: &ObsHandle) -> ObsHandle {
+    if obs.is_enabled() {
+        ObsHandle::enabled()
+    } else {
+        ObsHandle::noop()
+    }
+}
+
+/// The [`PressureConfig`] a one-tenant oracle run corresponds to:
+/// same buckets, same seed — so
+/// `run_pressure(w, cfg.load, &cfg.as_pressure_config())` is the
+/// single-process ground truth for `{tenants: 1, steps: 0, churn: 0}`.
+pub fn as_pressure_config(cfg: &TenantsConfig) -> PressureConfig {
+    PressureConfig {
+        mem_buckets: cfg.mem_buckets,
+        seed: cfg.seed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> TenantsConfig {
+        TenantsConfig {
+            tenants: 4,
+            mem_buckets: 16,
+            seed: 11,
+            theta: 0.99,
+            load: 0.8,
+            steps: 30_000,
+            churn_every: 10_000,
+            mix: TenantMix::Rotate,
+        }
+    }
+
+    #[test]
+    fn schedule_is_deterministic_and_sized() {
+        let a = build_schedule(&tiny());
+        let b = build_schedule(&tiny());
+        assert_eq!(a.ops(), b.ops());
+        assert_eq!(a.accesses(), 30_000);
+        assert_eq!(a.exits(), 2, "churn at 10k and 20k");
+    }
+
+    #[test]
+    fn hot_slot_dominates_under_zipf() {
+        let s = build_schedule(&tiny());
+        let mut per_slot = [0u64; 4];
+        for op in s.ops() {
+            if let TenantOp::Access { slot, .. } = op {
+                per_slot[*slot as usize] += 1;
+            }
+        }
+        assert!(
+            per_slot[0] > per_slot[3] * 2,
+            "rank 0 got {} vs rank 3 {}",
+            per_slot[0],
+            per_slot[3]
+        );
+    }
+
+    #[test]
+    fn churned_slot_switches_asid_and_emits_exit() {
+        let s = build_schedule(&tiny());
+        let mut seen_exit = false;
+        let mut asids_for_slot2: Vec<Asid> = Vec::new();
+        for op in s.ops() {
+            match *op {
+                TenantOp::Exit { slot: 2, .. } => seen_exit = true,
+                TenantOp::Access { slot: 2, asid, .. } if asids_for_slot2.last() != Some(&asid) => {
+                    asids_for_slot2.push(asid);
+                }
+                _ => {}
+            }
+        }
+        assert!(seen_exit, "tail slot 2 must churn");
+        assert!(asids_for_slot2.len() >= 2, "successor gets a fresh ASID");
+    }
+
+    #[test]
+    fn run_is_reproducible_and_exits_reclaim() {
+        let a = run_tenants(&tiny());
+        let b = run_tenants(&tiny());
+        assert_eq!(a, b);
+        assert_eq!(a.exits, 2);
+        assert!(a.mosaic_frames_reclaimed > 0, "exits must free frames");
+        assert!(a.linux_frames_reclaimed > 0);
+        let total: u64 = a.mosaic_slots.iter().map(|s| s.accesses).sum();
+        assert_eq!(total, 30_000);
+    }
+
+    #[test]
+    fn grid_matches_direct_runs_at_any_job_count() {
+        let base = TenantsConfig {
+            steps: 8_000,
+            churn_every: 3_000,
+            ..tiny()
+        };
+        let mut direct: Vec<TenantsRow> = Vec::new();
+        for t in [1usize, 4] {
+            for l in [0.7, 0.9] {
+                direct.push(run_tenants(&TenantsConfig {
+                    tenants: t,
+                    load: l,
+                    ..base.clone()
+                }));
+            }
+        }
+        for jobs in [1, 2, 8] {
+            let grid = run_tenants_grid(
+                &base,
+                &[1, 4],
+                &[0.7, 0.9],
+                &ResilienceConfig::none(),
+                &ObsHandle::noop(),
+                0,
+                jobs,
+            );
+            let rows: Vec<TenantsRow> = grid
+                .into_iter()
+                .map(|r| r.expect("fault-free cell cannot fail").0)
+                .collect();
+            assert_eq!(rows, direct, "jobs={jobs}");
+        }
+    }
+}

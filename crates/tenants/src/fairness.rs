@@ -1,0 +1,319 @@
+//! Fairness accounting: who pays for memory pressure?
+//!
+//! A shared frame pool under Zipf'd tenants raises a question aggregate
+//! counters can't answer: does the conflict/fault cost land evenly, or
+//! do cold tenants subsidize hot ones? This module keeps per-slot
+//! counters during a drive and reduces them two ways —
+//! population percentiles (p50/p99 fault rate in integer parts-per-
+//! million, so they are exactly reproducible) and Zipf-rank buckets
+//! (rank 0, 1–3, 4–15, … — geometric, matching how Zipf mass decays) —
+//! and renders the mosaic-vs-vanilla fairness table the `tenants`
+//! binary prints.
+
+use mosaic_sim::report::Table;
+
+/// Per-slot (Zipf-rank) accounting for one manager's replay.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TenantSlotStats {
+    /// Zipf rank of the slot (0 = hottest).
+    pub rank: u32,
+    /// Accesses issued by tenants occupying this slot.
+    pub accesses: u64,
+    /// Accesses that faulted (minor + major).
+    pub faults: u64,
+    /// Major faults (swap-in from disk) alone.
+    pub major_faults: u64,
+    /// Associativity conflicts charged while this slot's access was
+    /// in flight (Mosaic only; always 0 for the baseline).
+    pub conflicts: u64,
+    /// Accesses dropped to injected faults.
+    pub dropped: u64,
+    /// Exit/respawn generations behind this slot (0 = the original
+    /// tenant never churned).
+    pub generations: u64,
+    /// Access index (0-based, schedule-wide) of this slot's first
+    /// conflict, if it ever conflicted.
+    pub first_conflict_step: Option<u64>,
+}
+
+impl TenantSlotStats {
+    /// Fault rate in integer parts-per-million of this slot's accesses
+    /// (0 if the slot never ran).
+    pub fn fault_ppm(&self) -> u64 {
+        (self.faults * 1_000_000)
+            .checked_div(self.accesses)
+            .unwrap_or(0)
+    }
+}
+
+/// A percentile summary of the per-tenant fault-rate distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultRateSummary {
+    /// Median per-tenant fault rate (ppm).
+    pub p50_ppm: u64,
+    /// 99th-percentile per-tenant fault rate (ppm).
+    pub p99_ppm: u64,
+    /// Worst single tenant (ppm).
+    pub max_ppm: u64,
+}
+
+/// Nearest-rank percentile over `sorted` (ascending). `q` is in
+/// hundredths (50 = p50). Returns 0 for an empty slice.
+fn percentile(sorted: &[u64], q: u64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    // Nearest-rank: ceil(q/100 * n), 1-indexed.
+    let n = sorted.len() as u64;
+    let rank = (q * n).div_ceil(100).max(1);
+    sorted[(rank - 1) as usize]
+}
+
+/// Reduces per-slot stats to the population fault-rate percentiles.
+pub fn summarize(slots: &[TenantSlotStats]) -> FaultRateSummary {
+    let mut ppms: Vec<u64> = slots.iter().map(TenantSlotStats::fault_ppm).collect();
+    ppms.sort_unstable();
+    FaultRateSummary {
+        p50_ppm: percentile(&ppms, 50),
+        p99_ppm: percentile(&ppms, 99),
+        max_ppm: ppms.last().copied().unwrap_or(0),
+    }
+}
+
+/// A geometric Zipf-rank bucket: ranks `lo..=hi`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RankBucket {
+    /// First rank in the bucket (inclusive).
+    pub lo: u32,
+    /// Last rank in the bucket (inclusive).
+    pub hi: u32,
+}
+
+impl core::fmt::Display for RankBucket {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        if self.lo == self.hi {
+            write!(f, "rank {}", self.lo)
+        } else {
+            write!(f, "rank {}-{}", self.lo, self.hi)
+        }
+    }
+}
+
+/// The geometric rank buckets covering `tenants` slots:
+/// `[0,0], [1,3], [4,15], [16,63], …`, the last clipped to the
+/// population.
+pub fn rank_buckets(tenants: usize) -> Vec<RankBucket> {
+    let mut out = Vec::new();
+    if tenants == 0 {
+        return out;
+    }
+    out.push(RankBucket { lo: 0, hi: 0 });
+    let mut lo = 1u32;
+    while (lo as usize) < tenants {
+        let hi = ((lo * 4 - 1) as usize).min(tenants - 1) as u32;
+        out.push(RankBucket { lo, hi });
+        lo *= 4;
+    }
+    out
+}
+
+/// One bucket's aggregate, for one manager.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BucketRow {
+    /// Which ranks.
+    pub bucket: RankBucket,
+    /// Accesses across the bucket.
+    pub accesses: u64,
+    /// Aggregate fault rate (ppm of the bucket's accesses).
+    pub fault_ppm: u64,
+    /// Aggregate conflicts.
+    pub conflicts: u64,
+    /// Earliest first-conflict step across the bucket, if any slot
+    /// conflicted.
+    pub conflict_onset: Option<u64>,
+}
+
+fn aggregate(bucket: RankBucket, slots: &[TenantSlotStats]) -> BucketRow {
+    let members = slots
+        .iter()
+        .filter(|s| s.rank >= bucket.lo && s.rank <= bucket.hi);
+    let mut accesses = 0u64;
+    let mut faults = 0u64;
+    let mut conflicts = 0u64;
+    let mut onset: Option<u64> = None;
+    for s in members {
+        accesses += s.accesses;
+        faults += s.faults;
+        conflicts += s.conflicts;
+        onset = match (onset, s.first_conflict_step) {
+            (None, o) => o,
+            (o, None) => o,
+            (Some(a), Some(b)) => Some(a.min(b)),
+        };
+    }
+    BucketRow {
+        bucket,
+        accesses,
+        fault_ppm: (faults * 1_000_000).checked_div(accesses).unwrap_or(0),
+        conflicts,
+        conflict_onset: onset,
+    }
+}
+
+/// Reduces per-slot stats into bucket rows (see [`rank_buckets`]).
+pub fn bucket_rows(slots: &[TenantSlotStats]) -> Vec<BucketRow> {
+    rank_buckets(slots.len())
+        .into_iter()
+        .map(|b| aggregate(b, slots))
+        .collect()
+}
+
+fn onset_cell(o: Option<u64>) -> String {
+    o.map_or_else(|| "-".to_string(), |s| s.to_string())
+}
+
+/// Renders the fairness table for one run: per-rank-bucket fault rates
+/// under both managers, Mosaic conflict onset, and an `all` aggregate
+/// row (the row `bench_tenants.sh` extracts).
+pub fn render_fairness(
+    title: &str,
+    mosaic: &[TenantSlotStats],
+    linux: &[TenantSlotStats],
+) -> String {
+    assert_eq!(mosaic.len(), linux.len(), "slot populations must match");
+    let mut t = Table::new(vec![
+        "tenants".into(),
+        "accesses".into(),
+        "mosaic flt ppm".into(),
+        "linux flt ppm".into(),
+        "mosaic conflicts".into(),
+        "conflict onset".into(),
+    ])
+    .with_title(title);
+    let m_rows = bucket_rows(mosaic);
+    let l_rows = bucket_rows(linux);
+    for (m, l) in m_rows.iter().zip(&l_rows) {
+        t.row(vec![
+            m.bucket.to_string(),
+            m.accesses.to_string(),
+            m.fault_ppm.to_string(),
+            l.fault_ppm.to_string(),
+            m.conflicts.to_string(),
+            onset_cell(m.conflict_onset),
+        ]);
+    }
+    let m_all = aggregate(
+        RankBucket {
+            lo: 0,
+            hi: mosaic.len().saturating_sub(1) as u32,
+        },
+        mosaic,
+    );
+    let l_all = aggregate(
+        RankBucket {
+            lo: 0,
+            hi: linux.len().saturating_sub(1) as u32,
+        },
+        linux,
+    );
+    let ms = summarize(mosaic);
+    let ls = summarize(linux);
+    t.row(vec![
+        "all".into(),
+        m_all.accesses.to_string(),
+        m_all.fault_ppm.to_string(),
+        l_all.fault_ppm.to_string(),
+        m_all.conflicts.to_string(),
+        onset_cell(m_all.conflict_onset),
+    ]);
+    let mut out = t.render();
+    out.push_str(&format!(
+        "per-tenant fault ppm: mosaic p50 {} / p99 {} / max {} | linux p50 {} / p99 {} / max {}\n",
+        ms.p50_ppm, ms.p99_ppm, ms.max_ppm, ls.p50_ppm, ls.p99_ppm, ls.max_ppm
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn slot(rank: u32, accesses: u64, faults: u64) -> TenantSlotStats {
+        TenantSlotStats {
+            rank,
+            accesses,
+            faults,
+            ..TenantSlotStats::default()
+        }
+    }
+
+    #[test]
+    fn ppm_is_integer_exact() {
+        assert_eq!(slot(0, 3, 1).fault_ppm(), 333_333);
+        assert_eq!(slot(0, 0, 0).fault_ppm(), 0);
+        assert_eq!(slot(0, 4, 4).fault_ppm(), 1_000_000);
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let sorted: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&sorted, 50), 50);
+        assert_eq!(percentile(&sorted, 99), 99);
+        assert_eq!(percentile(&[7], 99), 7);
+        assert_eq!(percentile(&[], 50), 0);
+    }
+
+    #[test]
+    fn buckets_are_geometric_and_clipped() {
+        let b = rank_buckets(64);
+        let spans: Vec<(u32, u32)> = b.iter().map(|b| (b.lo, b.hi)).collect();
+        assert_eq!(spans, vec![(0, 0), (1, 3), (4, 15), (16, 63)]);
+        let b1 = rank_buckets(1);
+        assert_eq!(b1.len(), 1);
+        let b10 = rank_buckets(10);
+        assert_eq!(
+            b10.iter().map(|b| (b.lo, b.hi)).collect::<Vec<_>>(),
+            vec![(0, 0), (1, 3), (4, 9)]
+        );
+        assert!(rank_buckets(0).is_empty());
+    }
+
+    #[test]
+    fn bucket_aggregate_pools_faults_and_onset() {
+        let slots = vec![
+            slot(0, 100, 10),
+            {
+                let mut s = slot(1, 100, 0);
+                s.first_conflict_step = Some(500);
+                s.conflicts = 2;
+                s
+            },
+            {
+                let mut s = slot(2, 100, 50);
+                s.first_conflict_step = Some(300);
+                s.conflicts = 1;
+                s
+            },
+            slot(3, 0, 0),
+        ];
+        let rows = bucket_rows(&slots);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].fault_ppm, 100_000);
+        assert_eq!(rows[0].conflict_onset, None);
+        // Bucket 1-3 pools slots 1..=3.
+        assert_eq!(rows[1].accesses, 200);
+        assert_eq!(rows[1].fault_ppm, 250_000);
+        assert_eq!(rows[1].conflicts, 3);
+        assert_eq!(rows[1].conflict_onset, Some(300));
+    }
+
+    #[test]
+    fn fairness_table_renders_all_row_and_percentile_line() {
+        let m = vec![slot(0, 10, 5), slot(1, 10, 1)];
+        let l = vec![slot(0, 10, 9), slot(1, 10, 2)];
+        let text = render_fairness("fairness", &m, &l);
+        assert!(text.contains("fairness"));
+        assert!(text.contains("all"));
+        assert!(text.contains("per-tenant fault ppm: mosaic p50"));
+    }
+}

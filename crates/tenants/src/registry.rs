@@ -1,0 +1,208 @@
+//! The tenant registry: minting and retiring real [`Asid`]s.
+//!
+//! Every concurrent address space in a multi-tenant run carries its own
+//! ASID — the quantity the Linux prototype hashes alongside the VPN
+//! (§3.2) precisely so that distinct processes get disjoint candidate
+//! frame sets. The registry is the single mint: ASIDs start at `1`
+//! (`0` is reserved for the kernel and for location-ID synthetic keys),
+//! increase monotonically, and are **never recycled** — a recycled ASID
+//! whose TLB shootdown was missed would alias a dead tenant's frames
+//! into a live process, exactly the bug the stale-ASID regression test
+//! guards against.
+
+use mosaic_mem::Asid;
+use std::collections::BTreeMap;
+
+/// A stable identity for one tenant *process* (survives nothing — a
+/// respawned tenant is a new `TenantId` with a new ASID; slots/ranks are
+/// a driver-level concept layered above).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TenantId(pub u64);
+
+impl core::fmt::Display for TenantId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "tenant:{}", self.0)
+    }
+}
+
+/// One live address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tenant {
+    /// Process identity.
+    pub id: TenantId,
+    /// The hardware address-space tag all of this tenant's page keys and
+    /// TLB entries carry.
+    pub asid: Asid,
+}
+
+/// Errors from tenant lifecycle operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TenantError {
+    /// The 16-bit ASID space is spent; with no recycling, a run can host
+    /// at most `u16::MAX - 1` spawns.
+    AsidExhausted,
+    /// The tenant is not live (never spawned, or already exited).
+    UnknownTenant(TenantId),
+}
+
+impl core::fmt::Display for TenantError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            TenantError::AsidExhausted => write!(f, "16-bit ASID space exhausted"),
+            TenantError::UnknownTenant(id) => write!(f, "{id} is not live"),
+        }
+    }
+}
+
+impl std::error::Error for TenantError {}
+
+/// The address-space registry: mints [`Asid`]s for spawns, retires them
+/// on exit, and answers liveness queries.
+///
+/// Iteration order over live tenants is spawn order (`BTreeMap` keyed by
+/// monotonically increasing [`TenantId`]), so any walk over the registry
+/// is deterministic.
+#[derive(Debug, Clone, Default)]
+pub struct TenantRegistry {
+    live: BTreeMap<TenantId, Asid>,
+    next_id: u64,
+    next_asid: u16,
+    exits: u64,
+}
+
+impl TenantRegistry {
+    /// An empty registry. The first spawn receives `Asid(1)` — the same
+    /// tag the single-process experiments hard-code — so a one-tenant
+    /// run through the registry is bit-identical to the classic drivers.
+    pub fn new() -> Self {
+        Self {
+            live: BTreeMap::new(),
+            next_id: 0,
+            next_asid: 1,
+            exits: 0,
+        }
+    }
+
+    /// Spawns a new tenant, minting a fresh ASID.
+    ///
+    /// # Errors
+    ///
+    /// [`TenantError::AsidExhausted`] once all `u16::MAX - 1` non-kernel
+    /// ASIDs have been minted (they are never recycled).
+    pub fn spawn(&mut self) -> Result<Tenant, TenantError> {
+        if self.next_asid == u16::MAX {
+            return Err(TenantError::AsidExhausted);
+        }
+        let t = Tenant {
+            id: TenantId(self.next_id),
+            asid: Asid(self.next_asid),
+        };
+        self.next_id += 1;
+        self.next_asid += 1;
+        self.live.insert(t.id, t.asid);
+        Ok(t)
+    }
+
+    /// Retires a live tenant, returning its record so the caller can
+    /// reclaim frames ([`MemoryManager::release_asid`]) and shoot down
+    /// TLBs (`flush_asid`) — the registry itself owns neither.
+    ///
+    /// [`MemoryManager::release_asid`]: mosaic_mem::MemoryManager::release_asid
+    ///
+    /// # Errors
+    ///
+    /// [`TenantError::UnknownTenant`] if `id` is not live.
+    pub fn exit(&mut self, id: TenantId) -> Result<Tenant, TenantError> {
+        match self.live.remove(&id) {
+            Some(asid) => {
+                self.exits += 1;
+                Ok(Tenant { id, asid })
+            }
+            None => Err(TenantError::UnknownTenant(id)),
+        }
+    }
+
+    /// The ASID of a live tenant.
+    pub fn asid_of(&self, id: TenantId) -> Option<Asid> {
+        self.live.get(&id).copied()
+    }
+
+    /// Whether `id` is live.
+    pub fn is_live(&self, id: TenantId) -> bool {
+        self.live.contains_key(&id)
+    }
+
+    /// Live tenants, in spawn order.
+    pub fn iter(&self) -> impl Iterator<Item = Tenant> + '_ {
+        self.live.iter().map(|(&id, &asid)| Tenant { id, asid })
+    }
+
+    /// Live tenant count.
+    pub fn live_count(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Total tenants ever spawned.
+    pub fn spawned_total(&self) -> u64 {
+        self.next_id
+    }
+
+    /// Total tenants exited.
+    pub fn exited_total(&self) -> u64 {
+        self.exits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_spawn_gets_the_classic_user_asid() {
+        let mut r = TenantRegistry::new();
+        let t = r.spawn().unwrap();
+        assert_eq!(t.asid, Asid(1));
+        assert_eq!(t.id, TenantId(0));
+    }
+
+    #[test]
+    fn asids_are_monotonic_and_never_recycled() {
+        let mut r = TenantRegistry::new();
+        let a = r.spawn().unwrap();
+        let b = r.spawn().unwrap();
+        r.exit(a.id).unwrap();
+        let c = r.spawn().unwrap();
+        assert_eq!(b.asid, Asid(2));
+        assert_eq!(c.asid, Asid(3), "exited ASID must not be reused");
+        assert_eq!(r.live_count(), 2);
+        assert_eq!(r.exited_total(), 1);
+        assert_eq!(r.spawned_total(), 3);
+    }
+
+    #[test]
+    fn exit_of_unknown_tenant_is_typed() {
+        let mut r = TenantRegistry::new();
+        let t = r.spawn().unwrap();
+        r.exit(t.id).unwrap();
+        assert_eq!(r.exit(t.id), Err(TenantError::UnknownTenant(t.id)));
+        assert!(!r.is_live(t.id));
+        assert_eq!(r.asid_of(t.id), None);
+    }
+
+    #[test]
+    fn asid_space_exhausts_cleanly() {
+        let mut r = TenantRegistry::new();
+        r.next_asid = u16::MAX - 1;
+        assert!(r.spawn().is_ok());
+        assert_eq!(r.spawn(), Err(TenantError::AsidExhausted));
+    }
+
+    #[test]
+    fn iteration_is_spawn_ordered() {
+        let mut r = TenantRegistry::new();
+        let ids: Vec<_> = (0..5).map(|_| r.spawn().unwrap().id).collect();
+        r.exit(ids[2]).unwrap();
+        let live: Vec<_> = r.iter().map(|t| t.id).collect();
+        assert_eq!(live, vec![ids[0], ids[1], ids[3], ids[4]]);
+    }
+}

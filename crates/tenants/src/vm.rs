@@ -1,0 +1,272 @@
+//! The process-lifecycle showcase: a registry, COW memory, and both TLB
+//! designs wired together, with full exit-time reclaim.
+//!
+//! [`TenantVm`] is the end-to-end integration the satellite tests drive:
+//! spawn mints an ASID, fork shares frames copy-on-write, touches fill a
+//! vanilla TLB (per-base-page entries) and a mosaic TLB (ToC entries
+//! built from the location's CPFNs), and exit performs the complete
+//! teardown a real kernel would — frame reclaim through the COW layer
+//! *and* an ASID shootdown in both TLBs, whose invalidation counts are
+//! reported so tests can assert nothing survives.
+//!
+//! Like the Figure 6 [`OsModel`](mosaic_sim::os::OsModel), the VM
+//! requires eviction-free headroom: TLB entries cache translations, and
+//! this layer (deliberately) implements shootdown on *exit* and
+//! *unshare* but not on swap — size the pool generously.
+
+use crate::cow::CowMemory;
+use crate::registry::{TenantError, TenantId, TenantRegistry};
+use mosaic_mem::{AccessKind, MemoryLayout, MemoryManager, Vpn};
+use mosaic_mmu::{Arity, Associativity, MosaicLookup, MosaicTlb, TlbConfig, VanillaTlb};
+
+/// What one tenant exit reclaimed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExitReport {
+    /// Frames returned to the shared pool (0 if everything the tenant
+    /// mapped is still shared with live relatives).
+    pub frames_reclaimed: u64,
+    /// Entries shot down in the vanilla TLB.
+    pub vanilla_entries_flushed: usize,
+    /// Entries shot down in the mosaic TLB.
+    pub mosaic_entries_flushed: usize,
+}
+
+/// A multi-tenant machine: one shared frame pool, one vanilla and one
+/// mosaic TLB, many address spaces.
+#[derive(Debug)]
+pub struct TenantVm {
+    registry: TenantRegistry,
+    mem: CowMemory,
+    vanilla: VanillaTlb,
+    mosaic: MosaicTlb,
+    arity: Arity,
+}
+
+impl TenantVm {
+    /// A VM over `layout`, with `tlb_entries`-entry 8-way TLBs and the
+    /// given mosaic arity.
+    pub fn new(layout: MemoryLayout, arity: usize, tlb_entries: usize, seed: u64) -> Self {
+        let cfg = TlbConfig::new(tlb_entries, Associativity::Ways(8));
+        Self {
+            registry: TenantRegistry::new(),
+            mem: CowMemory::new(layout, arity, seed),
+            vanilla: VanillaTlb::new(cfg),
+            mosaic: MosaicTlb::new(cfg, Arity::new(arity)),
+            arity: Arity::new(arity),
+        }
+    }
+
+    /// The registry (liveness queries).
+    pub fn registry(&self) -> &TenantRegistry {
+        &self.registry
+    }
+
+    /// The COW memory layer (stats, verification).
+    pub fn mem(&self) -> &CowMemory {
+        &self.mem
+    }
+
+    /// The vanilla TLB (hit/miss counters).
+    pub fn vanilla(&self) -> &VanillaTlb {
+        &self.vanilla
+    }
+
+    /// The mosaic TLB (hit/miss counters).
+    pub fn mosaic(&self) -> &MosaicTlb {
+        &self.mosaic
+    }
+
+    /// Spawns a fresh (empty) tenant.
+    ///
+    /// # Errors
+    ///
+    /// [`TenantError::AsidExhausted`] when the 16-bit ASID space is spent.
+    pub fn spawn(&mut self) -> Result<TenantId, TenantError> {
+        Ok(self.registry.spawn()?.id)
+    }
+
+    /// Forks `parent`: the child shares every frame copy-on-write.
+    ///
+    /// # Errors
+    ///
+    /// [`TenantError::UnknownTenant`] if `parent` is not live,
+    /// [`TenantError::AsidExhausted`] when no ASID can be minted.
+    pub fn fork(&mut self, parent: TenantId) -> Result<TenantId, TenantError> {
+        let p_asid = self
+            .registry
+            .asid_of(parent)
+            .ok_or(TenantError::UnknownTenant(parent))?;
+        let child = self.registry.spawn()?;
+        self.mem.fork(p_asid, child.asid);
+        Ok(child.id)
+    }
+
+    /// One memory access by `id`, driving the COW layer and both TLBs.
+    ///
+    /// A store that breaks COW sharing re-places the mosaic page under a
+    /// fresh location, so the toucher's stale TLB entries for that mosaic
+    /// page are invalidated before refill — the TLB-coherence obligation
+    /// §2.5 notes the OS carries.
+    ///
+    /// # Errors
+    ///
+    /// [`TenantError::UnknownTenant`] if `id` is not live.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pool is so over-committed that the allocator starts
+    /// evicting (this layer models no swap shootdown; size with
+    /// headroom).
+    pub fn touch(&mut self, id: TenantId, vpn: Vpn, kind: AccessKind) -> Result<(), TenantError> {
+        let asid = self
+            .registry
+            .asid_of(id)
+            .ok_or(TenantError::UnknownTenant(id))?;
+        let mpage = vpn.0 / self.arity.get() as u64;
+        let loc_before = self.mem.binding_of(asid, mpage).map(|(l, _)| l);
+        self.mem.touch(asid, vpn, kind);
+        assert_eq!(
+            self.mem.mem().inner().stats().evictions(),
+            0,
+            "tenant VM pool over-committed; increase memory headroom"
+        );
+        let (loc, _) = self
+            .mem
+            .binding_of(asid, mpage)
+            .expect("just touched, must be bound");
+        if loc_before.is_some_and(|l| l != loc) {
+            // COW break re-placed the mosaic page: drop stale entries.
+            for offset in 0..self.arity.get() {
+                self.vanilla
+                    .invalidate(asid, Vpn(mpage * self.arity.get() as u64 + offset as u64));
+            }
+            self.mosaic.invalidate_entry(asid, vpn);
+        }
+        // Vanilla fill: one base-page entry.
+        if !self.vanilla.lookup(asid, vpn).is_hit() {
+            let pfn = self
+                .mem
+                .mem()
+                .resident_pfn_of(asid, vpn)
+                .expect("just touched, must be resident");
+            self.vanilla.fill_base(asid, vpn, pfn);
+        }
+        // Mosaic fill: a ToC entry built from the location's CPFNs.
+        match self.mosaic.lookup(asid, vpn) {
+            MosaicLookup::Hit(_) => {}
+            MosaicLookup::SubMiss => {
+                let offset = (vpn.0 % self.arity.get() as u64) as usize;
+                let cpfn = self
+                    .mem
+                    .mem()
+                    .cpfn_of(loc, offset)
+                    .expect("just touched, must encode");
+                self.mosaic.fill_sub(asid, vpn, cpfn);
+            }
+            MosaicLookup::Miss => {
+                let mut toc = self.mosaic.blank_toc();
+                for offset in 0..self.arity.get() {
+                    if let Some(cpfn) = self.mem.mem().cpfn_of(loc, offset) {
+                        toc.set(offset, cpfn);
+                    }
+                }
+                self.mosaic.fill_toc(asid, vpn, toc);
+            }
+        }
+        Ok(())
+    }
+
+    /// Exits `id`: frames are reclaimed through the COW layer and the
+    /// tenant's ASID is shot down in both TLBs.
+    ///
+    /// # Errors
+    ///
+    /// [`TenantError::UnknownTenant`] if `id` is not live.
+    pub fn exit(&mut self, id: TenantId) -> Result<ExitReport, TenantError> {
+        let t = self.registry.exit(id)?;
+        let frames_reclaimed = self.mem.exit(t.asid);
+        Ok(ExitReport {
+            frames_reclaimed,
+            vanilla_entries_flushed: self.vanilla.flush_asid(t.asid),
+            mosaic_entries_flushed: self.mosaic.flush_asid(t.asid),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mosaic_iceberg::IcebergConfig;
+
+    fn vm() -> TenantVm {
+        TenantVm::new(MemoryLayout::new(IcebergConfig::paper_default(16)), 4, 64, 9)
+    }
+
+    #[test]
+    fn exit_reclaims_frames_and_flushes_both_tlbs() {
+        let mut vm = vm();
+        let t = vm.spawn().unwrap();
+        for v in 0..16u64 {
+            vm.touch(t, Vpn(v), AccessKind::Store).unwrap();
+        }
+        let resident = vm.mem().mem().inner().resident_frames();
+        let rep = vm.exit(t).unwrap();
+        assert_eq!(rep.frames_reclaimed, 16);
+        assert_eq!(rep.vanilla_entries_flushed, 16);
+        assert_eq!(rep.mosaic_entries_flushed, 4, "16 pages = 4 arity-4 ToCs");
+        assert_eq!(vm.mem().mem().inner().resident_frames(), resident - 16);
+        vm.mem().verify().unwrap();
+    }
+
+    #[test]
+    fn post_exit_traffic_never_hits_the_dead_asid() {
+        let mut vm = vm();
+        let dead = vm.spawn().unwrap();
+        for v in 0..8u64 {
+            vm.touch(dead, Vpn(v), AccessKind::Store).unwrap();
+        }
+        let dead_asid = vm.registry().asid_of(dead).unwrap();
+        vm.exit(dead).unwrap();
+        // A successor tenant reusing the same VPNs gets fresh frames and
+        // its own entries; the dead ASID can never hit again.
+        let next = vm.spawn().unwrap();
+        for v in 0..8u64 {
+            vm.touch(next, Vpn(v), AccessKind::Store).unwrap();
+            assert!(
+                !vm.vanilla.lookup(dead_asid, Vpn(v)).is_hit(),
+                "stale vanilla hit post-exit"
+            );
+            assert_eq!(vm.mosaic.lookup(dead_asid, Vpn(v)), MosaicLookup::Miss);
+        }
+    }
+
+    #[test]
+    fn forked_child_hits_on_parent_warmed_toc_frames() {
+        let mut vm = vm();
+        let p = vm.spawn().unwrap();
+        for v in 0..4u64 {
+            vm.touch(p, Vpn(v), AccessKind::Store).unwrap();
+        }
+        let c = vm.fork(p).unwrap();
+        // The child's first read is a memory hit (shared frames) though a
+        // TLB miss (its ASID has no entries yet).
+        vm.touch(c, Vpn(0), AccessKind::Load).unwrap();
+        let (p_asid, c_asid) = (
+            vm.registry().asid_of(p).unwrap(),
+            vm.registry().asid_of(c).unwrap(),
+        );
+        assert_eq!(
+            vm.mem().mem().resident_pfn_of(p_asid, Vpn(0)),
+            vm.mem().mem().resident_pfn_of(c_asid, Vpn(0)),
+        );
+        // A child write un-shares and refreshes the child's entries; the
+        // parent's binding (and TLB entries) stay valid.
+        vm.touch(c, Vpn(0), AccessKind::Store).unwrap();
+        assert_ne!(
+            vm.mem().mem().resident_pfn_of(p_asid, Vpn(0)),
+            vm.mem().mem().resident_pfn_of(c_asid, Vpn(0)),
+            "COW break must re-place the child privately"
+        );
+        vm.mem().verify().unwrap();
+    }
+}

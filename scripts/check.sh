@@ -48,4 +48,20 @@ cmp "$OBS_TMP/parout4.txt" "$OBS_TMP/parout4b.txt"
 ./target/release/obs_report "$OBS_TMP/par4.jsonl" > "$OBS_TMP/parreport.txt"
 grep -q "interval curve" "$OBS_TMP/parreport.txt"
 
+echo "==> tenant determinism gate (tenants --jobs 1 vs --jobs 4, clean + faults)"
+TEN_FLAGS=(--tenants 16 --buckets 16 --steps 60000 --churn 10000 --loads 90,110)
+for jobs in 1 4; do
+  ./target/release/tenants "${TEN_FLAGS[@]}" --jobs "$jobs" \
+    > "$OBS_TMP/ten$jobs.txt" 2>/dev/null
+  ./target/release/tenants "${TEN_FLAGS[@]}" --fault-ppm 200 --jobs "$jobs" \
+    > "$OBS_TMP/tenf$jobs.txt" 2>/dev/null
+done
+cmp "$OBS_TMP/ten1.txt" "$OBS_TMP/ten4.txt"
+cmp "$OBS_TMP/tenf1.txt" "$OBS_TMP/tenf4.txt"
+grep -q "per-tenant fault ppm" "$OBS_TMP/ten1.txt"
+
+echo "==> tenants golden gate (default sweep must reproduce results_tenants.txt)"
+./target/release/tenants --jobs 4 > "$OBS_TMP/tengold.txt" 2>/dev/null
+cmp "$OBS_TMP/tengold.txt" results_tenants.txt
+
 echo "All checks passed."
