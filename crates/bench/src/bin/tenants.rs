@@ -23,12 +23,17 @@ use mosaic_bench::{Args, JOBS_HELP};
 use mosaic_core::prelude::*;
 use mosaic_core::sim::pressure::ResilienceConfig;
 use mosaic_core::sim::report::Table;
-use mosaic_core::tenants::{render_fairness, summarize, TenantMix, TenantsConfig, TenantsRow};
+use mosaic_core::tenants::{
+    isolation_lines, render_fairness, render_isolation, summarize, HostileScenario, IsolationLine,
+    TenantMix, TenantsConfig, TenantsRow,
+};
 use mosaic_obs::Value;
 
 const USAGE: &str = "\
 tenants [--tenants N] [--buckets N] [--loads P,P,..] [--theta-centi N]
         [--steps N] [--churn N] [--seed S] [--fault-ppm N]
+        [--hostile S] [--hostile-mult N] [--hostile-churn N]
+        [--quota-frac N] [--priority-spread N]
         [--obs-out F] [--obs-interval R] [--jobs N]
 
 Multi-tenant fairness sweep over one shared frame pool (Mosaic vs Linux).
@@ -40,6 +45,19 @@ Multi-tenant fairness sweep over one shared frame pool (Mosaic vs Linux).
 --churn        exit+respawn a tail tenant every N accesses (0 = off),
                default 20000
 --fault-ppm    also run the sweep under fault injection at N ppm
+--hostile      slot 0 runs an attack instead of its workload:
+               thrasher | alloc-bomb | churn-storm. Switches the binary
+               to the isolation study: each load point is replayed with
+               quotas on AND off, against per-slot solo baselines, and
+               the output is a victim-inflation table
+--hostile-mult attacker footprint as a multiple of the fair share,
+               default 4
+--hostile-churn churn-storm only: attacker exit/respawn period,
+               default 2000
+--quota-frac   per-tenant frame quota as a percent of the fair share
+               (isolation mode default 100; 0 = quotas off)
+--priority-spread reclaim-priority levels across the victim ranks,
+               default 4 in isolation mode (attacker always lowest)
 Every load point replays one recorded schedule into both managers; under
 --jobs N the load points run on N threads with byte-identical output.";
 
@@ -140,6 +158,46 @@ fn run_sweep(
     println!("{}", aggregate_table(&refs).render());
 }
 
+fn run_isolation_study(
+    base: &TenantsConfig,
+    loads_pct: &[u64],
+    res: &ResilienceConfig,
+    sink: &ObsSink,
+    jobs: usize,
+) {
+    let loads: Vec<f64> = loads_pct.iter().map(|&p| p as f64 / 100.0).collect();
+    eprintln!(
+        "[tenants] isolation study: {} attacker, {} load point(s) x {} tenants on {jobs} thread(s) ...",
+        base.hostile.name(),
+        loads.len(),
+        base.tenants
+    );
+    let outs = mosaic_core::tenants::run_isolation_grid(
+        base,
+        &loads,
+        res,
+        sink.handle(),
+        sink.interval(),
+        jobs,
+    );
+    let mut lines: Vec<IsolationLine> = Vec::new();
+    for (&pct, out) in loads_pct.iter().zip(outs) {
+        match out {
+            Ok(cell) => lines.extend(isolation_lines(&cell)),
+            Err(e) => eprintln!("[tenants] load {pct}% aborted: {e}"),
+        }
+    }
+    let title = format!(
+        "Victim inflation vs solo baseline: {} attacker ({}x share), {} tenants, quota {}%, priority spread {}",
+        base.hostile.name(),
+        base.hostile_mult,
+        base.tenants,
+        base.quota_frac_pct,
+        base.priority_spread
+    );
+    println!("{}", render_isolation(&title, &lines));
+}
+
 fn main() {
     let args = Args::from_env();
     args.maybe_help(&format!("{USAGE}\n{JOBS_HELP}"));
@@ -151,6 +209,18 @@ fn main() {
     let steps = args.get_u64("steps", 400_000);
     let churn = args.get_u64("churn", 20_000);
     let fault_ppm = args.get_u64("fault-ppm", 0) as u32;
+    let hostile = match args.get_str("hostile") {
+        None => HostileScenario::None,
+        Some(s) => HostileScenario::parse(s).unwrap_or_else(|| {
+            eprintln!("error: --hostile expects thrasher | alloc-bomb | churn-storm, got {s:?}");
+            std::process::exit(2);
+        }),
+    };
+    let isolation = hostile.is_some();
+    let hostile_mult = args.get_u64("hostile-mult", 4) as u32;
+    let hostile_churn = args.get_u64("hostile-churn", 2_000);
+    let quota_frac = args.get_u64("quota-frac", if isolation { 100 } else { 0 }) as u32;
+    let priority_spread = args.get_u64("priority-spread", if isolation { 4 } else { 1 }) as u32;
     let loads_pct = parse_loads(&args);
     if tenants == 0 || loads_pct.is_empty() {
         eprintln!("error: need at least one tenant and one load point");
@@ -166,6 +236,11 @@ fn main() {
         steps,
         churn_every: churn,
         mix: TenantMix::Rotate,
+        hostile,
+        hostile_mult,
+        hostile_churn_every: hostile_churn,
+        quota_frac_pct: quota_frac,
+        priority_spread,
     };
 
     let sink = ObsSink::from_args(&args, "tenants");
@@ -178,7 +253,27 @@ fn main() {
             ("steps", Value::from(steps)),
             ("churn", Value::from(churn)),
             ("fault_ppm", Value::from(u64::from(fault_ppm))),
+            ("hostile", Value::from(hostile.name())),
+            ("quota_frac", Value::from(u64::from(quota_frac))),
         ]);
+    }
+
+    if isolation {
+        let res = if fault_ppm > 0 {
+            ResilienceConfig {
+                plan: FaultPlan::NONE
+                    .with_alloc_failures(fault_ppm)
+                    .with_io_failures(fault_ppm, 2)
+                    .with_toc_flips(fault_ppm),
+                fault_seed: seed ^ 0xFA17,
+                verify_every: 250_000,
+            }
+        } else {
+            ResilienceConfig::none()
+        };
+        run_isolation_study(&base, &loads_pct, &res, &sink, jobs);
+        sink.finish();
+        return;
     }
 
     run_sweep(

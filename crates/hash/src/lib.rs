@@ -30,6 +30,9 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Production code returns values or panics with context; bare .unwrap()
+// is for tests only.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod family;
 pub mod splitmix;

@@ -40,6 +40,19 @@ pub enum MosaicError {
         /// How many retries were attempted before giving up.
         retries: u32,
     },
+    /// A tenant at its working-set quota asked for a frame it could not
+    /// self-serve (no own page to displace): the admission is deferred
+    /// with counted backoff rather than letting the tenant displace an
+    /// under-quota victim. Transient — retrying later (after the tenant
+    /// frees pages, or its quota is raised) can succeed.
+    QuotaExceeded {
+        /// The over-quota address space (raw 16-bit ASID).
+        asid: u16,
+        /// Frames the tenant held resident at the time.
+        resident: u64,
+        /// The tenant's quota, in frames.
+        quota: u64,
+    },
     /// A trace file failed to parse. Carries enough context to point at the
     /// offending byte.
     TraceCorrupt {
@@ -101,6 +114,7 @@ impl MosaicError {
             MosaicError::SwapIoFailed { .. }
                 | MosaicError::AllocationFailed { .. }
                 | MosaicError::AssociativityConflict { .. }
+                | MosaicError::QuotaExceeded { .. }
         )
     }
 }
@@ -120,6 +134,10 @@ impl fmt::Display for MosaicError {
             MosaicError::AllocationFailed { retries } => {
                 write!(f, "frame allocation failed after {retries} retries")
             }
+            MosaicError::QuotaExceeded { asid, resident, quota } => write!(
+                f,
+                "asid {asid} over quota: {resident} resident frames against a quota of {quota}"
+            ),
             MosaicError::TraceCorrupt { file, offset, detail } => {
                 write!(f, "corrupt trace {file} at byte {offset}: {detail}")
             }
@@ -176,6 +194,18 @@ mod tests {
         };
         let s = e.to_string();
         assert!(s.contains("t.bin") && s.contains("byte 12") && s.contains("bad magic"));
+    }
+
+    #[test]
+    fn quota_exceeded_display_and_transience() {
+        let e = MosaicError::QuotaExceeded {
+            asid: 3,
+            resident: 17,
+            quota: 16,
+        };
+        let s = e.to_string();
+        assert!(s.contains("asid 3") && s.contains("17") && s.contains("16"), "{s}");
+        assert!(e.is_transient(), "backpressure must be retryable");
     }
 
     #[test]

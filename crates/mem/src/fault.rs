@@ -149,6 +149,14 @@ impl FaultInjector {
         false
     }
 
+    /// Remaining forced failures of the in-flight I/O burst — `0` when no
+    /// brown-out is active. Exported as a gauge so the obs layer can
+    /// attribute degraded throughput to device bursts rather than quota
+    /// backpressure.
+    pub fn burst_remaining(&self) -> u32 {
+        self.io_burst_left
+    }
+
     /// Whether the TLB's cached ToC entry for this hit has a flipped bit.
     pub fn toc_should_flip(&mut self) -> bool {
         self.roll(self.plan.toc_flip_ppm)
@@ -224,6 +232,17 @@ mod tests {
         for n in 0..3 {
             assert!(inj.io_should_fail(), "burst ended early at {n}");
         }
+    }
+
+    #[test]
+    fn burst_remaining_exposes_brownout_state() {
+        let plan = FaultPlan::NONE.with_io_failures(1_000, 3);
+        let mut inj = FaultInjector::new(plan, 3);
+        assert_eq!(inj.burst_remaining(), 0);
+        while !inj.io_should_fail() {}
+        assert_eq!(inj.burst_remaining(), 3, "trigger arms the burst");
+        inj.io_should_fail();
+        assert_eq!(inj.burst_remaining(), 2, "each failure drains it");
     }
 
     #[test]

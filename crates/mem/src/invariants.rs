@@ -11,6 +11,7 @@
 use crate::addr::{PageKey, Pfn};
 use crate::error::{MosaicError, MosaicResult};
 use crate::frame::FrameTable;
+use crate::quota::QuotaTable;
 use std::collections::{HashMap, HashSet};
 
 /// Invariant: the frame table and the residency map describe the same
@@ -112,6 +113,36 @@ pub(crate) fn check_lru_tracks_resident(
             "lru-coverage",
             format!("resident {key:?} missing from the global LRU index"),
         ));
+    }
+    Ok(())
+}
+
+/// Invariant: for every ASID with a quota set, the quota table's resident
+/// count equals a direct recount of the residency map, and every one of
+/// that ASID's resident pages is tracked in its per-tenant LRU (so
+/// self-eviction always has the true LRU victim available).
+pub(crate) fn check_quota_accounting(
+    table: &QuotaTable,
+    resident: &HashMap<PageKey, Pfn>,
+) -> MosaicResult<()> {
+    for asid in table.quota_asids() {
+        let actual = resident.keys().filter(|k| k.asid == asid).count();
+        let tracked = table.resident(asid);
+        if actual != tracked {
+            return Err(MosaicError::invariant(
+                "quota-census",
+                format!("{asid:?}: table counts {tracked} resident, recount says {actual}"),
+            ));
+        }
+        if let Some(key) = resident
+            .keys()
+            .find(|k| k.asid == asid && !table.tracks(k))
+        {
+            return Err(MosaicError::invariant(
+                "quota-census",
+                format!("resident {key:?} missing from its tenant's own-LRU index"),
+            ));
+        }
     }
     Ok(())
 }
@@ -249,6 +280,24 @@ mod tests {
         assert!(check_lru_tracks_resident(1, |k| tracked.contains(k), &resident).is_err());
         let partial: HashSet<PageKey> = [key(1), key(9)].into_iter().collect();
         assert!(check_lru_tracks_resident(2, |k| partial.contains(k), &resident).is_err());
+    }
+
+    #[test]
+    fn quota_census_counts_and_coverage() {
+        use crate::quota::TenantQuota;
+        let mut table = QuotaTable::new();
+        table.set(Asid(1), TenantQuota { frames: 4, priority: 0 });
+        let mut resident = HashMap::new();
+        resident.insert(key(1), Pfn(0));
+        table.note_install(key(1), 1);
+        assert!(check_quota_accounting(&table, &resident).is_ok());
+        // A resident page the table never saw: count + coverage both break.
+        resident.insert(key(2), Pfn(1));
+        assert!(check_quota_accounting(&table, &resident).is_err());
+        // Quota-less ASIDs are not audited.
+        resident.remove(&key(2));
+        resident.insert(PageKey::new(Asid(9), Vpn(0)), Pfn(2));
+        assert!(check_quota_accounting(&table, &resident).is_ok());
     }
 
     #[test]

@@ -59,6 +59,7 @@ pub mod manager;
 pub mod mosaic;
 pub mod obs;
 pub mod policy;
+pub mod quota;
 pub mod scanner;
 pub mod sharing;
 pub mod stats;
@@ -76,6 +77,7 @@ pub mod prelude {
     pub use crate::mosaic::MosaicMemory;
     pub use crate::obs::MemObs;
     pub use crate::policy::MosaicPolicy;
+    pub use crate::quota::{QuotaStats, QuotaTable, TenantQuota};
     pub use crate::stats::{PagingStats, ResilienceStats};
     pub use mosaic_iceberg::IcebergConfig;
 }
@@ -92,6 +94,7 @@ pub use manager::{AccessKind, AccessOutcome, MemoryManager};
 pub use mosaic::MosaicMemory;
 pub use obs::MemObs;
 pub use policy::MosaicPolicy;
+pub use quota::{QuotaStats, QuotaTable, TenantQuota};
 pub use scanner::{AccessScanner, ScannerConfig, ScannerStats};
 pub use sharing::SharedMosaicMemory;
 pub use stats::{PagingStats, ResilienceStats};

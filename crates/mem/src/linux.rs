@@ -17,6 +17,7 @@ use crate::layout::MemoryLayout;
 use crate::lru::LruIndex;
 use crate::manager::{AccessKind, AccessOutcome, MemoryManager};
 use crate::obs::MemObs;
+use crate::quota::{QuotaStats, QuotaTable, TenantQuota};
 use crate::stats::{PagingStats, ResilienceStats, UtilizationTracker};
 use mosaic_obs::ObsHandle;
 use std::collections::{HashMap, HashSet};
@@ -27,6 +28,11 @@ pub const DEFAULT_LOW_WATERMARK_PERMILLE: usize = 8;
 
 /// Default high watermark: reclaim stops once 1.2 % of memory is free.
 pub const DEFAULT_HIGH_WATERMARK_PERMILLE: usize = 12;
+
+/// How far down the LRU list quota-aware reclaim scans for a preferred
+/// victim (over-quota or low-priority) before settling for the strict
+/// LRU page. Bounds the per-eviction cost like kswapd's scan batches.
+const QUOTA_SCAN_WINDOW: usize = 64;
 
 /// A fully-associative memory manager with watermark-triggered LRU reclaim.
 ///
@@ -52,6 +58,9 @@ pub struct LinuxMemory {
     swapped: HashSet<PageKey>,
     low_watermark: usize,
     high_watermark: usize,
+    /// Per-tenant working-set quotas; `None` keeps every path
+    /// byte-identical to the quota-less manager.
+    quotas: Option<QuotaTable>,
     /// When present, injects deterministic swap I/O (and allocation)
     /// faults, mirroring the Mosaic manager's robustness harness.
     fault: Option<FaultInjector>,
@@ -90,6 +99,7 @@ impl LinuxMemory {
             swapped: HashSet::new(),
             low_watermark: low,
             high_watermark: high,
+            quotas: None,
             fault: None,
             resilience: ResilienceStats::new(),
             stats: PagingStats::new(),
@@ -137,6 +147,9 @@ impl LinuxMemory {
             return false;
         };
         self.lru.remove(&key);
+        if let Some(q) = self.quotas.as_mut() {
+            q.note_evict(key);
+        }
         let entry = self.frames.evict(pfn);
         debug_assert_eq!(entry.key, key);
         self.free.push(pfn);
@@ -170,18 +183,15 @@ impl LinuxMemory {
         }
     }
 
-    fn evict_lru_page(&mut self) -> MosaicResult<()> {
-        let (victim, _) = self
-            .lru
-            .peek_oldest()
-            .ok_or(MosaicError::internal("reclaim with no resident pages"))?;
+    /// Evicts `victim` with full displacement accounting (write-back
+    /// first, so an I/O error leaves it resident and the reclaim
+    /// retryable).
+    fn evict_page(&mut self, victim: PageKey) -> MosaicResult<()> {
         let pfn = self
             .resident
             .get(&victim)
             .copied()
             .ok_or(MosaicError::internal("LRU tracks only resident pages"))?;
-        // The write-back (which may fail) comes before any teardown, so an
-        // I/O error leaves the victim resident and reclaim retryable.
         let needs_writeback = self
             .frames
             .entry(pfn)
@@ -192,6 +202,9 @@ impl LinuxMemory {
         }
         self.lru.remove(&victim);
         self.resident.remove(&victim);
+        if let Some(q) = self.quotas.as_mut() {
+            q.note_evict(victim);
+        }
         let entry = self.frames.evict(pfn);
         debug_assert_eq!(entry.key, victim);
         self.stats.live_evictions += 1;
@@ -208,6 +221,89 @@ impl LinuxMemory {
             }
         }
         self.free.push(pfn);
+        Ok(())
+    }
+
+    /// The next reclaim victim. Without quotas this is the strict LRU
+    /// page. With quotas, a bounded scan from the LRU end prefers
+    /// over-quota owners, then low priority, then age; when nothing in
+    /// the window is distinguished, the oldest page wins — identical to
+    /// the quota-less choice.
+    fn reclaim_victim(&self) -> Option<PageKey> {
+        match self.quotas.as_ref() {
+            None => self.lru.peek_oldest().map(|(k, _)| k),
+            Some(q) => self
+                .lru
+                .iter_oldest()
+                .take(QUOTA_SCAN_WINDOW)
+                .enumerate()
+                .min_by_key(|&(idx, (k, _))| (q.victim_class(k.asid), idx))
+                .map(|(_, (k, _))| k),
+        }
+    }
+
+    fn evict_lru_page(&mut self) -> MosaicResult<()> {
+        let victim = self
+            .reclaim_victim()
+            .ok_or(MosaicError::internal("reclaim with no resident pages"))?;
+        let was_quota_steered = self.quotas.is_some()
+            && self.lru.peek_oldest().map(|(k, _)| k) != Some(victim);
+        if was_quota_steered {
+            if let Some(q) = self.quotas.as_mut() {
+                q.note_quota_eviction();
+            }
+            self.obs.quota_evictions.inc();
+        }
+        self.evict_page(victim)
+    }
+
+    /// Admission control for a tenant at its cap: evict its own LRU
+    /// pages until it is back under quota, or — if it has nothing
+    /// resident to self-serve with — defer the admission with typed
+    /// backpressure and counted backoff.
+    fn enforce_quota(&mut self, key: PageKey) -> MosaicResult<()> {
+        while self
+            .quotas
+            .as_ref()
+            .is_some_and(|q| q.at_capacity(key.asid))
+        {
+            let own = self
+                .quotas
+                .as_ref()
+                .and_then(|q| q.own_lru_oldest(key.asid));
+            match own {
+                Some(victim) => {
+                    self.evict_page(victim)?;
+                    if let Some(q) = self.quotas.as_mut() {
+                        q.note_self_eviction();
+                    }
+                    self.obs.quota_self_evictions.inc();
+                }
+                None => {
+                    let (resident, quota) = self
+                        .quotas
+                        .as_ref()
+                        .map(|q| {
+                            (
+                                q.resident(key.asid) as u64,
+                                q.quota(key.asid).map_or(0, |t| t.frames as u64),
+                            )
+                        })
+                        .unwrap_or((0, 0));
+                    let ticks = self
+                        .quotas
+                        .as_mut()
+                        .map_or(0, |q| q.note_deferred(key.asid));
+                    self.obs
+                        .record_quota_deferred(self.obs_now, key.asid.0, ticks);
+                    return Err(MosaicError::QuotaExceeded {
+                        asid: key.asid.0,
+                        resident,
+                        quota,
+                    });
+                }
+            }
+        }
         Ok(())
     }
 
@@ -248,10 +344,20 @@ impl MemoryManager for LinuxMemory {
         if let Some(&pfn) = self.resident.get(&key) {
             self.frames.touch(pfn, now, kind.is_write());
             self.lru.touch(key, now);
+            if let Some(q) = self.quotas.as_mut() {
+                q.note_touch(key, now);
+            }
             self.obs.hits.inc();
             return Ok(AccessOutcome::Hit);
         }
 
+        if self
+            .quotas
+            .as_ref()
+            .is_some_and(|q| q.at_capacity(key.asid))
+        {
+            self.enforce_quota(key)?;
+        }
         self.reclaim_if_needed()?;
         let pfn = self
             .free
@@ -280,6 +386,9 @@ impl MemoryManager for LinuxMemory {
         );
         self.resident.insert(key, pfn);
         self.lru.touch(key, now);
+        if let Some(q) = self.quotas.as_mut() {
+            q.note_install(key, now);
+        }
         Ok(if from_swap {
             self.stats.major_faults += 1;
             self.stats.swapped_in += 1;
@@ -315,7 +424,37 @@ impl MemoryManager for LinuxMemory {
                 freed += 1;
             }
         }
+        if let Some(q) = self.quotas.as_mut() {
+            q.remove_tenant(asid);
+        }
         freed
+    }
+
+    fn set_quota(&mut self, asid: crate::addr::Asid, quota: TenantQuota) {
+        let table = self.quotas.get_or_insert_with(QuotaTable::new);
+        table.set(asid, quota);
+        if table.resident(asid) == 0 {
+            // Seed the table from pages resident before the quota existed,
+            // in a deterministic (timestamp, key) order so replays agree.
+            let mut seed: Vec<(u64, PageKey)> = self
+                .resident
+                .iter()
+                .filter(|(k, _)| k.asid == asid)
+                .filter_map(|(&k, &pfn)| {
+                    self.frames.entry(pfn).map(|e| (e.last_access, k))
+                })
+                .collect();
+            seed.sort_unstable_by_key(|&(ts, k)| (ts, k.hash_key()));
+            if let Some(table) = self.quotas.as_mut() {
+                for (ts, k) in seed {
+                    table.note_install(k, ts);
+                }
+            }
+        }
+    }
+
+    fn quota_stats(&self) -> QuotaStats {
+        self.quotas.as_ref().map_or(QuotaStats::ZERO, |q| q.stats())
     }
 
     fn num_frames(&self) -> usize {
@@ -349,6 +488,17 @@ impl MemoryManager for LinuxMemory {
 
     fn publish_obs(&self) {
         self.obs.util.set(self.utilization());
+        if let Some(inj) = self.fault.as_ref() {
+            self.obs
+                .io_burst_remaining
+                .set(f64::from(inj.burst_remaining()));
+            self.obs
+                .retry_budget_spent
+                .set(self.resilience.retries() as f64);
+            self.obs
+                .io_backoff_ticks
+                .set(self.resilience.io_backoff_ticks as f64);
+        }
     }
 
     fn verify(&self) -> MosaicResult<()> {
@@ -359,6 +509,9 @@ impl MemoryManager for LinuxMemory {
             |k| self.lru.contains(k),
             &self.resident,
         )?;
+        if let Some(q) = self.quotas.as_ref() {
+            invariants::check_quota_accounting(q, &self.resident)?;
+        }
         invariants::check_free_list_accounting(self.num_frames(), &self.free, &self.frames)
     }
 }
@@ -517,6 +670,83 @@ mod tests {
             10,
             10,
         );
+    }
+
+    #[test]
+    fn quota_caps_tenant_residency_and_self_evicts() {
+        use crate::quota::TenantQuota;
+        let mut mm = memory(8);
+        mm.set_quota(Asid(1), TenantQuota { frames: 50, priority: 0 });
+        let mut now = 0;
+        // The victim's working set first, then a capped hog sweep.
+        for n in 0..100u64 {
+            now += 1;
+            mm.access(PageKey::new(Asid(2), Vpn(n)), AccessKind::Store, now);
+        }
+        for n in 0..500u64 {
+            now += 1;
+            mm.access(PageKey::new(Asid(1), Vpn(n)), AccessKind::Store, now);
+        }
+        let hog_resident = (0..500u64)
+            .filter(|&n| mm.resident_pfn(PageKey::new(Asid(1), Vpn(n))).is_some())
+            .count();
+        assert!(hog_resident <= 50, "hog at {hog_resident} against quota 50");
+        assert!(mm.quota_stats().self_evictions > 0);
+        for n in 0..100u64 {
+            assert!(
+                mm.resident_pfn(PageKey::new(Asid(2), Vpn(n))).is_some(),
+                "victim page {n} displaced by a capped hog"
+            );
+        }
+        mm.verify().unwrap();
+    }
+
+    #[test]
+    fn zero_quota_defers_with_backpressure() {
+        use crate::quota::TenantQuota;
+        let mut mm = memory(8);
+        mm.set_quota(Asid(3), TenantQuota { frames: 0, priority: 0 });
+        let err = mm
+            .try_access(PageKey::new(Asid(3), Vpn(0)), AccessKind::Store, 1)
+            .unwrap_err();
+        assert!(matches!(err, MosaicError::QuotaExceeded { .. }));
+        assert!(err.is_transient());
+        assert_eq!(mm.quota_stats().admissions_deferred, 1);
+        // Other tenants proceed normally.
+        assert_eq!(
+            mm.access(PageKey::new(Asid(1), Vpn(0)), AccessKind::Store, 2),
+            AccessOutcome::MinorFault
+        );
+        mm.verify().unwrap();
+    }
+
+    #[test]
+    fn reclaim_prefers_over_quota_tenants_in_window() {
+        use crate::quota::TenantQuota;
+        let layout = MemoryLayout::new(IcebergConfig::paper_default(8)); // 512
+        let mut mm = LinuxMemory::with_watermarks(layout, 4, 8);
+        let mut now = 0;
+        // Tenant 2's single page is the strict LRU-oldest.
+        now += 1;
+        mm.access(PageKey::new(Asid(2), Vpn(0)), AccessKind::Store, now);
+        // Tenant 1 fills 300 frames, then its quota drops to 10: over quota.
+        for n in 0..300u64 {
+            now += 1;
+            mm.access(PageKey::new(Asid(1), Vpn(n)), AccessKind::Store, now);
+        }
+        mm.set_quota(Asid(1), TenantQuota { frames: 10, priority: 0 });
+        // Tenant 3 (no quota) drives free below the watermark.
+        for n in 0..210u64 {
+            now += 1;
+            mm.access(PageKey::new(Asid(3), Vpn(n)), AccessKind::Store, now);
+        }
+        assert!(mm.stats().evictions() > 0, "reclaim never triggered");
+        assert!(
+            mm.resident_pfn(PageKey::new(Asid(2), Vpn(0))).is_some(),
+            "under-quota LRU page evicted ahead of over-quota pages"
+        );
+        assert!(mm.quota_stats().quota_evictions > 0);
+        mm.verify().unwrap();
     }
 
     #[test]

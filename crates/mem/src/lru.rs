@@ -88,6 +88,12 @@ impl<K: Copy + Eq + Hash> LruIndex<K> {
         self.by_age.iter().next().map(|(&(ts, _), &k)| (k, ts))
     }
 
+    /// Iterates keys oldest-first without removing them (the bounded
+    /// victim scan quota-aware reclaim uses).
+    pub fn iter_oldest(&self) -> impl Iterator<Item = (K, u64)> + '_ {
+        self.by_age.iter().map(|(&(ts, _), &k)| (k, ts))
+    }
+
     /// Whether the index contains `key`.
     pub fn contains(&self, key: &K) -> bool {
         self.position.contains_key(key)
@@ -145,6 +151,17 @@ mod tests {
         assert_eq!(lru.remove(&1), None);
         assert!(!lru.contains(&1));
         assert_eq!(lru.pop_oldest(), Some((2, 2)));
+    }
+
+    #[test]
+    fn iter_oldest_is_nondestructive_and_ordered() {
+        let mut lru = LruIndex::new();
+        lru.touch(3u32, 30);
+        lru.touch(1, 10);
+        lru.touch(2, 20);
+        let order: Vec<(u32, u64)> = lru.iter_oldest().collect();
+        assert_eq!(order, vec![(1, 10), (2, 20), (3, 30)]);
+        assert_eq!(lru.len(), 3, "iteration must not consume");
     }
 
     #[test]

@@ -7,6 +7,7 @@
 
 use crate::addr::{Asid, PageKey, Pfn};
 use crate::error::MosaicResult;
+use crate::quota::{QuotaStats, TenantQuota};
 use crate::stats::{PagingStats, ResilienceStats, UtilizationTracker};
 use mosaic_obs::ObsHandle;
 
@@ -83,6 +84,21 @@ pub trait MemoryManager {
     /// more than one address space.
     fn release_asid(&mut self, _asid: Asid) -> u64 {
         0
+    }
+
+    /// Sets (or replaces) `asid`'s working-set quota. Once any quota is
+    /// set, eviction becomes quota-aware: a tenant at its cap self-evicts
+    /// before displacing under-quota tenants, and allocations it cannot
+    /// self-serve defer with [`QuotaExceeded`] backpressure. The default
+    /// ignores quotas entirely (single-tenant managers).
+    ///
+    /// [`QuotaExceeded`]: crate::error::MosaicError::QuotaExceeded
+    fn set_quota(&mut self, _asid: Asid, _quota: TenantQuota) {}
+
+    /// Quota backpressure counters (all-zero when no quota was ever set,
+    /// the default).
+    fn quota_stats(&self) -> QuotaStats {
+        QuotaStats::ZERO
     }
 
     /// Total physical frames managed.

@@ -20,10 +20,11 @@ use crate::lru::LruIndex;
 use crate::manager::{AccessKind, AccessOutcome, MemoryManager};
 use crate::obs::MemObs;
 use crate::policy::MosaicPolicy;
+use crate::quota::{QuotaStats, QuotaTable, TenantQuota};
 use crate::scanner::{AccessScanner, ScannerConfig};
 use crate::stats::{PagingStats, ResilienceStats, UtilizationTracker};
 use mosaic_hash::XxFamily;
-use mosaic_iceberg::{CandidateSet, Yard};
+use mosaic_iceberg::{CandidateSet, SlotRef, Yard};
 use std::collections::{HashMap, HashSet};
 
 /// The Mosaic memory system: constrained allocation with ghost-page
@@ -61,6 +62,9 @@ pub struct MosaicMemory {
     /// When present, timestamps come from the §3.2 scanning daemon rather
     /// than being exact.
     scanner: Option<AccessScanner>,
+    /// Per-tenant working-set quotas; `None` keeps every path
+    /// byte-identical to the quota-less manager.
+    quotas: Option<QuotaTable>,
     /// When present, injects deterministic faults into allocation, swap
     /// I/O, and cached translations (robustness experiments).
     fault: Option<FaultInjector>,
@@ -96,6 +100,7 @@ impl MosaicMemory {
             global_lru: LruIndex::new(),
             live_budget,
             scanner: None,
+            quotas: None,
             fault: None,
             resilience: ResilienceStats::new(),
             stats: PagingStats::new(),
@@ -314,6 +319,9 @@ impl MosaicMemory {
         let entry = self.frames.evict(pfn);
         self.resident.remove(&entry.key);
         self.global_lru.remove(&entry.key);
+        if let Some(q) = self.quotas.as_mut() {
+            q.note_evict(entry.key);
+        }
         if let Some(sc) = self.scanner.as_mut() {
             sc.reset(pfn);
         }
@@ -354,6 +362,9 @@ impl MosaicMemory {
         let entry = self.frames.evict(pfn);
         debug_assert_eq!(entry.key, key);
         self.global_lru.remove(&key);
+        if let Some(q) = self.quotas.as_mut() {
+            q.note_evict(key);
+        }
         if let Some(sc) = self.scanner.as_mut() {
             sc.reset(pfn);
         }
@@ -395,39 +406,21 @@ impl MosaicMemory {
         }
 
         let cands = self.candidates(key);
-        let cfg = *self.layout().config();
 
-        // 1. Free front-yard slot.
-        if let Some(slot) = self.frames.front_free_slot(cands.front_bucket) {
-            return Ok(self.layout().pfn_of_slot(slot));
-        }
-        // 2. Ghost in the front yard: actually evict it, reuse its slot.
-        if let Some(slot) =
-            self.frames
-                .oldest_ghost_slot(cands.front_bucket, Yard::Front, self.horizon)
+        // A tenant at its working-set quota takes a separate path: make
+        // room out of its own pages, or defer the admission — never
+        // displace another tenant's live page.
+        if self
+            .quotas
+            .as_ref()
+            .is_some_and(|q| q.at_capacity(key.asid))
         {
-            let pfn = self.layout().pfn_of_slot(slot);
-            return self.evict_frame(pfn);
+            return self.allocate_at_quota(key, &cands);
         }
-        // 3. Power-of-d-choices over the backyard, ghosts not counted.
-        let emptiest = cands
-            .back_buckets
-            .iter()
-            .copied()
-            .min_by_key(|&b| self.frames.back_live_count(b, self.horizon))
-            .ok_or(MosaicError::internal("d_choices >= 1"))?;
-        if self.frames.back_live_count(emptiest, self.horizon) < cfg.back_slots() {
-            if let Some(slot) = self.frames.back_free_slot(emptiest) {
-                return Ok(self.layout().pfn_of_slot(slot));
-            }
-            let slot = self
-                .frames
-                .oldest_ghost_slot(emptiest, Yard::Back, self.horizon)
-                .ok_or(MosaicError::internal(
-                    "live count below capacity implies a free or ghost slot",
-                ))?;
-            let pfn = self.layout().pfn_of_slot(slot);
-            return self.evict_frame(pfn);
+
+        // Steps 1–3 of Figure 3: the non-displacing placements.
+        if let Some(pfn) = self.non_displacing_frame(&cands)? {
+            return Ok(pfn);
         }
 
         // 4. Associativity conflict: every candidate slot is live. Fall
@@ -439,20 +432,197 @@ impl MosaicMemory {
             let load_pct = self.utilization() * 100.0;
             self.obs.record_first_conflict(self.obs_now, load_pct);
         }
-        let (victim_slot, victim_ts) = self
+        let (lru_slot, lru_ts) = self
             .frames
             .lru_candidate(&cands)
             .ok_or(MosaicError::internal(
                 "conflict implies every candidate slot is occupied",
             ))?;
+        // Quota-aware victim choice: prefer over-quota owners, then low
+        // priority, then age. Without a quota table this *is* the LRU
+        // candidate, bit-for-bit.
+        let victim_slot = match self.quota_conflict_victim(&cands) {
+            Some(slot) if slot != lru_slot => {
+                if let Some(q) = self.quotas.as_mut() {
+                    q.note_quota_eviction();
+                }
+                self.obs.quota_evictions.inc();
+                slot
+            }
+            _ => lru_slot,
+        };
         let pfn = self.layout().pfn_of_slot(victim_slot);
         let freed = self.evict_frame(pfn)?;
         if self.policy.uses_ghosts() {
-            // Raise the horizon: a global LRU would have evicted
-            // everything at least as old as the victim by now.
-            self.horizon = self.horizon.max(victim_ts);
+            // Raise the horizon to the candidate-set LRU's access time —
+            // regardless of which victim quota ordering picked. A global
+            // LRU would have evicted everything at least that old by
+            // now, so the ghost census stays a sound (conservative)
+            // under-approximation; see DESIGN.md §12.
+            self.horizon = self.horizon.max(lru_ts);
         }
         Ok(freed)
+    }
+
+    /// Steps 1–3 of Figure 3: a frame obtainable without displacing any
+    /// live page — a free front slot, the oldest front-yard ghost, or a
+    /// free/ghost slot in the emptiest backyard bucket. `Ok(None)` means
+    /// every candidate slot is live (the conflict predicate).
+    fn non_displacing_frame(&mut self, cands: &CandidateSet) -> MosaicResult<Option<Pfn>> {
+        let cfg = *self.layout().config();
+
+        // 1. Free front-yard slot.
+        if let Some(slot) = self.frames.front_free_slot(cands.front_bucket) {
+            return Ok(Some(self.layout().pfn_of_slot(slot)));
+        }
+        // 2. Ghost in the front yard: actually evict it, reuse its slot.
+        if let Some(slot) =
+            self.frames
+                .oldest_ghost_slot(cands.front_bucket, Yard::Front, self.horizon)
+        {
+            let pfn = self.layout().pfn_of_slot(slot);
+            return self.evict_frame(pfn).map(Some);
+        }
+        // 3. Power-of-d-choices over the backyard, ghosts not counted.
+        let emptiest = cands
+            .back_buckets
+            .iter()
+            .copied()
+            .min_by_key(|&b| self.frames.back_live_count(b, self.horizon))
+            .ok_or(MosaicError::internal("d_choices >= 1"))?;
+        if self.frames.back_live_count(emptiest, self.horizon) < cfg.back_slots() {
+            if let Some(slot) = self.frames.back_free_slot(emptiest) {
+                return Ok(Some(self.layout().pfn_of_slot(slot)));
+            }
+            let slot = self
+                .frames
+                .oldest_ghost_slot(emptiest, Yard::Back, self.horizon)
+                .ok_or(MosaicError::internal(
+                    "live count below capacity implies a free or ghost slot",
+                ))?;
+            let pfn = self.layout().pfn_of_slot(slot);
+            return self.evict_frame(pfn).map(Some);
+        }
+        Ok(None)
+    }
+
+    /// Allocation for a tenant at its cap: (1) self-evict its own LRU
+    /// page among the candidate slots; else (2) take a non-displacing
+    /// slot (the post-install trim loop restores the cap); else (3)
+    /// defer with [`MosaicError::QuotaExceeded`] and counted backoff.
+    /// Self-evictions never raise the horizon: the victim is chosen by
+    /// ownership, not age, so ghosting from it would over-approximate
+    /// what a global LRU would have evicted.
+    fn allocate_at_quota(&mut self, key: PageKey, cands: &CandidateSet) -> MosaicResult<Pfn> {
+        if let Some(slot) = self.own_candidate_victim(cands, key.asid) {
+            let pfn = self.layout().pfn_of_slot(slot);
+            let freed = self.evict_frame(pfn)?;
+            if let Some(q) = self.quotas.as_mut() {
+                q.note_self_eviction();
+            }
+            self.obs.quota_self_evictions.inc();
+            return Ok(freed);
+        }
+        let has_own = self
+            .quotas
+            .as_ref()
+            .is_some_and(|q| q.resident(key.asid) > 0);
+        if has_own {
+            if let Some(pfn) = self.non_displacing_frame(cands)? {
+                return Ok(pfn);
+            }
+        }
+        self.defer_quota(key)
+    }
+
+    /// Charges a deferred admission (backoff counted, not slept) and
+    /// returns the typed backpressure error. No state past the quota
+    /// table's streak counter is mutated, so the access can be retried.
+    fn defer_quota(&mut self, key: PageKey) -> MosaicResult<Pfn> {
+        let (resident, quota) = self
+            .quotas
+            .as_ref()
+            .map(|q| {
+                (
+                    q.resident(key.asid) as u64,
+                    q.quota(key.asid).map_or(0, |t| t.frames as u64),
+                )
+            })
+            .unwrap_or((0, 0));
+        let ticks = self
+            .quotas
+            .as_mut()
+            .map_or(0, |q| q.note_deferred(key.asid));
+        self.obs
+            .record_quota_deferred(self.obs_now, key.asid.0, ticks);
+        Err(MosaicError::QuotaExceeded {
+            asid: key.asid.0,
+            resident,
+            quota,
+        })
+    }
+
+    /// The least-recently-used page *owned by `asid`* among the candidate
+    /// slots, if any (self-eviction victim).
+    fn own_candidate_victim(&self, cands: &CandidateSet, asid: crate::addr::Asid) -> Option<SlotRef> {
+        let cfg = *self.layout().config();
+        cands
+            .slots(&cfg)
+            .enumerate()
+            .filter_map(|(idx, s)| {
+                self.frames
+                    .slot_entry(s)
+                    .filter(|e| e.key.asid == asid)
+                    .map(|e| (e.last_access, idx, s))
+            })
+            .min_by_key(|&(ts, idx, _)| (ts, idx))
+            .map(|(_, _, s)| s)
+    }
+
+    /// The quota-preferred conflict victim over occupied candidate
+    /// slots: over-quota owners first, then ascending priority, then
+    /// oldest access, then slot order. `None` without a quota table.
+    fn quota_conflict_victim(&self, cands: &CandidateSet) -> Option<SlotRef> {
+        let q = self.quotas.as_ref()?;
+        let cfg = *self.layout().config();
+        cands
+            .slots(&cfg)
+            .enumerate()
+            .filter_map(|(idx, s)| {
+                self.frames.slot_entry(s).map(|e| {
+                    let (over, priority) = q.victim_class(e.key.asid);
+                    ((over, priority, e.last_access, idx), s)
+                })
+            })
+            .min_by_key(|&(rank, _)| rank)
+            .map(|(_, s)| s)
+    }
+
+    /// Evicts `asid`'s own global-LRU pages until it is back within its
+    /// quota (the rebalance after a capped tenant took a non-displacing
+    /// slot). A failed write-back under injected I/O faults stops the
+    /// trim — the tenant stays transiently over quota and the next fault
+    /// resumes trimming.
+    fn quota_trim(&mut self, asid: crate::addr::Asid) {
+        loop {
+            let victim = match self.quotas.as_ref() {
+                Some(q) if q.over_quota(asid) => q.own_lru_oldest(asid),
+                _ => return,
+            };
+            let Some(vkey) = victim else { return };
+            let Some(pfn) = self.resident.get(&vkey).copied() else {
+                // Tracked-but-not-resident would spin forever; bail (the
+                // verify() census would flag the drift).
+                return;
+            };
+            if self.evict_frame(pfn).is_err() {
+                return;
+            }
+            if let Some(q) = self.quotas.as_mut() {
+                q.note_self_eviction();
+            }
+            self.obs.quota_self_evictions.inc();
+        }
     }
 }
 
@@ -489,6 +659,9 @@ impl MemoryManager for MosaicMemory {
             if matches!(self.policy, MosaicPolicy::ReservedCapacity { .. }) {
                 self.global_lru.touch(key, now);
             }
+            if let Some(q) = self.quotas.as_mut() {
+                q.note_touch(key, now);
+            }
             self.run_scanner_if_due(now);
             if self.fault.is_some() {
                 self.maybe_corrupt_translation(key, pfn);
@@ -519,6 +692,9 @@ impl MemoryManager for MosaicMemory {
         };
         self.frames.install(pfn, entry);
         self.resident.insert(key, pfn);
+        if let Some(q) = self.quotas.as_mut() {
+            q.note_install(key, now);
+        }
         if let Some(sc) = self.scanner.as_mut() {
             // Fault time is known to the OS exactly; history restarts.
             sc.reset(pfn);
@@ -528,7 +704,7 @@ impl MemoryManager for MosaicMemory {
             self.global_lru.touch(key, now);
         }
         self.run_scanner_if_due(now);
-        Ok(if from_swap {
+        let outcome = if from_swap {
             self.stats.major_faults += 1;
             self.stats.swapped_in += 1;
             self.obs.major_faults.inc();
@@ -538,7 +714,11 @@ impl MemoryManager for MosaicMemory {
             self.stats.minor_faults += 1;
             self.obs.minor_faults.inc();
             AccessOutcome::MinorFault
-        })
+        };
+        // If a capped tenant took a non-displacing slot, rebalance by
+        // evicting its own LRU pages back down to quota.
+        self.quota_trim(key.asid);
+        Ok(outcome)
     }
 
     fn set_obs(&mut self, obs: &mosaic_obs::ObsHandle, prefix: &str) {
@@ -549,6 +729,17 @@ impl MemoryManager for MosaicMemory {
         self.obs.util.set(self.utilization());
         self.obs.horizon.set(self.horizon as f64);
         self.obs.ghosts.set(self.ghost_count() as f64);
+        if let Some(inj) = self.fault.as_ref() {
+            self.obs
+                .io_burst_remaining
+                .set(f64::from(inj.burst_remaining()));
+            self.obs
+                .retry_budget_spent
+                .set(self.resilience.retries() as f64);
+            self.obs
+                .io_backoff_ticks
+                .set(self.resilience.io_backoff_ticks as f64);
+        }
     }
 
     fn resident_pfn(&self, key: PageKey) -> Option<Pfn> {
@@ -572,7 +763,37 @@ impl MemoryManager for MosaicMemory {
                 freed += 1;
             }
         }
+        if let Some(q) = self.quotas.as_mut() {
+            q.remove_tenant(asid);
+        }
         freed
+    }
+
+    fn set_quota(&mut self, asid: crate::addr::Asid, quota: TenantQuota) {
+        let table = self.quotas.get_or_insert_with(QuotaTable::new);
+        table.set(asid, quota);
+        if table.resident(asid) == 0 {
+            // Seed the table from pages resident before the quota existed,
+            // in a deterministic (timestamp, key) order so replays agree.
+            let mut seed: Vec<(u64, PageKey)> = self
+                .resident
+                .iter()
+                .filter(|(k, _)| k.asid == asid)
+                .filter_map(|(&k, &pfn)| {
+                    self.frames.entry(pfn).map(|e| (e.last_access, k))
+                })
+                .collect();
+            seed.sort_unstable_by_key(|&(ts, k)| (ts, k.hash_key()));
+            if let Some(table) = self.quotas.as_mut() {
+                for (ts, k) in seed {
+                    table.note_install(k, ts);
+                }
+            }
+        }
+    }
+
+    fn quota_stats(&self) -> QuotaStats {
+        self.quotas.as_ref().map_or(QuotaStats::ZERO, |q| q.stats())
     }
 
     fn num_frames(&self) -> usize {
@@ -610,6 +831,9 @@ impl MemoryManager for MosaicMemory {
                 |k| self.global_lru.contains(k),
                 &self.resident,
             )?;
+        }
+        if let Some(q) = self.quotas.as_ref() {
+            invariants::check_quota_accounting(q, &self.resident)?;
         }
         // Placement: every resident page sits inside its candidate set,
         // so every CPFN stays decodable.
@@ -883,6 +1107,125 @@ mod tests {
         mm.sample_utilization();
         let mean = mm.utilization_tracker().steady_state_mean().unwrap();
         assert!((mean - 1.0 / mm.num_frames() as f64).abs() < 1e-12);
+    }
+}
+
+#[cfg(test)]
+mod quota_tests {
+    use super::*;
+    use crate::addr::{Asid, Vpn};
+    use crate::quota::TenantQuota;
+    use mosaic_iceberg::IcebergConfig;
+
+    fn k(asid: u16, vpn: u64) -> PageKey {
+        PageKey::new(Asid(asid), Vpn(vpn))
+    }
+
+    fn memory(buckets: usize) -> MosaicMemory {
+        MosaicMemory::new(MemoryLayout::new(IcebergConfig::paper_default(buckets)), 3)
+    }
+
+    fn tenant_resident(mm: &MosaicMemory, asid: u16) -> usize {
+        mm.resident_pages()
+            .filter(|(key, _)| key.asid == Asid(asid))
+            .count()
+    }
+
+    #[test]
+    fn quota_caps_tenant_residency() {
+        let mut mm = memory(8);
+        mm.set_quota(Asid(1), TenantQuota { frames: 32, priority: 0 });
+        let mut now = 0;
+        for vpn in 0..200 {
+            now += 1;
+            mm.access(k(1, vpn), AccessKind::Store, now);
+            let count = tenant_resident(&mm, 1);
+            assert!(count <= 32, "tenant at {count} frames against quota 32");
+        }
+        assert!(mm.quota_stats().self_evictions > 0);
+        mm.verify().unwrap();
+    }
+
+    #[test]
+    fn capped_hog_never_touches_victim_pages() {
+        let mut mm = memory(8);
+        let mut now = 0;
+        // The victim's working set, established first (oldest timestamps).
+        for vpn in 0..50 {
+            now += 1;
+            mm.access(k(2, vpn), AccessKind::Store, now);
+        }
+        // A capped hog sweeping far past its quota.
+        mm.set_quota(Asid(1), TenantQuota { frames: 64, priority: 0 });
+        for vpn in 0..1000 {
+            now += 1;
+            mm.access(k(1, vpn), AccessKind::Store, now);
+        }
+        for vpn in 0..50 {
+            assert!(
+                mm.resident_pfn(k(2, vpn)).is_some(),
+                "victim page {vpn} displaced by a capped hog"
+            );
+        }
+        assert!(tenant_resident(&mm, 1) <= 64);
+        mm.verify().unwrap();
+    }
+
+    #[test]
+    fn zero_quota_defers_with_exponential_backpressure() {
+        let mut mm = memory(8);
+        mm.set_quota(Asid(1), TenantQuota { frames: 0, priority: 0 });
+        let err = mm.try_access(k(1, 0), AccessKind::Store, 1).unwrap_err();
+        assert!(matches!(err, MosaicError::QuotaExceeded { .. }));
+        assert!(err.is_transient(), "backpressure must be retryable");
+        let _ = mm.try_access(k(1, 0), AccessKind::Store, 2).unwrap_err();
+        let st = mm.quota_stats();
+        assert_eq!(st.admissions_deferred, 2);
+        assert_eq!(st.backoff_ticks, 1 + 2, "exponential in the streak");
+        // Other tenants are unaffected by the deferrals.
+        assert_eq!(
+            mm.access(k(2, 0), AccessKind::Store, 3),
+            AccessOutcome::MinorFault
+        );
+        mm.verify().unwrap();
+    }
+
+    #[test]
+    fn late_quota_seeds_from_resident_pages() {
+        let mut mm = memory(8);
+        let mut now = 0;
+        for vpn in 0..40 {
+            now += 1;
+            mm.access(k(1, vpn), AccessKind::Store, now);
+        }
+        mm.set_quota(Asid(1), TenantQuota { frames: 48, priority: 2 });
+        mm.verify().unwrap(); // census: table count == recount, LRU covers
+        // The cap binds going forward.
+        for vpn in 40..200 {
+            now += 1;
+            mm.access(k(1, vpn), AccessKind::Store, now);
+            assert!(tenant_resident(&mm, 1) <= 48);
+        }
+        mm.verify().unwrap();
+    }
+
+    #[test]
+    fn release_asid_clears_quota_state() {
+        let mut mm = memory(8);
+        mm.set_quota(Asid(1), TenantQuota { frames: 16, priority: 0 });
+        let mut now = 0;
+        for vpn in 0..30 {
+            now += 1;
+            mm.access(k(1, vpn), AccessKind::Store, now);
+        }
+        mm.release_asid(Asid(1));
+        // The quota died with the tenant: a respawned ASID is uncapped.
+        for vpn in 0..64 {
+            now += 1;
+            mm.access(k(1, vpn), AccessKind::Store, now);
+        }
+        assert_eq!(tenant_resident(&mm, 1), 64);
+        mm.verify().unwrap();
     }
 }
 

@@ -48,12 +48,34 @@ pub struct MemObs {
     pub fault_recovered: Counter,
     /// `<prefix>.fault.unrecovered`
     pub fault_unrecovered: Counter,
+    /// `<prefix>.quota.self_evictions` — capped tenants displacing their
+    /// own pages.
+    pub quota_self_evictions: Counter,
+    /// `<prefix>.quota.evictions` — conflict victims steered away from
+    /// the plain LRU candidate by quota/priority ordering.
+    pub quota_evictions: Counter,
+    /// `<prefix>.quota.deferred` — admissions deferred with
+    /// `QuotaExceeded` backpressure.
+    pub quota_deferred: Counter,
+    /// `<prefix>.quota.backoff_ticks` — counted (not slept) backoff
+    /// charged for those deferrals.
+    pub quota_backoff_ticks: Counter,
     /// `<prefix>.util` — fraction of frames occupied.
     pub util: Gauge,
     /// `<prefix>.horizon` — the Horizon LRU high-water mark.
     pub horizon: Gauge,
     /// `<prefix>.ghosts` — resident ghost pages.
     pub ghosts: Gauge,
+    /// `<prefix>.fault.io_burst_remaining` — forced failures left in the
+    /// injector's in-flight I/O brown-out (0 = no burst active).
+    pub io_burst_remaining: Gauge,
+    /// `<prefix>.fault.retry_budget_spent` — total alloc + I/O retries
+    /// the manager has consumed absorbing injected faults.
+    pub retry_budget_spent: Gauge,
+    /// `<prefix>.fault.io_backoff_ticks` — counted backoff spent on I/O
+    /// retries (distinct from `quota.backoff_ticks`, so degraded
+    /// throughput is attributable to bursts vs. quota backpressure).
+    pub io_backoff_ticks: Gauge,
 }
 
 impl MemObs {
@@ -82,9 +104,16 @@ impl MemObs {
             fault_injected: c("fault.injected"),
             fault_recovered: c("fault.recovered"),
             fault_unrecovered: c("fault.unrecovered"),
+            quota_self_evictions: c("quota.self_evictions"),
+            quota_evictions: c("quota.evictions"),
+            quota_deferred: c("quota.deferred"),
+            quota_backoff_ticks: c("quota.backoff_ticks"),
             util: obs.gauge(&format!("{prefix}.util")),
             horizon: obs.gauge(&format!("{prefix}.horizon")),
             ghosts: obs.gauge(&format!("{prefix}.ghosts")),
+            io_burst_remaining: obs.gauge(&format!("{prefix}.fault.io_burst_remaining")),
+            retry_budget_spent: obs.gauge(&format!("{prefix}.fault.retry_budget_spent")),
+            io_backoff_ticks: obs.gauge(&format!("{prefix}.fault.io_backoff_ticks")),
         }
     }
 
@@ -145,6 +174,25 @@ impl MemObs {
         }
     }
 
+    /// An admission was deferred under quota backpressure: bumps the
+    /// `quota.deferred` / `quota.backoff_ticks` counters and emits a
+    /// `quota.deferred` event carrying the ticks charged.
+    pub fn record_quota_deferred(&self, now: u64, asid: u16, ticks: u64) {
+        self.quota_deferred.inc();
+        self.quota_backoff_ticks.add(ticks);
+        if self.handle.is_enabled() {
+            self.handle.event(
+                now,
+                "quota.deferred",
+                &[
+                    ("mgr", Value::from(self.prefix.as_str())),
+                    ("asid", Value::from(u64::from(asid))),
+                    ("backoff_ticks", Value::from(ticks)),
+                ],
+            );
+        }
+    }
+
     /// Milestone: the first associativity conflict of the run (Table 3's
     /// headline number). Later conflicts only bump the counter.
     pub fn record_first_conflict(&self, now: u64, load_pct: f64) {
@@ -173,6 +221,17 @@ mod tests {
         o.record_fault_recovered(2, "io", "retry");
         assert_eq!(o.accesses.get(), 0);
         assert_eq!(o.fault_injected.get(), 0);
+    }
+
+    #[test]
+    fn quota_deferred_counts_and_events() {
+        let obs = ObsHandle::enabled();
+        let o = MemObs::register(&obs, "mosaic");
+        o.record_quota_deferred(5, 3, 4);
+        o.record_quota_deferred(6, 3, 8);
+        assert_eq!(obs.counter_value("mosaic.quota.deferred"), 2);
+        assert_eq!(obs.counter_value("mosaic.quota.backoff_ticks"), 12);
+        assert!(obs.render_jsonl().contains("\"quota.deferred\""));
     }
 
     #[test]

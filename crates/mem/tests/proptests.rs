@@ -125,6 +125,127 @@ proptest! {
         }
     }
 
+    /// LruIndex drains via pop_oldest in exactly the reference model's
+    /// order, including timestamp ties (the tiny ts range forces many),
+    /// interleaved with touches and removes.
+    #[test]
+    fn lru_index_pop_oldest_matches_model(
+        ops in prop::collection::vec((0u32..20, 1u64..8, 0u8..4), 1..300)
+    ) {
+        let mut lru: LruIndex<u32> = LruIndex::new();
+        let mut model: BTreeMap<(u64, u64), u32> = BTreeMap::new();
+        let mut pos: std::collections::HashMap<u32, (u64, u64)> = std::collections::HashMap::new();
+        let mut tick = 0u64;
+        for (key, ts, action) in ops {
+            match action {
+                // pop_oldest: both sides must surrender the same entry.
+                0 => {
+                    let expect = model.iter().next().map(|(&(t, _), &k)| (k, t));
+                    if let Some((k, _)) = expect {
+                        let p = pos.remove(&k).expect("model desync");
+                        model.remove(&p);
+                    }
+                    prop_assert_eq!(lru.pop_oldest(), expect);
+                }
+                1 => {
+                    let expect = pos.remove(&key).map(|p| {
+                        model.remove(&p);
+                        p.0
+                    });
+                    prop_assert_eq!(lru.remove(&key), expect);
+                }
+                _ => {
+                    tick += 1;
+                    if let Some(p) = pos.remove(&key) {
+                        model.remove(&p);
+                    }
+                    model.insert((ts, tick), key);
+                    pos.insert(key, (ts, tick));
+                    lru.touch(key, ts);
+                }
+            }
+            prop_assert_eq!(lru.len(), model.len());
+        }
+        // Drain the remainder: full eviction order must agree.
+        while let Some(popped) = lru.pop_oldest() {
+            let expect = model.iter().next().map(|(&(t, _), &k)| (k, t));
+            if let Some((k, _)) = expect {
+                let p = pos.remove(&k).expect("model desync");
+                model.remove(&p);
+            }
+            prop_assert_eq!(Some(popped), expect);
+        }
+        prop_assert!(model.is_empty());
+    }
+
+    /// Per-tenant quota caps hold after every operation, for both
+    /// managers, across arbitrary interleavings of accesses (loads and
+    /// stores), tenant exits, and respawns. The census is independent:
+    /// we probe residency per touched key rather than trusting the
+    /// manager's own accounting (which `verify()` cross-checks anyway).
+    #[test]
+    fn quota_caps_hold_under_arbitrary_interleavings(
+        ops in prop::collection::vec((0usize..3, 0u64..64, 0u8..16), 1..400),
+        seed in any::<u64>(),
+    ) {
+        let layout = MemoryLayout::new(IcebergConfig::paper_default(8)); // 512 frames
+        let quotas = [5usize, 8, 12];
+        let mut mosaic = MosaicMemory::new(layout, seed);
+        let mut linux = LinuxMemory::new(layout);
+        for m in [&mut mosaic as &mut dyn MemoryManager, &mut linux] {
+            let mut touched: Vec<std::collections::HashSet<u64>> =
+                vec![std::collections::HashSet::new(); 3];
+            for (t, q) in quotas.iter().enumerate() {
+                m.set_quota(Asid::new(t as u16 + 1), TenantQuota { frames: *q, priority: t as u8 });
+            }
+            let mut now = 0u64;
+            for &(tenant, vpn, action) in &ops {
+                let asid = Asid::new(tenant as u16 + 1);
+                if action == 0 {
+                    // Exit: every frame comes back, then the slot
+                    // respawns under the same quota.
+                    m.release_asid(asid);
+                    touched[tenant].clear();
+                    m.set_quota(asid, TenantQuota {
+                        frames: quotas[tenant],
+                        priority: tenant as u8,
+                    });
+                } else {
+                    now += 1;
+                    let kind = if action % 2 == 0 { AccessKind::Load } else { AccessKind::Store };
+                    // Deferred admissions (QuotaExceeded) are fine; any
+                    // other error would be a bug in a fault-free run.
+                    match m.try_access(PageKey::new(asid, Vpn::new(vpn)), kind, now) {
+                        Ok(_) => { touched[tenant].insert(vpn); }
+                        Err(MosaicError::QuotaExceeded { .. }) => {}
+                        Err(e) => prop_assert!(false, "unexpected error: {e}"),
+                    }
+                }
+                // The cap is a hard invariant at every step: recount
+                // residency from outside.
+                for (t, pages) in touched.iter().enumerate() {
+                    let asid = Asid::new(t as u16 + 1);
+                    let resident = pages
+                        .iter()
+                        .filter(|&&v| m.resident_pfn(PageKey::new(asid, Vpn::new(v))).is_some())
+                        .count();
+                    prop_assert!(
+                        resident <= quotas[t],
+                        "tenant {t} holds {resident} frames against a quota of {}",
+                        quotas[t]
+                    );
+                }
+            }
+            m.verify().expect("structural invariants hold");
+            let qs = m.quota_stats();
+            prop_assert_eq!(
+                qs.admissions_deferred > 0,
+                qs.backoff_ticks > 0,
+                "deferral and backoff counters move together: {:?}", qs
+            );
+        }
+    }
+
     /// Ghost accounting: ghost count plus live count equals residency.
     #[test]
     fn ghosts_partition_residency(pattern in prop::collection::vec(0u64..800, 500..2000)) {

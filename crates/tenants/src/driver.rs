@@ -15,12 +15,13 @@
 //! [`run_pressure`](mosaic_sim::pressure::run_pressure), the oracle the
 //! equivalence tests pin.
 
-use crate::fairness::TenantSlotStats;
+use crate::fairness::{summarize_inflation, victim_inflations, IsolationLine, TenantSlotStats};
 use crate::registry::TenantRegistry;
 use mosaic_hash::SplitMix64;
 use mosaic_mem::{
-    AccessKind, Asid, IcebergConfig, LinuxMemory, MemoryLayout, MemoryManager, MosaicMemory,
-    MosaicResult, PageKey, ResilienceStats, Vpn, PAGE_SIZE,
+    AccessKind, Asid, IcebergConfig, LinuxMemory, MemoryLayout, MemoryManager, MosaicError,
+    MosaicResult, MosaicMemory, PageKey, QuotaStats, ResilienceStats, TenantQuota, VirtAddr, Vpn,
+    PAGE_SIZE,
 };
 use mosaic_obs::{ObsHandle, Value};
 use mosaic_sim::parallel::{derive_seed, run_cells};
@@ -43,6 +44,54 @@ impl TenantMix {
         match self {
             TenantMix::Single(w) => w,
             TenantMix::Rotate => PressureWorkload::ALL[rank % PressureWorkload::ALL.len()],
+        }
+    }
+}
+
+/// An adversarial workload the hot slot (rank 0) can run instead of a
+/// well-behaved tenant. Every scenario is recorded deterministically
+/// from the slot's seed, so hostile runs stay a pure function of the
+/// config like everything else.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HostileScenario {
+    /// No attacker: every slot runs its configured workload.
+    None,
+    /// Uniform-random sweep over a footprint `hostile_mult`× the fair
+    /// share — maximal cache/frame thrash with no reuse locality.
+    Thrasher,
+    /// Monotonic allocation growth (sequential stores, never revisited)
+    /// until the pool is exhausted.
+    AllocBomb,
+    /// The thrasher plus rapid exit/respawn every
+    /// `hostile_churn_every` accesses, stressing ASID retire and
+    /// exit-time reclaim alongside the frame pressure.
+    ChurnStorm,
+}
+
+impl HostileScenario {
+    /// Whether an attacker is configured.
+    pub fn is_some(self) -> bool {
+        self != HostileScenario::None
+    }
+
+    /// The scenario's flag-spelling name.
+    pub fn name(self) -> &'static str {
+        match self {
+            HostileScenario::None => "none",
+            HostileScenario::Thrasher => "thrasher",
+            HostileScenario::AllocBomb => "alloc-bomb",
+            HostileScenario::ChurnStorm => "churn-storm",
+        }
+    }
+
+    /// Parses a `--hostile` flag value.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "none" => Some(HostileScenario::None),
+            "thrasher" => Some(HostileScenario::Thrasher),
+            "alloc-bomb" => Some(HostileScenario::AllocBomb),
+            "churn-storm" => Some(HostileScenario::ChurnStorm),
+            _ => None,
         }
     }
 }
@@ -71,6 +120,22 @@ pub struct TenantsConfig {
     pub churn_every: u64,
     /// Workload assignment.
     pub mix: TenantMix,
+    /// Adversarial behaviour of slot 0 ([`HostileScenario::None`] keeps
+    /// every slot well-behaved, byte-identical to pre-hostile runs).
+    pub hostile: HostileScenario,
+    /// Attacker footprint as a multiple of the fair per-tenant share.
+    pub hostile_mult: u32,
+    /// `ChurnStorm` only: the attacker exits and respawns every this
+    /// many scheduled accesses.
+    pub hostile_churn_every: u64,
+    /// Per-tenant quota as a percent of the fair frame share; `0`
+    /// disables quotas entirely (the legacy, unprotected behaviour).
+    pub quota_frac_pct: u32,
+    /// Reclaim-priority spread across the victim ranks: priorities run
+    /// from `priority_spread - 1` (hottest victim) down to 0 (coldest).
+    /// `0` or `1` gives every tenant equal priority. The attacker slot
+    /// always gets priority 0 (reclaimed first).
+    pub priority_spread: u32,
 }
 
 impl TenantsConfig {
@@ -85,6 +150,11 @@ impl TenantsConfig {
             steps: 200_000,
             churn_every: 25_000,
             mix: TenantMix::Rotate,
+            hostile: HostileScenario::None,
+            hostile_mult: 4,
+            hostile_churn_every: 2_000,
+            quota_frac_pct: 0,
+            priority_spread: 1,
         }
     }
 
@@ -99,6 +169,11 @@ impl TenantsConfig {
             steps: 400_000,
             churn_every: 20_000,
             mix: TenantMix::Rotate,
+            hostile: HostileScenario::None,
+            hostile_mult: 4,
+            hostile_churn_every: 2_000,
+            quota_frac_pct: 0,
+            priority_spread: 1,
         }
     }
 
@@ -117,6 +192,32 @@ impl TenantsConfig {
     /// supports (64 KiB).
     pub fn per_tenant_bytes(&self) -> u64 {
         (self.target_bytes() / self.tenants.max(1) as u64).max(64 * 1024)
+    }
+
+    /// The attacker's footprint: `hostile_mult`× the fair share.
+    pub fn hostile_bytes(&self) -> u64 {
+        self.per_tenant_bytes() * u64::from(self.hostile_mult.max(1))
+    }
+
+    /// Victim footprint when an attacker is active: the aggregate target
+    /// minus the attacker's oversized slice, split across the remaining
+    /// slots (so total offered load stays at `load` and any extra
+    /// pressure is the attacker's doing).
+    pub fn victim_bytes(&self) -> u64 {
+        let victims = self.tenants.saturating_sub(1).max(1) as u64;
+        (self.target_bytes().saturating_sub(self.hostile_bytes()) / victims).max(64 * 1024)
+    }
+
+    /// The per-tenant frame quota `quota_frac_pct` implies: that percent
+    /// of an even split of the pool. `None` when quotas are off.
+    pub fn quota_frames(&self) -> Option<usize> {
+        if self.quota_frac_pct == 0 {
+            return None;
+        }
+        let pool = self.mem_buckets * 64;
+        Some(
+            (pool * self.quota_frac_pct as usize / 100 / self.tenants.max(1)).max(1),
+        )
     }
 }
 
@@ -140,6 +241,17 @@ pub enum TenantOp {
         /// Zipf rank of the exiting tenant.
         slot: u32,
         /// The retiring ASID (release + shoot down).
+        asid: Asid,
+    },
+    /// A tenant takes possession of `slot` (initial population and every
+    /// churn successor). Replay applies admission policy here — a quota
+    /// plan installs the slot's quota on the fresh ASID; without a plan
+    /// the op is a strict no-op, which is what keeps quota-off runs
+    /// byte-identical to pre-quota schedules.
+    Spawn {
+        /// Zipf rank being (re)occupied.
+        slot: u32,
+        /// The incoming ASID.
         asid: Asid,
     },
 }
@@ -201,9 +313,19 @@ pub fn build_schedule(cfg: &TenantsConfig) -> Schedule {
         } else {
             derive_seed(cfg.seed, rank as u64)
         };
-        let mut w = cfg.mix.workload_for(rank).build(per_tenant, wseed);
-        footprint += w.meta().footprint_bytes;
-        traces.push(record(w.as_mut()));
+        if cfg.hostile.is_some() && rank == 0 {
+            footprint += cfg.hostile_bytes();
+            traces.push(hostile_trace(cfg, wseed));
+        } else {
+            let bytes = if cfg.hostile.is_some() {
+                cfg.victim_bytes()
+            } else {
+                per_tenant
+            };
+            let mut w = cfg.mix.workload_for(rank).build(bytes, wseed);
+            footprint += w.meta().footprint_bytes;
+            traces.push(record(w.as_mut()));
+        }
         asids.push(registry.spawn().expect("tenant count fits the ASID space").asid);
     }
 
@@ -217,7 +339,16 @@ pub fn build_schedule(cfg: &TenantsConfig) -> Schedule {
         cfg.steps
     };
 
-    let mut ops = Vec::with_capacity(total_steps as usize);
+    let mut ops = Vec::with_capacity(total_steps as usize + cfg.tenants);
+    // The initial population takes its slots before any access runs, so
+    // replay can apply per-slot admission policy (quotas) uniformly to
+    // the originals and every churn successor alike.
+    for (slot, &asid) in asids.iter().enumerate() {
+        ops.push(TenantOp::Spawn {
+            slot: slot as u32,
+            asid,
+        });
+    }
     let mut emitted = 0u64;
     let mut exits = 0u64;
     // Churn rotates through the tail half of the population (the cold
@@ -240,6 +371,29 @@ pub fn build_schedule(cfg: &TenantsConfig) -> Schedule {
             // trace, restarted) under a fresh ASID.
             asids[slot] = registry.spawn().expect("churn within ASID space").asid;
             cursors[slot] = 0;
+            ops.push(TenantOp::Spawn {
+                slot: slot as u32,
+                asid: asids[slot],
+            });
+        }
+        // The churn-storm attacker cycles its own slot far faster than
+        // background churn, hammering ASID retire + exit reclaim.
+        if cfg.hostile == HostileScenario::ChurnStorm
+            && cfg.hostile_churn_every > 0
+            && emitted > 0
+            && emitted.is_multiple_of(cfg.hostile_churn_every)
+        {
+            ops.push(TenantOp::Exit {
+                slot: 0,
+                asid: asids[0],
+            });
+            exits += 1;
+            asids[0] = registry.spawn().expect("churn within ASID space").asid;
+            cursors[0] = 0;
+            ops.push(TenantOp::Spawn {
+                slot: 0,
+                asid: asids[0],
+            });
         }
         let drawn = zipf.sample(&mut rng) as usize;
         // One-pass mode retires exhausted slots: take the next live slot
@@ -280,6 +434,67 @@ pub fn build_schedule(cfg: &TenantsConfig) -> Schedule {
     }
 }
 
+/// Records the attacker trace for slot 0 under `cfg.hostile`.
+///
+/// Thrasher/churn-storm: `2 × footprint_pages` uniform-random page
+/// touches (alternating load/store) over a footprint `hostile_mult`×
+/// the fair share — zero reuse locality, every access a likely miss.
+/// Alloc-bomb: one sequential store per page, never revisited.
+fn hostile_trace(cfg: &TenantsConfig, wseed: u64) -> Vec<Access> {
+    let pages = (cfg.hostile_bytes() / PAGE_SIZE).max(1);
+    match cfg.hostile {
+        HostileScenario::AllocBomb => (0..pages)
+            .map(|p| Access::store(VirtAddr(p * PAGE_SIZE)))
+            .collect(),
+        _ => {
+            let mut rng = SplitMix64::new(wseed ^ 0x7057_11E0);
+            (0..pages * 2)
+                .map(|i| {
+                    let addr = VirtAddr(rng.next_below(pages) * PAGE_SIZE);
+                    if i % 2 == 0 {
+                        Access::load(addr)
+                    } else {
+                        Access::store(addr)
+                    }
+                })
+                .collect()
+        }
+    }
+}
+
+/// The admission policy a replay applies at every [`TenantOp::Spawn`]:
+/// one frame cap shared by all slots, plus a per-slot priority ladder.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuotaPlan {
+    /// Frame cap installed for every tenant.
+    pub frames: usize,
+    /// Reclaim priority per slot (index = Zipf rank).
+    pub priorities: Vec<u8>,
+}
+
+/// Derives the [`QuotaPlan`] `cfg` implies, or `None` when
+/// `quota_frac_pct == 0` (quotas off — the legacy behaviour).
+///
+/// Priorities descend from the hottest victim to the coldest across
+/// `priority_spread` levels; a hostile slot 0 is pinned to priority 0
+/// so the attacker is always reclaimed first.
+pub fn quota_plan(cfg: &TenantsConfig) -> Option<QuotaPlan> {
+    let frames = cfg.quota_frames()?;
+    let spread = u64::from(cfg.priority_spread.max(1));
+    let victims = cfg.tenants.saturating_sub(1).max(1) as u64;
+    let priorities = (0..cfg.tenants)
+        .map(|rank| {
+            if cfg.hostile.is_some() && rank == 0 {
+                0
+            } else {
+                let rank = rank as u64;
+                (((cfg.tenants as u64 - 1 - rank) * (spread - 1)) / victims) as u8
+            }
+        })
+        .collect();
+    Some(QuotaPlan { frames, priorities })
+}
+
 /// Everything one manager's replay of a schedule produced.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DriveOutcome {
@@ -287,6 +502,10 @@ pub struct DriveOutcome {
     pub slots: Vec<TenantSlotStats>,
     /// Accesses dropped to typed errors (fault injection only).
     pub dropped: u64,
+    /// Accesses deferred by quota backpressure
+    /// ([`MosaicError::QuotaExceeded`]) — counted separately from
+    /// `dropped` because deferral is the policy working, not a fault.
+    pub deferred: u64,
     /// Frames reclaimed by tenant exits.
     pub frames_reclaimed: u64,
     /// Final reference count (`now` after the last access).
@@ -313,6 +532,14 @@ pub struct TenantsRow {
     pub mosaic_frames_reclaimed: u64,
     /// Frames reclaimed by exits under the baseline.
     pub linux_frames_reclaimed: u64,
+    /// Accesses deferred by quota backpressure under Mosaic.
+    pub mosaic_deferred: u64,
+    /// Accesses deferred by quota backpressure under the baseline.
+    pub linux_deferred: u64,
+    /// Mosaic's quota/backpressure counters (all-zero with quotas off).
+    pub mosaic_quota: QuotaStats,
+    /// The baseline's quota/backpressure counters.
+    pub linux_quota: QuotaStats,
 }
 
 /// Replays `schedule` into `manager`, mirroring the pressure driver's
@@ -325,6 +552,7 @@ pub struct TenantsRow {
 fn drive_schedule(
     manager: &mut dyn MemoryManager,
     schedule: &Schedule,
+    quotas: Option<&QuotaPlan>,
     warmup_bytes: u64,
     res: &ResilienceConfig,
     report: &mut ResilienceReport,
@@ -336,6 +564,7 @@ fn drive_schedule(
     let warmup = warmup_bytes / PAGE_SIZE;
     let mut counter = 0u64;
     let mut dropped = 0u64;
+    let mut deferred = 0u64;
     let mut frames_reclaimed = 0u64;
     let mut slots = vec![TenantSlotStats::default(); schedule.slots];
     for (rank, s) in slots.iter_mut().enumerate() {
@@ -357,6 +586,13 @@ fn drive_schedule(
                         if outcome == mosaic_mem::AccessOutcome::MajorFault {
                             stats.major_faults += 1;
                         }
+                    }
+                    Err(MosaicError::QuotaExceeded { .. }) => {
+                        // The admission was deferred with counted
+                        // backoff — the tenant retries from its own
+                        // schedule position; nothing is lost.
+                        deferred += 1;
+                        stats.deferred += 1;
                     }
                     Err(e) => {
                         dropped += 1;
@@ -402,6 +638,17 @@ fn drive_schedule(
                     );
                 }
             }
+            TenantOp::Spawn { slot, asid } => {
+                if let Some(plan) = quotas {
+                    manager.set_quota(
+                        asid,
+                        TenantQuota {
+                            frames: plan.frames,
+                            priority: plan.priorities[slot as usize],
+                        },
+                    );
+                }
+            }
         }
     }
     manager.sample_utilization();
@@ -410,6 +657,7 @@ fn drive_schedule(
     Ok(DriveOutcome {
         slots,
         dropped,
+        deferred,
         frames_reclaimed,
         end_now: now,
     })
@@ -439,6 +687,27 @@ pub fn run_tenants_observed(
     obs: &ObsHandle,
     obs_interval: u64,
 ) -> MosaicResult<(TenantsRow, ResilienceReport)> {
+    let schedule = build_schedule(cfg);
+    let plan = quota_plan(cfg);
+    run_schedule_observed(cfg, &schedule, plan.as_ref(), res, obs, obs_interval)
+}
+
+/// Replays an already-built `schedule` into fresh managers under an
+/// explicit quota plan (`None` = quotas off). This is the primitive the
+/// isolation study composes: one schedule, replayed with and without
+/// protection, against identical managers.
+///
+/// # Errors
+///
+/// As [`run_tenants_observed`]: only structural `verify()` failures.
+pub fn run_schedule_observed(
+    cfg: &TenantsConfig,
+    schedule: &Schedule,
+    plan: Option<&QuotaPlan>,
+    res: &ResilienceConfig,
+    obs: &ObsHandle,
+    obs_interval: u64,
+) -> MosaicResult<(TenantsRow, ResilienceReport)> {
     let layout = MemoryLayout::new(IcebergConfig::paper_default(cfg.mem_buckets));
     let mut mosaic = MosaicMemory::new(layout, cfg.seed);
     let mut linux = LinuxMemory::new(layout);
@@ -460,7 +729,6 @@ pub fn run_tenants_observed(
         last_error: None,
     };
 
-    let schedule = build_schedule(cfg);
     let warmup_bytes = cfg.target_bytes();
     if obs.is_enabled() {
         obs.event(
@@ -474,7 +742,7 @@ pub fn run_tenants_observed(
         );
     }
     let m = drive_schedule(
-        &mut mosaic, &schedule, warmup_bytes, res, &mut report, 0, obs, obs_interval,
+        &mut mosaic, schedule, plan, warmup_bytes, res, &mut report, 0, obs, obs_interval,
     )?;
     let start2 = if obs.is_enabled() { m.end_now } else { 0 };
     if obs.is_enabled() {
@@ -489,7 +757,7 @@ pub fn run_tenants_observed(
         );
     }
     let l = drive_schedule(
-        &mut linux, &schedule, warmup_bytes, res, &mut report, start2, obs, obs_interval,
+        &mut linux, schedule, plan, warmup_bytes, res, &mut report, start2, obs, obs_interval,
     )?;
     report.mosaic = *mosaic.resilience();
     report.linux = *linux.resilience();
@@ -539,6 +807,10 @@ pub fn run_tenants_observed(
             exits: schedule.exits(),
             mosaic_frames_reclaimed: m.frames_reclaimed,
             linux_frames_reclaimed: l.frames_reclaimed,
+            mosaic_deferred: m.deferred,
+            linux_deferred: l.deferred,
+            mosaic_quota: mosaic.quota_stats(),
+            linux_quota: linux.quota_stats(),
         },
         report,
     ))
@@ -556,6 +828,193 @@ fn publish_fairness(obs: &ObsHandle, prefix: &str, slots: &[TenantSlotStats]) {
             onset.record(step);
         }
     }
+}
+
+/// Projects `schedule` onto one slot: every op that slot issued, in
+/// schedule order, everything else removed. Replaying the projection
+/// into fresh managers gives the slot's *solo* baseline — the fault
+/// rate it would see with the whole pool to itself — which is the
+/// denominator of the victim-inflation score.
+pub fn solo_schedule(schedule: &Schedule, slot: u32) -> Schedule {
+    let ops: Vec<TenantOp> = schedule
+        .ops
+        .iter()
+        .copied()
+        .filter(|op| match op {
+            TenantOp::Access { slot: s, .. }
+            | TenantOp::Exit { slot: s, .. }
+            | TenantOp::Spawn { slot: s, .. } => *s == slot,
+        })
+        .collect();
+    let accesses = ops
+        .iter()
+        .filter(|o| matches!(o, TenantOp::Access { .. }))
+        .count() as u64;
+    let exits = ops
+        .iter()
+        .filter(|o| matches!(o, TenantOp::Exit { .. }))
+        .count() as u64;
+    Schedule {
+        ops,
+        footprint_bytes: schedule.footprint_bytes,
+        accesses,
+        exits,
+        slots: schedule.slots,
+    }
+}
+
+/// One load point of the isolation study: the same schedule replayed
+/// three ways (solo per slot, mixed with quotas, mixed without).
+#[derive(Debug, Clone, PartialEq)]
+pub struct IsolationOutcome {
+    /// Configured load of this cell.
+    pub load: f64,
+    /// The slot the attacker occupies, if one is configured.
+    pub hostile_slot: Option<u32>,
+    /// The mixed run with the quota plan installed.
+    pub on: TenantsRow,
+    /// The identical mixed run with quotas off.
+    pub off: TenantsRow,
+    /// Per-slot solo fault rates (ppm) under Mosaic.
+    pub mosaic_solo_ppm: Vec<u64>,
+    /// Per-slot solo fault rates (ppm) under the baseline.
+    pub linux_solo_ppm: Vec<u64>,
+}
+
+/// Replays `schedule` alone into both managers, fault-free, quota-free,
+/// unobserved — the ground-truth cost of the ops themselves.
+fn run_solo(cfg: &TenantsConfig, schedule: &Schedule) -> MosaicResult<(DriveOutcome, DriveOutcome)> {
+    let layout = MemoryLayout::new(IcebergConfig::paper_default(cfg.mem_buckets));
+    let mut mosaic = MosaicMemory::new(layout, cfg.seed);
+    let mut linux = LinuxMemory::new(layout);
+    let none = ResilienceConfig::none();
+    let mut report = ResilienceReport {
+        mosaic: ResilienceStats::ZERO,
+        linux: ResilienceStats::ZERO,
+        mosaic_dropped: 0,
+        linux_dropped: 0,
+        verify_passes: 0,
+        last_error: None,
+    };
+    let obs = ObsHandle::noop();
+    let warmup = cfg.target_bytes();
+    let m = drive_schedule(&mut mosaic, schedule, None, warmup, &none, &mut report, 0, &obs, 0)?;
+    let l = drive_schedule(&mut linux, schedule, None, warmup, &none, &mut report, 0, &obs, 0)?;
+    Ok((m, l))
+}
+
+/// Runs the full isolation study for one load point: builds the
+/// schedule once, measures every slot's solo fault rate, then replays
+/// the mixed schedule twice — quota plan on (observed, under `res`)
+/// and off (same faults, unobserved). Victim inflation is
+/// `mixed_ppm / solo_ppm` per slot; quotas earn their keep when the
+/// quotas-on inflation stays bounded while quotas-off does not.
+///
+/// # Errors
+///
+/// Returns the violation if any structural `verify()` pass fails.
+pub fn run_isolation(
+    cfg: &TenantsConfig,
+    res: &ResilienceConfig,
+    obs: &ObsHandle,
+    obs_interval: u64,
+) -> MosaicResult<IsolationOutcome> {
+    let schedule = build_schedule(cfg);
+    let plan = quota_plan(cfg);
+    let mut mosaic_solo_ppm = Vec::with_capacity(cfg.tenants);
+    let mut linux_solo_ppm = Vec::with_capacity(cfg.tenants);
+    for slot in 0..cfg.tenants {
+        let solo = solo_schedule(&schedule, slot as u32);
+        let (m, l) = run_solo(cfg, &solo)?;
+        mosaic_solo_ppm.push(m.slots[slot].fault_ppm());
+        linux_solo_ppm.push(l.slots[slot].fault_ppm());
+    }
+    let (on, _) = run_schedule_observed(cfg, &schedule, plan.as_ref(), res, obs, obs_interval)?;
+    let (off, _) =
+        run_schedule_observed(cfg, &schedule, None, res, &ObsHandle::noop(), 0)?;
+    Ok(IsolationOutcome {
+        load: cfg.load,
+        hostile_slot: cfg.hostile.is_some().then_some(0),
+        on,
+        off,
+        mosaic_solo_ppm,
+        linux_solo_ppm,
+    })
+}
+
+/// Reduces one isolation cell to its two table rows (quotas on, then
+/// off): victim-inflation percentiles against the cell's own solo
+/// baselines, plus the backpressure counters.
+pub fn isolation_lines(out: &IsolationOutcome) -> [IsolationLine; 2] {
+    let load_pct = (out.load * 100.0).round() as u64;
+    let line = |row: &TenantsRow, quotas_on: bool| IsolationLine {
+        load_pct,
+        quotas_on,
+        mosaic: summarize_inflation(&victim_inflations(
+            &row.mosaic_slots,
+            &out.mosaic_solo_ppm,
+            out.hostile_slot,
+        )),
+        linux: summarize_inflation(&victim_inflations(
+            &row.linux_slots,
+            &out.linux_solo_ppm,
+            out.hostile_slot,
+        )),
+        mosaic_deferred: row.mosaic_deferred,
+        linux_deferred: row.linux_deferred,
+        mosaic_self_evictions: row.mosaic_quota.self_evictions,
+        linux_self_evictions: row.linux_quota.self_evictions,
+        mosaic_backoff_ticks: row.mosaic_quota.backoff_ticks,
+        linux_backoff_ticks: row.linux_quota.backoff_ticks,
+    };
+    [line(&out.on, true), line(&out.off, false)]
+}
+
+/// [`run_isolation`] across load points on `jobs` threads, cell fault
+/// seeds derived from the cell index — byte-identical at any `--jobs`,
+/// exactly like [`run_tenants_grid`].
+pub fn run_isolation_grid(
+    base: &TenantsConfig,
+    loads: &[f64],
+    res: &ResilienceConfig,
+    obs: &ObsHandle,
+    obs_interval: u64,
+    jobs: usize,
+) -> Vec<MosaicResult<IsolationOutcome>> {
+    let inputs: Vec<_> = loads
+        .iter()
+        .map(|&load| {
+            (
+                TenantsConfig {
+                    load,
+                    ..base.clone()
+                },
+                child_handle(obs),
+            )
+        })
+        .collect();
+    let outcomes = run_cells(jobs, inputs, |i, (cell_cfg, child)| {
+        let cell_res = if res.plan.is_none() {
+            *res
+        } else {
+            ResilienceConfig {
+                plan: res.plan,
+                fault_seed: derive_seed(res.fault_seed, i as u64),
+                verify_every: res.verify_every,
+            }
+        };
+        let out = run_isolation(&cell_cfg, &cell_res, &child, obs_interval);
+        (out, child)
+    });
+    outcomes
+        .into_iter()
+        .map(|(out, child)| {
+            if obs.is_enabled() {
+                obs.merge_from(&child);
+            }
+            out
+        })
+        .collect()
 }
 
 /// Runs a (tenant-count × load) grid on `jobs` threads via the parallel
@@ -643,6 +1102,11 @@ mod tests {
             steps: 30_000,
             churn_every: 10_000,
             mix: TenantMix::Rotate,
+            hostile: HostileScenario::None,
+            hostile_mult: 4,
+            hostile_churn_every: 2_000,
+            quota_frac_pct: 0,
+            priority_spread: 1,
         }
     }
 
@@ -700,6 +1164,184 @@ mod tests {
         assert!(a.linux_frames_reclaimed > 0);
         let total: u64 = a.mosaic_slots.iter().map(|s| s.accesses).sum();
         assert_eq!(total, 30_000);
+    }
+
+    #[test]
+    fn schedule_spawns_every_slot_before_any_access() {
+        let s = build_schedule(&tiny());
+        let mut spawned = [false; 4];
+        for op in s.ops() {
+            match *op {
+                TenantOp::Spawn { slot, .. } => spawned[slot as usize] = true,
+                TenantOp::Access { slot, .. } => {
+                    assert!(spawned[slot as usize], "slot {slot} accessed before spawning");
+                }
+                TenantOp::Exit { .. } => {}
+            }
+        }
+        assert!(spawned.iter().all(|&b| b), "all slots spawn");
+        // Every churn exit is followed (eventually) by the successor's
+        // spawn: spawn count = population + exits.
+        let spawns = s
+            .ops()
+            .iter()
+            .filter(|o| matches!(o, TenantOp::Spawn { .. }))
+            .count() as u64;
+        assert_eq!(spawns, 4 + s.exits());
+    }
+
+    #[test]
+    fn thrasher_oversizes_slot_zero_and_stays_deterministic() {
+        let cfg = TenantsConfig {
+            hostile: HostileScenario::Thrasher,
+            ..tiny()
+        };
+        let a = build_schedule(&cfg);
+        let b = build_schedule(&cfg);
+        assert_eq!(a.ops(), b.ops());
+        // The attacker's footprint dwarfs the fair share.
+        assert!(
+            a.footprint_bytes() > build_schedule(&tiny()).footprint_bytes(),
+            "hostile footprint must exceed the fair-share aggregate"
+        );
+        // Distinct pages touched by slot 0 exceed the fair share.
+        let fair_pages = cfg.per_tenant_bytes() / PAGE_SIZE;
+        let mut pages = std::collections::HashSet::new();
+        for op in a.ops() {
+            if let TenantOp::Access { slot: 0, vpn, .. } = op {
+                pages.insert(*vpn);
+            }
+        }
+        assert!(
+            pages.len() as u64 > fair_pages * 2,
+            "thrasher touched {} pages vs fair share {fair_pages}",
+            pages.len()
+        );
+    }
+
+    #[test]
+    fn churn_storm_cycles_the_attacker_asid() {
+        let cfg = TenantsConfig {
+            hostile: HostileScenario::ChurnStorm,
+            hostile_churn_every: 1_000,
+            ..tiny()
+        };
+        let s = build_schedule(&cfg);
+        let hostile_exits = s
+            .ops()
+            .iter()
+            .filter(|o| matches!(o, TenantOp::Exit { slot: 0, .. }))
+            .count();
+        assert!(hostile_exits >= 10, "attacker churned {hostile_exits} times");
+    }
+
+    #[test]
+    fn quota_plan_pins_the_attacker_to_lowest_priority() {
+        let cfg = TenantsConfig {
+            hostile: HostileScenario::Thrasher,
+            quota_frac_pct: 100,
+            priority_spread: 4,
+            ..tiny()
+        };
+        let plan = quota_plan(&cfg).expect("quotas on");
+        assert_eq!(plan.priorities.len(), 4);
+        assert_eq!(plan.priorities[0], 0, "attacker reclaims first");
+        assert!(plan.priorities[1] >= plan.priorities[3], "hot victims reclaim last");
+        assert_eq!(plan.frames, 16 * 64 / 4, "fair share of the pool");
+        assert_eq!(quota_plan(&tiny()), None, "frac 0 disables quotas");
+    }
+
+    #[test]
+    fn solo_schedule_projects_one_slot_in_order() {
+        let s = build_schedule(&tiny());
+        let solo = solo_schedule(&s, 2);
+        assert!(solo.accesses() > 0);
+        let expected: Vec<TenantOp> = s
+            .ops()
+            .iter()
+            .copied()
+            .filter(|op| match op {
+                TenantOp::Access { slot, .. }
+                | TenantOp::Exit { slot, .. }
+                | TenantOp::Spawn { slot, .. } => *slot == 2,
+            })
+            .collect();
+        assert_eq!(solo.ops(), &expected[..]);
+    }
+
+    #[test]
+    fn quota_off_run_matches_legacy_byte_for_byte() {
+        // The Spawn ops and the quota plumbing must be invisible when no
+        // plan is installed: same row as the legacy driver produced.
+        let row = run_tenants(&tiny());
+        assert_eq!(row.mosaic_deferred, 0);
+        assert_eq!(row.linux_deferred, 0);
+        assert_eq!(row.mosaic_quota, QuotaStats::ZERO);
+        assert_eq!(row.linux_quota, QuotaStats::ZERO);
+    }
+
+    #[test]
+    fn quotas_cap_the_thrasher_and_report_backpressure() {
+        let cfg = TenantsConfig {
+            hostile: HostileScenario::Thrasher,
+            quota_frac_pct: 100,
+            priority_spread: 4,
+            load: 1.05,
+            steps: 20_000,
+            churn_every: 0,
+            ..tiny()
+        };
+        let out = run_isolation(
+            &cfg,
+            &ResilienceConfig::none(),
+            &ObsHandle::noop(),
+            0,
+        )
+        .expect("fault-free isolation run");
+        // The protected run exercised the quota machinery.
+        let q = out.on.mosaic_quota;
+        assert!(
+            q.self_evictions > 0,
+            "thrasher at 4x quota must self-evict: {q:?}"
+        );
+        assert_eq!(out.off.mosaic_quota, QuotaStats::ZERO);
+        // And it is reproducible.
+        let again = run_isolation(
+            &cfg,
+            &ResilienceConfig::none(),
+            &ObsHandle::noop(),
+            0,
+        )
+        .expect("fault-free isolation run");
+        assert_eq!(out, again);
+    }
+
+    #[test]
+    fn isolation_grid_is_job_count_invariant() {
+        let base = TenantsConfig {
+            hostile: HostileScenario::Thrasher,
+            quota_frac_pct: 100,
+            steps: 6_000,
+            churn_every: 0,
+            ..tiny()
+        };
+        let run = |jobs: usize| {
+            run_isolation_grid(
+                &base,
+                &[0.9, 1.05],
+                &ResilienceConfig::none(),
+                &ObsHandle::noop(),
+                0,
+                jobs,
+            )
+            .into_iter()
+            .map(|r| r.expect("fault-free cell"))
+            .collect::<Vec<_>>()
+        };
+        let serial = run(1);
+        for jobs in [2, 8] {
+            assert_eq!(run(jobs), serial, "jobs={jobs}");
+        }
     }
 
     #[test]

@@ -28,6 +28,9 @@ pub struct TenantSlotStats {
     pub conflicts: u64,
     /// Accesses dropped to injected faults.
     pub dropped: u64,
+    /// Accesses deferred by quota backpressure (admission control
+    /// pushed back; the tenant retries rather than losing work).
+    pub deferred: u64,
     /// Exit/respawn generations behind this slot (0 = the original
     /// tenant never churned).
     pub generations: u64,
@@ -78,6 +81,118 @@ pub fn summarize(slots: &[TenantSlotStats]) -> FaultRateSummary {
         p99_ppm: percentile(&ppms, 99),
         max_ppm: ppms.last().copied().unwrap_or(0),
     }
+}
+
+/// The victim-inflation score, in hundredths: how many times worse a
+/// tenant's fault rate is in the mixed run than in its solo run
+/// (`100` = no inflation, `200` = 2×). `None` when the solo run never
+/// faulted (the ratio is undefined, not infinite — a zero-fault solo
+/// slot says the slot barely ran).
+pub fn inflation_x100(mixed_ppm: u64, solo_ppm: u64) -> Option<u64> {
+    if solo_ppm == 0 {
+        return None;
+    }
+    Some(mixed_ppm * 100 / solo_ppm)
+}
+
+/// Per-slot inflation scores for the victim population: every slot
+/// except `exclude` (the attacker), with undefined ratios dropped.
+pub fn victim_inflations(
+    slots: &[TenantSlotStats],
+    solo_ppm: &[u64],
+    exclude: Option<u32>,
+) -> Vec<u64> {
+    slots
+        .iter()
+        .zip(solo_ppm)
+        .filter(|(s, _)| Some(s.rank) != exclude)
+        .filter_map(|(s, &solo)| inflation_x100(s.fault_ppm(), solo))
+        .collect()
+}
+
+/// A percentile summary of the victim-inflation distribution (all
+/// values in hundredths, as [`inflation_x100`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InflationSummary {
+    /// Median victim inflation (x100).
+    pub p50_x100: u64,
+    /// 99th-percentile victim inflation (x100).
+    pub p99_x100: u64,
+    /// Worst single victim (x100).
+    pub max_x100: u64,
+}
+
+/// Reduces victim-inflation scores to percentiles.
+pub fn summarize_inflation(scores: &[u64]) -> InflationSummary {
+    let mut sorted = scores.to_vec();
+    sorted.sort_unstable();
+    InflationSummary {
+        p50_x100: percentile(&sorted, 50),
+        p99_x100: percentile(&sorted, 99),
+        max_x100: sorted.last().copied().unwrap_or(0),
+    }
+}
+
+/// One row of the isolation table: a (load, quotas on/off) cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IsolationLine {
+    /// Load as an integer percent.
+    pub load_pct: u64,
+    /// Whether the quota plan was installed for this replay.
+    pub quotas_on: bool,
+    /// Victim inflation under Mosaic.
+    pub mosaic: InflationSummary,
+    /// Victim inflation under the Linux baseline.
+    pub linux: InflationSummary,
+    /// Quota-deferred admissions (Mosaic / Linux).
+    pub mosaic_deferred: u64,
+    /// Quota-deferred admissions under the baseline.
+    pub linux_deferred: u64,
+    /// Self-evictions (capped tenants displacing their own pages).
+    pub mosaic_self_evictions: u64,
+    /// Self-evictions under the baseline.
+    pub linux_self_evictions: u64,
+    /// Counted backoff ticks charged to deferred tenants.
+    pub mosaic_backoff_ticks: u64,
+    /// Backoff ticks under the baseline.
+    pub linux_backoff_ticks: u64,
+}
+
+/// Formats an x100 score as a multiplier (`217` → `2.17x`).
+fn x100_cell(v: u64) -> String {
+    format!("{}.{:02}x", v / 100, v % 100)
+}
+
+/// Renders the isolation table: two rows per load point (quotas on,
+/// quotas off), victim inflation percentiles for both managers, and
+/// the backpressure counters that show the quota machinery working.
+pub fn render_isolation(title: &str, lines: &[IsolationLine]) -> String {
+    let mut t = Table::new(vec![
+        "load %".into(),
+        "quotas".into(),
+        "mosaic infl p50".into(),
+        "mosaic infl max".into(),
+        "linux infl p50".into(),
+        "linux infl max".into(),
+        "deferred m/l".into(),
+        "self-evict m/l".into(),
+        "backoff m/l".into(),
+    ])
+    .with_title(title);
+    for l in lines {
+        t.row(vec![
+            l.load_pct.to_string(),
+            if l.quotas_on { "on" } else { "off" }.into(),
+            x100_cell(l.mosaic.p50_x100),
+            x100_cell(l.mosaic.max_x100),
+            x100_cell(l.linux.p50_x100),
+            x100_cell(l.linux.max_x100),
+            format!("{}/{}", l.mosaic_deferred, l.linux_deferred),
+            format!("{}/{}", l.mosaic_self_evictions, l.linux_self_evictions),
+            format!("{}/{}", l.mosaic_backoff_ticks, l.linux_backoff_ticks),
+        ]);
+    }
+    t.render()
 }
 
 /// A geometric Zipf-rank bucket: ranks `lo..=hi`.
@@ -305,6 +420,62 @@ mod tests {
         assert_eq!(rows[1].fault_ppm, 250_000);
         assert_eq!(rows[1].conflicts, 3);
         assert_eq!(rows[1].conflict_onset, Some(300));
+    }
+
+    #[test]
+    fn inflation_is_ratio_in_hundredths() {
+        assert_eq!(inflation_x100(200, 100), Some(200));
+        assert_eq!(inflation_x100(150, 100), Some(150));
+        assert_eq!(inflation_x100(50, 100), Some(50));
+        assert_eq!(inflation_x100(1, 0), None, "undefined against a clean solo");
+    }
+
+    #[test]
+    fn victim_inflations_exclude_the_attacker_and_undefined_slots() {
+        let slots = vec![
+            slot(0, 100, 90), // the attacker — excluded
+            slot(1, 100, 20),
+            slot(2, 100, 10),
+            slot(3, 100, 5), // solo never faulted — dropped
+        ];
+        let solo = vec![900_000, 100_000, 100_000, 0];
+        let infl = victim_inflations(&slots, &solo, Some(0));
+        assert_eq!(infl, vec![200, 100]);
+        let s = summarize_inflation(&infl);
+        assert_eq!(s.p50_x100, 100);
+        assert_eq!(s.max_x100, 200);
+        assert_eq!(summarize_inflation(&[]).max_x100, 0);
+    }
+
+    #[test]
+    fn isolation_table_renders_on_and_off_rows() {
+        let line = |on: bool, max| IsolationLine {
+            load_pct: 105,
+            quotas_on: on,
+            mosaic: InflationSummary {
+                p50_x100: 110,
+                p99_x100: max,
+                max_x100: max,
+            },
+            linux: InflationSummary {
+                p50_x100: 120,
+                p99_x100: max,
+                max_x100: max,
+            },
+            mosaic_deferred: if on { 7 } else { 0 },
+            linux_deferred: 0,
+            mosaic_self_evictions: if on { 42 } else { 0 },
+            linux_self_evictions: 0,
+            mosaic_backoff_ticks: if on { 13 } else { 0 },
+            linux_backoff_ticks: 0,
+        };
+        let text = render_isolation("isolation", &[line(true, 150), line(false, 900)]);
+        assert!(text.contains("isolation"));
+        assert!(text.contains("1.50x"));
+        assert!(text.contains("9.00x"));
+        assert!(text.contains("7/0"));
+        assert!(text.contains(" on "));
+        assert!(text.contains(" off "));
     }
 
     #[test]

@@ -46,12 +46,15 @@ pub mod vm;
 
 pub use cow::{CowMemory, CowStats};
 pub use driver::{
-    as_pressure_config, build_schedule, run_tenants, run_tenants_grid, run_tenants_observed,
-    Schedule, TenantMix, TenantOp, TenantsConfig, TenantsRow,
+    as_pressure_config, build_schedule, isolation_lines, quota_plan, run_isolation,
+    run_isolation_grid, run_schedule_observed, run_tenants, run_tenants_grid,
+    run_tenants_observed, solo_schedule, HostileScenario, IsolationOutcome, QuotaPlan, Schedule,
+    TenantMix, TenantOp, TenantsConfig, TenantsRow,
 };
 pub use fairness::{
-    bucket_rows, rank_buckets, render_fairness, summarize, BucketRow, FaultRateSummary,
-    RankBucket, TenantSlotStats,
+    bucket_rows, inflation_x100, rank_buckets, render_fairness, render_isolation, summarize,
+    summarize_inflation, victim_inflations, BucketRow, FaultRateSummary, InflationSummary,
+    IsolationLine, RankBucket, TenantSlotStats,
 };
 pub use registry::{Tenant, TenantError, TenantId, TenantRegistry};
 pub use vm::{ExitReport, TenantVm};

@@ -19,6 +19,11 @@ fn one_tenant(workload: PressureWorkload, load: f64) -> TenantsConfig {
         steps: 0, // one full pass of the recorded trace, like run_pressure
         churn_every: 0,
         mix: TenantMix::Single(workload),
+        hostile: mosaic_tenants::HostileScenario::None,
+        hostile_mult: 4,
+        hostile_churn_every: 2_000,
+        quota_frac_pct: 0,
+        priority_spread: 1,
     }
 }
 
@@ -54,6 +59,12 @@ fn one_tenant_schedule_uses_the_classic_asid_in_trace_order() {
                 assert_eq!(*slot, 0);
                 assert_eq!(*asid, mosaic_mem::Asid(1));
             }
+            TenantOp::Spawn { slot, asid } => {
+                // The initial population claims its slot before the
+                // trace starts; a quota-less replay ignores this op.
+                assert_eq!(*slot, 0);
+                assert_eq!(*asid, mosaic_mem::Asid(1));
+            }
             TenantOp::Exit { .. } => panic!("churn-free schedule emitted an exit"),
         }
     }
@@ -70,6 +81,7 @@ fn grid_is_byte_identical_across_job_counts_with_faults() {
         steps: 40_000,
         churn_every: 8_000,
         mix: TenantMix::Rotate,
+        ..TenantsConfig::quick()
     };
     let res = ResilienceConfig {
         plan: mosaic_mem::FaultPlan::NONE
@@ -110,6 +122,7 @@ fn zipf_head_tenant_receives_the_most_traffic() {
         steps: 60_000,
         churn_every: 0,
         mix: TenantMix::Rotate,
+        ..TenantsConfig::quick()
     };
     let row = run_tenants(&cfg);
     let head = row.mosaic_slots[0].accesses;

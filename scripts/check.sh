@@ -15,6 +15,9 @@ cargo test -q --offline --workspace
 echo "==> cargo clippy -D warnings (offline)"
 cargo clippy -q --offline --workspace --all-targets -- -D warnings
 
+echo "==> unwrap gate (hash crate production code must stay unwrap-free)"
+cargo clippy -q --offline -p mosaic-hash -- -D warnings -D clippy::unwrap_used
+
 echo "==> obs access-path microbench (noop handle must stay ~free)"
 cargo bench -q --offline -p mosaic-bench --bench obs
 
@@ -63,5 +66,21 @@ grep -q "per-tenant fault ppm" "$OBS_TMP/ten1.txt"
 echo "==> tenants golden gate (default sweep must reproduce results_tenants.txt)"
 ./target/release/tenants --jobs 4 > "$OBS_TMP/tengold.txt" 2>/dev/null
 cmp "$OBS_TMP/tengold.txt" results_tenants.txt
+
+echo "==> hostile-tenant determinism gate (thrasher + faults, --jobs 1 vs 8)"
+ISO_FLAGS=(--tenants 16 --buckets 16 --steps 60000 --churn 10000 --loads 90,105
+           --hostile thrasher --quota-frac 125 --priority-spread 2 --fault-ppm 200)
+for jobs in 1 8; do
+  ./target/release/tenants "${ISO_FLAGS[@]}" --jobs "$jobs" \
+    > "$OBS_TMP/iso$jobs.txt" 2>/dev/null
+done
+cmp "$OBS_TMP/iso1.txt" "$OBS_TMP/iso8.txt"
+grep -q "Victim inflation" "$OBS_TMP/iso1.txt"
+
+echo "==> isolation golden gate (must reproduce results_isolation.txt)"
+./target/release/tenants --tenants 16 --buckets 64 --steps 800000 --churn 20000 \
+  --loads 105,120 --hostile thrasher --quota-frac 125 --priority-spread 2 \
+  --jobs 4 > "$OBS_TMP/isogold.txt" 2>/dev/null
+cmp "$OBS_TMP/isogold.txt" results_isolation.txt
 
 echo "All checks passed."
