@@ -13,6 +13,12 @@
 //! * `--obs-format jsonl|trace` — output format: JSONL records (the
 //!   default; render with `obs_report`) or a Chrome `trace_event` JSON
 //!   file loadable in perfetto / `chrome://tracing`.
+//! * `--attrib` — additionally collect miss/fault attribution tables
+//!   (3C TLB classification + eviction blame). Implies collection even
+//!   without `--obs-out`, so binaries that render attribution to stdout
+//!   (the `attrib` bin) work without a stream file; the stream gains
+//!   `{"t":"attrib",...}` records only under this flag, keeping
+//!   `--obs-out`-only outputs byte-identical to earlier releases.
 
 use crate::Args;
 use mosaic_obs::{ObsHandle, Value};
@@ -51,8 +57,10 @@ impl ObsSink {
             Some("trace") => ObsFormat::Trace,
             Some(other) => panic!("--obs-format expects jsonl|trace, got {other:?}"),
         };
-        let handle = if out.is_some() {
+        let attrib = args.has("attrib");
+        let handle = if out.is_some() || attrib {
             let h = ObsHandle::enabled();
+            h.set_attrib(attrib);
             h.meta(&[("bin", Value::from(bin))]);
             h
         } else {
@@ -137,5 +145,20 @@ mod tests {
     #[should_panic(expected = "jsonl|trace")]
     fn bad_format_panics() {
         ObsSink::from_args(&parse(&["bin", "--obs-out", "x", "--obs-format", "xml"]), "t");
+    }
+
+    #[test]
+    fn attrib_flag_enables_collection_without_a_stream_file() {
+        let s = ObsSink::from_args(&parse(&["bin", "--attrib"]), "t");
+        assert!(s.is_enabled());
+        assert!(s.handle().attrib_enabled());
+        s.finish(); // still no file to write
+    }
+
+    #[test]
+    fn obs_out_alone_keeps_attribution_off() {
+        let s = ObsSink::from_args(&parse(&["bin", "--obs-out", "/tmp/y.jsonl"]), "t");
+        assert!(s.is_enabled());
+        assert!(!s.handle().attrib_enabled());
     }
 }

@@ -31,6 +31,21 @@ pub struct HistRecord {
     pub buckets: Vec<(u64, u64)>,
 }
 
+/// One attribution cell as parsed from an `{"t":"attrib"}` record:
+/// `count` charges of `category` by tenant `evictor` against tenant
+/// `victim`, cumulative at the snapshot's timestamp.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttribCellRecord {
+    /// Category name (`compulsory`, `conflict`, `cross_tenant`, ...).
+    pub category: String,
+    /// Charged (evicting/accessing) tenant.
+    pub evictor: u64,
+    /// Tenant whose state was displaced.
+    pub victim: u64,
+    /// Cumulative charge count.
+    pub count: u64,
+}
+
 /// One registry snapshot: every instrument's cumulative value at `at`.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Snapshot {
@@ -42,6 +57,8 @@ pub struct Snapshot {
     pub gauges: BTreeMap<String, f64>,
     /// Histograms by name.
     pub hists: BTreeMap<String, HistRecord>,
+    /// Attribution tables by name (cumulative cells).
+    pub attribs: BTreeMap<String, Vec<AttribCellRecord>>,
 }
 
 /// A structured event (`fault.injected`, `drive.begin`, ...).
@@ -185,6 +202,32 @@ pub fn parse_stream(text: &str) -> Result<ObsStream, String> {
                     .hists
                     .insert(name()?, rec);
             }
+            "attrib" => {
+                let at = field_u64(&v, "ref")?;
+                let mut cells = Vec::new();
+                if let Some(arr) = v.get("cells").and_then(Json::as_arr) {
+                    for c in arr {
+                        if let Some(q) = c.as_arr() {
+                            if let (Some(cat), Some(e), Some(vic), Some(n)) = (
+                                q.first().and_then(Json::as_str),
+                                q.get(1).and_then(Json::as_u64),
+                                q.get(2).and_then(Json::as_u64),
+                                q.get(3).and_then(Json::as_u64),
+                            ) {
+                                cells.push(AttribCellRecord {
+                                    category: cat.to_string(),
+                                    evictor: e,
+                                    victim: vic,
+                                    count: n,
+                                });
+                            }
+                        }
+                    }
+                }
+                open_snapshot(&mut out.snapshots, &mut cur, at)
+                    .attribs
+                    .insert(name()?, cells);
+            }
             "event" => {
                 let at = field_u64(&v, "ref")?;
                 let mut fields = Vec::new();
@@ -253,6 +296,18 @@ fn discover_series(snapshots: &[Snapshot]) -> Vec<Series> {
 
 fn counter(s: &Snapshot, name: &str) -> u64 {
     s.counters.get(name).copied().unwrap_or(0)
+}
+
+/// Cumulative total of one attribution category in `table` at snapshot
+/// `s` (0 if the table is absent).
+fn attrib_category_total(s: &Snapshot, table: &str, cat: &str) -> u64 {
+    s.attribs.get(table).map_or(0, |cells| {
+        cells
+            .iter()
+            .filter(|c| c.category == cat)
+            .map(|c| c.count)
+            .sum()
+    })
 }
 
 /// Renders the full text report.
@@ -340,6 +395,135 @@ pub fn render_report(stream: &ObsStream) -> String {
         for &(lo, n) in &h.buckets {
             let bar = "#".repeat(((n * 40).div_ceil(peak)) as usize);
             let _ = writeln!(out, "{lo:>10} | {n:>10} {bar}");
+        }
+    }
+
+    // ── Differential attribution: conflict removed by Mosaic-k ───────
+    // Every `tlb.mosaic-<k>.<assoc>` attribution table is paired with
+    // its `tlb.vanilla.<assoc>` sibling; both classified the SAME
+    // replayed reference stream, so the per-interval difference of
+    // their cumulative conflict totals is exactly the conflict misses
+    // Mosaic-k removed in that interval.
+    let mut attrib_names: Vec<String> = Vec::new();
+    for s in &stream.snapshots {
+        for k in s.attribs.keys() {
+            if !attrib_names.contains(k) {
+                attrib_names.push(k.clone());
+            }
+        }
+    }
+    attrib_names.sort();
+    for mosaic in &attrib_names {
+        let Some(rest) = mosaic.strip_prefix("tlb.mosaic-") else {
+            continue;
+        };
+        let Some((k, assoc)) = rest.split_once('.') else {
+            continue;
+        };
+        let vanilla = format!("tlb.vanilla.{assoc}");
+        if !attrib_names.contains(&vanilla) {
+            continue;
+        }
+        let _ = writeln!(out, "\n-- conflict removed by mosaic-{k} @ {assoc} --");
+        let _ = writeln!(
+            out,
+            "{:>12} {:>12} {:>12} {:>10}",
+            "ref", "Δvanilla", "Δmosaic", "removed"
+        );
+        // Each cell's snapshots carry its own cumulative table. The
+        // merged stream interleaves many cells and replays several
+        // workloads (timestamps rewind between runs), and a table is
+        // re-emitted only when it changed, so alignment is two-level:
+        // split each table's series into runs at timestamp rewinds,
+        // pair runs index-wise (both cells replayed the same trace),
+        // then join a paired run on the union of its timestamps,
+        // carrying the last cumulative value across gaps (a gap means
+        // the table was flat over that interval).
+        let series = |table: &str| -> Vec<(u64, u64)> {
+            stream
+                .snapshots
+                .iter()
+                .filter(|s| s.attribs.contains_key(table))
+                .map(|s| (s.at, attrib_category_total(s, table, "conflict")))
+                .collect()
+        };
+        let runs = |table: &str| -> Vec<Vec<(u64, u64)>> {
+            let mut rs: Vec<Vec<(u64, u64)>> = Vec::new();
+            for pt in series(table) {
+                match rs.last_mut() {
+                    Some(run) if run.last().is_some_and(|&(a, _)| pt.0 > a) => run.push(pt),
+                    _ => rs.push(vec![pt]),
+                }
+            }
+            rs
+        };
+        let mut last_at: Option<u64> = None;
+        for (vr, mr) in runs(&vanilla).iter().zip(runs(mosaic).iter()) {
+            let mut ats: Vec<u64> = vr.iter().chain(mr.iter()).map(|&(a, _)| a).collect();
+            ats.sort_unstable();
+            ats.dedup();
+            let (mut prev_v, mut prev_m) = (0u64, 0u64);
+            let (mut cur_v, mut cur_m) = (0u64, 0u64);
+            let (mut iv, mut im) = (0usize, 0usize);
+            for at in ats {
+                while iv < vr.len() && vr[iv].0 <= at {
+                    cur_v = vr[iv].1;
+                    iv += 1;
+                }
+                while im < mr.len() && mr[im].0 <= at {
+                    cur_m = mr[im].1;
+                    im += 1;
+                }
+                // A repeated timestamp across runs is the registry's own
+                // merged-table emission at a run boundary; the per-cell
+                // run already covered it.
+                if last_at == Some(at) {
+                    continue;
+                }
+                last_at = Some(at);
+                let dv = cur_v.saturating_sub(prev_v);
+                let dm = cur_m.saturating_sub(prev_m);
+                let _ = writeln!(
+                    out,
+                    "{:>12} {:>12} {:>12} {:>10}",
+                    at,
+                    dv,
+                    dm,
+                    dv as i64 - dm as i64
+                );
+                prev_v = cur_v;
+                prev_m = cur_m;
+            }
+        }
+    }
+
+    // ── Per-tenant blame (final snapshot wins: cells are cumulative) ──
+    let mut last_attribs: BTreeMap<&str, &Vec<AttribCellRecord>> = BTreeMap::new();
+    for s in &stream.snapshots {
+        for (k, cells) in &s.attribs {
+            last_attribs.insert(k, cells);
+        }
+    }
+    let blame: Vec<(&str, &Vec<AttribCellRecord>)> = last_attribs
+        .iter()
+        .filter(|(name, _)| name.ends_with(".faults"))
+        .map(|(name, cells)| (*name, *cells))
+        .collect();
+    if !blame.is_empty() {
+        let _ = writeln!(out, "\n-- per-tenant blame --");
+        let _ = writeln!(
+            out,
+            "{:<16} {:<16} {:>8} {:>8} {:>10}",
+            "table", "category", "evictor", "victim", "count"
+        );
+        for (name, cells) in blame {
+            for c in cells {
+                let _ = writeln!(
+                    out,
+                    "{:<16} {:<16} {:>8} {:>8} {:>10}",
+                    name, c.category, c.evictor, c.victim, c.count
+                );
+            }
         }
     }
 
@@ -432,5 +616,67 @@ mod tests {
     fn rejects_garbage() {
         assert!(parse_stream("{\"t\":\"wat\"}").is_err());
         assert!(parse_stream("not json").is_err());
+    }
+
+    fn attrib_stream() -> String {
+        let obs = ObsHandle::enabled();
+        obs.set_attrib(true);
+        let v = obs.attrib("tlb.vanilla.direct");
+        let m = obs.attrib("tlb.mosaic-4.direct");
+        let f = obs.attrib("mosaic.faults");
+        // Interval 1: vanilla takes 10 conflicts, mosaic 2.
+        for _ in 0..10 {
+            v.charge(mosaic_obs::AttribCategory::Conflict, 1, 1);
+        }
+        m.charge_n(mosaic_obs::AttribCategory::Conflict, 1, 1, 2);
+        f.charge_n(mosaic_obs::AttribCategory::CrossTenant, 1, 2, 7);
+        obs.snapshot(1000);
+        // Interval 2: 5 more vanilla conflicts, mosaic stays flat.
+        v.charge_n(mosaic_obs::AttribCategory::Conflict, 1, 1, 5);
+        f.charge_n(mosaic_obs::AttribCategory::Shootdown, 2, 2, 3);
+        obs.snapshot(2000);
+        obs.render_jsonl()
+    }
+
+    #[test]
+    fn parses_attrib_tables_into_snapshots() {
+        let s = parse_stream(&attrib_stream()).unwrap();
+        assert_eq!(s.snapshots.len(), 2);
+        let first = &s.snapshots[0].attribs["tlb.vanilla.direct"];
+        assert_eq!(
+            first,
+            &vec![AttribCellRecord {
+                category: "conflict".into(),
+                evictor: 1,
+                victim: 1,
+                count: 10,
+            }]
+        );
+        // Cells are cumulative: the second snapshot totals 15.
+        assert_eq!(
+            attrib_category_total(&s.snapshots[1], "tlb.vanilla.direct", "conflict"),
+            15
+        );
+    }
+
+    #[test]
+    fn report_renders_differential_conflict_curve_and_blame() {
+        let s = parse_stream(&attrib_stream()).unwrap();
+        let r = render_report(&s);
+        assert!(r.contains("conflict removed by mosaic-4 @ direct"), "{r}");
+        // Interval deltas: (10 − 2) = 8 removed, then (5 − 0) = 5.
+        assert!(r.contains("        1000           10            2          8"), "{r}");
+        assert!(r.contains("        2000            5            0          5"), "{r}");
+        assert!(r.contains("per-tenant blame"), "{r}");
+        assert!(r.contains("cross_tenant"), "{r}");
+        assert!(r.contains("shootdown"), "{r}");
+    }
+
+    #[test]
+    fn attrib_free_streams_render_without_attrib_sections() {
+        let s = parse_stream(&sample_stream()).unwrap();
+        let r = render_report(&s);
+        assert!(!r.contains("per-tenant blame"));
+        assert!(!r.contains("conflict removed"));
     }
 }

@@ -63,6 +63,9 @@ pub struct ClockMemory {
     stats: PagingStats,
     util: UtilizationTracker,
     obs: MemObs,
+    /// ASID of the in-flight access, for blaming reclaim on the tenant
+    /// whose fault forced it.
+    obs_requester: u16,
 }
 
 impl ClockMemory {
@@ -84,6 +87,7 @@ impl ClockMemory {
             stats: PagingStats::new(),
             util: UtilizationTracker::new(),
             obs: MemObs::noop(),
+            obs_requester: 0,
         }
     }
 
@@ -108,6 +112,8 @@ impl ClockMemory {
             .remove(&victim)
             .ok_or(MosaicError::internal("reclaim only evicts resident pages"))?;
         let entry = self.frames.evict(pfn);
+        self.obs
+            .attrib_evicted(self.obs_requester, victim.asid.0, false);
         self.lru_state.remove(&victim);
         self.stats.live_evictions += 1;
         self.obs.live_evictions.inc();
@@ -197,6 +203,7 @@ impl MemoryManager for ClockMemory {
     ) -> MosaicResult<AccessOutcome> {
         self.stats.accesses += 1;
         self.obs.accesses.inc();
+        self.obs_requester = key.asid.0;
 
         if let Some(&pfn) = self.resident.get(&key) {
             self.frames.touch(pfn, now, kind.is_write());
@@ -244,6 +251,7 @@ impl MemoryManager for ClockMemory {
         } else {
             self.stats.minor_faults += 1;
             self.obs.minor_faults.inc();
+            self.obs.attrib_cold(key.asid.0);
             AccessOutcome::MinorFault
         })
     }

@@ -70,6 +70,9 @@ pub struct LinuxMemory {
     obs: MemObs,
     /// Reference count of the in-flight access, for event timestamps.
     obs_now: u64,
+    /// ASID of the in-flight access, for blaming reclaim on the tenant
+    /// whose fault forced it.
+    obs_requester: u16,
 }
 
 impl LinuxMemory {
@@ -106,6 +109,7 @@ impl LinuxMemory {
             util: UtilizationTracker::new(),
             obs: MemObs::noop(),
             obs_now: 0,
+            obs_requester: 0,
         }
     }
 
@@ -185,8 +189,9 @@ impl LinuxMemory {
 
     /// Evicts `victim` with full displacement accounting (write-back
     /// first, so an I/O error leaves it resident and the reclaim
-    /// retryable).
-    fn evict_page(&mut self, victim: PageKey) -> MosaicResult<()> {
+    /// retryable). `quota_self` marks quota-forced self-evictions for
+    /// the fault-attribution table.
+    fn evict_page(&mut self, victim: PageKey, quota_self: bool) -> MosaicResult<()> {
         let pfn = self
             .resident
             .get(&victim)
@@ -207,6 +212,8 @@ impl LinuxMemory {
         }
         let entry = self.frames.evict(pfn);
         debug_assert_eq!(entry.key, victim);
+        self.obs
+            .attrib_evicted(self.obs_requester, victim.asid.0, quota_self);
         self.stats.live_evictions += 1;
         self.obs.live_evictions.inc();
         if entry.eviction_needs_writeback() {
@@ -254,7 +261,7 @@ impl LinuxMemory {
             }
             self.obs.quota_evictions.inc();
         }
-        self.evict_page(victim)
+        self.evict_page(victim, false)
     }
 
     /// Admission control for a tenant at its cap: evict its own LRU
@@ -273,7 +280,7 @@ impl LinuxMemory {
                 .and_then(|q| q.own_lru_oldest(key.asid));
             match own {
                 Some(victim) => {
-                    self.evict_page(victim)?;
+                    self.evict_page(victim, true)?;
                     if let Some(q) = self.quotas.as_mut() {
                         q.note_self_eviction();
                     }
@@ -340,6 +347,7 @@ impl MemoryManager for LinuxMemory {
         self.stats.accesses += 1;
         self.obs.accesses.inc();
         self.obs_now = now;
+        self.obs_requester = key.asid.0;
 
         if let Some(&pfn) = self.resident.get(&key) {
             self.frames.touch(pfn, now, kind.is_write());
@@ -398,6 +406,7 @@ impl MemoryManager for LinuxMemory {
         } else {
             self.stats.minor_faults += 1;
             self.obs.minor_faults.inc();
+            self.obs.attrib_cold(key.asid.0);
             AccessOutcome::MinorFault
         })
     }
@@ -427,6 +436,7 @@ impl MemoryManager for LinuxMemory {
         if let Some(q) = self.quotas.as_mut() {
             q.remove_tenant(asid);
         }
+        self.obs.attrib_shootdown(asid.0, freed);
         freed
     }
 

@@ -76,6 +76,9 @@ pub struct MosaicMemory {
     /// Timestamp of the in-flight access, for event records emitted from
     /// helpers that do not receive `now` (swap I/O, the alloc gate).
     obs_now: u64,
+    /// ASID of the in-flight access, so evictions deep in the allocator
+    /// can be blamed on the tenant that forced them.
+    obs_requester: u16,
 }
 
 impl MosaicMemory {
@@ -107,6 +110,7 @@ impl MosaicMemory {
             util: UtilizationTracker::new(),
             obs: MemObs::noop(),
             obs_now: 0,
+            obs_requester: 0,
         }
     }
 
@@ -305,7 +309,10 @@ impl MosaicMemory {
 
     /// Evicts the page in `pfn`, doing swap-I/O accounting, and returns the
     /// now-free frame. A failed write-back leaves the page resident.
-    fn evict_frame(&mut self, pfn: Pfn) -> MosaicResult<Pfn> {
+    /// `quota_self` marks quota-forced evictions (self-evict/trim) for the
+    /// fault-attribution table; other calls are charged as capacity or
+    /// cross-tenant displacement by comparing victim against requester.
+    fn evict_frame(&mut self, pfn: Pfn, quota_self: bool) -> MosaicResult<Pfn> {
         let needs_writeback = self
             .frames
             .entry(pfn)
@@ -317,6 +324,8 @@ impl MosaicMemory {
             self.swap_io(true)?;
         }
         let entry = self.frames.evict(pfn);
+        self.obs
+            .attrib_evicted(self.obs_requester, entry.key.asid.0, quota_self);
         self.resident.remove(&entry.key);
         self.global_lru.remove(&entry.key);
         if let Some(q) = self.quotas.as_mut() {
@@ -402,7 +411,7 @@ impl MosaicMemory {
                 .get(&victim)
                 .copied()
                 .ok_or(MosaicError::internal("LRU victim is not resident"))?;
-            self.evict_frame(pfn)?;
+            self.evict_frame(pfn, false)?;
         }
 
         let cands = self.candidates(key);
@@ -452,7 +461,7 @@ impl MosaicMemory {
             _ => lru_slot,
         };
         let pfn = self.layout().pfn_of_slot(victim_slot);
-        let freed = self.evict_frame(pfn)?;
+        let freed = self.evict_frame(pfn, false)?;
         if self.policy.uses_ghosts() {
             // Raise the horizon to the candidate-set LRU's access time —
             // regardless of which victim quota ordering picked. A global
@@ -481,7 +490,7 @@ impl MosaicMemory {
                 .oldest_ghost_slot(cands.front_bucket, Yard::Front, self.horizon)
         {
             let pfn = self.layout().pfn_of_slot(slot);
-            return self.evict_frame(pfn).map(Some);
+            return self.evict_frame(pfn, false).map(Some);
         }
         // 3. Power-of-d-choices over the backyard, ghosts not counted.
         let emptiest = cands
@@ -501,7 +510,7 @@ impl MosaicMemory {
                     "live count below capacity implies a free or ghost slot",
                 ))?;
             let pfn = self.layout().pfn_of_slot(slot);
-            return self.evict_frame(pfn).map(Some);
+            return self.evict_frame(pfn, false).map(Some);
         }
         Ok(None)
     }
@@ -516,7 +525,7 @@ impl MosaicMemory {
     fn allocate_at_quota(&mut self, key: PageKey, cands: &CandidateSet) -> MosaicResult<Pfn> {
         if let Some(slot) = self.own_candidate_victim(cands, key.asid) {
             let pfn = self.layout().pfn_of_slot(slot);
-            let freed = self.evict_frame(pfn)?;
+            let freed = self.evict_frame(pfn, true)?;
             if let Some(q) = self.quotas.as_mut() {
                 q.note_self_eviction();
             }
@@ -615,7 +624,7 @@ impl MosaicMemory {
                 // verify() census would flag the drift).
                 return;
             };
-            if self.evict_frame(pfn).is_err() {
+            if self.evict_frame(pfn, true).is_err() {
                 return;
             }
             if let Some(q) = self.quotas.as_mut() {
@@ -636,6 +645,7 @@ impl MemoryManager for MosaicMemory {
         self.stats.accesses += 1;
         self.obs.accesses.inc();
         self.obs_now = now;
+        self.obs_requester = key.asid.0;
 
         if let Some(&pfn) = self.resident.get(&key) {
             let was_ghost = self
@@ -713,6 +723,7 @@ impl MemoryManager for MosaicMemory {
         } else {
             self.stats.minor_faults += 1;
             self.obs.minor_faults.inc();
+            self.obs.attrib_cold(key.asid.0);
             AccessOutcome::MinorFault
         };
         // If a capped tenant took a non-displacing slot, rebalance by
@@ -766,6 +777,7 @@ impl MemoryManager for MosaicMemory {
         if let Some(q) = self.quotas.as_mut() {
             q.remove_tenant(asid);
         }
+        self.obs.attrib_shootdown(asid.0, freed);
         freed
     }
 
@@ -1452,5 +1464,47 @@ mod scanner_mode_tests {
             mm.access(k, AccessKind::Load, u64::MAX / 2);
             assert_eq!(mm.stats().swap_ops(), before);
         }
+    }
+
+    #[test]
+    fn attribution_charges_cold_displacement_and_shootdown() {
+        use mosaic_obs::{AttribCategory, ObsHandle};
+        let obs = ObsHandle::enabled();
+        obs.set_attrib(true);
+        let mut mm =
+            MosaicMemory::new(MemoryLayout::new(IcebergConfig::paper_default(8)), 11);
+        mm.set_obs(&obs, "mosaic");
+        // Two tenants overcommit the machine: every first touch is a cold
+        // fault, and overflow evictions are blamed on whichever tenant's
+        // fault forced them.
+        let frames = mm.layout().num_frames() as u64;
+        let mut now = 0;
+        for n in 0..frames {
+            for asid in [1u16, 2u16] {
+                now += 1;
+                mm.access(PageKey::new(Asid(asid), Vpn(n)), AccessKind::Store, now);
+            }
+        }
+        let table = obs.attrib_table("mosaic.faults");
+        assert_eq!(
+            table.category_total(AttribCategory::Cold),
+            mm.stats().minor_faults,
+            "every demand-zero fault is charged as cold"
+        );
+        let displaced = table.category_total(AttribCategory::CapacityEvict)
+            + table.category_total(AttribCategory::CrossTenant);
+        assert_eq!(
+            displaced,
+            mm.stats().live_evictions + mm.stats().ghost_evictions,
+            "every eviction is charged to exactly one displacement cell"
+        );
+        assert!(
+            table.category_total(AttribCategory::CrossTenant) > 0,
+            "interleaved tenants displace each other"
+        );
+        let freed = mm.release_asid(Asid(2));
+        assert!(freed > 0);
+        let table = obs.attrib_table("mosaic.faults");
+        assert_eq!(table.category_total(AttribCategory::Shootdown), freed);
     }
 }

@@ -13,7 +13,7 @@
 //! undetectable benign ToC flip). So `injected == recovered +
 //! unrecovered`, both as events and as the `<prefix>.fault.*` counters.
 
-use mosaic_obs::{Counter, Gauge, ObsHandle, Value};
+use mosaic_obs::{AttribCategory, AttribHandle, Counter, Gauge, ObsHandle, Value};
 
 /// Per-manager metric handles (all no-ops by default).
 #[derive(Debug, Clone, Default)]
@@ -76,6 +76,10 @@ pub struct MemObs {
     /// retries (distinct from `quota.backoff_ticks`, so degraded
     /// throughput is attributable to bursts vs. quota backpressure).
     pub io_backoff_ticks: Gauge,
+    /// `<prefix>.faults` attribution table: every fault/eviction charged
+    /// to a `(cause, evictor ASID, victim ASID)` cell. A no-op unless
+    /// attribution is opted in on the registry.
+    pub attrib: AttribHandle,
 }
 
 impl MemObs {
@@ -114,6 +118,7 @@ impl MemObs {
             io_burst_remaining: obs.gauge(&format!("{prefix}.fault.io_burst_remaining")),
             retry_budget_spent: obs.gauge(&format!("{prefix}.fault.retry_budget_spent")),
             io_backoff_ticks: obs.gauge(&format!("{prefix}.fault.io_backoff_ticks")),
+            attrib: obs.attrib(&format!("{prefix}.faults")),
         }
     }
 
@@ -191,6 +196,34 @@ impl MemObs {
                 ],
             );
         }
+    }
+
+    /// Charges a demand-zero (first-touch) fault to the faulting tenant.
+    #[inline]
+    pub fn attrib_cold(&self, asid: u16) {
+        self.attrib.charge(AttribCategory::Cold, asid, asid);
+    }
+
+    /// Charges a displacement eviction at evict time: `quota_self`
+    /// marks quota-forced self-evictions/trims; otherwise the cell is
+    /// capacity (evictor == victim) or cross-tenant displacement.
+    #[inline]
+    pub fn attrib_evicted(&self, evictor: u16, victim: u16, quota_self: bool) {
+        let cat = if quota_self {
+            AttribCategory::QuotaSelf
+        } else if evictor == victim {
+            AttribCategory::CapacityEvict
+        } else {
+            AttribCategory::CrossTenant
+        };
+        self.attrib.charge(cat, evictor, victim);
+    }
+
+    /// Charges `freed` frames reclaimed by an exit-time shootdown
+    /// (`release_asid`).
+    #[inline]
+    pub fn attrib_shootdown(&self, asid: u16, freed: u64) {
+        self.attrib.charge_n(AttribCategory::Shootdown, asid, asid, freed);
     }
 
     /// Milestone: the first associativity conflict of the run (Table 3's

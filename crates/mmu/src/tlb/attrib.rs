@@ -1,0 +1,283 @@
+//! 3C miss classification against a shadow fully-associative tag store.
+//!
+//! A [`MissClassifier`] rides alongside a real TLB instance and decides,
+//! for every miss, *why* it happened:
+//!
+//! * **compulsory** — the first-ever reference to the page (at VPN
+//!   granularity, shared between the vanilla and mosaic models so a
+//!   common trace yields identical cold sets);
+//! * **conflict** — a fully-associative LRU TLB with the same entry
+//!   count would have hit: the miss is an artifact of set conflicts,
+//!   exactly the class Mosaic's multi-hash placement targets (Fig. 6);
+//! * **capacity** — even the fully-associative shadow missed: the
+//!   working set exceeds the reach.
+//!
+//! The shadow is tags-only (no payloads) and is touched on every
+//! access so its LRU order tracks the reference stream, not the fill
+//! stream. Caveats (documented in `docs/OBSERVABILITY.md`): sub-entry
+//! misses on a shadow-resident mosaic entry count as conflict (the
+//! fully-associative TLB would have retained the filled sub-entry),
+//! and invalidations drop shadow tags, so post-shootdown re-misses
+//! classify as capacity rather than a dedicated coherence class.
+
+use mosaic_mem::Asid;
+use mosaic_obs::{AttribCategory, AttribHandle};
+use std::collections::{HashMap, HashSet};
+
+/// Per-category miss counts for one TLB instance.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MissBreakdown {
+    /// First-ever references.
+    pub compulsory: u64,
+    /// Missed even in the fully-associative shadow.
+    pub capacity: u64,
+    /// Would have hit fully-associative.
+    pub conflict: u64,
+}
+
+impl MissBreakdown {
+    /// Sum over all three classes (equals the TLB's miss counter).
+    pub fn total(&self) -> u64 {
+        self.compulsory + self.capacity + self.conflict
+    }
+}
+
+/// A fully-associative LRU set of packed `(asid, page)` tags with exact
+/// recency order, implemented as a tick index (deterministic: ties are
+/// impossible because the tick is bumped per touch).
+#[derive(Debug, Clone, Default)]
+struct ShadowLru {
+    capacity: usize,
+    tick: u64,
+    by_tag: HashMap<u64, u64>,
+    by_tick: std::collections::BTreeMap<u64, u64>,
+}
+
+impl ShadowLru {
+    fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            ..Self::default()
+        }
+    }
+
+    /// Touches `tag`, returning whether it was already resident; inserts
+    /// it (evicting the LRU tag if full) when it was not.
+    fn touch_or_insert(&mut self, tag: u64) -> bool {
+        self.tick += 1;
+        if let Some(old) = self.by_tag.insert(tag, self.tick) {
+            self.by_tick.remove(&old);
+            self.by_tick.insert(self.tick, tag);
+            return true;
+        }
+        self.by_tick.insert(self.tick, tag);
+        if self.by_tag.len() > self.capacity {
+            if let Some((&oldest, &victim)) = self.by_tick.iter().next() {
+                self.by_tick.remove(&oldest);
+                self.by_tag.remove(&victim);
+            }
+        }
+        false
+    }
+
+    fn remove(&mut self, tag: u64) {
+        if let Some(tick) = self.by_tag.remove(&tag) {
+            self.by_tick.remove(&tick);
+        }
+    }
+
+    fn retain_asid_not(&mut self, asid: Asid) {
+        let victims: Vec<u64> = self
+            .by_tag
+            .keys()
+            .copied()
+            .filter(|&t| (t >> 48) as u16 == asid.0)
+            .collect();
+        for t in victims {
+            self.remove(t);
+        }
+    }
+
+    fn clear(&mut self) {
+        self.by_tag.clear();
+        self.by_tick.clear();
+        self.tick = 0;
+    }
+}
+
+fn pack(asid: Asid, page: u64) -> u64 {
+    debug_assert!(page < 1 << 48, "page number exceeds 48 bits");
+    (u64::from(asid.0) << 48) | (page & ((1 << 48) - 1))
+}
+
+/// Shadow-tag 3C classifier for one TLB instance.
+///
+/// Created by the TLB's `set_obs` when the handle has attribution
+/// opted in ([`mosaic_obs::ObsHandle::set_attrib`]); absent otherwise,
+/// so the default lookup path pays nothing.
+#[derive(Debug, Clone)]
+pub struct MissClassifier {
+    shadow: ShadowLru,
+    /// First-touch set at VPN granularity (never trimmed: compulsory
+    /// means first-ever in the run, surviving flushes and shootdowns).
+    seen: HashSet<u64>,
+    breakdown: MissBreakdown,
+    sink: AttribHandle,
+}
+
+impl MissClassifier {
+    /// A classifier whose shadow has `entries` tags (the real TLB's
+    /// entry count), charging into `sink`.
+    pub fn new(entries: usize, sink: AttribHandle) -> Self {
+        Self {
+            shadow: ShadowLru::new(entries),
+            seen: HashSet::new(),
+            breakdown: MissBreakdown::default(),
+            sink,
+        }
+    }
+
+    /// Observes one TLB access *after* the real lookup resolved.
+    ///
+    /// `shadow_page` is the tag granularity of the model (VPN for
+    /// vanilla, MVPN for mosaic); `seen_page` is always the VPN so both
+    /// models agree on the cold set. Returns the class charged, or
+    /// `None` on a hit.
+    pub fn observe(
+        &mut self,
+        asid: Asid,
+        shadow_page: u64,
+        seen_page: u64,
+        hit: bool,
+    ) -> Option<AttribCategory> {
+        let first = self.seen.insert(pack(asid, seen_page));
+        let shadow_hit = self.shadow.touch_or_insert(pack(asid, shadow_page));
+        if hit {
+            return None;
+        }
+        let class = if first {
+            self.breakdown.compulsory += 1;
+            AttribCategory::Compulsory
+        } else if shadow_hit {
+            self.breakdown.conflict += 1;
+            AttribCategory::Conflict
+        } else {
+            self.breakdown.capacity += 1;
+            AttribCategory::Capacity
+        };
+        self.sink.charge(class, asid.0, asid.0);
+        Some(class)
+    }
+
+    /// Mirrors an entry invalidation into the shadow.
+    pub fn invalidate(&mut self, asid: Asid, shadow_page: u64) {
+        self.shadow.remove(pack(asid, shadow_page));
+    }
+
+    /// Mirrors an ASID shootdown into the shadow.
+    pub fn flush_asid(&mut self, asid: Asid) {
+        self.shadow.retain_asid_not(asid);
+    }
+
+    /// Mirrors a full flush into the shadow.
+    pub fn flush(&mut self) {
+        self.shadow.clear();
+    }
+
+    /// Per-category counts so far.
+    pub fn breakdown(&self) -> MissBreakdown {
+        self.breakdown
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cls(entries: usize) -> MissClassifier {
+        MissClassifier::new(entries, AttribHandle::noop())
+    }
+
+    const A: Asid = Asid(1);
+
+    #[test]
+    fn first_touch_is_compulsory() {
+        let mut c = cls(4);
+        assert_eq!(c.observe(A, 7, 7, false), Some(AttribCategory::Compulsory));
+        assert_eq!(c.breakdown().compulsory, 1);
+    }
+
+    #[test]
+    fn shadow_hit_miss_is_conflict() {
+        let mut c = cls(4);
+        c.observe(A, 7, 7, false); // cold
+        c.observe(A, 8, 8, true); // unrelated hit keeps 7 warm
+        // 7 re-misses while the 4-entry shadow still holds it.
+        assert_eq!(c.observe(A, 7, 7, false), Some(AttribCategory::Conflict));
+    }
+
+    #[test]
+    fn shadow_miss_is_capacity() {
+        let mut c = cls(2);
+        for p in 0..4u64 {
+            c.observe(A, p, p, false); // cold sweep overflows the shadow
+        }
+        // Page 0 fell out of the 2-entry shadow: capacity.
+        assert_eq!(c.observe(A, 0, 0, false), Some(AttribCategory::Capacity));
+    }
+
+    #[test]
+    fn hits_charge_nothing_but_refresh_lru() {
+        let mut c = cls(2);
+        c.observe(A, 0, 0, false);
+        c.observe(A, 1, 1, false);
+        assert_eq!(c.observe(A, 0, 0, true), None);
+        // 1 is now LRU; inserting 2 evicts it, not 0.
+        c.observe(A, 2, 2, false);
+        assert_eq!(c.observe(A, 0, 0, false), Some(AttribCategory::Conflict));
+        assert_eq!(c.observe(A, 1, 1, false), Some(AttribCategory::Capacity));
+    }
+
+    #[test]
+    fn classes_partition_the_misses() {
+        let mut c = cls(3);
+        let trace = [0u64, 1, 2, 3, 0, 1, 2, 3, 0, 5, 1];
+        let mut misses = 0;
+        for &p in &trace {
+            if c.observe(A, p, p, false).is_some() {
+                misses += 1;
+            }
+        }
+        assert_eq!(c.breakdown().total(), misses);
+    }
+
+    #[test]
+    fn flush_asid_drops_only_that_asid() {
+        let mut c = cls(8);
+        c.observe(Asid(1), 0, 0, false);
+        c.observe(Asid(2), 0, 0, false);
+        c.flush_asid(Asid(1));
+        // ASID 1's tag is gone (capacity, since it was seen before)...
+        assert_eq!(
+            c.observe(Asid(1), 0, 0, false),
+            Some(AttribCategory::Capacity)
+        );
+        // ...but ASID 2's survives (conflict-class re-miss).
+        assert_eq!(
+            c.observe(Asid(2), 0, 0, false),
+            Some(AttribCategory::Conflict)
+        );
+    }
+
+    #[test]
+    fn charges_flow_to_the_sink() {
+        let obs = mosaic_obs::ObsHandle::enabled();
+        obs.set_attrib(true);
+        let mut c = MissClassifier::new(4, obs.attrib("tlb.test"));
+        c.observe(A, 1, 1, false);
+        c.observe(A, 1, 1, false);
+        let t = obs.attrib_table("tlb.test");
+        assert_eq!(t.category_total(AttribCategory::Compulsory), 1);
+        assert_eq!(t.category_total(AttribCategory::Conflict), 1);
+    }
+}

@@ -7,6 +7,7 @@
 //! the mosaic TLB "manages its own space using LRU to evict TLB entries for
 //! an entire mosaic page" (§3.1).
 
+mod attrib;
 mod cache;
 mod coalesce;
 mod mosaic;
@@ -14,6 +15,7 @@ mod obs;
 mod stats;
 mod vanilla;
 
+pub use attrib::{MissBreakdown, MissClassifier};
 pub use cache::{Associativity, SetAssocCache, TlbConfig};
 pub use coalesce::{CoalescedTlb, ColtLookup};
 pub use mosaic::{MosaicLookup, MosaicTlb};

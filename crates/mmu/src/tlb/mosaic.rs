@@ -6,6 +6,7 @@
 //! miss** — the walker refills just that CPFN, leaving the rest of the ToC
 //! intact. Whole entries are evicted LRU on capacity misses.
 
+use super::attrib::{MissBreakdown, MissClassifier};
 use super::cache::{SetAssocCache, TlbConfig};
 use super::obs::TlbObs;
 use super::stats::TlbStats;
@@ -64,6 +65,7 @@ pub struct MosaicTlb {
     unmapped: Cpfn,
     stats: TlbStats,
     obs: TlbObs,
+    classifier: Option<MissClassifier>,
 }
 
 impl MosaicTlb {
@@ -82,15 +84,29 @@ impl MosaicTlb {
             unmapped,
             stats: TlbStats::new(),
             obs: TlbObs::noop(),
+            classifier: None,
         }
     }
 
     /// Exports this TLB's counters as `tlb.<label>.*` on `obs`.
     ///
-    /// A no-op when `obs` is disabled; simulation behavior is
-    /// unchanged either way.
+    /// When `obs` has attribution opted in
+    /// ([`ObsHandle::set_attrib`]), this also attaches a shadow
+    /// fully-associative [`MissClassifier`] (MVPN-granularity tags,
+    /// VPN-granularity cold set) charging 3C classes into the
+    /// `tlb.<label>` attribution table. A no-op when `obs` is
+    /// disabled; simulation behavior is unchanged either way.
     pub fn set_obs(&mut self, obs: &ObsHandle, label: &str) {
         self.obs = TlbObs::register(obs, label);
+        self.classifier = obs.attrib_enabled().then(|| {
+            MissClassifier::new(self.cfg.entries(), obs.attrib(&format!("tlb.{label}")))
+        });
+    }
+
+    /// Per-class miss counts (`None` until attribution is enabled via
+    /// [`MosaicTlb::set_obs`]).
+    pub fn miss_breakdown(&self) -> Option<MissBreakdown> {
+        self.classifier.as_ref().map(MissClassifier::breakdown)
     }
 
     /// The TLB geometry.
@@ -123,7 +139,7 @@ impl MosaicTlb {
         self.stats.accesses += 1;
         self.obs.accesses.inc();
         let (tag, offset) = self.tag(asid, vpn);
-        match self.cache.lookup(tag.mvpn.0 as usize, tag) {
+        let result = match self.cache.lookup(tag.mvpn.0 as usize, tag) {
             Some(toc) => match toc.get(offset) {
                 Some(cpfn) => {
                     self.stats.hits += 1;
@@ -143,7 +159,14 @@ impl MosaicTlb {
                 self.obs.misses.inc();
                 MosaicLookup::Miss
             }
+        };
+        if let Some(c) = &mut self.classifier {
+            // Shadow tags at MVPN granularity (what a fully-associative
+            // mosaic TLB caches); the cold set at VPN granularity (the
+            // unit both models first-touch on a shared trace).
+            c.observe(asid, tag.mvpn.0, vpn.0, result.is_hit());
         }
+        result
     }
 
     /// Fills a whole ToC after a miss, evicting the set's LRU entry if
@@ -191,11 +214,17 @@ impl MosaicTlb {
     pub fn invalidate_entry(&mut self, asid: Asid, vpn: Vpn) {
         let (tag, _) = self.tag(asid, vpn);
         self.cache.invalidate(tag.mvpn.0 as usize, tag);
+        if let Some(c) = &mut self.classifier {
+            c.invalidate(asid, tag.mvpn.0);
+        }
     }
 
     /// Drops every entry (full flush).
     pub fn flush(&mut self) {
         self.cache.flush();
+        if let Some(c) = &mut self.classifier {
+            c.flush();
+        }
     }
 
     /// Drops every entry belonging to `asid`, returning how many entries
@@ -210,6 +239,9 @@ impl MosaicTlb {
         let invalidated = victims.len();
         for (set, tag) in victims {
             self.cache.invalidate(set, tag);
+        }
+        if let Some(c) = &mut self.classifier {
+            c.flush_asid(asid);
         }
         invalidated
     }

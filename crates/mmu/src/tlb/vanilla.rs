@@ -6,6 +6,7 @@
 //! Graph500 (§4.1) — so the model supports both page sizes in one
 //! structure, with the set index derived from each size's own page number.
 
+use super::attrib::{MissBreakdown, MissClassifier};
 use super::cache::{SetAssocCache, TlbConfig};
 use super::obs::TlbObs;
 use super::stats::TlbStats;
@@ -66,6 +67,7 @@ pub struct VanillaTlb {
     cfg: TlbConfig,
     stats: TlbStats,
     obs: TlbObs,
+    classifier: Option<MissClassifier>,
 }
 
 impl VanillaTlb {
@@ -76,15 +78,28 @@ impl VanillaTlb {
             cfg,
             stats: TlbStats::new(),
             obs: TlbObs::noop(),
+            classifier: None,
         }
     }
 
     /// Exports this TLB's counters as `tlb.<label>.*` on `obs`.
     ///
-    /// A no-op when `obs` is disabled; simulation behavior is
-    /// unchanged either way.
+    /// When `obs` has attribution opted in
+    /// ([`ObsHandle::set_attrib`]), this also attaches a shadow
+    /// fully-associative [`MissClassifier`] charging 3C classes into
+    /// the `tlb.<label>` attribution table. A no-op when `obs` is
+    /// disabled; simulation behavior is unchanged either way.
     pub fn set_obs(&mut self, obs: &ObsHandle, label: &str) {
         self.obs = TlbObs::register(obs, label);
+        self.classifier = obs.attrib_enabled().then(|| {
+            MissClassifier::new(self.cfg.entries(), obs.attrib(&format!("tlb.{label}")))
+        });
+    }
+
+    /// Per-class miss counts (`None` until attribution is enabled via
+    /// [`VanillaTlb::set_obs`]).
+    pub fn miss_breakdown(&self) -> Option<MissBreakdown> {
+        self.classifier.as_ref().map(MissClassifier::breakdown)
     }
 
     /// The TLB geometry.
@@ -121,24 +136,29 @@ impl VanillaTlb {
     pub fn lookup(&mut self, asid: Asid, vpn: Vpn) -> VanillaLookup {
         self.stats.accesses += 1;
         self.obs.accesses.inc();
-        let base = Self::base_tag(asid, vpn);
-        if let Some(e) = self.cache.lookup(vpn.0 as usize, base) {
-            let pfn = e.pfn;
+        let result = 'probe: {
+            let base = Self::base_tag(asid, vpn);
+            if let Some(e) = self.cache.lookup(vpn.0 as usize, base) {
+                break 'probe VanillaLookup::HitBase(e.pfn);
+            }
+            let huge = Self::huge_tag(asid, vpn);
+            if let Some(e) = self.cache.lookup(huge.page as usize, huge) {
+                // Derive the base frame within the huge mapping.
+                break 'probe VanillaLookup::HitHuge(Pfn(e.pfn.0 + (vpn.0 % HUGE_PAGE_SPAN)));
+            }
+            VanillaLookup::Miss
+        };
+        if result.is_hit() {
             self.stats.hits += 1;
             self.obs.hits.inc();
-            return VanillaLookup::HitBase(pfn);
+        } else {
+            self.stats.misses += 1;
+            self.obs.misses.inc();
         }
-        let huge = Self::huge_tag(asid, vpn);
-        if let Some(e) = self.cache.lookup(huge.page as usize, huge) {
-            // Derive the base frame within the huge mapping.
-            let pfn = Pfn(e.pfn.0 + (vpn.0 % HUGE_PAGE_SPAN));
-            self.stats.hits += 1;
-            self.obs.hits.inc();
-            return VanillaLookup::HitHuge(pfn);
+        if let Some(c) = &mut self.classifier {
+            c.observe(asid, vpn.0, vpn.0, result.is_hit());
         }
-        self.stats.misses += 1;
-        self.obs.misses.inc();
-        VanillaLookup::Miss
+        result
     }
 
     /// Fills a 4 KiB entry after a walk.
@@ -169,11 +189,17 @@ impl VanillaTlb {
     pub fn invalidate(&mut self, asid: Asid, vpn: Vpn) {
         self.cache
             .invalidate(vpn.0 as usize, Self::base_tag(asid, vpn));
+        if let Some(c) = &mut self.classifier {
+            c.invalidate(asid, vpn.0);
+        }
     }
 
     /// Drops every entry (full flush).
     pub fn flush(&mut self) {
         self.cache.flush();
+        if let Some(c) = &mut self.classifier {
+            c.flush();
+        }
     }
 
     /// Drops every entry belonging to `asid` (a context-switch shootdown
@@ -189,6 +215,9 @@ impl VanillaTlb {
         let invalidated = victims.len();
         for (set, tag) in victims {
             self.cache.invalidate(set, tag);
+        }
+        if let Some(c) = &mut self.classifier {
+            c.flush_asid(asid);
         }
         invalidated
     }

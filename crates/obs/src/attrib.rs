@@ -1,0 +1,280 @@
+//! Miss/fault attribution tables.
+//!
+//! An [`AttribTable`] charges every classified miss (or memory fault)
+//! to a `(category, evictor ASID, victim ASID)` cell. TLB misses use
+//! the classic 3C taxonomy (compulsory / capacity / conflict, decided
+//! against a shadow fully-associative LRU tag store); memory faults use
+//! a reclaim-cause taxonomy (cold / capacity eviction / cross-tenant
+//! displacement / quota self-eviction / shootdown-induced) recorded at
+//! evict time.
+//!
+//! Tables live in the [`crate::ObsHandle`] registry next to counters
+//! and histograms: they snapshot into deterministic JSONL
+//! (`{"t":"attrib",...}` records), merge cell-wise in
+//! [`crate::ObsHandle::merge_from`] (addition is commutative, so
+//! parallel cells merged in any fixed order serialize identically),
+//! and cost nothing when attribution is off — [`AttribHandle`] is an
+//! `Option` just like [`crate::Counter`].
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+/// Why a classified miss or fault happened.
+///
+/// Codes are stable across releases: they define the JSONL wire order
+/// and the packed cell-key layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum AttribCategory {
+    /// TLB: first-ever reference to the page — no finite TLB avoids it.
+    Compulsory = 0,
+    /// TLB: the shadow fully-associative TLB of equal capacity would
+    /// also miss — the working set simply exceeds the reach.
+    Capacity = 1,
+    /// TLB: the shadow fully-associative TLB would have hit — the miss
+    /// is an artifact of limited associativity (set conflicts).
+    Conflict = 2,
+    /// Memory: first-ever fault on the page (demand-zero fill).
+    Cold = 3,
+    /// Memory: eviction under capacity pressure where the evictor and
+    /// the victim are the same tenant.
+    CapacityEvict = 4,
+    /// Memory: eviction where one tenant displaced another's page.
+    CrossTenant = 5,
+    /// Memory: an over-quota tenant forced to evict its own page
+    /// before admission (quota self-eviction or trim).
+    QuotaSelf = 6,
+    /// Memory: frame reclaimed by an exit-time shootdown
+    /// (`release_asid`).
+    Shootdown = 7,
+}
+
+impl AttribCategory {
+    /// Every category, in code order.
+    pub const ALL: [AttribCategory; 8] = [
+        AttribCategory::Compulsory,
+        AttribCategory::Capacity,
+        AttribCategory::Conflict,
+        AttribCategory::Cold,
+        AttribCategory::CapacityEvict,
+        AttribCategory::CrossTenant,
+        AttribCategory::QuotaSelf,
+        AttribCategory::Shootdown,
+    ];
+
+    /// Stable wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AttribCategory::Compulsory => "compulsory",
+            AttribCategory::Capacity => "capacity",
+            AttribCategory::Conflict => "conflict",
+            AttribCategory::Cold => "cold",
+            AttribCategory::CapacityEvict => "capacity_evict",
+            AttribCategory::CrossTenant => "cross_tenant",
+            AttribCategory::QuotaSelf => "quota_self",
+            AttribCategory::Shootdown => "shootdown",
+        }
+    }
+
+    /// Inverse of [`AttribCategory::name`].
+    pub fn from_name(name: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|c| c.name() == name)
+    }
+
+    /// Decodes a stable wire code.
+    pub fn from_code(code: u8) -> Option<Self> {
+        Self::ALL.get(code as usize).copied()
+    }
+}
+
+/// One non-zero attribution cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AttribCell {
+    /// Why the miss/fault was charged.
+    pub category: AttribCategory,
+    /// The ASID whose access caused the miss or forced the eviction.
+    pub evictor: u16,
+    /// The ASID whose entry/page was lost (equal to `evictor` for
+    /// self-inflicted categories).
+    pub victim: u16,
+    /// Charges accumulated in this cell.
+    pub count: u64,
+}
+
+/// Packs `(category, evictor, victim)` into the sorted cell key:
+/// category in the high bits so iteration groups by category, then by
+/// evictor, then victim.
+fn pack(category: AttribCategory, evictor: u16, victim: u16) -> u64 {
+    ((category as u64) << 32) | (u64::from(evictor) << 16) | u64::from(victim)
+}
+
+fn unpack(key: u64) -> Option<(AttribCategory, u16, u16)> {
+    let cat = AttribCategory::from_code((key >> 32) as u8)?;
+    Some((cat, (key >> 16) as u16, key as u16))
+}
+
+/// A sparse `(category, evictor, victim) → count` table.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AttribTable {
+    cells: BTreeMap<u64, u64>,
+}
+
+impl AttribTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n` to one cell.
+    pub fn charge_n(&mut self, category: AttribCategory, evictor: u16, victim: u16, n: u64) {
+        *self.cells.entry(pack(category, evictor, victim)).or_insert(0) += n;
+    }
+
+    /// Adds 1 to one cell.
+    pub fn charge(&mut self, category: AttribCategory, evictor: u16, victim: u16) {
+        self.charge_n(category, evictor, victim, 1);
+    }
+
+    /// Cell-wise addition (commutative and associative — the property
+    /// the parallel merge relies on).
+    pub fn merge(&mut self, other: &AttribTable) {
+        for (&key, &n) in &other.cells {
+            *self.cells.entry(key).or_insert(0) += n;
+        }
+    }
+
+    /// Every non-zero cell in deterministic (category, evictor, victim)
+    /// order.
+    pub fn cells(&self) -> Vec<AttribCell> {
+        self.cells
+            .iter()
+            .filter(|&(_, &n)| n > 0)
+            .filter_map(|(&key, &count)| {
+                unpack(key).map(|(category, evictor, victim)| AttribCell {
+                    category,
+                    evictor,
+                    victim,
+                    count,
+                })
+            })
+            .collect()
+    }
+
+    /// Total charges in one category, summed over ASID pairs.
+    pub fn category_total(&self, category: AttribCategory) -> u64 {
+        self.cells
+            .range(pack(category, 0, 0)..=pack(category, u16::MAX, u16::MAX))
+            .map(|(_, &n)| n)
+            .sum()
+    }
+
+    /// Total charges across all cells.
+    pub fn total(&self) -> u64 {
+        self.cells.values().sum()
+    }
+
+    /// Whether no cell has been charged.
+    pub fn is_empty(&self) -> bool {
+        self.cells.values().all(|&n| n == 0)
+    }
+}
+
+/// A named attribution-table handle: a mutex-guarded charge when
+/// attribution is on, a branch on `None` when not (the default — the
+/// hot path stays free unless `--attrib` asked for the taxonomy).
+#[derive(Debug, Clone, Default)]
+pub struct AttribHandle(pub(crate) Option<Arc<Mutex<AttribTable>>>);
+
+impl AttribHandle {
+    /// A disabled handle (all operations are no-ops).
+    pub const fn noop() -> Self {
+        AttribHandle(None)
+    }
+
+    /// Whether charges are recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Charges one miss/fault to `(category, evictor, victim)`.
+    #[inline]
+    pub fn charge(&self, category: AttribCategory, evictor: u16, victim: u16) {
+        if let Some(t) = &self.0 {
+            crate::lock(t).charge(category, evictor, victim);
+        }
+    }
+
+    /// Charges `n` at once.
+    #[inline]
+    pub fn charge_n(&self, category: AttribCategory, evictor: u16, victim: u16, n: u64) {
+        if n > 0 {
+            if let Some(t) = &self.0 {
+                crate::lock(t).charge_n(category, evictor, victim, n);
+            }
+        }
+    }
+
+    /// Copies out the current table (empty when disabled).
+    pub fn snapshot(&self) -> AttribTable {
+        self.0
+            .as_ref()
+            .map_or_else(AttribTable::new, |t| crate::lock(t).clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_orders_by_category_then_asids() {
+        let mut t = AttribTable::new();
+        t.charge(AttribCategory::Conflict, 2, 1);
+        t.charge(AttribCategory::Compulsory, 9, 9);
+        t.charge(AttribCategory::Conflict, 1, 3);
+        let cells = t.cells();
+        assert_eq!(cells[0].category, AttribCategory::Compulsory);
+        assert_eq!(
+            (cells[1].evictor, cells[1].victim),
+            (1, 3),
+            "within a category, evictor sorts first"
+        );
+        assert_eq!((cells[2].evictor, cells[2].victim), (2, 1));
+    }
+
+    #[test]
+    fn merge_is_commutative() {
+        let mut a = AttribTable::new();
+        a.charge_n(AttribCategory::Cold, 1, 1, 5);
+        a.charge(AttribCategory::CrossTenant, 1, 2);
+        let mut b = AttribTable::new();
+        b.charge_n(AttribCategory::Cold, 1, 1, 3);
+        b.charge(AttribCategory::Shootdown, 2, 2);
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.category_total(AttribCategory::Cold), 8);
+        assert_eq!(ab.total(), 10);
+    }
+
+    #[test]
+    fn category_names_round_trip() {
+        for c in AttribCategory::ALL {
+            assert_eq!(AttribCategory::from_name(c.name()), Some(c));
+            assert_eq!(AttribCategory::from_code(c as u8), Some(c));
+        }
+        assert_eq!(AttribCategory::from_name("nope"), None);
+        assert_eq!(AttribCategory::from_code(99), None);
+    }
+
+    #[test]
+    fn noop_handle_is_inert() {
+        let h = AttribHandle::noop();
+        assert!(!h.is_enabled());
+        h.charge(AttribCategory::Conflict, 1, 1);
+        assert!(h.snapshot().is_empty());
+    }
+}

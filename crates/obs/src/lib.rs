@@ -38,14 +38,16 @@
 #![warn(missing_docs)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
+pub mod attrib;
 pub mod fmt;
 pub mod hist;
 pub mod json;
 
+pub use attrib::{AttribCategory, AttribCell, AttribHandle, AttribTable};
 pub use hist::Histo;
 
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 
 /// Locks a mutex, recovering the data from a poisoned lock (metrics
@@ -153,6 +155,13 @@ enum Record {
         name: String,
         fields: Vec<(String, Value)>,
     },
+    /// Attribution-table snapshot: every non-zero
+    /// `(category, evictor, victim)` cell at the instant.
+    Attrib {
+        now: u64,
+        name: String,
+        cells: Vec<AttribCell>,
+    },
 }
 
 /// Shared state behind an enabled [`ObsHandle`].
@@ -161,6 +170,16 @@ struct ObsCore {
     counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
     gauges: Mutex<BTreeMap<String, Arc<AtomicU64>>>, // f64 bits
     hists: Mutex<BTreeMap<String, Arc<Mutex<Histo>>>>,
+    attribs: Mutex<BTreeMap<String, Arc<Mutex<AttribTable>>>>,
+    /// Cells as of each table's last emission: [`ObsHandle::snapshot`]
+    /// re-emits a table only when it changed, so registries that keep
+    /// snapshotting after a table froze (e.g. a grid driver's reference
+    /// pass for the *next* workload) don't replay stale tables into the
+    /// stream.
+    attrib_emitted: Mutex<BTreeMap<String, Vec<AttribCell>>>,
+    /// Attribution opt-in (`--attrib`): when false, [`ObsHandle::attrib`]
+    /// hands out no-ops so the classifier shadow structures stay off.
+    attrib_on: AtomicBool,
     records: Mutex<Vec<Record>>,
 }
 
@@ -316,6 +335,73 @@ impl ObsHandle {
         }
     }
 
+    /// Turns attribution recording on or off. Off (the default) keeps
+    /// [`ObsHandle::attrib`] handing out no-ops, so existing streams
+    /// and goldens are byte-identical and the shadow classifiers never
+    /// allocate.
+    pub fn set_attrib(&self, on: bool) {
+        if let Some(core) = &self.core {
+            core.attrib_on.store(on, Ordering::Relaxed);
+        }
+    }
+
+    /// Whether attribution recording is on (always false when the
+    /// handle itself is disabled).
+    pub fn attrib_enabled(&self) -> bool {
+        self.core
+            .as_ref()
+            .is_some_and(|c| c.attrib_on.load(Ordering::Relaxed))
+    }
+
+    /// Registers (or re-fetches) the attribution table `name`.
+    ///
+    /// Returns a no-op handle unless the registry is enabled *and*
+    /// attribution is opted in via [`ObsHandle::set_attrib`].
+    pub fn attrib(&self, name: &str) -> AttribHandle {
+        if !self.attrib_enabled() {
+            return AttribHandle::noop();
+        }
+        match &self.core {
+            None => AttribHandle::noop(),
+            Some(core) => {
+                let mut map = lock(&core.attribs);
+                let cell = map
+                    .entry(name.to_string())
+                    .or_insert_with(|| Arc::new(Mutex::new(AttribTable::new())));
+                AttribHandle(Some(Arc::clone(cell)))
+            }
+        }
+    }
+
+    /// Copy of the attribution table `name` (empty if unknown).
+    pub fn attrib_table(&self, name: &str) -> AttribTable {
+        self.core.as_ref().map_or_else(AttribTable::new, |core| {
+            lock(&core.attribs)
+                .get(name)
+                .map_or_else(AttribTable::new, |t| lock(t).clone())
+        })
+    }
+
+    /// Names of every registered attribution table, sorted.
+    pub fn attrib_names(&self) -> Vec<String> {
+        self.core.as_ref().map_or_else(Vec::new, |core| {
+            lock(&core.attribs).keys().cloned().collect()
+        })
+    }
+
+    /// A fresh child registry for a parallel cell: enabled iff this
+    /// handle is, with the attribution opt-in propagated. Merge it back
+    /// with [`ObsHandle::merge_from`] in a fixed order after the join.
+    pub fn child(&self) -> ObsHandle {
+        if self.is_enabled() {
+            let c = ObsHandle::enabled();
+            c.set_attrib(self.attrib_enabled());
+            c
+        } else {
+            ObsHandle::noop()
+        }
+    }
+
     /// Current value of counter `name` (0 if unknown or disabled).
     pub fn counter_value(&self, name: &str) -> u64 {
         self.core.as_ref().map_or(0, |core| {
@@ -389,6 +475,19 @@ impl ObsHandle {
                 buckets: h.nonzero_buckets(),
             });
         }
+        for (name, cell) in lock(&core.attribs).iter() {
+            let cells = lock(cell).cells();
+            let mut emitted = lock(&core.attrib_emitted);
+            if emitted.get(name) == Some(&cells) {
+                continue; // unchanged since last emission
+            }
+            emitted.insert(name.clone(), cells.clone());
+            batch.push(Record::Attrib {
+                now,
+                name: name.clone(),
+                cells,
+            });
+        }
         lock(&core.records).extend(batch);
     }
 
@@ -419,6 +518,26 @@ impl ObsHandle {
             if let Some(h) = &ours.0 {
                 lock(h).merge(&theirs);
             }
+        }
+        for (name, cell) in lock(&child_core.attribs).iter() {
+            let theirs = lock(cell).clone();
+            // Merge directly into the registry, bypassing the attrib_on
+            // gate: the child only has a table because attribution was
+            // on when it recorded, and dropping data at the join would
+            // make `--jobs N` diverge from the serial run.
+            let mut map = lock(&core.attribs);
+            let ours = map
+                .entry(name.clone())
+                .or_insert_with(|| Arc::new(Mutex::new(AttribTable::new())));
+            lock(ours).merge(&theirs);
+            // The child's appended records already carry its table's
+            // final state, so mark the merged result as emitted: a
+            // later parent snapshot re-emits the table only if *new*
+            // cells are charged after the join. Re-emitting the plain
+            // sum would corrupt delta-walks over the stream (the sum
+            // spans runs the per-cell series kept separate).
+            let merged = lock(ours).cells();
+            lock(&core.attrib_emitted).insert(name.clone(), merged);
         }
         let child_records = lock(&child_core.records).clone();
         lock(&core.records).extend(child_records);
@@ -547,6 +666,22 @@ fn render_jsonl_record(out: &mut String, rec: &Record) {
             write_fields_obj(out, fields);
             out.push('}');
         }
+        Record::Attrib { now, name, cells } => {
+            out.push_str("{\"t\":\"attrib\",\"ref\":");
+            let _ = write!(out, "{now}");
+            out.push_str(",\"name\":");
+            json::write_str(out, name);
+            out.push_str(",\"cells\":[");
+            for (i, c) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str("[\"");
+                out.push_str(c.category.name());
+                let _ = write!(out, "\",{},{},{}]", c.evictor, c.victim, c.count);
+            }
+            out.push_str("]}");
+        }
     }
 }
 
@@ -605,6 +740,24 @@ fn render_trace_record(out: &mut String, rec: &Record) -> bool {
             let _ = write!(out, ",\"ph\":\"i\",\"ts\":{now},\"pid\":0,\"tid\":0,\"s\":\"g\",\"args\":");
             write_fields_obj(out, fields);
             out.push('}');
+            true
+        }
+        Record::Attrib { now, name, cells } => {
+            // Per-category totals render as one counter track per table.
+            out.push_str("{\"name\":");
+            json::write_str(out, name);
+            let _ = write!(out, ",\"ph\":\"C\",\"ts\":{now},\"pid\":0,\"tid\":0,\"args\":{{");
+            let mut totals: BTreeMap<&str, u64> = BTreeMap::new();
+            for c in cells {
+                *totals.entry(c.category.name()).or_insert(0) += c.count;
+            }
+            for (i, (cat, n)) in totals.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "\"{cat}\":{n}");
+            }
+            out.push_str("}}");
             true
         }
     }
@@ -773,6 +926,55 @@ mod tests {
             parent.render_jsonl()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn attrib_is_gated_behind_opt_in() {
+        let obs = ObsHandle::enabled();
+        assert!(!obs.attrib_enabled());
+        let off = obs.attrib("tlb.v");
+        off.charge(AttribCategory::Conflict, 1, 1);
+        obs.snapshot(10);
+        assert!(!obs.render_jsonl().contains("\"attrib\""), "off = no records");
+
+        obs.set_attrib(true);
+        let on = obs.attrib("tlb.v");
+        on.charge(AttribCategory::Conflict, 1, 2);
+        on.charge_n(AttribCategory::Compulsory, 1, 1, 3);
+        obs.snapshot(20);
+        let text = obs.render_jsonl();
+        assert!(
+            text.contains("{\"t\":\"attrib\",\"ref\":20,\"name\":\"tlb.v\",\"cells\":[[\"compulsory\",1,1,3],[\"conflict\",1,2,1]]}"),
+            "{text}"
+        );
+        assert_eq!(obs.attrib_table("tlb.v").total(), 4);
+        assert_eq!(obs.attrib_names(), vec!["tlb.v".to_string()]);
+    }
+
+    #[test]
+    fn attrib_merges_cell_wise() {
+        let parent = ObsHandle::enabled();
+        parent.set_attrib(true);
+        parent.attrib("faults").charge(AttribCategory::Cold, 1, 1);
+        let child = parent.child();
+        assert!(child.attrib_enabled(), "child inherits the opt-in");
+        child.attrib("faults").charge_n(AttribCategory::Cold, 1, 1, 4);
+        child
+            .attrib("faults")
+            .charge(AttribCategory::CrossTenant, 2, 1);
+        parent.merge_from(&child);
+        let t = parent.attrib_table("faults");
+        assert_eq!(t.category_total(AttribCategory::Cold), 5);
+        assert_eq!(t.category_total(AttribCategory::CrossTenant), 1);
+    }
+
+    #[test]
+    fn noop_child_of_disabled_handle() {
+        let off = ObsHandle::noop();
+        assert!(!off.child().is_enabled());
+        assert!(!off.attrib("x").is_enabled());
+        off.set_attrib(true); // no core to set: stays off
+        assert!(!off.attrib_enabled());
     }
 
     #[test]

@@ -1,0 +1,152 @@
+//! Property tests for [`ObsHandle::merge_from`] — the join side of
+//! per-thread observability (vendored proptest shim).
+//!
+//! The parallel engine hands every cell its own enabled child handle
+//! and merges the children back after the threads join. Two algebraic
+//! guarantees make `--jobs N` byte-identical to `--jobs 1`:
+//!
+//! 1. **Serial equivalence**: merging children that each recorded a
+//!    slice of the work leaves the parent's aggregate state (counters,
+//!    histograms, attribution tables) identical to one handle that
+//!    recorded everything itself.
+//! 2. **Order-insensitivity**: the aggregate state is the same for any
+//!    merge permutation — counters add, histograms merge bucket-wise,
+//!    attribution cells add — so thread scheduling cannot leak into
+//!    the merged registry. (The buffered *record stream* is ordered by
+//!    construction: the engine always merges in cell-input order.)
+
+use mosaic_obs::{AttribCategory, AttribTable, Histo, ObsHandle};
+use proptest::prelude::*;
+
+const COUNTERS: [&str; 3] = ["tlb.accesses", "tlb.misses", "mem.faults"];
+const HISTS: [&str; 2] = ["iceberg.probe", "swap.latency"];
+const TABLES: [&str; 2] = ["tlb.vanilla.direct", "mosaic.faults"];
+
+/// One instrument operation a child cell might perform.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Count(usize, u64),
+    Hist(usize, u64),
+    Attrib(usize, usize, u16, u16, u64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0usize..COUNTERS.len(), 0u64..1_000).prop_map(|(i, n)| Op::Count(i, n)),
+        (0usize..HISTS.len(), 0u64..100_000).prop_map(|(i, v)| Op::Hist(i, v)),
+        (
+            0usize..TABLES.len(),
+            0usize..AttribCategory::ALL.len(),
+            0u16..4,
+            0u16..4,
+            1u64..50,
+        )
+            .prop_map(|(t, c, e, v, n)| Op::Attrib(t, c, e, v, n)),
+    ]
+}
+
+fn apply(h: &ObsHandle, ops: &[Op]) {
+    for &op in ops {
+        match op {
+            Op::Count(i, n) => h.counter(COUNTERS[i]).add(n),
+            Op::Hist(i, v) => h.histogram(HISTS[i]).record(v),
+            Op::Attrib(t, c, e, v, n) => {
+                h.attrib(TABLES[t])
+                    .charge_n(AttribCategory::ALL[c], e, v, n);
+            }
+        }
+    }
+}
+
+/// The parent's aggregate state, read back through the public API.
+fn state(h: &ObsHandle) -> (Vec<u64>, Vec<Histo>, Vec<AttribTable>) {
+    (
+        COUNTERS.iter().map(|n| h.counter_value(n)).collect(),
+        HISTS.iter().map(|n| h.histogram(n).snapshot()).collect(),
+        TABLES.iter().map(|n| h.attrib_table(n)).collect(),
+    )
+}
+
+/// A parent with attribution opted in (children inherit via `child()`).
+fn parent() -> ObsHandle {
+    let h = ObsHandle::enabled();
+    h.set_attrib(true);
+    h
+}
+
+/// Deterministic Fisher–Yates permutation of `0..n` from `seed`.
+fn permutation(n: usize, seed: u64) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..n).collect();
+    let mut state = seed;
+    for i in (1..n).rev() {
+        // SplitMix64 step.
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        idx.swap(i, (z % (i as u64 + 1)) as usize);
+    }
+    idx
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn merging_children_equals_serial_recording(
+        children in prop::collection::vec(
+            prop::collection::vec(op_strategy(), 0..40),
+            3..6,
+        ),
+        perm_seed in any::<u64>(),
+    ) {
+        // Serial reference: one handle records every child's ops.
+        let serial = parent();
+        for ops in &children {
+            apply(&serial, ops);
+        }
+
+        // Parallel shape, merged in input order.
+        let in_order = parent();
+        let cells: Vec<ObsHandle> = children
+            .iter()
+            .map(|ops| {
+                let c = in_order.child();
+                apply(&c, ops);
+                c
+            })
+            .collect();
+        for c in &cells {
+            in_order.merge_from(c);
+        }
+        prop_assert_eq!(state(&in_order), state(&serial));
+
+        // Same children merged in an arbitrary permutation: aggregate
+        // state must not depend on join order.
+        let permuted = parent();
+        let cells: Vec<ObsHandle> = children
+            .iter()
+            .map(|ops| {
+                let c = permuted.child();
+                apply(&c, ops);
+                c
+            })
+            .collect();
+        for &i in &permutation(cells.len(), perm_seed) {
+            permuted.merge_from(&cells[i]);
+        }
+        prop_assert_eq!(state(&permuted), state(&serial));
+    }
+
+    #[test]
+    fn merging_a_fresh_child_is_identity(
+        ops in prop::collection::vec(op_strategy(), 0..60),
+    ) {
+        let h = parent();
+        apply(&h, &ops);
+        let before = state(&h);
+        h.merge_from(&h.child());
+        prop_assert_eq!(state(&h), before);
+    }
+}

@@ -162,9 +162,10 @@ pub fn run_workload_observed(
 }
 
 /// One cell of the parallel grid: which TLB design at which
-/// associativity.
+/// associativity. Shared with the attribution experiment
+/// ([`crate::attrib`]), whose TLB cells are exactly Figure 6 cells.
 #[derive(Debug, Clone, Copy)]
-enum CellSpec {
+pub(crate) enum CellSpec {
     Vanilla(Associativity),
     Mosaic(Associativity, Arity),
 }
@@ -270,7 +271,7 @@ impl CellSim<'_> {
 /// Runs one cell: replays the shared reference stream against a private
 /// TLB + walker, snapshotting its child registry at the recorded
 /// positions so merged observability matches a serial run's cadence.
-fn run_fig6_cell(
+pub(crate) fn run_fig6_cell(
     os: &OsModel,
     trace: &TraceBuffer,
     tlb_entries: usize,
@@ -414,9 +415,9 @@ pub fn run_workload_observed_jobs(
     // vanilla cell then one mosaic cell per arity).
     let mut inputs: Vec<(CellSpec, mosaic_obs::ObsHandle)> = Vec::new();
     for &assoc in &cfg.associativities {
-        inputs.push((CellSpec::Vanilla(assoc), child_handle(obs)));
+        inputs.push((CellSpec::Vanilla(assoc), obs.child()));
         for &arity in &cfg.arities {
-            inputs.push((CellSpec::Mosaic(assoc, arity), child_handle(obs)));
+            inputs.push((CellSpec::Mosaic(assoc, arity), obs.child()));
         }
     }
     let outcomes = run_cells(jobs, inputs, |_, (spec, child)| {
@@ -445,16 +446,6 @@ pub fn run_workload_observed_jobs(
         obs.snapshot(user_accesses);
     }
     rows
-}
-
-/// A private enabled registry for one cell when observability is on, a
-/// noop handle otherwise.
-pub(crate) fn child_handle(obs: &mosaic_obs::ObsHandle) -> mosaic_obs::ObsHandle {
-    if obs.is_enabled() {
-        mosaic_obs::ObsHandle::enabled()
-    } else {
-        mosaic_obs::ObsHandle::noop()
-    }
 }
 
 /// Renders one workload's rows as the paper lays Figure 6 out: one row

@@ -32,6 +32,7 @@
 // Production code returns typed errors; .unwrap() is for tests only.
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
+pub mod attrib;
 pub mod dcache;
 pub mod dual;
 pub mod fig6;
@@ -43,6 +44,10 @@ pub mod pressure;
 pub mod report;
 pub mod trace_buffer;
 
+pub use attrib::{
+    conflict_removed, explained_by_conflict_pct, run_attrib, AttribConfig, AttribReport,
+    AttribWorkload, MemAttribRow, TlbAttribRow,
+};
 pub use dcache::{run_coloring, ColoringResult, DataCache, Placement};
 pub use dual::{DualSim, KernelConfig};
 pub use fig6::{Fig6Config, Fig6Row, TlbKind};

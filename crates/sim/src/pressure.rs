@@ -577,7 +577,7 @@ pub fn run_table4_cells(
     let mut inputs = Vec::new();
     for &w in &PressureWorkload::ALL {
         for &r in ratios {
-            inputs.push((w, r, crate::fig6::child_handle(obs)));
+            inputs.push((w, r, obs.child()));
         }
     }
     let outcomes = run_cells(jobs, inputs, |i, (w, r, child)| {

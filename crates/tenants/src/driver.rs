@@ -548,9 +548,15 @@ pub struct TenantsRow {
 /// `verify()` at the configured interval, and a final sample + verify.
 /// Exits release the retiring ASID's frames (no swap I/O) and do not
 /// advance the reference clock.
+///
+/// `peer` is the *other* manager sharing the registry: each
+/// `--obs-interval` tick publishes it too, so every snapshot carries a
+/// consistent view of BOTH managers (counters and, with `--attrib`,
+/// attribution tables) rather than leaving the idle one stale.
 #[allow(clippy::too_many_arguments)]
 fn drive_schedule(
     manager: &mut dyn MemoryManager,
+    peer: Option<&dyn MemoryManager>,
     schedule: &Schedule,
     quotas: Option<&QuotaPlan>,
     warmup_bytes: u64,
@@ -613,6 +619,9 @@ fn drive_schedule(
                 }
                 if obs_interval > 0 && counter.is_multiple_of(obs_interval) {
                     manager.publish_obs();
+                    if let Some(p) = peer {
+                        p.publish_obs();
+                    }
                     obs.snapshot(now);
                 }
                 if res.verify_every > 0 && counter.is_multiple_of(res.verify_every) {
@@ -742,7 +751,8 @@ pub fn run_schedule_observed(
         );
     }
     let m = drive_schedule(
-        &mut mosaic, schedule, plan, warmup_bytes, res, &mut report, 0, obs, obs_interval,
+        &mut mosaic, Some(&linux), schedule, plan, warmup_bytes, res, &mut report, 0, obs,
+        obs_interval,
     )?;
     let start2 = if obs.is_enabled() { m.end_now } else { 0 };
     if obs.is_enabled() {
@@ -757,7 +767,8 @@ pub fn run_schedule_observed(
         );
     }
     let l = drive_schedule(
-        &mut linux, schedule, plan, warmup_bytes, res, &mut report, start2, obs, obs_interval,
+        &mut linux, Some(&mosaic), schedule, plan, warmup_bytes, res, &mut report, start2, obs,
+        obs_interval,
     )?;
     report.mosaic = *mosaic.resilience();
     report.linux = *linux.resilience();
@@ -898,8 +909,10 @@ fn run_solo(cfg: &TenantsConfig, schedule: &Schedule) -> MosaicResult<(DriveOutc
     };
     let obs = ObsHandle::noop();
     let warmup = cfg.target_bytes();
-    let m = drive_schedule(&mut mosaic, schedule, None, warmup, &none, &mut report, 0, &obs, 0)?;
-    let l = drive_schedule(&mut linux, schedule, None, warmup, &none, &mut report, 0, &obs, 0)?;
+    let m =
+        drive_schedule(&mut mosaic, None, schedule, None, warmup, &none, &mut report, 0, &obs, 0)?;
+    let l =
+        drive_schedule(&mut linux, None, schedule, None, warmup, &none, &mut report, 0, &obs, 0)?;
     Ok((m, l))
 }
 
@@ -989,7 +1002,7 @@ pub fn run_isolation_grid(
                     load,
                     ..base.clone()
                 },
-                child_handle(obs),
+                obs.child(),
             )
         })
         .collect();
@@ -1040,7 +1053,7 @@ pub fn run_tenants_grid(
                 load,
                 ..base.clone()
             };
-            inputs.push((cell_cfg, child_handle(obs)));
+            inputs.push((cell_cfg, obs.child()));
         }
     }
     let outcomes = run_cells(jobs, inputs, |i, (cell_cfg, child)| {
@@ -1065,16 +1078,6 @@ pub fn run_tenants_grid(
             out
         })
         .collect()
-}
-
-/// A detached child registry for one grid cell (merged back in grid
-/// order), so parallel cells never contend on the shared registry.
-fn child_handle(obs: &ObsHandle) -> ObsHandle {
-    if obs.is_enabled() {
-        ObsHandle::enabled()
-    } else {
-        ObsHandle::noop()
-    }
 }
 
 /// The [`PressureConfig`] a one-tenant oracle run corresponds to:
@@ -1108,6 +1111,64 @@ mod tests {
             quota_frac_pct: 0,
             priority_spread: 1,
         }
+    }
+
+    #[test]
+    fn interval_snapshots_cover_both_managers_with_attribution() {
+        use mosaic_obs::json::{parse, Json};
+        let obs = ObsHandle::enabled();
+        obs.set_attrib(true);
+        let mut cfg = tiny();
+        cfg.load = 1.1; // over-commit so evictions charge attribution
+        run_tenants_observed(&cfg, &ResilienceConfig::none(), &obs, 7_000)
+            .expect("fault-free run");
+        // Collect (record type, ref, name) for every emitted record.
+        let mut gauge_refs: std::collections::BTreeMap<u64, Vec<String>> =
+            std::collections::BTreeMap::new();
+        let mut attrib_refs: Vec<(u64, String)> = Vec::new();
+        for line in obs.render_jsonl().lines() {
+            let v = parse(line).expect("stream line parses");
+            let t = v.get("t").and_then(Json::as_str).expect("typed record");
+            let name = v.get("name").and_then(Json::as_str).unwrap_or("");
+            let at = v.get("ref").and_then(Json::as_u64).unwrap_or(0);
+            match t {
+                "gauge" => gauge_refs.entry(at).or_default().push(name.to_string()),
+                "attrib" => attrib_refs.push((at, name.to_string())),
+                _ => {}
+            }
+        }
+        // Interval ticks fire during both drives (the linux drive
+        // resumes the reference clock, so its ticks have larger refs).
+        assert!(gauge_refs.len() >= 8, "got ticks at {:?}", gauge_refs.keys());
+        // Every tick snapshot publishes BOTH managers, not just the
+        // one currently being driven.
+        for (at, names) in &gauge_refs {
+            assert!(
+                names.iter().any(|n| n == "mosaic.util"),
+                "tick {at} missing mosaic.util: {names:?}"
+            );
+            assert!(
+                names.iter().any(|n| n == "linux.util"),
+                "tick {at} missing linux.util: {names:?}"
+            );
+        }
+        // Attribution flushes ride the same ticks: each manager's
+        // fault table appears at interval refs inside its own drive,
+        // not only in the end-of-run flush.
+        let last_tick = *gauge_refs.keys().last().expect("ticks exist");
+        assert!(
+            attrib_refs.iter().any(|(at, n)| n == "mosaic.faults" && *at < last_tick),
+            "no interval mosaic.faults flush: {attrib_refs:?}"
+        );
+        assert!(
+            attrib_refs.iter().any(|(at, n)| n == "linux.faults" && *at < last_tick),
+            "no interval linux.faults flush: {attrib_refs:?}"
+        );
+        assert!(
+            attrib_refs.iter().any(|(_, n)| n == "mosaic.faults")
+                && attrib_refs.iter().any(|(_, n)| n == "linux.faults"),
+            "both managers' blame tables must reach the stream"
+        );
     }
 
     #[test]

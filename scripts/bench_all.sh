@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Reruns every bench suite (bench_obs, bench_parallel, bench_tenants,
+# bench_isolation — each rewrites its BENCH_*.json in place) and then
+# prints percent deltas against the baselines committed at HEAD via
+# bench_delta.sh. Deltas are warn-only: wall times are host-dependent;
+# what must NOT drift (miss-reduction headlines, fault-rate outputs) is
+# gated hard in scripts/check.sh instead.
+#
+#   bench_all.sh [--skip suite[,suite...]]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SUITES=(obs parallel tenants isolation)
+skip=""
+if [[ "${1:-}" == "--skip" ]]; then
+    skip=",${2:?--skip needs a comma-separated suite list},"
+fi
+
+BASE="$(mktemp -d)"
+trap 'rm -rf "$BASE"' EXIT
+for s in "${SUITES[@]}"; do
+    git show "HEAD:BENCH_${s}.json" > "$BASE/BENCH_${s}.json" 2>/dev/null \
+        || cp "BENCH_${s}.json" "$BASE/BENCH_${s}.json"
+done
+
+for s in "${SUITES[@]}"; do
+    if [[ "$skip" == *",${s},"* ]]; then
+        echo "[bench_all] skipping bench_${s}.sh" >&2
+        continue
+    fi
+    echo "[bench_all] running bench_${s}.sh ..." >&2
+    "scripts/bench_${s}.sh"
+done
+
+echo "[bench_all] deltas vs baselines committed at HEAD (warn-only):"
+for s in "${SUITES[@]}"; do
+    scripts/bench_delta.sh "$BASE/BENCH_${s}.json" "BENCH_${s}.json"
+done

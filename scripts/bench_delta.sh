@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Prints percent deltas between two BENCH_*.json files, numeric leaf by
+# numeric leaf. Warn-only by design: wall times are host-dependent, so
+# drift is reported, never fatal — the script always exits 0 (aside
+# from usage errors). Lines over the warn threshold are prefixed
+# "WARN"; structural drift (a key present on one side only) is listed
+# too, since that usually means a suite or field was renamed.
+#
+#   bench_delta.sh <baseline.json> <fresh.json> [warn_pct]
+#
+# warn_pct defaults to 25.
+set -euo pipefail
+
+if [[ $# -lt 2 || $# -gt 3 ]]; then
+    echo "usage: bench_delta.sh <baseline.json> <fresh.json> [warn_pct]" >&2
+    exit 2
+fi
+base="$1"
+fresh="$2"
+warn_pct="${3:-25}"
+
+# Flatten every numeric leaf to "dotted.path value".
+flatten() {
+    jq -r 'paths(type == "number") as $p
+           | "\($p | map(tostring) | join(".")) \(getpath($p))"' "$1" | sort
+}
+
+label="$(basename "$fresh")"
+join_out="$(join -j 1 -a 1 -a 2 -e MISSING -o 0,1.2,2.2 \
+    <(flatten "$base") <(flatten "$fresh"))"
+
+printf '%s\n' "$join_out" | awk -v warn="$warn_pct" -v label="$label" '
+{
+    path = $1; old = $2; new = $3
+    if (old == "MISSING") { printf "  %s %-52s baseline missing (fresh=%s)\n", label, path, new; next }
+    if (new == "MISSING") { printf "  %s %-52s fresh missing (baseline=%s)\n", label, path, old; next }
+    if (old == new) next
+    if (old == 0) { printf "  %s %-52s %s -> %s\n", label, path, old, new; next }
+    pct = (new - old) * 100.0 / old
+    mark = (pct < 0 ? -pct : pct) > warn ? "WARN" : "    "
+    printf "%s %s %-52s %s -> %s (%+.1f%%)\n", mark, label, path, old, new, pct
+}
+END { if (NR == 0) printf "  %s no numeric drift\n", label }'
+exit 0

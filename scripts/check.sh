@@ -83,4 +83,28 @@ echo "==> isolation golden gate (must reproduce results_isolation.txt)"
   --jobs 4 > "$OBS_TMP/isogold.txt" 2>/dev/null
 cmp "$OBS_TMP/isogold.txt" results_isolation.txt
 
+echo "==> attribution determinism gate (attrib --jobs 1 vs 8, fault-injected JSONL)"
+for jobs in 1 8; do
+  ./target/release/attrib --fault-ppm 20000 --jobs "$jobs" \
+    --obs-out "$OBS_TMP/at$jobs.jsonl" --obs-interval 20000 \
+    > "$OBS_TMP/atout$jobs.txt" 2>/dev/null
+done
+cmp "$OBS_TMP/at1.jsonl" "$OBS_TMP/at8.jsonl"
+cmp "$OBS_TMP/atout1.txt" "$OBS_TMP/atout8.txt"
+grep -q '"t":"attrib"' "$OBS_TMP/at1.jsonl"
+./target/release/obs_report "$OBS_TMP/at1.jsonl" > "$OBS_TMP/atreport.txt"
+grep -q "conflict removed by" "$OBS_TMP/atreport.txt"
+grep -q "per-tenant blame" "$OBS_TMP/atreport.txt"
+
+echo "==> attribution golden gate (must reproduce results_attrib.txt)"
+./target/release/attrib --jobs 4 > "$OBS_TMP/atgold.txt" 2>/dev/null
+cmp "$OBS_TMP/atgold.txt" results_attrib.txt
+
+echo "==> bench-delta (warn-only) vs BENCH_*.json baselines committed at HEAD"
+for s in obs parallel tenants isolation; do
+  if git show "HEAD:BENCH_${s}.json" > "$OBS_TMP/BENCH_${s}.base.json" 2>/dev/null; then
+    scripts/bench_delta.sh "$OBS_TMP/BENCH_${s}.base.json" "BENCH_${s}.json" || true
+  fi
+done
+
 echo "All checks passed."
