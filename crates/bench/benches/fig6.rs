@@ -15,6 +15,7 @@ fn config() -> Fig6Config {
         arities: vec![Arity::new(4), Arity::new(8)],
         kernel: None,
         seed: 11,
+        batch: mosaic_core::sim::fig6::DEFAULT_BATCH,
     }
 }
 

@@ -1,8 +1,11 @@
 //! Criterion bench for the full simulator step: one workload access
 //! driven through an entire Figure 6 instance grid ([`DualSim::access`]),
-//! the unit of work every parallel cell replays. Guards the hot-path
-//! micro-optimisations (precomputed set-index masks, per-reference
-//! CPFN scratch) against regression.
+//! the unit of work every parallel cell replays, plus the batched engine
+//! ([`DualSim::access_batch`]) against the scalar loop and a per-design
+//! cost breakdown. Guards the hot-path micro-optimisations (SoA TLB
+//! sets, set-index masks/reciprocals, per-batch CPFN memo) against
+//! regression; the scalar-vs-batched pair is the ns/access budget's
+//! source of truth (see PERFORMANCE.md).
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use mosaic_core::hash::SplitMix64;
@@ -13,12 +16,12 @@ use mosaic_core::workloads::Access;
 
 const PAGE: u64 = 4096;
 
-fn grid(entries: usize, kernel: Option<KernelConfig>) -> DualSim {
+fn grid(entries: usize, footprint_pages: u64, kernel: Option<KernelConfig>) -> DualSim {
     DualSim::new(
         entries,
         &Associativity::FIGURE6_SWEEP,
         &[4, 8, 16, 32, 64].map(Arity::new),
-        8192,
+        footprint_pages,
         kernel,
         0xF166,
     )
@@ -31,7 +34,7 @@ fn bench_step(c: &mut Criterion) {
         ("with_kernel", Some(KernelConfig::default())),
     ] {
         g.bench_with_input(BenchmarkId::new("access", name), &kernel, |b, &kernel| {
-            let mut sim = grid(256, kernel);
+            let mut sim = grid(256, 8192, kernel);
             let mut rng = SplitMix64::new(3);
             // Warm the grid so steady-state hits/sub-misses dominate,
             // as they do mid-replay.
@@ -47,5 +50,89 @@ fn bench_step(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_step);
+/// A reproducible random reference stream over `pages` distinct pages.
+fn trace(len: usize, pages: u64, seed: u64) -> Vec<Access> {
+    let mut rng = SplitMix64::new(seed);
+    (0..len)
+        .map(|_| Access::load(VirtAddr(rng.next_below(pages) * PAGE)))
+        .collect()
+}
+
+fn bench_scalar_vs_batched(c: &mut Criterion) {
+    // The tentpole comparison: an 8192-access trace through the full
+    // Figure 6 grid at the paper's 1024-entry TLB, scalar per-access
+    // loop vs batched instance-major replay consuming driver-sized
+    // chunks (DEFAULT_BATCH, exactly what the fig6/table4 drive loops
+    // feed). Obs counters are bound, as they are in the figure bins, so
+    // the batched path's deferred-flush advantage is measured and the
+    // scalar path pays its real per-access export cost. The 16384-page
+    // pool spills the 1024-entry sets, keeping the grid in the
+    // miss-heavy regime the figures run in, where the per-batch walk
+    // memos matter. Per-iter time covers 8192 accesses; divide
+    // accordingly.
+    let refs = trace(8192, 16384, 7);
+    let obs = mosaic_obs::ObsHandle::enabled();
+    let mut g = c.benchmark_group("dual_sim_batch");
+    for (kname, kernel) in [
+        ("no_kernel", None),
+        ("with_kernel", Some(KernelConfig::default())),
+    ] {
+        for mode in ["scalar", "batched"] {
+            g.bench_with_input(
+                BenchmarkId::new(mode, kname),
+                &(kernel, mode),
+                |b, &(kernel, mode)| {
+                    let mut sim = grid(1024, 16384, kernel);
+                    sim.set_obs(&obs);
+                    sim.access_batch(&refs); // warm translations + TLBs
+                    b.iter(|| {
+                        if mode == "batched" {
+                            for chunk in refs.chunks(mosaic_core::sim::fig6::DEFAULT_BATCH) {
+                                sim.access_batch(black_box(chunk));
+                            }
+                        } else {
+                            for &a in &refs {
+                                sim.access(black_box(a));
+                            }
+                        }
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_designs(c: &mut Criterion) {
+    // The ns/access budget grid (PERFORMANCE.md): per-design batched
+    // step cost across the Figure 6 associativity sweep. Every grid
+    // carries the vanilla baseline instance, so the mosaic rows read as
+    // "vanilla + mosaic-N"; the delta against `vanilla` at the same
+    // associativity is the mosaic instance's cost.
+    let refs = trace(8192, 16384, 9);
+    let mut g = c.benchmark_group("design_step");
+    let designs: [(&str, &[usize]); 3] = [
+        ("vanilla", &[]),
+        ("vanilla+mosaic4", &[4]),
+        ("vanilla+mosaic64", &[64]),
+    ];
+    for assoc in Associativity::FIGURE6_SWEEP {
+        for (name, arities) in designs {
+            g.bench_with_input(
+                BenchmarkId::new(name, assoc),
+                &arities,
+                |b, &arities| {
+                    let arities: Vec<Arity> = arities.iter().map(|&a| Arity::new(a)).collect();
+                    let mut sim =
+                        DualSim::new(1024, &[assoc], &arities, 16384, None, 0xF166);
+                    sim.access_batch(&refs);
+                    b.iter(|| sim.access_batch(black_box(&refs)))
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_step, bench_scalar_vs_batched, bench_designs);
 criterion_main!(benches);

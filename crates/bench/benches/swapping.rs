@@ -54,6 +54,7 @@ fn bench_pressure_row(c: &mut Criterion) {
         let cfg = PressureConfig {
             mem_buckets: 16,
             seed: 3,
+            batch: mosaic_core::sim::fig6::DEFAULT_BATCH,
         };
         b.iter(|| {
             let row = run_pressure(PressureWorkload::XsBench, 1.14, &cfg);

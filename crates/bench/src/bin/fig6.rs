@@ -4,14 +4,16 @@
 //!
 //! ```text
 //! fig6 [graph500|btree|gups|xsbench|all] [--scale N] [--entries N] [--no-kernel] [--csv]
-//!      [--obs-out F] [--obs-interval R] [--jobs N]
+//!      [--obs-out F] [--obs-interval R] [--jobs N] [--batch N]
 //! ```
 //!
 //! `--scale 0` is a seconds-fast smoke run; `--scale 1` (default) is the
 //! benchmark size (tens of MiB footprints). The TLB has `--entries`
 //! entries (default 1024, as in Table 1a). `--obs-out` exports the whole
 //! TLB grid's counters (and `--obs-interval R` interval snapshots) as
-//! JSONL; render with `obs_report`.
+//! JSONL; render with `obs_report`. `--batch 1` forces the scalar
+//! per-access serial loop (results are byte-identical either way); wall
+//! time and ns/access per workload go to stderr.
 
 use mosaic_bench::obs::ObsSink;
 use mosaic_bench::{Args, JOBS_HELP};
@@ -24,11 +26,13 @@ use mosaic_core::workloads::{standard_suite, Workload};
 
 const USAGE: &str = "\
 fig6 [graph500|btree|gups|xsbench|all] [--scale N] [--entries N] [--no-kernel]
-     [--csv] [--obs-out F] [--obs-interval R] [--jobs N]
+     [--csv] [--obs-out F] [--obs-interval R] [--jobs N] [--batch N]
 
 Regenerates Figure 6 (TLB misses across arity x associativity).
 With --jobs N the reference stream is recorded once per workload and the
-grid's (associativity, TLB-kind) cells replay it on N threads.";
+grid's (associativity, TLB-kind) cells replay it on N threads.
+--batch N sets the serial engine's access-batch size (1 = scalar loop);
+stdout is byte-identical at every --batch and --jobs value.";
 
 fn main() {
     let args = Args::from_env();
@@ -51,6 +55,7 @@ fn main() {
             Some(KernelConfig::default())
         },
         seed: args.get_u64("seed", 0xF166),
+        batch: args.get_u64("batch", mosaic_core::sim::fig6::DEFAULT_BATCH as u64) as usize,
     };
     let sink = ObsSink::from_args(&args, "fig6");
     if sink.is_enabled() {
@@ -120,7 +125,19 @@ fn main() {
     for w in &mut workloads {
         let name = w.meta().name.to_string();
         eprintln!("[fig6] running {name} on {jobs} thread(s) ...");
+        let t0 = std::time::Instant::now();
         let rows = run_workload_observed_jobs(&cfg, w.as_mut(), sink.handle(), sink.interval(), jobs);
+        let wall = t0.elapsed();
+        // Each grid cell replays the full reference stream once.
+        let stepped: u64 = rows.iter().map(|r| r.stats.accesses).sum();
+        if stepped > 0 {
+            eprintln!(
+                "[fig6] {name}: {:.1} ms wall, {:.2} ns/access ({stepped} accesses, batch={})",
+                wall.as_secs_f64() * 1e3,
+                wall.as_secs_f64() * 1e9 / stepped as f64,
+                cfg.batch,
+            );
+        }
         let table = render(&name, &rows);
         if args.has("csv") {
             println!("{}", table.render_csv());

@@ -83,6 +83,7 @@ fn main() {
                 // Distinct hash seeds per (workload, run), as distinct
                 // boots would have.
                 seed: 0x7AB1E + run * 131 + widx as u64 * 17,
+                batch: mosaic_core::sim::fig6::DEFAULT_BATCH,
             };
             let (row, _) = run_pressure_observed(
                 w,

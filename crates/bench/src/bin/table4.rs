@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! table4 [--buckets N] [--csv] [--fault-ppm N] [--obs-out F] [--obs-interval R] [--jobs N]
+//!        [--batch N]
 //! ```
 //!
 //! The paper sweeps footprints from 101.5 % to 157.7 % of a 4 GiB pool;
@@ -32,11 +33,13 @@ use mosaic_obs::Value;
 
 const USAGE: &str = "\
 table4 [--buckets N] [--csv] [--fault-ppm N] [--obs-out F] [--obs-interval R]
-       [--jobs N]
+       [--jobs N] [--batch N]
 
 Regenerates Table 4 (swap I/O under pressure, Linux vs Mosaic).
 With --jobs N the (workload, footprint-ratio) grid cells run on N threads;
 each cell records its workload once and replays it for both managers.
+--batch N sets the access-batch size the drive loop consumes (1 = scalar
+per-access loop); stdout is byte-identical at every --batch/--jobs value.
 Under --fault-ppm every cell derives its own injector seed from the cell
 index, so fault sweeps are reproducible at any thread count.";
 
@@ -50,6 +53,7 @@ fn main() {
     let cfg = PressureConfig {
         mem_buckets: buckets,
         seed: args.get_u64("seed", 0x7AB1E),
+        batch: args.get_u64("batch", mosaic_core::sim::fig6::DEFAULT_BATCH as u64) as usize,
     };
     let sink = ObsSink::from_args(&args, "table4");
     if sink.is_enabled() {
@@ -67,7 +71,8 @@ fn main() {
         "[table4] {} cells on {jobs} thread(s) ...",
         PressureWorkload::ALL.len() * ratios.len()
     );
-    let rows: Vec<_> = run_table4_observed_jobs(
+    let t0 = std::time::Instant::now();
+    let (rows, reports): (Vec<_>, Vec<_>) = run_table4_observed_jobs(
         &cfg,
         &ratios,
         &ResilienceConfig::none(),
@@ -77,8 +82,17 @@ fn main() {
     )
     .unwrap_or_else(|e| panic!("fault-free pressure run cannot fail: {e}"))
     .into_iter()
-    .map(|(row, _)| row)
-    .collect();
+    .unzip();
+    let wall = t0.elapsed();
+    let stepped: u64 = reports.iter().map(|r| r.accesses_driven).sum();
+    if stepped > 0 {
+        eprintln!(
+            "[table4] sweep: {:.1} ms wall, {:.2} ns/access ({stepped} accesses, batch={})",
+            wall.as_secs_f64() * 1e3,
+            wall.as_secs_f64() * 1e9 / stepped as f64,
+            cfg.batch,
+        );
+    }
 
     let table = render_table4(&rows);
     if args.has("csv") {

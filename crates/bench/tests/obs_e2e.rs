@@ -13,6 +13,7 @@ fn observed_jsonl() -> String {
     let cfg = PressureConfig {
         mem_buckets: 8,
         seed: 0x7AB1E,
+        batch: mosaic_core::sim::fig6::DEFAULT_BATCH,
     };
     run_pressure_observed(
         PressureWorkload::BTree,

@@ -122,6 +122,20 @@ impl IcebergConfig {
         1 + self.d_choices
     }
 
+    /// Splits a past-the-front candidate index into `(choice, slot)` —
+    /// i.e. `(rest / back_slots, rest % back_slots)` — using shift/mask
+    /// when `back_slots` is a power of two (it is for the paper shape,
+    /// where back_slots = 8), keeping the probe path division-free.
+    #[inline]
+    pub fn back_split(&self, rest: usize) -> (usize, usize) {
+        if self.back_slots.is_power_of_two() {
+            let shift = self.back_slots.trailing_zeros();
+            (rest >> shift, rest & (self.back_slots - 1))
+        } else {
+            (rest / self.back_slots, rest % self.back_slots)
+        }
+    }
+
     /// Returns a copy with a different bucket count (same per-bucket shape).
     pub fn with_num_buckets(&self, num_buckets: usize) -> Self {
         Self::new(num_buckets, self.front_slots, self.back_slots, self.d_choices)

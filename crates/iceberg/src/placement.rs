@@ -119,11 +119,11 @@ impl CandidateSet {
             }
         } else {
             let rest = index - cfg.front_slots();
-            let choice = rest / cfg.back_slots();
+            let (choice, slot) = cfg.back_split(rest);
             SlotRef {
                 yard: Yard::Back,
                 bucket: self.back_buckets[choice],
-                slot: rest % cfg.back_slots(),
+                slot,
             }
         }
     }

@@ -132,10 +132,9 @@ impl CpfnCodec {
             index as u8
         } else {
             let rest = index - self.cfg.front_slots();
-            let choice = (rest / self.cfg.back_slots()) as u8;
-            let offset = (rest % self.cfg.back_slots()) as u8;
+            let (choice, offset) = self.cfg.back_split(rest);
             let lead = 1u8 << (self.bits() - 1);
-            lead | (choice << self.slot_bits) | offset
+            lead | ((choice as u8) << self.slot_bits) | offset as u8
         };
         let cpfn = Cpfn(raw);
         debug_assert_ne!(cpfn, self.unmapped(), "encoding collided with sentinel");

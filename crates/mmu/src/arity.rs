@@ -117,7 +117,7 @@ impl core::fmt::Display for Mvpn {
 /// The 2 MiB-aligned huge-page index containing a VPN (for the vanilla
 /// TLB's unified 4 KiB / 2 MiB entries).
 pub fn huge_index(vpn: Vpn) -> u64 {
-    vpn.0 / HUGE_PAGE_SPAN
+    vpn.0 >> HUGE_PAGE_SPAN.trailing_zeros()
 }
 
 #[cfg(test)]

@@ -299,6 +299,13 @@ pub struct PageWalker<V> {
     node_accesses: u64,
     obs_walks: mosaic_obs::Counter,
     obs_depth: mosaic_obs::Histogram,
+    /// While obs is paused ([`PageWalker::pause_obs`]): the live
+    /// handles plus the walk count at pause time; the per-depth tally
+    /// below accumulates what `obs_depth` would have recorded.
+    paused: Option<(mosaic_obs::Counter, mosaic_obs::Histogram, u64)>,
+    /// Reused allocation: `depth_tally[d]` walks of depth `d` since
+    /// the pause (empty while obs is live).
+    depth_tally: Vec<u64>,
 }
 
 impl<V> PageWalker<V> {
@@ -310,6 +317,8 @@ impl<V> PageWalker<V> {
             node_accesses: 0,
             obs_walks: mosaic_obs::Counter::noop(),
             obs_depth: mosaic_obs::Histogram::noop(),
+            paused: None,
+            depth_tally: Vec::new(),
         }
     }
 
@@ -334,12 +343,84 @@ impl<V> PageWalker<V> {
 
     /// Performs a counted walk.
     pub fn walk(&mut self, index: u64) -> Option<&V> {
-        self.walks += 1;
+        self.walk_leveled(index).0
+    }
+
+    /// Performs a counted walk, also returning the number of levels it
+    /// touched — callers that memoize the result feed the levels back
+    /// through [`PageWalker::recount_walk`] for each reuse.
+    pub fn walk_leveled(&mut self, index: u64) -> (Option<&V>, u32) {
         let walk = self.table.walk(index);
+        self.walks += 1;
         self.node_accesses += u64::from(walk.levels_touched);
         self.obs_walks.inc();
         self.obs_depth.record(u64::from(walk.levels_touched));
-        walk.value
+        if self.paused.is_some() {
+            // Inlined tally: `walk` still borrows `self.table`, so the
+            // helper (which takes `&mut self`) can't be called here.
+            let d = walk.levels_touched as usize;
+            if self.depth_tally.len() <= d {
+                self.depth_tally.resize(d + 1, 0);
+            }
+            self.depth_tally[d] += 1;
+        }
+        (walk.value, walk.levels_touched)
+    }
+
+    /// Counts a walk whose result the caller memoized from an earlier
+    /// [`PageWalker::walk_leveled`] at the same table state: identical
+    /// counter and obs effects, without touching the radix nodes.
+    pub fn recount_walk(&mut self, levels_touched: u32) {
+        self.walks += 1;
+        self.node_accesses += u64::from(levels_touched);
+        self.obs_walks.inc();
+        self.obs_depth.record(u64::from(levels_touched));
+        if self.paused.is_some() {
+            self.tally_depth(levels_touched);
+        }
+    }
+
+    fn tally_depth(&mut self, levels_touched: u32) {
+        let d = levels_touched as usize;
+        if self.depth_tally.len() <= d {
+            self.depth_tally.resize(d + 1, 0);
+        }
+        self.depth_tally[d] += 1;
+    }
+
+    /// Suspends exported-counter publication: per-walk obs updates are
+    /// tallied locally until [`PageWalker::resume_obs`] bulk-publishes
+    /// them. Walk accounting ([`PageWalker::walks`], node accesses)
+    /// stays live throughout, and the exported totals at resume are
+    /// identical to the unpaused path. A second pause before resume is
+    /// a no-op (the outer pause wins).
+    pub fn pause_obs(&mut self) {
+        if self.paused.is_some() {
+            return;
+        }
+        self.paused = Some((
+            std::mem::take(&mut self.obs_walks),
+            std::mem::take(&mut self.obs_depth),
+            self.walks,
+        ));
+    }
+
+    /// Publishes everything tallied since [`PageWalker::pause_obs`] —
+    /// one counter add plus one histogram add per distinct walk depth —
+    /// and restores live per-walk publication. A no-op when not paused.
+    pub fn resume_obs(&mut self) {
+        let Some((walks_ctr, depth_hist, walks_before)) = self.paused.take() else {
+            return;
+        };
+        walks_ctr.add(self.walks - walks_before);
+        for (depth, &n) in self.depth_tally.iter().enumerate() {
+            if n > 0 {
+                depth_hist.record_n(depth as u64, n);
+            }
+        }
+        self.depth_tally.clear();
+        self.obs_walks = walks_ctr;
+        self.obs_depth = depth_hist;
     }
 
     /// Number of walks performed.

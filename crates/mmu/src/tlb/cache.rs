@@ -4,10 +4,31 @@
 //! restrictions are "orthogonal to the associativity of the TLB itself"
 //! (§3.1), so one cache model serves every point of the associativity
 //! sweep in Figure 6.
+//!
+//! # Layout
+//!
+//! Storage is struct-of-arrays: flat `Vec`s (`tags`, `entries`, and the
+//! recency links) indexed by `set * ways + way`, with no per-set
+//! allocation. A lookup is a linear tag scan over one contiguous stripe
+//! of at most `ways` slots — for the narrow associativities of the
+//! Figure 6 sweep (1–8 ways) that is a handful of adjacent compares, far
+//! cheaper than the per-set `HashMap` + ordered-index pair it replaces.
+//! Wide sets (beyond [`LINEAR_WAYS_MAX`] ways, i.e. the fully-associative
+//! configuration) keep O(1) lookups through a `(set, tag) → slot` hash
+//! index using a cheap multiply-fold hasher (the std SipHash default
+//! dominated whole-grid profiles; tags are small VPN-derived keys, not
+//! attacker-controlled).
+//!
+//! Recency is an intrusive doubly-linked list per set (`prev`/`next`
+//! slot links plus per-set `head`/`tail`): a hit moves its slot to the
+//! head in O(1), the eviction victim is the tail in O(1), and free slots
+//! are a chain through the same `next` links. This is exactly the order
+//! the previous monotonic-tick implementation maintained (unique ticks,
+//! min-tick victim), so eviction decisions are bit-identical — without
+//! the O(ways) victim scan that dominated insert at 1024 ways.
 
-use mosaic_mem::lru::LruIndex;
 use std::collections::HashMap;
-use std::hash::Hash;
+use std::hash::{BuildHasher, Hash, Hasher};
 
 /// TLB set associativity.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -103,18 +124,71 @@ impl TlbConfig {
     }
 }
 
-#[derive(Debug, Clone)]
-struct CacheSet<T, E> {
-    entries: HashMap<T, E>,
-    lru: LruIndex<T>,
+/// Widest stripe still probed by linear tag scan; wider sets (the
+/// fully-associative sweep point) get a hash index so lookups stay O(1).
+const LINEAR_WAYS_MAX: usize = 16;
+
+/// Null slot link.
+const NIL: u32 = u32::MAX;
+
+/// Multiply-fold hasher for the wide-stripe slot index: one mix per
+/// written word, splitmix-style finish. TLB tags are small fixed-size
+/// keys derived from VPNs/ASIDs, so DoS-resistant hashing buys nothing
+/// here and the default SipHash showed up as the hottest function in
+/// whole-grid profiles.
+#[derive(Clone, Copy, Default)]
+struct TagHasher(u64);
+
+impl TagHasher {
+    #[inline]
+    fn mix(&mut self, v: u64) {
+        self.0 = (self.0.rotate_left(5) ^ v).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
 }
 
-impl<T: Copy + Eq + Hash, E> CacheSet<T, E> {
-    fn new() -> Self {
-        Self {
-            entries: HashMap::new(),
-            lru: LruIndex::new(),
+impl Hasher for TagHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        let mut z = self.0;
+        z ^= z >> 31;
+        z = z.wrapping_mul(0xD6E8_FEB8_6659_FD93);
+        z ^ (z >> 32)
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.mix(u64::from(b));
         }
+    }
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.mix(u64::from(i));
+    }
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.mix(u64::from(i));
+    }
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.mix(u64::from(i));
+    }
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.mix(i);
+    }
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.mix(i as u64);
+    }
+}
+
+/// [`BuildHasher`] for [`TagHasher`].
+#[derive(Debug, Clone, Copy, Default)]
+struct TagHashBuilder;
+
+impl BuildHasher for TagHashBuilder {
+    type Hasher = TagHasher;
+    fn build_hasher(&self) -> TagHasher {
+        TagHasher::default()
     }
 }
 
@@ -122,34 +196,112 @@ impl<T: Copy + Eq + Hash, E> CacheSet<T, E> {
 ///
 /// The caller supplies the set index (computed from whatever address bits
 /// its design uses), keeping this structure agnostic of tag semantics.
-/// Lookups and inserts cost `O(log ways)`, so even the fully-associative
-/// 1024-way configuration of the Figure 6 sweep simulates quickly.
 #[derive(Debug, Clone)]
 pub struct SetAssocCache<T, E> {
-    sets: Vec<CacheSet<T, E>>,
+    /// Slot tags, indexed `set * ways + way`; `None` is a free slot.
+    tags: Vec<Option<T>>,
+    /// Slot payloads (same indexing).
+    entries: Vec<Option<E>>,
+    /// Recency link toward the set's head (more recent); [`NIL`] at head.
+    prev: Vec<u32>,
+    /// Recency link toward the set's tail (less recent); [`NIL`] at
+    /// tail. Free slots reuse this link as their free-chain pointer.
+    next: Vec<u32>,
+    /// Per-set most-recently-used slot ([`NIL`] when the set is empty).
+    head: Vec<u32>,
+    /// Per-set least-recently-used slot — the eviction victim.
+    tail: Vec<u32>,
+    /// Per-set head of the free-slot chain (through `next`).
+    free: Vec<u32>,
+    num_sets: usize,
     ways: usize,
-    /// `sets.len() - 1` when the set count is a power of two (every
-    /// Figure 6 geometry), so the hot-path set index is a single AND
-    /// instead of an integer division; `None` falls back to modulo.
+    len: usize,
+    /// `num_sets - 1` when the set count is a power of two (every
+    /// Figure 6 geometry), so the hot-path set index is a single AND.
     set_mask: Option<usize>,
-    tick: u64,
+    /// `⌊2^64 / num_sets⌋` for non-power-of-two set counts: the
+    /// reciprocal-multiply stride that replaces the modulo fallback.
+    recip: u64,
+    /// `(set, tag) → slot` for stripes too wide to scan linearly.
+    index: Option<HashMap<(usize, T), u32, TagHashBuilder>>,
 }
 
 impl<T: Copy + Eq + Hash, E> SetAssocCache<T, E> {
     /// Creates an empty cache from a TLB configuration.
     pub fn new(cfg: TlbConfig) -> Self {
         let num_sets = cfg.num_sets();
-        Self {
-            sets: (0..num_sets).map(|_| CacheSet::new()).collect(),
-            ways: cfg.ways(),
+        let ways = cfg.ways();
+        let capacity = num_sets * ways;
+        let mut cache = Self {
+            tags: (0..capacity).map(|_| None).collect(),
+            entries: (0..capacity).map(|_| None).collect(),
+            prev: vec![NIL; capacity],
+            next: vec![NIL; capacity],
+            head: vec![NIL; num_sets],
+            tail: vec![NIL; num_sets],
+            free: vec![NIL; num_sets],
+            num_sets,
+            ways,
+            len: 0,
             set_mask: num_sets.is_power_of_two().then(|| num_sets - 1),
-            tick: 0,
+            recip: if num_sets > 1 {
+                ((1u128 << 64) / num_sets as u128) as u64
+            } else {
+                0
+            },
+            index: (ways > LINEAR_WAYS_MAX).then(HashMap::default),
+        };
+        cache.chain_free_slots();
+        cache
+    }
+
+    /// Chains every slot of every set into its free list, in stripe
+    /// order (so a fresh cache fills slots in the same order the old
+    /// first-free-slot scan did).
+    fn chain_free_slots(&mut self) {
+        for s in 0..self.num_sets {
+            let base = s * self.ways;
+            for i in base..base + self.ways - 1 {
+                self.next[i] = (i + 1) as u32;
+            }
+            self.next[base + self.ways - 1] = NIL;
+            self.free[s] = base as u32;
         }
+    }
+
+    /// Unlinks `slot` from set `s`'s recency list.
+    #[inline]
+    fn unlink(&mut self, s: usize, slot: usize) {
+        let (p, n) = (self.prev[slot], self.next[slot]);
+        if p == NIL {
+            self.head[s] = n;
+        } else {
+            self.next[p as usize] = n;
+        }
+        if n == NIL {
+            self.tail[s] = p;
+        } else {
+            self.prev[n as usize] = p;
+        }
+    }
+
+    /// Pushes `slot` to the head (MRU position) of set `s`'s list.
+    #[inline]
+    fn push_front(&mut self, s: usize, slot: usize) {
+        let h = self.head[s];
+        self.prev[slot] = NIL;
+        self.next[slot] = h;
+        if h == NIL {
+            self.tail[s] = slot as u32;
+        } else {
+            self.prev[h as usize] = slot as u32;
+        }
+        self.head[s] = slot as u32;
     }
 
     /// Number of sets.
     pub fn num_sets(&self) -> usize {
-        self.sets.len()
+        self.num_sets
     }
 
     /// Ways per set.
@@ -159,40 +311,66 @@ impl<T: Copy + Eq + Hash, E> SetAssocCache<T, E> {
 
     /// Total capacity in entries.
     pub fn capacity(&self) -> usize {
-        self.sets.len() * self.ways
+        self.tags.len()
     }
 
     /// Entries currently cached.
     pub fn len(&self) -> usize {
-        self.sets.iter().map(|s| s.entries.len()).sum()
+        self.len
     }
 
     /// Whether the cache is empty.
     pub fn is_empty(&self) -> bool {
-        self.sets.iter().all(|s| s.entries.is_empty())
+        self.len == 0
     }
 
+    #[inline]
     fn set_of(&self, set: usize) -> usize {
-        match self.set_mask {
-            Some(mask) => set & mask,
-            None => set % self.sets.len(),
+        if let Some(mask) = self.set_mask {
+            return set & mask;
         }
+        // Reciprocal-multiply strength reduction of `set % num_sets`
+        // (Lemire-style): with m = ⌊2^64/d⌋, q̂ = (x·m) >> 64 is q or
+        // q−1, so one conditional subtract yields the exact remainder.
+        let x = set as u64;
+        let d = self.num_sets as u64;
+        let q = ((u128::from(x) * u128::from(self.recip)) >> 64) as u64;
+        let mut r = x - q * d;
+        if r >= d {
+            r -= d;
+        }
+        r as usize
+    }
+
+    /// The slot holding `tag` within set `s`, if resident.
+    #[inline]
+    fn slot_of(&self, s: usize, tag: T) -> Option<usize> {
+        if let Some(ix) = &self.index {
+            return ix.get(&(s, tag)).map(|&i| i as usize);
+        }
+        let base = s * self.ways;
+        let probe = Some(tag);
+        self.tags[base..base + self.ways]
+            .iter()
+            .position(|t| *t == probe)
+            .map(|w| base + w)
     }
 
     /// Looks up `tag` in `set`, refreshing its LRU position on a hit.
     pub fn lookup(&mut self, set: usize, tag: T) -> Option<&mut E> {
-        self.tick += 1;
-        let tick = self.tick;
-        let idx = self.set_of(set);
-        let set = &mut self.sets[idx];
-        let entry = set.entries.get_mut(&tag)?;
-        set.lru.touch(tag, tick);
-        Some(entry)
+        let s = self.set_of(set);
+        let slot = self.slot_of(s, tag)?;
+        if self.head[s] != slot as u32 {
+            self.unlink(s, slot);
+            self.push_front(s, slot);
+        }
+        self.entries[slot].as_mut()
     }
 
     /// Looks up without disturbing LRU state (diagnostics).
     pub fn peek(&self, set: usize, tag: T) -> Option<&E> {
-        self.sets[self.set_of(set)].entries.get(&tag)
+        let s = self.set_of(set);
+        self.entries[self.slot_of(s, tag)?].as_ref()
     }
 
     /// Inserts `tag -> entry` into `set`, evicting the set's LRU entry if
@@ -203,57 +381,97 @@ impl<T: Copy + Eq + Hash, E> SetAssocCache<T, E> {
     /// Panics if `tag` is already present in the set (callers fill only on
     /// a miss).
     pub fn insert(&mut self, set: usize, tag: T, entry: E) -> Option<(T, E)> {
-        self.tick += 1;
-        let tick = self.tick;
-        let ways = self.ways;
-        let idx = self.set_of(set);
-        let set = &mut self.sets[idx];
-        assert!(
-            !set.entries.contains_key(&tag),
-            "insert of a tag already present"
-        );
-        let evicted = if set.entries.len() == ways {
-            let (victim, _) = set.lru.pop_oldest().expect("full set is non-empty");
-            let e = set
-                .entries
-                .remove(&victim)
-                .expect("LRU tracks resident tags");
-            Some((victim, e))
+        let s = self.set_of(set);
+        // Fill-only-on-miss contract: the indexed path asks its map, the
+        // linear path rescans the (short) stripe.
+        match &self.index {
+            Some(ix) => assert!(
+                !ix.contains_key(&(s, tag)),
+                "insert of a tag already present"
+            ),
+            None => assert!(
+                self.slot_of(s, tag).is_none(),
+                "insert of a tag already present"
+            ),
+        }
+        let (slot, evicted) = if self.free[s] != NIL {
+            // Pop the free chain: O(1), same fill order as the old
+            // first-free-slot stripe scan on a fresh set.
+            let slot = self.free[s] as usize;
+            self.free[s] = self.next[slot];
+            self.len += 1;
+            (slot, None)
         } else {
-            None
+            // Evict the tail — the least-recently-used slot.
+            let victim = self.tail[s] as usize;
+            self.unlink(s, victim);
+            let old_tag = self.tags[victim].take().expect("full set is non-empty");
+            let old_entry = self.entries[victim]
+                .take()
+                .expect("resident slot has a payload");
+            if let Some(ix) = &mut self.index {
+                ix.remove(&(s, old_tag));
+            }
+            (victim, Some((old_tag, old_entry)))
         };
-        set.entries.insert(tag, entry);
-        set.lru.touch(tag, tick);
+        self.tags[slot] = Some(tag);
+        self.entries[slot] = Some(entry);
+        self.push_front(s, slot);
+        if let Some(ix) = &mut self.index {
+            ix.insert((s, tag), slot as u32);
+        }
         evicted
     }
 
     /// Removes `tag` from `set`, returning its entry.
     pub fn invalidate(&mut self, set: usize, tag: T) -> Option<E> {
-        let idx = self.set_of(set);
-        let set = &mut self.sets[idx];
-        let entry = set.entries.remove(&tag)?;
-        set.lru.remove(&tag);
-        Some(entry)
+        let s = self.set_of(set);
+        let slot = self.slot_of(s, tag)?;
+        self.unlink(s, slot);
+        self.tags[slot] = None;
+        let entry = self.entries[slot].take();
+        // Push onto the free chain for O(1) reuse.
+        self.next[slot] = self.free[s];
+        self.free[s] = slot as u32;
+        if let Some(ix) = &mut self.index {
+            ix.remove(&(s, tag));
+        }
+        self.len -= 1;
+        entry
     }
 
     /// Removes every entry (a full TLB flush).
     pub fn flush(&mut self) {
-        for set in &mut self.sets {
-            *set = CacheSet::new();
+        self.tags.iter_mut().for_each(|t| *t = None);
+        self.entries.iter_mut().for_each(|e| *e = None);
+        self.head.iter_mut().for_each(|h| *h = NIL);
+        self.tail.iter_mut().for_each(|t| *t = NIL);
+        self.chain_free_slots();
+        if let Some(ix) = &mut self.index {
+            ix.clear();
         }
+        self.len = 0;
     }
 
-    /// Iterates over `(tag, entry)` pairs (diagnostics).
+    /// Iterates over `(tag, entry)` pairs (diagnostics), in slot order.
     pub fn iter(&self) -> impl Iterator<Item = (&T, &E)> {
-        self.sets.iter().flat_map(|s| s.entries.iter())
+        self.tags
+            .iter()
+            .zip(self.entries.iter())
+            .filter_map(|(t, e)| Some((t.as_ref()?, e.as_ref()?)))
     }
 
     /// Per-set occupancy histogram (diagnostics).
     pub fn set_occupancy(&self) -> HashMap<usize, usize> {
-        self.sets
-            .iter()
-            .enumerate()
-            .map(|(i, s)| (i, s.entries.len()))
+        (0..self.num_sets)
+            .map(|s| {
+                let base = s * self.ways;
+                let occ = self.tags[base..base + self.ways]
+                    .iter()
+                    .filter(|t| t.is_some())
+                    .count();
+                (s, occ)
+            })
             .collect()
     }
 }
@@ -334,6 +552,23 @@ mod tests {
     }
 
     #[test]
+    fn wide_set_uses_hash_index_and_matches_lru() {
+        // 1024-way full associativity takes the indexed path.
+        let mut c = cache(1024, Associativity::Full);
+        for t in 0..1024u64 {
+            assert!(c.insert(0, t, t).is_none());
+        }
+        // Refresh everything except tag 7; it becomes the victim.
+        for t in (0..1024u64).filter(|&t| t != 7) {
+            assert!(c.lookup(0, t).is_some());
+        }
+        let evicted = c.insert(0, 5000, 0);
+        assert_eq!(evicted.map(|(t, _)| t), Some(7));
+        assert!(c.peek(0, 7).is_none());
+        assert_eq!(c.len(), 1024);
+    }
+
+    #[test]
     fn invalidate_and_flush() {
         let mut c = cache(8, Associativity::Ways(2));
         c.insert(2, 5, 50);
@@ -354,10 +589,43 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "already present")]
+    fn duplicate_insert_panics_on_indexed_path() {
+        let mut c = cache(64, Associativity::Full);
+        c.insert(0, 1, 1);
+        c.insert(0, 1, 2);
+    }
+
+    #[test]
     fn set_wraps_modulo() {
         let mut c = cache(8, Associativity::Ways(2)); // 4 sets
         c.insert(5, 77, 0); // set 1
         assert!(c.peek(1, 77).is_some());
+    }
+
+    #[test]
+    fn non_power_of_two_sets_match_modulo() {
+        // 96 entries / 8 ways = 12 sets: exercises the reciprocal stride.
+        let c = cache(96, Associativity::Ways(8));
+        assert_eq!(c.num_sets(), 12);
+        for set in [0usize, 1, 11, 12, 13, 95, 96, 12345, usize::MAX / 3] {
+            assert_eq!(c.set_of(set), set % 12, "set {set}");
+        }
+        // Beyond u32: kernel VPNs live above 2^35.
+        for set in [(1usize << 35) + 9, (1usize << 52) + 5, usize::MAX] {
+            assert_eq!(c.set_of(set), set % 12, "set {set}");
+        }
+    }
+
+    #[test]
+    fn non_power_of_two_sets_store_and_conflict() {
+        let mut c = cache(6, Associativity::Ways(2)); // 3 sets
+        c.insert(0, 1, 10);
+        c.insert(3, 2, 20); // also set 0
+        assert!(c.peek(0, 1).is_some());
+        assert!(c.peek(3, 2).is_some());
+        let evicted = c.insert(6, 3, 30); // set 0 again: evicts LRU (tag 1)
+        assert_eq!(evicted.map(|(t, _)| t), Some(1));
     }
 
     #[test]
@@ -369,5 +637,17 @@ mod tests {
         c.peek(0, 1);
         let evicted = c.insert(0, 3, 0);
         assert_eq!(evicted.map(|(t, _)| t), Some(1));
+    }
+
+    #[test]
+    fn reinsert_after_invalidate_reuses_slot() {
+        let mut c = cache(4, Associativity::Ways(2));
+        c.insert(0, 1, 1);
+        c.insert(0, 2, 2);
+        c.invalidate(0, 1);
+        assert_eq!(c.len(), 1);
+        // Free slot is used before any eviction.
+        assert!(c.insert(0, 3, 3).is_none());
+        assert_eq!(c.len(), 2);
     }
 }

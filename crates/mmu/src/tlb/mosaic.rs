@@ -66,6 +66,10 @@ pub struct MosaicTlb {
     stats: TlbStats,
     obs: TlbObs,
     classifier: Option<MissClassifier>,
+    /// One-entry recycle pool: the last evicted ToC, whose buffer
+    /// [`MosaicTlb::fill_toc_ref`] reuses for the next fill (same
+    /// arity, so steady-state fills never touch the allocator).
+    recycled: Option<Toc>,
 }
 
 impl MosaicTlb {
@@ -85,6 +89,7 @@ impl MosaicTlb {
             stats: TlbStats::new(),
             obs: TlbObs::noop(),
             classifier: None,
+            recycled: None,
         }
     }
 
@@ -107,6 +112,24 @@ impl MosaicTlb {
     /// [`MosaicTlb::set_obs`]).
     pub fn miss_breakdown(&self) -> Option<MissBreakdown> {
         self.classifier.as_ref().map(MissClassifier::breakdown)
+    }
+
+    /// Runs `f` with exported-counter publication deferred: the
+    /// per-lookup atomic increments are suspended and the accumulated
+    /// movement is published in one [`TlbObs::flush_delta`] when `f`
+    /// returns. The local [`TlbStats`] stay exact throughout, and the
+    /// exported totals are identical to the undeferred path at every
+    /// point outside `f` — the batched replay wraps each instance's
+    /// pass in this so an observed grid pays five atomic adds per
+    /// batch instead of two or three per lookup. Attribution
+    /// classifiers (when attached) keep observing every lookup live.
+    pub fn with_deferred_obs<R>(&mut self, f: impl FnOnce(&mut Self) -> R) -> R {
+        let live = std::mem::take(&mut self.obs);
+        let before = self.stats;
+        let r = f(self);
+        live.flush_delta(&before, &self.stats);
+        self.obs = live;
+        r
     }
 
     /// The TLB geometry.
@@ -180,10 +203,32 @@ impl MosaicTlb {
         assert_eq!(toc.len(), self.arity.get(), "ToC arity mismatch");
         let (tag, _) = self.tag(asid, vpn);
         let evicted = self.cache.insert(tag.mvpn.0 as usize, tag, toc);
-        if evicted.is_some() {
+        if let Some((_, old)) = evicted {
             self.stats.evictions += 1;
             self.obs.evictions.inc();
+            self.recycled = Some(old);
         }
+    }
+
+    /// [`MosaicTlb::fill_toc`] from a borrowed ToC: the entry is copied
+    /// into the last evicted entry's buffer when one is available
+    /// ([`Toc::copy_from`]), so steady-state fills are allocation-free.
+    /// The walk-memo paths hand out `&Toc`, making this the hot fill
+    /// path for both the scalar and batched pipelines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ToC's arity differs from the TLB's, or if the entry
+    /// is already present (fill only on [`MosaicLookup::Miss`]).
+    pub fn fill_toc_ref(&mut self, asid: Asid, vpn: Vpn, toc: &Toc) {
+        let entry = match self.recycled.take() {
+            Some(mut old) => {
+                old.copy_from(toc);
+                old
+            }
+            None => toc.clone(),
+        };
+        self.fill_toc(asid, vpn, entry);
     }
 
     /// Fills one sub-entry after a [`MosaicLookup::SubMiss`].

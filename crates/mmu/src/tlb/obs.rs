@@ -29,6 +29,19 @@ impl TlbObs {
         Self::default()
     }
 
+    /// Bulk-publishes the counter movement between two [`TlbStats`]
+    /// snapshots — the batched pipeline's deferred flush. One relaxed
+    /// atomic add per counter per batch replaces one per lookup; the
+    /// published totals are identical to the per-lookup path at every
+    /// point where an exporter can observe them.
+    pub fn flush_delta(&self, before: &super::TlbStats, after: &super::TlbStats) {
+        self.accesses.add(after.accesses - before.accesses);
+        self.hits.add(after.hits - before.hits);
+        self.misses.add(after.misses - before.misses);
+        self.sub_misses.add(after.sub_entry_misses - before.sub_entry_misses);
+        self.evictions.add(after.evictions - before.evictions);
+    }
+
     /// Registers the bundle's counters as `tlb.<label>.*` on `obs`.
     pub fn register(obs: &ObsHandle, label: &str) -> Self {
         Self {

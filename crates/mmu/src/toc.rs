@@ -105,6 +105,16 @@ impl Toc {
             .map(move |(i, &c)| (i, (c != self.unmapped).then_some(c)))
     }
 
+    /// Overwrites `self` with `other`'s contents, reusing the existing
+    /// buffer when it is large enough — two ToCs of the same arity
+    /// never reallocate. The TLB fill paths use this to recycle
+    /// evicted entries' buffers, keeping steady-state fills
+    /// allocation-free.
+    pub fn copy_from(&mut self, other: &Toc) {
+        self.cpfns.clone_from(&other.cpfns);
+        self.unmapped = other.unmapped;
+    }
+
     /// The storage width of this ToC in bits, given a CPFN width.
     ///
     /// With arity 4 and 7-bit CPFNs this is 28 bits — smaller than the

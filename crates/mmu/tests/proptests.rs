@@ -49,6 +49,47 @@ proptest! {
         }
     }
 
+    /// Set-associative caches are exact LRU within every set: the SoA
+    /// layout (flat tag/tick/entry stripes, min-tick victim) matches a
+    /// per-set textbook model across arbitrary interleavings.
+    #[test]
+    fn set_assoc_cache_is_per_set_lru(
+        accesses in prop::collection::vec((0usize..8, 0u64..32), 1..500),
+    ) {
+        let mut cache: SetAssocCache<u64, ()> =
+            SetAssocCache::new(TlbConfig::new(32, Associativity::Ways(4)));
+        let mut models: Vec<RefLru> =
+            (0..8).map(|_| RefLru { cap: 4, order: Vec::new() }).collect();
+        for (set, tag) in accesses {
+            let model_hit = models[set].access(tag);
+            let hit = cache.lookup(set, tag).is_some();
+            prop_assert_eq!(hit, model_hit, "divergence at set {} tag {}", set, tag);
+            if !hit {
+                cache.insert(set, tag, ());
+            }
+        }
+    }
+
+    /// Stripes wider than the linear-scan cutoff take the hash-indexed
+    /// slot path; it must still be exact LRU against the same model.
+    #[test]
+    fn wide_full_assoc_cache_is_exact_lru(
+        tags in prop::collection::vec(0u64..256, 1..600),
+    ) {
+        let mut cache: SetAssocCache<u64, ()> =
+            SetAssocCache::new(TlbConfig::new(64, Associativity::Full));
+        let mut reference = RefLru { cap: 64, order: Vec::new() };
+        for tag in tags {
+            let model_hit = reference.access(tag);
+            let hit = cache.lookup(0, tag).is_some();
+            prop_assert_eq!(hit, model_hit, "divergence at tag {}", tag);
+            if !hit {
+                cache.insert(0, tag, ());
+            }
+            prop_assert!(cache.len() <= 64);
+        }
+    }
+
     /// Set-associative lookups never mix sets: a tag inserted in one set
     /// is invisible to lookups hashed to another.
     #[test]

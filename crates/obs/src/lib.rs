@@ -258,6 +258,17 @@ impl Histogram {
         }
     }
 
+    /// Records `n` observations of `v` under a single lock — exactly
+    /// equivalent to `n` calls to [`Histogram::record`]. Deferred-obs
+    /// batch paths use this to publish a locally-tallied distribution
+    /// in one shot.
+    #[inline]
+    pub fn record_n(&self, v: u64, n: u64) {
+        if let Some(h) = &self.0 {
+            lock(h).record_n(v, n);
+        }
+    }
+
     /// Copies out the current distribution (empty when disabled).
     pub fn snapshot(&self) -> Histo {
         self.0.as_ref().map_or_else(Histo::new, |h| lock(h).clone())

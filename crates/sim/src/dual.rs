@@ -14,7 +14,7 @@
 //! mosaic pages — reproducing the paper's artifact that fully-associative
 //! vanilla can edge out Mosaic-4 (§4.1).
 
-use crate::os::{frames_for_footprint, OsModel, VanillaTranslation, KERNEL_VPN_BASE};
+use crate::os::{frames_for_footprint, OsModel, TocMemoSlot, VanillaTranslation, KERNEL_VPN_BASE};
 use mosaic_hash::SplitMix64;
 use mosaic_mem::{AccessKind, Asid, MemoryLayout, Vpn};
 use mosaic_mmu::{
@@ -122,13 +122,48 @@ enum Instance {
     Mosaic(usize, MosaicTlb),
 }
 
-/// Per-reference scratch reused across the instance loop. The CPFN of a
-/// sub-page is arity- and associativity-independent, so one resolution
-/// serves every TLB instance that sub-misses on the same reference
-/// (counted page walks stay per-instance — they model per-TLB walkers).
-#[derive(Debug, Default, Clone, Copy)]
-struct StepScratch {
-    cpfn: Option<mosaic_mem::Cpfn>,
+/// Drives one page reference through one TLB instance, filling from the
+/// OS on a miss. `cpfn_memo` caches the sub-page CPFN resolution: it is
+/// arity- and associativity-independent (and never changes once the page
+/// is mapped), so one resolution serves every instance that sub-misses on
+/// the same reference — per-access in the scalar path, per-batch-position
+/// in the batched path. Counted page walks stay per-instance (they model
+/// per-TLB walkers).
+fn step_instance(
+    os: &mut OsModel,
+    asid: Asid,
+    inst: &mut Instance,
+    vpn: Vpn,
+    cpfn_memo: &mut Option<mosaic_mem::Cpfn>,
+) {
+    match inst {
+        Instance::Vanilla(tlb) => {
+            if !tlb.lookup(asid, vpn).is_hit() {
+                match os.vanilla_walk(vpn) {
+                    VanillaTranslation::Base(pfn) => tlb.fill_base(asid, vpn, pfn),
+                    VanillaTranslation::Huge(first) => tlb.fill_huge(asid, vpn, first),
+                }
+            }
+        }
+        Instance::Mosaic(arity_idx, tlb) => match tlb.lookup(asid, vpn) {
+            MosaicLookup::Hit(_) => {}
+            MosaicLookup::SubMiss => {
+                let cpfn = match *cpfn_memo {
+                    Some(c) => c,
+                    None => {
+                        let c = os.cpfn_of(vpn).expect("touched page must be mapped");
+                        *cpfn_memo = Some(c);
+                        c
+                    }
+                };
+                tlb.fill_sub(asid, vpn, cpfn);
+            }
+            MosaicLookup::Miss => {
+                let toc = os.mosaic_walk_ref(*arity_idx, vpn);
+                tlb.fill_toc_ref(asid, vpn, toc);
+            }
+        },
+    }
 }
 
 /// A dual-TLB simulation over one shared OS model.
@@ -139,8 +174,24 @@ pub struct DualSim {
     /// `(associativity, instance)` pairs, all fed every access.
     instances: Vec<(Associativity, Instance)>,
     kernel: Option<KernelInjector>,
-    scratch: StepScratch,
     user_accesses: u64,
+    /// Batch scratch (reused allocation): the expanded reference stream.
+    batch_refs: Vec<Vpn>,
+    /// Batch scratch: first-touch growth events as `(position, vpn)`.
+    batch_growth: Vec<(u32, Vpn)>,
+    /// Batch scratch: per-position CPFN memo shared across instances.
+    batch_cpfn: Vec<Option<mosaic_mem::Cpfn>>,
+    /// Batch scratch: per-position vanilla-translation memo (result plus
+    /// walk depth, so reuses can recount the walk exactly).
+    batch_vwalk: Vec<Option<(VanillaTranslation, u32)>>,
+    /// Batch scratch: per-(position, arity) leaf-ToC memo, indexed
+    /// `position * arity_count + arity_idx`. Slots are
+    /// generation-stamped rather than cleared, so their ToC buffers
+    /// survive across batches and refills never allocate.
+    batch_toc: Vec<TocMemoSlot>,
+    /// Current batch generation for `batch_toc` staleness checks.
+    /// Starts at 1 so default (gen-0) slots always read as stale.
+    batch_gen: u64,
 }
 
 impl DualSim {
@@ -199,8 +250,13 @@ impl DualSim {
             asid,
             instances,
             kernel,
-            scratch: StepScratch::default(),
             user_accesses: 0,
+            batch_refs: Vec::new(),
+            batch_growth: Vec::new(),
+            batch_cpfn: Vec::new(),
+            batch_vwalk: Vec::new(),
+            batch_toc: Vec::new(),
+            batch_gen: 0,
         }
     }
 
@@ -217,43 +273,156 @@ impl DualSim {
         }
     }
 
+    /// Feeds a batch of workload accesses through the pipeline:
+    /// equivalent to calling [`access`](Self::access) per element, but
+    /// replayed **instance-major** — one TLB instance over the whole
+    /// batch, then the next — so each instance's ToC lines and set
+    /// metadata stay hot and the instance dispatch is amortized over the
+    /// batch instead of paid per reference.
+    ///
+    /// Two mechanisms keep the result bit-identical to the scalar loop:
+    ///
+    /// * an OS pre-pass touches every reference (expanding kernel
+    ///   injections inline) in stream order, so allocator clocks and
+    ///   walk tables advance exactly as the scalar path advances them;
+    /// * first-touch **growth events** recorded by the pre-pass are
+    ///   unmirrored from the shared ToC leaves before each mosaic
+    ///   instance's replay and remirrored as the replay cursor passes
+    ///   them, so a mid-batch `mosaic_walk` copies the same
+    ///   point-in-time ToC the scalar path would have seen (vanilla
+    ///   translations never change after first touch, so vanilla
+    ///   instances replay without rewinding).
+    ///
+    /// Per-position memos (the batch analogue of the old per-access
+    /// scratch) are shared across all instances: the sub-page CPFN, the
+    /// vanilla translation, and the per-arity leaf ToC. Results are
+    /// resolved once per position; every consuming instance still
+    /// *counts* its own page walk (same counters, same obs effects), so
+    /// walk accounting matches the scalar loop exactly.
+    pub fn access_batch(&mut self, accesses: &[Access]) {
+        // Phase 1: stream-order OS pre-pass.
+        self.batch_refs.clear();
+        self.batch_growth.clear();
+        for access in accesses {
+            self.user_accesses += 1;
+            let vpn = access.addr.vpn();
+            if self.os.touch(vpn, access.kind) {
+                self.batch_growth.push((self.batch_refs.len() as u32, vpn));
+            }
+            self.batch_refs.push(vpn);
+            if let Some(injector) = &mut self.kernel {
+                if let Some(kvpn) = injector.after_user_access() {
+                    if self.os.touch(kvpn, AccessKind::Load) {
+                        self.batch_growth.push((self.batch_refs.len() as u32, kvpn));
+                    }
+                    self.batch_refs.push(kvpn);
+                }
+            }
+        }
+        let n = self.batch_refs.len();
+        self.batch_cpfn.clear();
+        self.batch_cpfn.resize(n, None);
+        self.batch_vwalk.clear();
+        self.batch_vwalk.resize(n, None);
+        let arity_count = self.os.arity_count();
+        // ToC memo slots are invalidated by bumping the generation, not
+        // by clearing: stale slots keep their buffers for reuse.
+        self.batch_gen += 1;
+        if self.batch_toc.len() < n * arity_count {
+            self.batch_toc
+                .resize_with(n * arity_count, TocMemoSlot::default);
+        }
+
+        // Phase 2: instance-major replay. The variant match is hoisted
+        // out of the position loop so each instance replays the batch
+        // through a straight-line body. Exported obs counters are
+        // deferred for the whole phase — the TLB and walker deltas are
+        // flushed in bulk at instance/batch end (the scalar per-access
+        // API cannot defer: its contract is that exported counters are
+        // current after every call returns).
+        let asid = self.asid;
+        let instances = &mut self.instances;
+        let refs = &self.batch_refs;
+        let growth = &self.batch_growth;
+        let cpfns = &mut self.batch_cpfn;
+        let vwalks = &mut self.batch_vwalk;
+        let tocs = &mut self.batch_toc;
+        let gen = self.batch_gen;
+        self.os.with_deferred_walk_obs(|os| {
+            for (_, inst) in instances.iter_mut() {
+                match inst {
+                    Instance::Vanilla(tlb) => tlb.with_deferred_obs(|tlb| {
+                        // Vanilla translations never change after first
+                        // touch, so no rewind is needed.
+                        for (j, &vpn) in refs.iter().enumerate() {
+                            if !tlb.lookup(asid, vpn).is_hit() {
+                                match os.vanilla_walk_memo(vpn, &mut vwalks[j]) {
+                                    VanillaTranslation::Base(pfn) => tlb.fill_base(asid, vpn, pfn),
+                                    VanillaTranslation::Huge(first) => {
+                                        tlb.fill_huge(asid, vpn, first)
+                                    }
+                                }
+                            }
+                        }
+                    }),
+                    Instance::Mosaic(arity_idx, tlb) => {
+                        let ai = *arity_idx;
+                        tlb.with_deferred_obs(|tlb| {
+                            let rewind = !growth.is_empty();
+                            if rewind {
+                                for &(_, vpn) in growth {
+                                    os.unmirror(vpn);
+                                }
+                            }
+                            let mut cursor = 0;
+                            for (j, &vpn) in refs.iter().enumerate() {
+                                if rewind {
+                                    while cursor < growth.len() && growth[cursor].0 as usize == j {
+                                        os.remirror(growth[cursor].1);
+                                        cursor += 1;
+                                    }
+                                }
+                                match tlb.lookup(asid, vpn) {
+                                    MosaicLookup::Hit(_) => {}
+                                    MosaicLookup::SubMiss => {
+                                        let cpfn = match cpfns[j] {
+                                            Some(c) => c,
+                                            None => {
+                                                let c = os
+                                                    .cpfn_of(vpn)
+                                                    .expect("touched page must be mapped");
+                                                cpfns[j] = Some(c);
+                                                c
+                                            }
+                                        };
+                                        tlb.fill_sub(asid, vpn, cpfn);
+                                    }
+                                    MosaicLookup::Miss => {
+                                        let toc = os.mosaic_walk_memo(
+                                            ai,
+                                            vpn,
+                                            &mut tocs[j * arity_count + ai],
+                                            gen,
+                                        );
+                                        tlb.fill_toc_ref(asid, vpn, toc);
+                                    }
+                                }
+                            }
+                            debug_assert!(!rewind || cursor == growth.len());
+                        })
+                    }
+                }
+            }
+        });
+    }
+
     /// Drives one page reference through the OS and all TLB instances.
     fn reference(&mut self, vpn: Vpn, kind: AccessKind) {
         self.os.touch(vpn, kind);
         let asid = self.asid;
-        self.scratch.cpfn = None;
+        let mut cpfn_memo = None;
         for (_, inst) in &mut self.instances {
-            match inst {
-                Instance::Vanilla(tlb) => {
-                    if !tlb.lookup(asid, vpn).is_hit() {
-                        match self.os.vanilla_walk(vpn) {
-                            VanillaTranslation::Base(pfn) => tlb.fill_base(asid, vpn, pfn),
-                            VanillaTranslation::Huge(first) => tlb.fill_huge(asid, vpn, first),
-                        }
-                    }
-                }
-                Instance::Mosaic(arity_idx, tlb) => match tlb.lookup(asid, vpn) {
-                    MosaicLookup::Hit(_) => {}
-                    MosaicLookup::SubMiss => {
-                        let cpfn = match self.scratch.cpfn {
-                            Some(c) => c,
-                            None => {
-                                let c = self
-                                    .os
-                                    .cpfn_of(vpn)
-                                    .expect("touched page must be mapped");
-                                self.scratch.cpfn = Some(c);
-                                c
-                            }
-                        };
-                        tlb.fill_sub(asid, vpn, cpfn);
-                    }
-                    MosaicLookup::Miss => {
-                        let toc = self.os.mosaic_walk(*arity_idx, vpn);
-                        tlb.fill_toc(asid, vpn, toc);
-                    }
-                },
-            }
+            step_instance(&mut self.os, asid, inst, vpn, &mut cpfn_memo);
         }
     }
 
@@ -414,5 +583,26 @@ mod tests {
             s.results()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn batch_matches_scalar() {
+        for kernel in [None, Some(KernelConfig { pages: 16, period: 10 })] {
+            let trace: Vec<Access> = (0..400u64)
+                .map(|i| Access::load(VirtAddr(((i * 37) % 512) * 4096)))
+                .collect();
+            let mut scalar = sim(64, kernel);
+            for &a in &trace {
+                scalar.access(a);
+            }
+            let mut batched = sim(64, kernel);
+            for chunk in trace.chunks(33) {
+                batched.access_batch(chunk);
+            }
+            assert_eq!(scalar.results(), batched.results());
+            assert_eq!(scalar.user_accesses(), batched.user_accesses());
+            assert_eq!(scalar.os().walk_counts(), batched.os().walk_counts());
+            batched.os().verify().expect("ToCs fully remirrored");
+        }
     }
 }

@@ -43,6 +43,19 @@ pub enum VanillaTranslation {
     Huge(Pfn),
 }
 
+/// One (batch position, arity) leaf-ToC memo slot for
+/// [`OsModel::mosaic_walk_memo`].
+///
+/// `gen` stamps the batch generation that last filled the slot; a
+/// mismatched stamp means the contents are stale, but the `toc` buffer
+/// is retained so the refill copies in place instead of allocating.
+#[derive(Debug, Default)]
+pub(crate) struct TocMemoSlot {
+    gen: u64,
+    levels: u32,
+    toc: Option<Toc>,
+}
+
 /// The shared OS state of one dual-TLB simulation.
 #[derive(Debug)]
 pub struct OsModel {
@@ -126,13 +139,15 @@ impl OsModel {
     }
 
     /// Demand-maps `vpn` in both worlds if needed and records the access.
+    /// Returns whether this touch was the VPN's first (a growth event —
+    /// the batched pipeline rewinds and replays these per instance).
     ///
     /// # Panics
     ///
     /// Panics if the mosaic pool is so over-committed that an allocation
     /// evicted a page — Figure 6 runs must be sized with headroom (use
     /// [`frames_for_footprint`]).
-    pub fn touch(&mut self, vpn: Vpn, kind: AccessKind) {
+    pub fn touch(&mut self, vpn: Vpn, kind: AccessKind) -> bool {
         self.now += 1;
         let key = PageKey::new(self.asid, vpn);
         let newly_mapped = self.mosaic.resident_pfn(key).is_none();
@@ -171,6 +186,48 @@ impl OsModel {
                 self.vanilla_pt.table_mut().insert(vpn.0, pfn);
             }
         }
+        newly_mapped
+    }
+
+    /// Temporarily clears `vpn`'s sub-entry from every arity's mirrored
+    /// leaf, rewinding the ToCs to their pre-touch contents. The batched
+    /// pipeline pre-touches a whole chunk, then unmirrors the chunk's
+    /// growth events before replaying each instance so a mid-batch
+    /// `mosaic_walk` sees exactly the point-in-time ToC the scalar path
+    /// would — [`remirror`](Self::remirror) reapplies the event when the
+    /// replay cursor passes it. Leaf *nodes* allocated by the pre-touch
+    /// stay allocated, which is invisible: walk depth is fixed per table
+    /// and an all-sentinel ToC is never walked (the triggering access
+    /// remirrors before it walks).
+    ///
+    /// Reads the radix tables directly (no [`PageWalker`] accounting).
+    pub(crate) fn unmirror(&mut self, vpn: Vpn) {
+        for (arity, pt) in &mut self.mosaic_pts {
+            let (mvpn, offset) = arity.split(vpn);
+            if let Some(toc) = pt.table_mut().get_mut(mvpn.0) {
+                toc.invalidate(offset);
+            }
+        }
+    }
+
+    /// Reapplies a growth event cleared by [`unmirror`](Self::unmirror):
+    /// writes `vpn`'s current CPFN back into every arity's leaf.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vpn` is not resident (only previously-touched pages are
+    /// ever unmirrored).
+    pub(crate) fn remirror(&mut self, vpn: Vpn) {
+        let key = PageKey::new(self.asid, vpn);
+        let cpfn = self.mosaic.cpfn_of(key).expect("remirror of unmapped vpn");
+        for (arity, pt) in &mut self.mosaic_pts {
+            let (mvpn, offset) = arity.split(vpn);
+            let toc = pt
+                .table_mut()
+                .get_mut(mvpn.0)
+                .expect("unmirrored leaf exists");
+            toc.set(offset, cpfn);
+        }
     }
 
     /// A counted vanilla page-table walk (invoked on a vanilla TLB miss).
@@ -207,9 +264,117 @@ impl OsModel {
     /// Panics if `arity_idx` is out of range or the mosaic page has no
     /// mapped sub-page yet.
     pub fn mosaic_walk(&mut self, arity_idx: usize, vpn: Vpn) -> Toc {
+        self.mosaic_walk_ref(arity_idx, vpn).clone()
+    }
+
+    /// [`OsModel::mosaic_walk`] without the copy: a counted walk that
+    /// hands back the leaf ToC by reference, for fill paths that copy
+    /// into a recycled buffer ([`mosaic_mmu::MosaicTlb::fill_toc_ref`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arity_idx` is out of range or the mosaic page has no
+    /// mapped sub-page yet.
+    pub fn mosaic_walk_ref(&mut self, arity_idx: usize, vpn: Vpn) -> &Toc {
         let (arity, pt) = &mut self.mosaic_pts[arity_idx];
         let (mvpn, _) = arity.split(vpn);
-        pt.walk(mvpn.0).expect("page touched before walk").clone()
+        pt.walk(mvpn.0).expect("page touched before walk")
+    }
+
+    /// [`OsModel::vanilla_walk`] with a per-position memo slot for the
+    /// batched pipeline: the translation is resolved once per batch
+    /// position, but every consuming instance still counts a full walk
+    /// (counters and obs effects identical to walking again — vanilla
+    /// translations never change after first touch, so the memoized
+    /// result is exact).
+    pub(crate) fn vanilla_walk_memo(
+        &mut self,
+        vpn: Vpn,
+        slot: &mut Option<(VanillaTranslation, u32)>,
+    ) -> VanillaTranslation {
+        if let Some((tr, levels)) = *slot {
+            if Self::is_kernel(vpn) {
+                self.huge_walks += 1;
+            } else {
+                self.vanilla_pt.recount_walk(levels);
+            }
+            return tr;
+        }
+        if Self::is_kernel(vpn) {
+            let tr = self.vanilla_walk(vpn);
+            *slot = Some((tr, 0));
+            tr
+        } else {
+            let (value, levels) = self.vanilla_pt.walk_leveled(vpn.0);
+            let tr = VanillaTranslation::Base(*value.expect("page touched before walk"));
+            *slot = Some((tr, levels));
+            tr
+        }
+    }
+
+    /// [`OsModel::mosaic_walk`] with a per-(position, arity) memo slot:
+    /// the leaf ToC is copied out of the radix table once per batch
+    /// position, and reuses count a full walk and borrow the memoized
+    /// copy (the fill path copies it into a recycled buffer, so no
+    /// allocation happens per consuming instance). Sound because every
+    /// mosaic instance replays the identical unmirror/remirror
+    /// sequence, so the ToC state at a given batch position is the
+    /// same for all of them.
+    ///
+    /// `gen` is the current batch generation: a slot stamped with an
+    /// older generation is stale, and its retained buffer is
+    /// overwritten in place ([`Toc::copy_from`]) instead of
+    /// reallocated — slots hold ToCs of one fixed arity, so the buffer
+    /// always fits.
+    pub(crate) fn mosaic_walk_memo<'a>(
+        &mut self,
+        arity_idx: usize,
+        vpn: Vpn,
+        slot: &'a mut TocMemoSlot,
+        gen: u64,
+    ) -> &'a Toc {
+        let (arity, pt) = &mut self.mosaic_pts[arity_idx];
+        if slot.gen == gen {
+            pt.recount_walk(slot.levels);
+            return slot.toc.as_ref().expect("fresh memo slot holds a ToC");
+        }
+        let (mvpn, _) = arity.split(vpn);
+        let (value, levels) = pt.walk_leveled(mvpn.0);
+        let leaf = value.expect("page touched before walk");
+        match &mut slot.toc {
+            Some(buf) => buf.copy_from(leaf),
+            None => slot.toc = Some(leaf.clone()),
+        }
+        slot.gen = gen;
+        slot.levels = levels;
+        slot.toc.as_ref().expect("memo slot just filled")
+    }
+
+    /// Number of per-arity mosaic page tables (the batched pipeline's
+    /// ToC-memo stride).
+    pub(crate) fn arity_count(&self) -> usize {
+        self.mosaic_pts.len()
+    }
+
+    /// Runs `f` with every page walker's exported counters deferred
+    /// ([`PageWalker::pause_obs`]): per-walk obs updates are tallied
+    /// locally and bulk-published when `f` returns, so an observed
+    /// batched replay pays a handful of atomic adds per batch instead
+    /// of a counter increment and a histogram lock per walk. Walk
+    /// accounting ([`OsModel::walk_counts`]) stays live throughout and
+    /// the exported totals outside `f` are identical to the undeferred
+    /// path.
+    pub(crate) fn with_deferred_walk_obs<R>(&mut self, f: impl FnOnce(&mut Self) -> R) -> R {
+        self.vanilla_pt.pause_obs();
+        for (_, pt) in &mut self.mosaic_pts {
+            pt.pause_obs();
+        }
+        let r = f(self);
+        self.vanilla_pt.resume_obs();
+        for (_, pt) in &mut self.mosaic_pts {
+            pt.resume_obs();
+        }
+        r
     }
 
     /// The CPFN of one sub-page (for sub-entry fills).

@@ -19,7 +19,7 @@ use mosaic_mem::{
     MosaicMemory, MosaicResult, PageKey, ResilienceStats, PAGE_SIZE,
 };
 use mosaic_obs::{ObsHandle, Value};
-use mosaic_workloads::{BTreeWorkload, Graph500, Workload, XsBench};
+use mosaic_workloads::{Access, BTreeWorkload, Graph500, Workload, XsBench};
 
 /// The workloads the swapping experiments use (the paper's Tables 3–4
 /// run Graph500, XSBench, and BTree; GUPS is Figure-6-only).
@@ -76,6 +76,10 @@ pub struct PressureConfig {
     pub mem_buckets: usize,
     /// Run seed.
     pub seed: u64,
+    /// Accesses per replay chunk fed to the drive loop; `<= 1` selects
+    /// the per-access feed. Results are bit-identical either way (the
+    /// chunking only amortizes trace decode and sink dispatch).
+    pub batch: usize,
 }
 
 impl PressureConfig {
@@ -85,6 +89,7 @@ impl PressureConfig {
         Self {
             mem_buckets: 64,
             seed: 0x7AB1E,
+            batch: crate::fig6::DEFAULT_BATCH,
         }
     }
 
@@ -93,6 +98,7 @@ impl PressureConfig {
         Self {
             mem_buckets: 256,
             seed: 0x7AB1E,
+            batch: crate::fig6::DEFAULT_BATCH,
         }
     }
 
@@ -199,6 +205,9 @@ pub struct ResilienceReport {
     /// Structural `verify()` passes that ran (all of which succeeded —
     /// a failing pass aborts the run with the violation instead).
     pub verify_passes: u64,
+    /// Total accesses driven through the managers (both drives of the
+    /// shared trace), the denominator of a wall-clock ns/access figure.
+    pub accesses_driven: u64,
     /// A sample of the last typed error surfaced, for diagnostics.
     pub last_error: Option<MosaicError>,
 }
@@ -290,6 +299,7 @@ pub fn run_pressure_observed(
         mosaic_dropped: 0,
         linux_dropped: 0,
         verify_passes: 0,
+        accesses_driven: 0,
         last_error: None,
     };
 
@@ -300,6 +310,8 @@ pub fn run_pressure_observed(
     let mut source = workload.build(target, cfg.seed);
     let trace = TraceBuffer::record(source.as_mut()).map_err(MosaicError::from)?;
     drop(source);
+    // One drive per manager over the shared trace.
+    report.accesses_driven = trace.len() * 2;
     if obs.is_enabled() {
         obs.event(
             0,
@@ -312,8 +324,9 @@ pub fn run_pressure_observed(
         );
     }
     let mut replay = trace.replayer();
-    let (footprint, m_dropped, end) =
-        drive(&mut mosaic, &mut replay, target, res, &mut report, 0, obs, obs_interval)?;
+    let (footprint, m_dropped, end) = drive(
+        &mut mosaic, &mut replay, target, cfg.batch, res, &mut report, 0, obs, obs_interval,
+    )?;
     if let Some(e) = replay.into_error() {
         return Err(e.into());
     }
@@ -334,7 +347,7 @@ pub fn run_pressure_observed(
     }
     let mut replay = trace.replayer();
     let (footprint2, l_dropped, end2) = drive(
-        &mut linux, &mut replay, target, res, &mut report, start2, obs, obs_interval,
+        &mut linux, &mut replay, target, cfg.batch, res, &mut report, start2, obs, obs_interval,
     )?;
     if let Some(e) = replay.into_error() {
         return Err(e.into());
@@ -376,11 +389,17 @@ pub fn run_pressure_observed(
 /// and only sizes the warmup window). Returns the workload's actual
 /// footprint in bytes, the number of accesses dropped to typed errors,
 /// and the final reference count; propagates only invariant violations.
+///
+/// `batch > 1` pulls the stream through [`Workload::run_chunks`] — for a
+/// trace replayer that's a slice-at-a-time feed straight from the
+/// recorded chunks — while the per-access body (and so every counter,
+/// sample, snapshot, and verify cadence) stays identical.
 #[allow(clippy::too_many_arguments)]
 fn drive(
     manager: &mut dyn MemoryManager,
     w: &mut dyn Workload,
     footprint_bytes: u64,
+    batch: usize,
     res: &ResilienceConfig,
     report: &mut ResilienceReport,
     start_now: u64,
@@ -394,7 +413,7 @@ fn drive(
     let mut counter = 0u64;
     let mut dropped = 0u64;
     let mut violation: Option<MosaicError> = None;
-    w.run(&mut |a| {
+    let mut step = |a: Access| {
         if violation.is_some() {
             return;
         }
@@ -420,7 +439,16 @@ fn drive(
                 Err(e) => violation = Some(e),
             }
         }
-    });
+    };
+    if batch > 1 {
+        w.run_chunks(batch, &mut |chunk| {
+            for &a in chunk {
+                step(a);
+            }
+        });
+    } else {
+        w.run(&mut step);
+    }
     if let Some(e) = violation {
         return Err(e);
     }
@@ -664,6 +692,7 @@ mod tests {
         PressureConfig {
             mem_buckets: 16, // 1024 frames = 4 MiB
             seed: 5,
+            batch: crate::fig6::DEFAULT_BATCH,
         }
     }
 

@@ -158,6 +158,48 @@ impl TraceBuffer {
         }
     }
 
+    /// Replays every recorded access as contiguous slices, in order: the
+    /// zero-copy-decode feed for batched consumers
+    /// ([`DualSim::access_batch`](crate::dual::DualSim::access_batch) and
+    /// the chunked cell replays). Memory-backed buffers decode one stored
+    /// chunk at a time into a reused scratch vector; spilled buffers fill
+    /// the same scratch from the trace reader. Slices are
+    /// [`CHUNK_RECORDS`]-sized except the last.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError`] if a spilled recording cannot be read back
+    /// (in-memory replays cannot fail).
+    pub fn replay_chunks(&self, sink: &mut dyn FnMut(&[Access])) -> Result<(), TraceError> {
+        let mut scratch: Vec<Access> = Vec::with_capacity(CHUNK_RECORDS.min(self.len as usize));
+        match &self.storage {
+            Storage::Memory(chunks) => {
+                for chunk in chunks {
+                    scratch.clear();
+                    scratch.extend(chunk.iter().map(|&word| decode_access(word)));
+                    sink(&scratch);
+                }
+                Ok(())
+            }
+            Storage::Disk(spill) => {
+                let mut r = TraceReader::open(&spill.path)?;
+                loop {
+                    scratch.clear();
+                    while scratch.len() < CHUNK_RECORDS {
+                        match r.next_access()? {
+                            Some(a) => scratch.push(a),
+                            None => break,
+                        }
+                    }
+                    if scratch.is_empty() {
+                        return Ok(());
+                    }
+                    sink(&scratch);
+                }
+            }
+        }
+    }
+
     /// A [`Workload`] adapter replaying this buffer, for driver APIs
     /// that consume `&mut dyn Workload`.
     pub fn replayer(&self) -> TraceReplayer<'_> {
@@ -198,6 +240,20 @@ impl Workload for TraceReplayer<'_> {
 
     fn run(&mut self, sink: &mut dyn FnMut(Access)) {
         if let Err(e) = self.buffer.replay(sink) {
+            self.error = Some(e);
+        }
+    }
+
+    /// Feeds the stored chunks directly (re-slicing to `batch` when the
+    /// caller wants smaller bites), skipping the default's re-buffering.
+    fn run_chunks(&mut self, batch: usize, sink: &mut dyn FnMut(&[Access])) {
+        let batch = batch.max(1);
+        let result = self.buffer.replay_chunks(&mut |chunk| {
+            for piece in chunk.chunks(batch) {
+                sink(piece);
+            }
+        });
+        if let Err(e) = result {
             self.error = Some(e);
         }
     }
@@ -461,5 +517,37 @@ mod tests {
         let buf = TraceBufferBuilder::new().finish(meta).unwrap();
         assert!(buf.is_empty());
         assert_eq!(replay_all(&buf), Vec::new());
+    }
+
+    #[test]
+    fn chunked_replay_concatenates_to_scalar_replay() {
+        for budget in [DEFAULT_BUDGET_BYTES, 64] {
+            let buf = TraceBuffer::record_with_budget(&mut gups(12), budget).unwrap();
+            let expect = replay_all(&buf);
+            let mut got = Vec::new();
+            let mut chunks = 0usize;
+            buf.replay_chunks(&mut |c| {
+                assert!(!c.is_empty());
+                chunks += 1;
+                got.extend_from_slice(c);
+            })
+            .unwrap();
+            assert_eq!(got, expect, "budget {budget}");
+            assert_eq!(chunks, expect.len().div_ceil(CHUNK_RECORDS).max(1));
+        }
+    }
+
+    #[test]
+    fn replayer_run_chunks_respects_batch_and_order() {
+        let buf = TraceBuffer::record(&mut gups(13)).unwrap();
+        let expect = replay_all(&buf);
+        let mut rep = buf.replayer();
+        let mut got = Vec::new();
+        rep.run_chunks(100, &mut |c| {
+            assert!(c.len() <= 100);
+            got.extend_from_slice(c);
+        });
+        assert!(rep.error().is_none());
+        assert_eq!(got, expect);
     }
 }

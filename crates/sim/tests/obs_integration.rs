@@ -14,6 +14,7 @@ fn faulty_config() -> (PressureConfig, ResilienceConfig) {
     let cfg = PressureConfig {
         mem_buckets: 8,
         seed: 0x0B5_7E57,
+        batch: mosaic_sim::fig6::DEFAULT_BATCH,
     };
     let res = ResilienceConfig {
         plan: FaultPlan::NONE

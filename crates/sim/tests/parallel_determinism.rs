@@ -31,6 +31,7 @@ fn tiny_pressure_cfg() -> PressureConfig {
     PressureConfig {
         mem_buckets: 16, // 1024 frames = 4 MiB
         seed: 5,
+        batch: mosaic_sim::fig6::DEFAULT_BATCH,
     }
 }
 

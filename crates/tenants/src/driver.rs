@@ -735,6 +735,7 @@ pub fn run_schedule_observed(
         mosaic_dropped: 0,
         linux_dropped: 0,
         verify_passes: 0,
+        accesses_driven: 0,
         last_error: None,
     };
 
@@ -905,6 +906,7 @@ fn run_solo(cfg: &TenantsConfig, schedule: &Schedule) -> MosaicResult<(DriveOutc
         mosaic_dropped: 0,
         linux_dropped: 0,
         verify_passes: 0,
+        accesses_driven: 0,
         last_error: None,
     };
     let obs = ObsHandle::noop();
@@ -1088,6 +1090,7 @@ pub fn as_pressure_config(cfg: &TenantsConfig) -> PressureConfig {
     PressureConfig {
         mem_buckets: cfg.mem_buckets,
         seed: cfg.seed,
+        batch: mosaic_sim::fig6::DEFAULT_BATCH,
     }
 }
 

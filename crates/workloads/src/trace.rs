@@ -73,6 +73,26 @@ pub trait Workload {
 
     /// Executes the workload, emitting every access to `sink`.
     fn run(&mut self, sink: &mut dyn FnMut(Access));
+
+    /// Executes the workload, emitting accesses as contiguous slices of
+    /// up to `batch` (program-order concatenation of the slices equals
+    /// the [`run`](Self::run) stream). The default buffers `run`'s
+    /// stream; sources that already hold chunked storage (recorded trace
+    /// buffers) override it with a zero-buffering feed.
+    fn run_chunks(&mut self, batch: usize, sink: &mut dyn FnMut(&[Access])) {
+        let batch = batch.max(1);
+        let mut buf: Vec<Access> = Vec::with_capacity(batch);
+        self.run(&mut |a| {
+            buf.push(a);
+            if buf.len() == batch {
+                sink(&buf);
+                buf.clear();
+            }
+        });
+        if !buf.is_empty() {
+            sink(&buf);
+        }
+    }
 }
 
 /// Collects a workload's full trace into memory (tests and small runs).

@@ -15,29 +15,38 @@ BIN=target/release
 HOST_CORES=$(nproc)
 JOBS_SWEEP=(1 2 4 8)
 
-# Wall time of one invocation, in milliseconds.
-time_ms() {
-    local start end
+# Wall time of one invocation in milliseconds, plus the ns/access figure
+# the binary reports on stderr (0 if it printed none). Echoes "ms ns".
+time_ms_ns() {
+    local start end err ns
+    err=$(mktemp)
     start=$(date +%s%N)
-    "$@" >/dev/null 2>&1
+    "$@" >/dev/null 2>"$err"
     end=$(date +%s%N)
-    echo $(( (end - start) / 1000000 ))
+    ns=$(grep -oE '[0-9]+(\.[0-9]+)? ns/access' "$err" | tail -1 | awk '{print $1}')
+    rm -f "$err"
+    echo "$(( (end - start) / 1000000 )) ${ns:-0}"
 }
 
 fig6_times=()
+fig6_ns=()
 table4_times=()
+table4_ns=()
 for jobs in "${JOBS_SWEEP[@]}"; do
     echo "[bench_parallel] fig6 gups --scale 1 --jobs ${jobs}" >&2
-    fig6_times+=("$(time_ms "$BIN/fig6" gups --scale 1 --jobs "$jobs")")
+    read -r ms ns <<< "$(time_ms_ns "$BIN/fig6" gups --scale 1 --jobs "$jobs")"
+    fig6_times+=("$ms"); fig6_ns+=("$ns")
     echo "[bench_parallel] table4 --jobs ${jobs}" >&2
-    table4_times+=("$(time_ms "$BIN/table4" --jobs "$jobs")")
+    read -r ms ns <<< "$(time_ms_ns "$BIN/table4" --jobs "$jobs")"
+    table4_times+=("$ms"); table4_ns+=("$ns")
 done
 
 join_records() {
     local -n times=$1
+    local -n nss=$2
     local out="" i
     for i in "${!JOBS_SWEEP[@]}"; do
-        out+="      {\"jobs\": ${JOBS_SWEEP[$i]}, \"wall_ms\": ${times[$i]}},"$'\n'
+        out+="      {\"jobs\": ${JOBS_SWEEP[$i]}, \"wall_ms\": ${times[$i]}, \"ns_per_access\": ${nss[$i]}},"$'\n'
     done
     printf '%s' "${out%,$'\n'}"
 }
@@ -58,7 +67,7 @@ cat > BENCH_parallel.json <<EOF
       "command": "fig6 gups --scale 1 --jobs N",
       "cells": 30,
       "runs": [
-$(join_records fig6_times)
+$(join_records fig6_times fig6_ns)
       ],
       "speedup_at_max_jobs": $(speedup fig6_times)
     },
@@ -67,7 +76,7 @@ $(join_records fig6_times)
       "command": "table4 --jobs N",
       "cells": 30,
       "runs": [
-$(join_records table4_times)
+$(join_records table4_times table4_ns)
       ],
       "speedup_at_max_jobs": $(speedup table4_times)
     }

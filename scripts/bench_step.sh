@@ -1,0 +1,90 @@
+#!/usr/bin/env bash
+# Runs the full-step criterion benches (crates/bench/benches/step.rs)
+# and writes BENCH_step.json: ns/access per benchmark label (min over
+# $RUNS repeats, default 3 — the shared hosts are noisy) plus the
+# scalar-vs-batched speedup of the batched translation pipeline on the
+# Figure 6 grid.
+#
+# ns/access figures are host-dependent; the bench-delta check against
+# this baseline is warn-only. What must NOT drift (byte-identical
+# goldens for scalar vs batched and across --jobs) is gated hard in
+# scripts/check.sh.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+RUNS="${RUNS:-3}"
+# Stretch each measurement well past the host's scheduler-noise floor:
+# 100 iterations x ~10-25 ms per 8192-access trace = 1-2.5 s per label.
+export CRITERION_ITERS="${CRITERION_ITERS:-100}"
+HOST_CORES=$(nproc)
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+for i in $(seq "$RUNS"); do
+    echo "[bench_step] cargo bench --bench step (run ${i}/${RUNS}) ..." >&2
+    cargo bench -q --offline -p mosaic-bench --bench step >> "$TMP/raw.txt"
+done
+
+# Shim lines look like:
+#   bench dual_sim_batch/scalar/no_kernel    1.23ms/iter (10 iters)
+# Durations use Rust's Duration debug format (ns/µs/ms/s). The batch
+# and design groups replay an 8192-access trace per iteration;
+# dual_sim_step times a single access.
+awk '
+/^bench / {
+    label = $2
+    dur = $3
+    sub(/\/iter$/, "", dur)
+    match(dur, /^[0-9.]+/)
+    num = substr(dur, 1, RLENGTH) + 0
+    unit = substr(dur, RLENGTH + 1)
+    mult = 1
+    if (unit == "\302\265s" || unit == "us") mult = 1000
+    else if (unit == "ms") mult = 1000000
+    else if (unit == "s") mult = 1000000000
+    ns = num * mult
+    per = (label ~ /^dual_sim_step\//) ? 1 : 8192
+    ns /= per
+    if (!(label in best) || ns < best[label]) best[label] = ns
+    if (!(label in idx)) { idx[label] = ++n; names[n] = label }
+}
+END {
+    for (i = 1; i <= n; i++)
+        printf "%s %.2f\n", names[i], best[names[i]]
+}
+' "$TMP/raw.txt" > "$TMP/best.txt"
+
+ns_of() {
+    awk -v l="$1" '$1 == l { print $2 }' "$TMP/best.txt"
+}
+
+entries=""
+while read -r label ns; do
+    entries+="    \"${label}\": ${ns},"$'\n'
+done < "$TMP/best.txt"
+
+speedup() { # scalar_label batched_label
+    awk -v s="$(ns_of "$1")" -v b="$(ns_of "$2")" \
+        'BEGIN { printf (b > 0 ? "%.2f" : "0"), s / b }'
+}
+speedup_nk="$(speedup dual_sim_batch/scalar/no_kernel dual_sim_batch/batched/no_kernel)"
+speedup_wk="$(speedup dual_sim_batch/scalar/with_kernel dual_sim_batch/batched/with_kernel)"
+
+cat > BENCH_step.json <<EOF
+{
+  "benchmark": "full-step ns/access budget (benches/step.rs, min of ${RUNS} runs)",
+  "recorded": "$(date -u +%F)",
+  "host_cores": ${HOST_CORES},
+  "accesses_per_iter": {"dual_sim_step": 1, "dual_sim_batch": 8192, "design_step": 8192},
+  "ns_per_access": {
+$(printf '%s' "${entries%,$'\n'}")
+  },
+  "scalar_vs_batched_speedup": {
+    "no_kernel": ${speedup_nk},
+    "with_kernel": ${speedup_wk}
+  },
+  "note": "dual_sim_batch drives the full Figure 6 grid (5 associativities x [vanilla + 5 mosaic arities] = 30 instances) at the paper's 1024-entry TLB over a 16384-page pool with obs counters bound, so ns/access here is per workload access across all 30 instances. The scalar arm shares every data-structure optimisation (SoA sets, intrusive LRU lists, walk memos, ToC recycling) with the batched arm, so the speedup shown is the batched replay's remaining structural advantage (instance-major order, per-batch memo reuse, deferred obs flushes). Against the pre-pipeline growth seed the same scalar geometry measured 5632-7448 ns/access on this host class -- the batched pipeline end-to-end is 6.7-10x that baseline (see PERFORMANCE.md)."
+}
+EOF
+echo "[bench_step] wrote BENCH_step.json (host_cores=${HOST_CORES}, scalar/batched no_kernel=${speedup_nk}x with_kernel=${speedup_wk}x)" >&2

@@ -51,6 +51,35 @@ cmp "$OBS_TMP/parout4.txt" "$OBS_TMP/parout4b.txt"
 ./target/release/obs_report "$OBS_TMP/par4.jsonl" > "$OBS_TMP/parreport.txt"
 grep -q "interval curve" "$OBS_TMP/parreport.txt"
 
+echo "==> batched-pipeline gate (fig6: --batch 1 scalar loop vs batched, --jobs 8)"
+# The batched engine's contract: stdout and the JSONL export are
+# byte-identical to the scalar per-access loop and at every --jobs value.
+# par1.* above were produced with the default batch at --jobs 1.
+./target/release/fig6 gups --scale 0 --entries 64 --no-kernel --batch 1 \
+  --obs-out "$OBS_TMP/scalar.jsonl" --obs-interval 5000 \
+  > "$OBS_TMP/scalarout.txt" 2>/dev/null
+cmp "$OBS_TMP/scalarout.txt" "$OBS_TMP/parout1.txt"
+cmp "$OBS_TMP/scalar.jsonl" "$OBS_TMP/par1.jsonl"
+# Across jobs values the contract is stdout byte-identity (the JSONL
+# stream layout is engine-specific; its self-determinism is gated above).
+./target/release/fig6 gups --scale 0 --entries 64 --no-kernel --jobs 8 \
+  --obs-out "$OBS_TMP/par8.jsonl" --obs-interval 5000 \
+  > "$OBS_TMP/parout8.txt" 2>/dev/null
+cmp "$OBS_TMP/parout8.txt" "$OBS_TMP/parout1.txt"
+
+echo "==> batched-pipeline gate (table4: --batch 1 vs batched across --jobs 1/4/8)"
+./target/release/table4 --buckets 16 --batch 1 --jobs 1 \
+  > "$OBS_TMP/t4scalar.txt" 2>/dev/null
+for jobs in 1 4 8; do
+  ./target/release/table4 --buckets 16 --jobs "$jobs" \
+    > "$OBS_TMP/t4j$jobs.txt" 2>/dev/null
+  cmp "$OBS_TMP/t4j$jobs.txt" "$OBS_TMP/t4scalar.txt"
+done
+
+echo "==> table4 golden gate (batched default must reproduce results_table4.txt)"
+./target/release/table4 --jobs 4 > "$OBS_TMP/t4gold.txt" 2>/dev/null
+cmp "$OBS_TMP/t4gold.txt" results_table4.txt
+
 echo "==> tenant determinism gate (tenants --jobs 1 vs --jobs 4, clean + faults)"
 TEN_FLAGS=(--tenants 16 --buckets 16 --steps 60000 --churn 10000 --loads 90,110)
 for jobs in 1 4; do
@@ -101,7 +130,7 @@ echo "==> attribution golden gate (must reproduce results_attrib.txt)"
 cmp "$OBS_TMP/atgold.txt" results_attrib.txt
 
 echo "==> bench-delta (warn-only) vs BENCH_*.json baselines committed at HEAD"
-for s in obs parallel tenants isolation; do
+for s in obs parallel tenants isolation step; do
   if git show "HEAD:BENCH_${s}.json" > "$OBS_TMP/BENCH_${s}.base.json" 2>/dev/null; then
     scripts/bench_delta.sh "$OBS_TMP/BENCH_${s}.base.json" "BENCH_${s}.json" || true
   fi

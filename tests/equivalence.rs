@@ -16,6 +16,7 @@ fn quick_cfg(arities: &[usize]) -> Fig6Config {
         arities: arities.iter().map(|&a| Arity::new(a)).collect(),
         kernel: None,
         seed: 17,
+        batch: mosaic_core::sim::fig6::DEFAULT_BATCH,
     }
 }
 

@@ -7,6 +7,7 @@ fn cfg(seed: u64) -> PressureConfig {
     PressureConfig {
         mem_buckets: 16, // 1024 frames = 4 MiB: fast
         seed,
+        batch: mosaic_core::sim::fig6::DEFAULT_BATCH,
     }
 }
 

@@ -132,8 +132,18 @@ pub struct Criterion {
 }
 
 impl Default for Criterion {
+    /// 10 iterations by default; `CRITERION_ITERS=N` overrides it.
+    /// Per-iteration wall time on a shared host carries ~10% scheduler
+    /// noise, so benches whose verdicts matter (the ns/access budget in
+    /// scripts/bench_step.sh) raise the count to stretch each
+    /// measurement well past the noise floor.
     fn default() -> Self {
-        Self { iters: 10 }
+        let iters = std::env::var("CRITERION_ITERS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(10);
+        Self { iters }
     }
 }
 

@@ -12,12 +12,17 @@
 //!   `Range<usize>`, and a `ParIter::map(..).collect::<Vec<_>>()`
 //!   pipeline.
 //!
-//! Work items are executed on `std::thread::scope` workers pulling from
-//! an atomic index counter; results land in index-ordered slots, so
-//! `collect` always returns results in the input order regardless of
-//! scheduling — the property the simulator's determinism gates rely on.
-//! A panic in any work item propagates out of `collect` (the scope joins
-//! its workers first), matching upstream rayon's behavior.
+//! Work items are executed on `std::thread::scope` workers, each seeded
+//! with a contiguous chunk of the input in a per-worker deque. A worker
+//! drains its own deque from the back (keeping its chunk cache-hot) and,
+//! when empty, steals half of another worker's remaining items from the
+//! front — upstream rayon's steal-half policy, here over mutexed deques
+//! instead of lock-free Chase-Lev (the shim is `forbid(unsafe)`). Each
+//! worker accumulates `(index, result)` pairs locally; `collect` scatters
+//! them back into input order, so the output is byte-identical at any
+//! thread count regardless of scheduling — the property the simulator's
+//! determinism gates rely on. A panic in any work item propagates out of
+//! `collect` (the scope joins its workers first), matching upstream.
 //!
 //! Nested parallelism is not modelled: worker threads do not inherit the
 //! installed pool and run nested `collect` calls serially, which is
@@ -26,8 +31,8 @@
 #![forbid(unsafe_code)]
 
 use std::cell::Cell;
+use std::collections::VecDeque;
 use std::fmt;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 thread_local! {
@@ -135,57 +140,97 @@ impl ThreadPool {
 }
 
 /// Runs `f` over `items` on up to `current_num_threads()` scoped worker
-/// threads, returning results in input order.
+/// threads with steal-half work stealing, returning results in input
+/// order.
 fn execute<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
 where
     T: Send,
     R: Send,
     F: Fn(T) -> R + Sync,
 {
-    let workers = current_num_threads().min(items.len()).max(1);
+    let n = items.len();
+    let workers = current_num_threads().min(n).max(1);
     if workers == 1 {
         return items.into_iter().map(f).collect();
     }
-    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
-    let results: Vec<Mutex<Option<R>>> = (0..slots.len()).map(|_| Mutex::new(None)).collect();
-    let next = AtomicUsize::new(0);
-    {
-        let (f, slots, results, next) = (&f, &slots, &results, &next);
+    // Seed each worker with a contiguous chunk so the uncontended case is
+    // one lock per item on the worker's own deque.
+    let chunk = n.div_ceil(workers);
+    let deques: Vec<Mutex<VecDeque<(usize, T)>>> = {
+        let mut it = items.into_iter().enumerate();
+        (0..workers)
+            .map(|_| Mutex::new(it.by_ref().take(chunk).collect()))
+            .collect()
+    };
+    let worker_outs: Vec<Vec<(usize, R)>> = {
+        let (f, deques) = (&f, &deques);
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
-                .map(|_| {
-                    scope.spawn(move || loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= slots.len() {
-                            break;
+                .map(|w| {
+                    scope.spawn(move || {
+                        let mut out: Vec<(usize, R)> = Vec::new();
+                        loop {
+                            // Own deque first, back end: LIFO keeps the
+                            // seeded chunk cache-hot and leaves the front
+                            // exposed to thieves.
+                            let own = deques[w]
+                                .lock()
+                                .unwrap_or_else(|e| e.into_inner())
+                                .pop_back();
+                            if let Some((i, t)) = own {
+                                out.push((i, f(t)));
+                                continue;
+                            }
+                            // Empty: steal half of the first non-empty
+                            // victim's items from its front, holding only
+                            // the victim's lock during the drain.
+                            let mut batch: VecDeque<(usize, T)> = VecDeque::new();
+                            for off in 1..workers {
+                                let v = (w + off) % workers;
+                                let mut q =
+                                    deques[v].lock().unwrap_or_else(|e| e.into_inner());
+                                let take = q.len().div_ceil(2);
+                                if take > 0 {
+                                    batch.extend(q.drain(..take));
+                                    break;
+                                }
+                            }
+                            if batch.is_empty() {
+                                // A thief may still hold in-flight items it
+                                // drained but has not re-queued; it will
+                                // process them itself, so an empty sweep
+                                // only ever ends a worker early, never
+                                // drops work.
+                                break;
+                            }
+                            deques[w]
+                                .lock()
+                                .unwrap_or_else(|e| e.into_inner())
+                                .append(&mut batch);
                         }
-                        let item = slots[i]
-                            .lock()
-                            .unwrap_or_else(|e| e.into_inner())
-                            .take()
-                            .expect("work item claimed twice");
-                        let out = f(item);
-                        *results[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(out);
+                        out
                     })
                 })
                 .collect();
             // Join explicitly so a worker panic resurfaces with its
             // original payload (upstream rayon's behavior), not the
             // scope's generic message.
-            for h in handles {
-                if let Err(payload) = h.join() {
-                    std::panic::resume_unwind(payload);
-                }
-            }
-        });
-    }
-    results
-        .into_iter()
-        .map(|m| {
-            m.into_inner()
-                .unwrap_or_else(|e| e.into_inner())
-                .expect("worker completed without storing a result")
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
+                .collect()
         })
+    };
+    // Scatter the per-worker (index, result) runs back into input order.
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    for (i, r) in worker_outs.into_iter().flatten() {
+        debug_assert!(slots[i].is_none(), "work item {i} executed twice");
+        slots[i] = Some(r);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("worker completed without storing a result"))
         .collect()
 }
 
@@ -319,6 +364,40 @@ mod tests {
         // On a single-core host the scheduler may still serialize onto one
         // worker; the hard guarantee is only that results exist for all items.
         assert_eq!(ids.len(), 64);
+    }
+
+    #[test]
+    fn skewed_costs_still_collect_in_order() {
+        // Front-loaded cost: worker 0's seeded chunk is slow, so the
+        // other workers drain their chunks and steal from it. Whatever
+        // the interleaving, the scatter restores input order exactly.
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let out: Vec<usize> = pool.install(|| {
+            (0..128)
+                .into_par_iter()
+                .map(|i| {
+                    if i < 32 {
+                        std::thread::sleep(std::time::Duration::from_micros(200));
+                    }
+                    i * 3
+                })
+                .collect()
+        });
+        assert_eq!(out, (0..128).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn more_workers_than_items() {
+        let pool = ThreadPoolBuilder::new().num_threads(16).build().unwrap();
+        let out: Vec<usize> = pool.install(|| (0..3).into_par_iter().map(|i| i + 1).collect());
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn empty_input_collects_empty() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let out: Vec<usize> = pool.install(|| Vec::<usize>::new().into_par_iter().map(|i| i).collect());
+        assert!(out.is_empty());
     }
 
     #[test]
