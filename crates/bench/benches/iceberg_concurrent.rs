@@ -1,0 +1,132 @@
+//! Concurrent Iceberg allocator benchmarks: insert/remove throughput vs
+//! thread count, and the probe-length (candidate-index) distribution vs
+//! the serial table at high load.
+//!
+//! Plain binary (`harness = false`, no criterion): each measurement is
+//! one parseable `iceberg_concurrent ...` line on stdout, consumed by
+//! `scripts/bench_iceberg.sh` into `BENCH_iceberg.json`. On a 1-core
+//! host the multi-thread rows measure contention overhead, not speedup
+//! — the JSON records `host_cores` so readers can tell which.
+
+use mosaic_core::hash::{SplitMix64, XxFamily};
+use mosaic_core::iceberg::{ConcurrentIcebergTable, IcebergConfig, IcebergTable};
+use std::time::Instant;
+
+const BUCKETS: usize = 256; // 16384 slots
+
+fn family(cfg: IcebergConfig) -> XxFamily {
+    XxFamily::new(cfg.hash_count(), 0xBEEF)
+}
+
+/// Disjoint per-thread keyspace; the value is the key.
+fn key(thread: u64, i: u64) -> u64 {
+    (thread << 40) | i
+}
+
+/// Times `threads` workers filling a fresh table to `load`, then
+/// removing everything they inserted. Returns (insert_ns, remove_ns,
+/// ops_per_phase).
+fn throughput(threads: u64, load: f64) -> (u128, u128, u64) {
+    let cfg = IcebergConfig::paper_default(BUCKETS);
+    let target = (cfg.total_slots() as f64 * load) as u64;
+    let per = target / threads;
+    let ct: ConcurrentIcebergTable<u64, u64, XxFamily> =
+        ConcurrentIcebergTable::new(cfg, family(cfg));
+
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let ct = &ct;
+            s.spawn(move || {
+                for i in 0..per {
+                    ct.insert(key(t, i), i).expect("below capacity");
+                }
+            });
+        }
+    });
+    let insert_ns = t0.elapsed().as_nanos();
+
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let ct = &ct;
+            s.spawn(move || {
+                for i in 0..per {
+                    ct.remove(&key(t, i)).expect("inserted above");
+                }
+            });
+        }
+    });
+    let remove_ns = t0.elapsed().as_nanos();
+    assert_eq!(ct.len(), 0);
+    (insert_ns, remove_ns, per * threads)
+}
+
+fn mops(ops: u64, ns: u128) -> f64 {
+    ops as f64 * 1e3 / ns.max(1) as f64
+}
+
+/// Fills serial and concurrent tables with the *same* key sequence on
+/// one thread and prints both probe-length (mean candidate index,
+/// front-yard share) summaries. Single-threaded, the concurrent table
+/// is placement-identical to the serial oracle — equal summaries here
+/// are the determinism claim made measurable.
+fn probe_distribution(load_pct: u64) {
+    let cfg = IcebergConfig::paper_default(BUCKETS);
+    let target = (cfg.total_slots() as f64 * load_pct as f64 / 100.0) as usize;
+    let mut st: IcebergTable<u64, u64, XxFamily> = IcebergTable::new(cfg, family(cfg));
+    let ct: ConcurrentIcebergTable<u64, u64, XxFamily> =
+        ConcurrentIcebergTable::new(cfg, family(cfg));
+    let mut rng = SplitMix64::new(9);
+    let mut keys = Vec::with_capacity(target);
+    while keys.len() < target {
+        let k = rng.next_u64();
+        let s = st.insert(k, k).is_ok();
+        let c = ct.insert(k, k).is_ok();
+        assert_eq!(s, c, "single-thread concurrent must mirror serial");
+        if s {
+            keys.push(k);
+        }
+    }
+    for (name, cand_sum, front) in [
+        (
+            "serial",
+            keys.iter()
+                .map(|k| st.candidate_index_of(k).expect("resident") as u64)
+                .sum::<u64>(),
+            st.occupancy().front_occupied,
+        ),
+        (
+            "concurrent",
+            keys.iter()
+                .map(|k| ct.candidate_index_of(k).expect("resident") as u64)
+                .sum::<u64>(),
+            ct.occupancy().front_occupied,
+        ),
+    ] {
+        println!(
+            "iceberg_concurrent probe load_pct={load_pct} table={name} \
+             mean_cand_idx={:.3} front_pct={:.2}",
+            cand_sum as f64 / keys.len() as f64,
+            front as f64 * 100.0 / keys.len() as f64,
+        );
+    }
+}
+
+fn main() {
+    for threads in [1u64, 2, 4, 8] {
+        let (ins_ns, rem_ns, ops) = throughput(threads, 0.85);
+        println!(
+            "iceberg_concurrent threads={threads} phase=insert ops={ops} \
+             wall_ns={ins_ns} mops={:.3}",
+            mops(ops, ins_ns)
+        );
+        println!(
+            "iceberg_concurrent threads={threads} phase=remove ops={ops} \
+             wall_ns={rem_ns} mops={:.3}",
+            mops(ops, rem_ns)
+        );
+    }
+    probe_distribution(85);
+    probe_distribution(95);
+}

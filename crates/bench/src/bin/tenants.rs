@@ -34,6 +34,7 @@ tenants [--tenants N] [--buckets N] [--loads P,P,..] [--theta-centi N]
         [--steps N] [--churn N] [--seed S] [--fault-ppm N]
         [--hostile S] [--hostile-mult N] [--hostile-churn N]
         [--quota-frac N] [--priority-spread N]
+        [--shared-traces] [--concurrent-alloc]
         [--obs-out F] [--obs-interval R] [--jobs N]
 
 Multi-tenant fairness sweep over one shared frame pool (Mosaic vs Linux).
@@ -58,6 +59,13 @@ Multi-tenant fairness sweep over one shared frame pool (Mosaic vs Linux).
                (isolation mode default 100; 0 = quotas off)
 --priority-spread reclaim-priority levels across the victim ranks,
                default 4 in isolation mode (attacker always lowest)
+--shared-traces collapse identical-workload slots onto one shared
+               recorded trace (the group leader's seed) — changes the
+               schedule, so goldens use the default off
+--concurrent-alloc mirror Mosaic's residency into the lock-free
+               concurrent Iceberg table, cross-checked at verify; also
+               races a contention exercise over the first load point's
+               schedule and reports it on stderr. stdout is unchanged
 Every load point replays one recorded schedule into both managers; under
 --jobs N the load points run on N threads with byte-identical output.";
 
@@ -241,7 +249,36 @@ fn main() {
         hostile_churn_every: hostile_churn,
         quota_frac_pct: quota_frac,
         priority_spread,
+        shared_traces: args.has("shared-traces"),
+        concurrent_alloc: args.has("concurrent-alloc"),
     };
+
+    if base.concurrent_alloc {
+        // Race the lock-free allocator for real before the sweep: the
+        // first load point's schedule, partitioned across `jobs` worker
+        // threads (and serially as the baseline). Reported on stderr
+        // only, so stdout stays golden-comparable.
+        let mut probe = base.clone();
+        probe.load = loads_pct[0] as f64 / 100.0;
+        let schedule = mosaic_core::tenants::build_schedule(&probe);
+        for threads in [1, jobs.max(2)] {
+            let rep = mosaic_core::tenants::contention_exercise(&probe, &schedule, threads);
+            eprintln!(
+                "[tenants] contention: threads={} ops={} inserts={} removes={} conflicts={} final_len={} oracle={}",
+                rep.threads,
+                rep.ops,
+                rep.inserts,
+                rep.removes,
+                rep.conflicts,
+                rep.final_len,
+                if rep.oracle_ok { "ok" } else { "DIVERGED" }
+            );
+            assert!(
+                rep.oracle_ok,
+                "concurrent allocator diverged from its serialized replay"
+            );
+        }
+    }
 
     let sink = ObsSink::from_args(&args, "tenants");
     if sink.is_enabled() {

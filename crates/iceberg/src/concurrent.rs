@@ -1,0 +1,1032 @@
+//! A sharded, lock-free-on-the-hot-path concurrent Iceberg table.
+//!
+//! [`ConcurrentIcebergTable`] keeps the *exact* geometry and placement
+//! policy of the serial [`IcebergTable`](crate::IcebergTable) — same
+//! [`CandidateSet`] per key, same front-yard-first scan, same
+//! power-of-d-choices backyard with ties broken by lowest choice index —
+//! but stores every slot as a triplet of atomic words so threads can
+//! claim slots with CAS instead of taking a table lock:
+//!
+//! * a **state word** packing a 2-bit tag (`EMPTY → CLAIMED → OCCUPIED →
+//!   LIMBO`) with a generation counter (bumped on every transition, so
+//!   CAS can never ABA onto a recycled slot);
+//! * a **key word** and a **value word**, each an injective 64-bit
+//!   encoding via [`AtomicWord`].
+//!
+//! Readers use seqlock-style validation: load the state word, load
+//! key/value, re-load the state word, and retry if the generation moved.
+//! Removals do not free a slot immediately — the slot is *retired* into a
+//! per-shard limbo list tagged with the current [`EpochDomain`] epoch,
+//! and only recycled once no reader pinned before the retirement still
+//! holds a [`Guard`](crate::epoch::Guard) (see [`crate::epoch`]). In
+//! Mosaic terms: a frame being freed is not re-handed to another page
+//! while an in-flight translation may still be using it.
+//!
+//! Two occupancy ledgers coexist by design:
+//!
+//! * `back_fill[b]` (per bucket) counts CLAIMED + OCCUPIED + LIMBO slots
+//!   *plus outstanding reservations* — it is what power-of-d choices and
+//!   bucket-full checks read, and it only drops back at reclaim time so
+//!   a limbo slot can never be double-allocated;
+//! * per-shard `front_occupied`/`back_occupied` count *logical* entries
+//!   — they drop at remove time, so [`len`](ConcurrentIcebergTable::len)
+//!   and [`occupancy`](ConcurrentIcebergTable::occupancy) reflect the
+//!   map's contents, in O(shards).
+//!
+//! **Single-thread conformance.** With no guards pinned, a retirement is
+//! reclaimed immediately (the limbo list never survives an operation),
+//! so a single-threaded caller observes placements, conflicts, lengths
+//! and occupancy byte-identical to the serial table — that is what lets
+//! the tenants golden run unchanged with `--concurrent-alloc` at 1
+//! thread, and what makes the serial table a replay *oracle* for
+//! concurrent runs (see `tests/concurrent_oracle.rs`).
+//!
+//! **Same-key insert races.** Two threads inserting the *same* key
+//! concurrently can both pass the update-in-place check and claim two
+//! slots. The table resolves this deterministically after publication:
+//! the copy at the lowest candidate index survives, any later copy is
+//! retired (either by its own inserter or by the keeper's inserter,
+//! whichever notices first — slot generations make the retire race
+//! safe). Mosaic's allocator never inserts one page concurrently from
+//! two threads, so this path is a guard rail, not a hot path.
+
+use crate::config::IcebergConfig;
+use crate::epoch::{EpochDomain, Participant};
+use crate::placement::{CandidateSet, SlotRef, Yard};
+use crate::stats::OccupancyStats;
+use crate::table::{IcebergKey, InsertError, InsertOutcome, TableInvariantError};
+use mosaic_hash::HashFamily;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering::SeqCst};
+use std::sync::{Mutex, PoisonError};
+
+/// Types storable in a [`ConcurrentIcebergTable`] slot word: an
+/// **injective** round-trip through `u64`. Injectivity is what lets the
+/// seqlock read path compare keys by word without false positives.
+pub trait AtomicWord: Copy + Eq {
+    /// Encodes `self` as a 64-bit word.
+    fn to_word(&self) -> u64;
+    /// Decodes a word produced by [`to_word`](Self::to_word).
+    fn from_word(word: u64) -> Self;
+}
+
+macro_rules! impl_atomic_word_for_uint {
+    ($($t:ty),*) => {
+        $(impl AtomicWord for $t {
+            fn to_word(&self) -> u64 {
+                u64::from(*self)
+            }
+            fn from_word(word: u64) -> Self {
+                word as $t
+            }
+        })*
+    };
+}
+
+impl_atomic_word_for_uint!(u8, u16, u32, u64);
+
+impl AtomicWord for (u32, u32) {
+    fn to_word(&self) -> u64 {
+        (u64::from(self.0) << 32) | u64::from(self.1)
+    }
+    fn from_word(word: u64) -> Self {
+        ((word >> 32) as u32, word as u32)
+    }
+}
+
+/// The lifecycle tag of one concurrent slot (low 2 bits of its state
+/// word; the rest is the anti-ABA generation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlotState {
+    /// Free and claimable.
+    Empty,
+    /// Mid-transition: an operation holds the slot exclusively.
+    Claimed,
+    /// Holds a live entry.
+    Occupied,
+    /// Retired by a remove; awaiting epoch reclamation before reuse.
+    Limbo,
+}
+
+const TAG_EMPTY: u64 = 0;
+const TAG_CLAIMED: u64 = 1;
+const TAG_OCCUPIED: u64 = 2;
+const TAG_LIMBO: u64 = 3;
+
+fn pack(generation: u64, tag: u64) -> u64 {
+    (generation << 2) | tag
+}
+
+fn tag_of(word: u64) -> u64 {
+    word & 0b11
+}
+
+fn gen_of(word: u64) -> u64 {
+    word >> 2
+}
+
+/// A retired slot waiting out its epoch in a shard's limbo list.
+#[derive(Debug, Clone, Copy)]
+struct LimboEntry {
+    slot: SlotRef,
+    /// Global epoch at retirement; recyclable once `< min_pinned`.
+    epoch: u64,
+}
+
+/// Per-shard bookkeeping: logical occupancy counters plus the limbo
+/// list for retired slots whose buckets hash to this shard.
+#[derive(Debug)]
+struct Shard {
+    front_occupied: AtomicUsize,
+    back_occupied: AtomicUsize,
+    limbo: Mutex<Vec<LimboEntry>>,
+}
+
+/// Maximum shard count; buckets are striped `bucket % shards`.
+const MAX_SHARDS: usize = 16;
+
+/// A concurrent Iceberg hash table sharing the serial table's placement
+/// policy exactly — see the [module docs](self) for the protocol.
+///
+/// All operations take `&self`; the table is `Sync` and is shared across
+/// threads by reference (or `Arc`).
+#[derive(Debug)]
+pub struct ConcurrentIcebergTable<K, V, F> {
+    cfg: IcebergConfig,
+    family: F,
+    /// Flat front-yard state words: `bucket * front_slots + slot`.
+    front_state: Vec<AtomicU64>,
+    front_key: Vec<AtomicU64>,
+    front_val: Vec<AtomicU64>,
+    /// Flat backyard state words: `bucket * back_slots + slot`.
+    back_state: Vec<AtomicU64>,
+    back_key: Vec<AtomicU64>,
+    back_val: Vec<AtomicU64>,
+    /// Per-bucket allocation ledger: non-EMPTY slots + reservations.
+    back_fill: Vec<AtomicU32>,
+    shards: Vec<Shard>,
+    /// Linearization stamp source: each committing op takes the next.
+    seq: AtomicU64,
+    inserts: AtomicU64,
+    conflicts: AtomicU64,
+    domain: EpochDomain,
+    _marker: PhantomData<(K, V)>,
+}
+
+impl<K, V, F> ConcurrentIcebergTable<K, V, F>
+where
+    K: IcebergKey + AtomicWord,
+    V: AtomicWord,
+    F: HashFamily,
+{
+    /// Creates an empty table with the given geometry and hash family.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the family provides fewer than `cfg.hash_count()`
+    /// functions (same contract as the serial table).
+    pub fn new(cfg: IcebergConfig, family: F) -> Self {
+        assert!(
+            family.count() >= cfg.hash_count(),
+            "hash family has {} functions but the scheme needs {}",
+            family.count(),
+            cfg.hash_count()
+        );
+        let atoms = |n: usize| -> Vec<AtomicU64> {
+            std::iter::repeat_with(|| AtomicU64::new(0)).take(n).collect()
+        };
+        let front_n = cfg.num_buckets() * cfg.front_slots();
+        let back_n = cfg.num_buckets() * cfg.back_slots();
+        let num_shards = cfg.num_buckets().clamp(1, MAX_SHARDS);
+        Self {
+            front_state: atoms(front_n),
+            front_key: atoms(front_n),
+            front_val: atoms(front_n),
+            back_state: atoms(back_n),
+            back_key: atoms(back_n),
+            back_val: atoms(back_n),
+            back_fill: std::iter::repeat_with(|| AtomicU32::new(0))
+                .take(cfg.num_buckets())
+                .collect(),
+            shards: std::iter::repeat_with(|| Shard {
+                front_occupied: AtomicUsize::new(0),
+                back_occupied: AtomicUsize::new(0),
+                limbo: Mutex::new(Vec::new()),
+            })
+            .take(num_shards)
+            .collect(),
+            seq: AtomicU64::new(0),
+            inserts: AtomicU64::new(0),
+            conflicts: AtomicU64::new(0),
+            domain: EpochDomain::new(),
+            cfg,
+            family,
+            _marker: PhantomData,
+        }
+    }
+
+    /// The table geometry.
+    pub fn config(&self) -> &IcebergConfig {
+        &self.cfg
+    }
+
+    /// The epoch domain governing slot reclamation; register readers
+    /// here (or via [`register_reader`](Self::register_reader)).
+    pub fn domain(&self) -> &EpochDomain {
+        &self.domain
+    }
+
+    /// Registers a reader participant: pin it around lookups whose slot
+    /// (frame) must not be recycled mid-read.
+    pub fn register_reader(&self) -> Participant {
+        self.domain.register()
+    }
+
+    /// The candidate set for a key (identical to the serial table's).
+    pub fn candidates(&self, key: &K) -> CandidateSet {
+        CandidateSet::compute(&self.family, &self.cfg, key.hash_key())
+    }
+
+    fn state_cell(&self, slot: SlotRef) -> &AtomicU64 {
+        match slot.yard {
+            Yard::Front => &self.front_state[slot.bucket * self.cfg.front_slots() + slot.slot],
+            Yard::Back => &self.back_state[slot.bucket * self.cfg.back_slots() + slot.slot],
+        }
+    }
+
+    fn key_cell(&self, slot: SlotRef) -> &AtomicU64 {
+        match slot.yard {
+            Yard::Front => &self.front_key[slot.bucket * self.cfg.front_slots() + slot.slot],
+            Yard::Back => &self.back_key[slot.bucket * self.cfg.back_slots() + slot.slot],
+        }
+    }
+
+    fn val_cell(&self, slot: SlotRef) -> &AtomicU64 {
+        match slot.yard {
+            Yard::Front => &self.front_val[slot.bucket * self.cfg.front_slots() + slot.slot],
+            Yard::Back => &self.back_val[slot.bucket * self.cfg.back_slots() + slot.slot],
+        }
+    }
+
+    fn shard_of(&self, bucket: usize) -> usize {
+        bucket % self.shards.len()
+    }
+
+    fn stamp(&self) -> u64 {
+        self.seq.fetch_add(1, SeqCst) + 1
+    }
+
+    /// Number of entries (sum of the per-shard logical counters).
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.front_occupied.load(SeqCst) + s.back_occupied.load(SeqCst))
+            .sum()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Current load factor (`len / total_slots`).
+    pub fn load_factor(&self) -> f64 {
+        self.len() as f64 / self.cfg.total_slots() as f64
+    }
+
+    /// Occupancy statistics from the per-shard counters — O(shards),
+    /// and equal to the serial table's after a serialized replay.
+    pub fn occupancy(&self) -> OccupancyStats {
+        let front = self.shards.iter().map(|s| s.front_occupied.load(SeqCst)).sum();
+        let back = self.shards.iter().map(|s| s.back_occupied.load(SeqCst)).sum();
+        OccupancyStats::new(&self.cfg, front, back)
+    }
+
+    /// Highest linearization stamp handed out so far (0 before any op).
+    pub fn seq(&self) -> u64 {
+        self.seq.load(SeqCst)
+    }
+
+    /// Successful placements so far.
+    pub fn insert_count(&self) -> u64 {
+        self.inserts.load(SeqCst)
+    }
+
+    /// Associativity conflicts so far (inserts refused with every
+    /// candidate slot unavailable even after a reclamation pass).
+    pub fn conflict_count(&self) -> u64 {
+        self.conflicts.load(SeqCst)
+    }
+
+    /// The lifecycle tag of a slot right now (racy by nature; exact
+    /// under quiescence — meant for harnesses and invariant checks).
+    pub fn slot_state(&self, slot: SlotRef) -> SlotState {
+        match tag_of(self.state_cell(slot).load(SeqCst)) {
+            TAG_EMPTY => SlotState::Empty,
+            TAG_CLAIMED => SlotState::Claimed,
+            TAG_OCCUPIED => SlotState::Occupied,
+            _ => SlotState::Limbo,
+        }
+    }
+
+    /// The allocation-ledger fill of one backyard bucket (what
+    /// power-of-d reads); equals the serial `back_occupancy` under
+    /// quiescence with an empty limbo.
+    pub fn back_fill_of(&self, bucket: usize) -> u32 {
+        self.back_fill[bucket].load(SeqCst)
+    }
+
+    /// Retired slots not yet recycled (sum of the shard limbo lists).
+    pub fn pending_reclaim(&self) -> usize {
+        self.shards.iter().map(|s| lock(&s.limbo).len()).sum()
+    }
+
+    /// Advances the epoch and reclaims every shard's reclaimable limbo
+    /// entries; returns how many retired slots remain (held by pinned
+    /// readers). Call between phases, or after dropping guards.
+    pub fn quiesce(&self) -> usize {
+        self.domain.try_advance();
+        for i in 0..self.shards.len() {
+            self.reclaim_shard(i);
+        }
+        self.pending_reclaim()
+    }
+
+    fn reclaim_shard(&self, shard: usize) {
+        let min = self.domain.min_pinned();
+        let mut limbo = lock(&self.shards[shard].limbo);
+        limbo.retain(|entry| {
+            let free = min.is_none_or(|m| entry.epoch < m);
+            if free {
+                let st = self.state_cell(entry.slot);
+                let s = st.load(SeqCst);
+                debug_assert_eq!(tag_of(s), TAG_LIMBO);
+                st.store(pack(gen_of(s) + 1, TAG_EMPTY), SeqCst);
+                if entry.slot.yard == Yard::Back {
+                    self.back_fill[entry.slot.bucket].fetch_sub(1, SeqCst);
+                }
+            }
+            !free
+        });
+    }
+
+    /// Retires an OCCUPIED slot into limbo (the tail of `remove` and of
+    /// same-key duplicate resolution). No-op if the slot moved on.
+    fn retire_slot(&self, slot: SlotRef) {
+        let st = self.state_cell(slot);
+        let s1 = st.load(SeqCst);
+        if tag_of(s1) != TAG_OCCUPIED {
+            return;
+        }
+        if st
+            .compare_exchange(s1, pack(gen_of(s1) + 1, TAG_CLAIMED), SeqCst, SeqCst)
+            .is_err()
+        {
+            return;
+        }
+        self.finish_retire(slot, gen_of(s1));
+    }
+
+    /// Publishes LIMBO for a slot this thread holds CLAIMED (claimed at
+    /// generation `claimed_from`), updates the ledgers, and tries to
+    /// reclaim. The epoch is read *after* the claim, so any reader that
+    /// validated the slot OCCUPIED is pinned at or before it (see
+    /// `crate::epoch` for why that blocks reclamation under them).
+    fn finish_retire(&self, slot: SlotRef, claimed_from: u64) {
+        let epoch = self.domain.epoch();
+        self.state_cell(slot)
+            .store(pack(claimed_from + 2, TAG_LIMBO), SeqCst);
+        let shard = self.shard_of(slot.bucket);
+        match slot.yard {
+            Yard::Front => {
+                self.shards[shard].front_occupied.fetch_sub(1, SeqCst);
+            }
+            Yard::Back => {
+                self.shards[shard].back_occupied.fetch_sub(1, SeqCst);
+            }
+        }
+        lock(&self.shards[shard].limbo).push(LimboEntry { slot, epoch });
+        self.domain.try_advance();
+        self.reclaim_shard(shard);
+    }
+}
+
+impl<K, V, F> ConcurrentIcebergTable<K, V, F>
+where
+    K: IcebergKey + AtomicWord,
+    V: AtomicWord,
+    F: HashFamily,
+{
+    /// Inserts `key -> value`, returning the linearization stamp and the
+    /// outcome. Placement policy is identical to the serial table:
+    /// update in place, else first free front-yard slot, else first free
+    /// slot of the emptiest backyard choice (ties to the lowest index).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InsertError`] handing `value` back when every candidate
+    /// slot is unavailable even after one reclamation pass (an
+    /// *associativity conflict* — single-threaded this is exactly the
+    /// serial table's conflict, since the limbo is already empty).
+    pub fn insert(&self, key: K, value: V) -> Result<(u64, InsertOutcome), InsertError<V>> {
+        let cands = self.candidates(&key);
+        match self.try_insert(&cands, key, value) {
+            Ok(done) => Ok(done),
+            Err(value) => {
+                // Limbo slots are logically free: reclaim, then retry
+                // once before declaring a conflict.
+                self.domain.try_advance();
+                for i in 0..self.shards.len() {
+                    self.reclaim_shard(i);
+                }
+                self.try_insert(&cands, key, value).map_err(|value| {
+                    self.conflicts.fetch_add(1, SeqCst);
+                    InsertError { value }
+                })
+            }
+        }
+    }
+
+    fn try_insert(
+        &self,
+        cands: &CandidateSet,
+        key: K,
+        value: V,
+    ) -> Result<(u64, InsertOutcome), V> {
+        // Stability: an existing key is updated where it lives.
+        'rescan: loop {
+            for slot in cands.slots(&self.cfg) {
+                let st = self.state_cell(slot);
+                loop {
+                    let s1 = st.load(SeqCst);
+                    match tag_of(s1) {
+                        TAG_OCCUPIED => {
+                            let kw = self.key_cell(slot).load(SeqCst);
+                            if st.load(SeqCst) != s1 {
+                                continue; // seqlock: slot moved, re-read
+                            }
+                            if K::from_word(kw) != key {
+                                break;
+                            }
+                            let claimed = pack(gen_of(s1) + 1, TAG_CLAIMED);
+                            if st.compare_exchange(s1, claimed, SeqCst, SeqCst).is_err() {
+                                continue 'rescan;
+                            }
+                            self.val_cell(slot).store(value.to_word(), SeqCst);
+                            let seq = self.stamp();
+                            st.store(pack(gen_of(s1) + 2, TAG_OCCUPIED), SeqCst);
+                            return Ok((seq, InsertOutcome::Updated(slot)));
+                        }
+                        TAG_CLAIMED => {
+                            // An op is mid-flight on this slot; it will
+                            // resolve to OCCUPIED or LIMBO momentarily.
+                            std::hint::spin_loop();
+                            continue;
+                        }
+                        _ => break,
+                    }
+                }
+            }
+            break;
+        }
+
+        // Front yard first.
+        for idx in 0..self.cfg.front_slots() {
+            let slot = SlotRef {
+                yard: Yard::Front,
+                bucket: cands.front_bucket,
+                slot: idx,
+            };
+            let st = self.state_cell(slot);
+            let s1 = st.load(SeqCst);
+            if tag_of(s1) != TAG_EMPTY {
+                continue;
+            }
+            if st
+                .compare_exchange(s1, pack(gen_of(s1) + 1, TAG_CLAIMED), SeqCst, SeqCst)
+                .is_err()
+            {
+                continue; // lost the slot; serial callers never do
+            }
+            self.key_cell(slot).store(key.to_word(), SeqCst);
+            self.val_cell(slot).store(value.to_word(), SeqCst);
+            let seq = self.stamp();
+            st.store(pack(gen_of(s1) + 2, TAG_OCCUPIED), SeqCst);
+            self.shards[self.shard_of(slot.bucket)]
+                .front_occupied
+                .fetch_add(1, SeqCst);
+            self.inserts.fetch_add(1, SeqCst);
+            self.resolve_duplicate(cands, key, slot);
+            return Ok((seq, InsertOutcome::PlacedFront(slot)));
+        }
+
+        // Power of d choices over the backyard, via the fill ledger.
+        loop {
+            let emptiest = cands
+                .back_buckets
+                .iter()
+                .copied()
+                .min_by_key(|&b| self.back_fill[b].load(SeqCst))
+                .expect("d_choices >= 1");
+            let reserved = self.back_fill[emptiest]
+                .fetch_update(SeqCst, SeqCst, |f| {
+                    ((f as usize) < self.cfg.back_slots()).then_some(f + 1)
+                })
+                .is_ok();
+            if !reserved {
+                // The emptiest choice is full. If every choice is full
+                // this is a conflict; otherwise we lost a race — re-pick.
+                let all_full = cands.back_buckets.iter().all(|&b| {
+                    self.back_fill[b].load(SeqCst) as usize >= self.cfg.back_slots()
+                });
+                if all_full {
+                    return Err(value);
+                }
+                continue;
+            }
+            // Counting argument: `back_fill` counts every non-EMPTY slot
+            // plus every outstanding reservation, so holding one means an
+            // EMPTY slot exists in this bucket until we claim it.
+            loop {
+                let mut claimed_at = None;
+                for idx in 0..self.cfg.back_slots() {
+                    let slot = SlotRef {
+                        yard: Yard::Back,
+                        bucket: emptiest,
+                        slot: idx,
+                    };
+                    let st = self.state_cell(slot);
+                    let s1 = st.load(SeqCst);
+                    if tag_of(s1) != TAG_EMPTY {
+                        continue;
+                    }
+                    if st
+                        .compare_exchange(s1, pack(gen_of(s1) + 1, TAG_CLAIMED), SeqCst, SeqCst)
+                        .is_err()
+                    {
+                        continue;
+                    }
+                    claimed_at = Some((slot, gen_of(s1)));
+                    break;
+                }
+                let Some((slot, generation)) = claimed_at else {
+                    std::hint::spin_loop();
+                    continue;
+                };
+                self.key_cell(slot).store(key.to_word(), SeqCst);
+                self.val_cell(slot).store(value.to_word(), SeqCst);
+                let seq = self.stamp();
+                self.state_cell(slot)
+                    .store(pack(generation + 2, TAG_OCCUPIED), SeqCst);
+                self.shards[self.shard_of(slot.bucket)]
+                    .back_occupied
+                    .fetch_add(1, SeqCst);
+                self.inserts.fetch_add(1, SeqCst);
+                self.resolve_duplicate(cands, key, slot);
+                return Ok((seq, InsertOutcome::PlacedBack(slot)));
+            }
+        }
+    }
+
+    /// Post-publication tie-break for racing same-key inserts: scan the
+    /// other candidate slots; if a second copy exists, retire whichever
+    /// sits at the higher candidate index (lowest index wins, so every
+    /// racer converges on the same survivor). Single-threaded this finds
+    /// nothing — the update-in-place check already ran.
+    fn resolve_duplicate(&self, cands: &CandidateSet, key: K, mine: SlotRef) {
+        let Some(my_idx) = cands.index_of_slot(&self.cfg, mine) else {
+            return;
+        };
+        for (idx, slot) in cands.slots(&self.cfg).enumerate() {
+            // Skip every appearance of our own slot: with few buckets the
+            // d backyard choices can repeat, so one physical slot can sit
+            // at several candidate indices.
+            if slot == mine {
+                continue;
+            }
+            let st = self.state_cell(slot);
+            let s1 = st.load(SeqCst);
+            if tag_of(s1) != TAG_OCCUPIED {
+                continue;
+            }
+            let kw = self.key_cell(slot).load(SeqCst);
+            if st.load(SeqCst) != s1 || K::from_word(kw) != key {
+                continue;
+            }
+            let loser = if idx < my_idx { mine } else { slot };
+            self.retire_slot(loser);
+            if loser == mine {
+                return;
+            }
+        }
+    }
+
+    /// Removes `key`, returning the linearization stamp and its value if
+    /// present. The slot is retired into limbo, not freed — it becomes
+    /// claimable again only once no pinned reader predates the removal
+    /// (immediately, when nothing is pinned).
+    pub fn remove(&self, key: &K) -> Option<(u64, V)> {
+        let cands = self.candidates(key);
+        'rescan: loop {
+            for slot in cands.slots(&self.cfg) {
+                let st = self.state_cell(slot);
+                loop {
+                    let s1 = st.load(SeqCst);
+                    match tag_of(s1) {
+                        TAG_OCCUPIED => {
+                            let kw = self.key_cell(slot).load(SeqCst);
+                            if st.load(SeqCst) != s1 {
+                                continue;
+                            }
+                            if K::from_word(kw) != *key {
+                                break;
+                            }
+                            let claimed = pack(gen_of(s1) + 1, TAG_CLAIMED);
+                            if st.compare_exchange(s1, claimed, SeqCst, SeqCst).is_err() {
+                                continue 'rescan;
+                            }
+                            let vw = self.val_cell(slot).load(SeqCst);
+                            let seq = self.stamp();
+                            self.finish_retire(slot, gen_of(s1));
+                            return Some((seq, V::from_word(vw)));
+                        }
+                        TAG_CLAIMED => {
+                            std::hint::spin_loop();
+                            continue;
+                        }
+                        _ => break,
+                    }
+                }
+            }
+            return None;
+        }
+    }
+
+    /// Finds the slot currently holding `key`, seqlock-validated.
+    pub fn slot_of(&self, key: &K) -> Option<SlotRef> {
+        self.find(key).map(|(slot, _)| slot)
+    }
+
+    /// Returns the value for `key` (by value — slots store words).
+    pub fn get(&self, key: &K) -> Option<V> {
+        self.find(key).map(|(_, vw)| V::from_word(vw))
+    }
+
+    /// Whether `key` is present.
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.find(key).is_some()
+    }
+
+    /// The *candidate index* (CPFN encoding, also probe-length − 1 in
+    /// canonical order) of `key`'s current slot, if present.
+    pub fn candidate_index_of(&self, key: &K) -> Option<usize> {
+        let cands = self.candidates(key);
+        let (slot, _) = self.find(key)?;
+        cands.index_of_slot(&self.cfg, slot)
+    }
+
+    fn find(&self, key: &K) -> Option<(SlotRef, u64)> {
+        let cands = self.candidates(key);
+        for slot in cands.slots(&self.cfg) {
+            let st = self.state_cell(slot);
+            loop {
+                let s1 = st.load(SeqCst);
+                match tag_of(s1) {
+                    TAG_OCCUPIED => {
+                        let kw = self.key_cell(slot).load(SeqCst);
+                        let vw = self.val_cell(slot).load(SeqCst);
+                        if st.load(SeqCst) != s1 {
+                            continue; // torn read; retry this slot
+                        }
+                        if K::from_word(kw) == *key {
+                            return Some((slot, vw));
+                        }
+                        break;
+                    }
+                    TAG_CLAIMED => {
+                        // Mid-flight op (possibly an update of this very
+                        // key): wait it out rather than report absence.
+                        std::hint::spin_loop();
+                        continue;
+                    }
+                    _ => break,
+                }
+            }
+        }
+        None
+    }
+
+    /// A point-in-time copy of all entries (per-slot seqlock reads; the
+    /// set is exact under quiescence, best-effort under contention).
+    pub fn iter_snapshot(&self) -> Vec<(K, V)> {
+        let mut out = Vec::with_capacity(self.len());
+        let all_front = (0..self.cfg.num_buckets()).flat_map(|bucket| {
+            (0..self.cfg.front_slots()).map(move |slot| SlotRef {
+                yard: Yard::Front,
+                bucket,
+                slot,
+            })
+        });
+        let all_back = (0..self.cfg.num_buckets()).flat_map(|bucket| {
+            (0..self.cfg.back_slots()).map(move |slot| SlotRef {
+                yard: Yard::Back,
+                bucket,
+                slot,
+            })
+        });
+        for slot in all_front.chain(all_back) {
+            let st = self.state_cell(slot);
+            loop {
+                let s1 = st.load(SeqCst);
+                if tag_of(s1) != TAG_OCCUPIED {
+                    break;
+                }
+                let kw = self.key_cell(slot).load(SeqCst);
+                let vw = self.val_cell(slot).load(SeqCst);
+                if st.load(SeqCst) != s1 {
+                    continue;
+                }
+                out.push((K::from_word(kw), V::from_word(vw)));
+                break;
+            }
+        }
+        out
+    }
+
+    /// Checks structural invariants under **quiescence** (no in-flight
+    /// ops): no slot left CLAIMED, the shard counters and per-bucket
+    /// fill ledger match a full walk (fill = occupied + limbo), and
+    /// every occupied slot sits inside its key's candidate set.
+    pub fn verify(&self) -> Result<(), TableInvariantError> {
+        let mut front_by_shard = vec![0usize; self.shards.len()];
+        let mut back_by_shard = vec![0usize; self.shards.len()];
+        for bucket in 0..self.cfg.num_buckets() {
+            let mut bucket_fill = 0u32;
+            for idx in 0..self.cfg.front_slots() {
+                let slot = SlotRef { yard: Yard::Front, bucket, slot: idx };
+                match self.slot_state(slot) {
+                    SlotState::Claimed => {
+                        return Err(TableInvariantError {
+                            invariant: "concurrent-claimed",
+                            detail: format!("slot {slot:?} left CLAIMED at quiescence"),
+                        });
+                    }
+                    SlotState::Occupied => front_by_shard[self.shard_of(bucket)] += 1,
+                    _ => {}
+                }
+            }
+            for idx in 0..self.cfg.back_slots() {
+                let slot = SlotRef { yard: Yard::Back, bucket, slot: idx };
+                match self.slot_state(slot) {
+                    SlotState::Claimed => {
+                        return Err(TableInvariantError {
+                            invariant: "concurrent-claimed",
+                            detail: format!("slot {slot:?} left CLAIMED at quiescence"),
+                        });
+                    }
+                    SlotState::Occupied => {
+                        back_by_shard[self.shard_of(bucket)] += 1;
+                        bucket_fill += 1;
+                    }
+                    SlotState::Limbo => bucket_fill += 1,
+                    SlotState::Empty => {}
+                }
+            }
+            let ledger = self.back_fill[bucket].load(SeqCst);
+            if ledger != bucket_fill {
+                return Err(TableInvariantError {
+                    invariant: "back-fill",
+                    detail: format!(
+                        "bucket {bucket}: fill ledger {ledger} vs walked {bucket_fill}"
+                    ),
+                });
+            }
+        }
+        for (i, shard) in self.shards.iter().enumerate() {
+            let (f, b) = (
+                shard.front_occupied.load(SeqCst),
+                shard.back_occupied.load(SeqCst),
+            );
+            if f != front_by_shard[i] || b != back_by_shard[i] {
+                return Err(TableInvariantError {
+                    invariant: "yard-occupancy",
+                    detail: format!(
+                        "shard {i}: cached {f}/{b} front/back vs walk {}/{}",
+                        front_by_shard[i], back_by_shard[i]
+                    ),
+                });
+            }
+        }
+        for (key, _) in self.iter_snapshot() {
+            let cands = self.candidates(&key);
+            let Some(slot) = self.slot_of(&key) else {
+                return Err(TableInvariantError {
+                    invariant: "candidate-placement",
+                    detail: "snapshotted key not findable via its candidates".into(),
+                });
+            };
+            if cands.index_of_slot(&self.cfg, slot).is_none() {
+                return Err(TableInvariantError {
+                    invariant: "candidate-placement",
+                    detail: format!("entry at {slot:?} is outside its candidate set"),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Mutex acquisition that survives poisoning: the limbo lists hold plain
+/// slot indices, valid regardless of a panicking holder.
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::IcebergTable;
+    use mosaic_hash::{SplitMix64, XxFamily};
+
+    fn pair(buckets: usize) -> (
+        ConcurrentIcebergTable<u64, u64, XxFamily>,
+        IcebergTable<u64, u64, XxFamily>,
+    ) {
+        let cfg = IcebergConfig::paper_default(buckets);
+        (
+            ConcurrentIcebergTable::new(cfg, XxFamily::new(cfg.hash_count(), 0xC0FFEE)),
+            IcebergTable::new(cfg, XxFamily::new(cfg.hash_count(), 0xC0FFEE)),
+        )
+    }
+
+    #[test]
+    fn single_thread_matches_serial_table_exactly() {
+        // Every op's outcome (placement slot included) must be identical
+        // to the serial table's across a long random mixed workload —
+        // the byte-identity that keeps the goldens intact at 1 thread.
+        let (ct, mut st) = pair(8);
+        let mut rng = SplitMix64::new(42);
+        for step in 0..30_000u64 {
+            let key = rng.next_below(900);
+            if rng.next_below(3) == 0 {
+                let c = ct.remove(&key).map(|(_, v)| v);
+                let s = st.remove(&key);
+                assert_eq!(c, s, "remove({key}) diverged at step {step}");
+            } else {
+                let c = ct.insert(key, step).map(|(_, o)| o).map_err(|e| e.value);
+                let s = st.insert(key, step).map_err(|e| e.value);
+                assert_eq!(c, s, "insert({key}) diverged at step {step}");
+            }
+            assert_eq!(ct.len(), st.len(), "len diverged at step {step}");
+        }
+        assert_eq!(ct.pending_reclaim(), 0, "unpinned limbo must drain");
+        let co = ct.occupancy();
+        let so = st.occupancy();
+        assert_eq!(co.front_occupied, so.front_occupied);
+        assert_eq!(co.back_occupied, so.back_occupied);
+        // With an empty limbo the fill ledger IS the backyard occupancy
+        // the serial power-of-d reads: recompute serial's per-bucket
+        // counts from entry placements and compare.
+        let mut serial_back = vec![0u32; st.config().num_buckets()];
+        for (k, _) in st.iter() {
+            if let Some(slot) = st.slot_of(k) {
+                if slot.yard == Yard::Back {
+                    serial_back[slot.bucket] += 1;
+                }
+            }
+        }
+        for (b, &expect) in serial_back.iter().enumerate() {
+            assert_eq!(ct.back_fill_of(b), expect, "bucket {b} fill ledger");
+        }
+        ct.verify().expect("concurrent invariants hold");
+        st.verify().expect("serial invariants hold");
+        for (key, value) in ct.iter_snapshot() {
+            assert_eq!(st.get(&key), Some(&value));
+            assert_eq!(ct.slot_of(&key), st.slot_of(&key), "slot of {key}");
+        }
+    }
+
+    #[test]
+    fn conflict_hands_value_back_like_serial() {
+        let cfg = IcebergConfig::new(1, 4, 2, 1);
+        let ct: ConcurrentIcebergTable<u64, u64, _> =
+            ConcurrentIcebergTable::new(cfg, XxFamily::new(cfg.hash_count(), 3));
+        let mut st: IcebergTable<u64, u64, _> =
+            IcebergTable::new(cfg, XxFamily::new(cfg.hash_count(), 3));
+        for k in 0..100u64 {
+            let c = ct.insert(k, k).map(|(_, o)| o).map_err(|e| e.value);
+            let s = st.insert(k, k).map_err(|e| e.value);
+            assert_eq!(c, s, "key {k}");
+        }
+        assert_eq!(ct.conflict_count() as usize, 100 - cfg.total_slots());
+    }
+
+    #[test]
+    fn seq_stamps_are_dense_and_monotone() {
+        let (ct, _) = pair(8);
+        let mut last = 0;
+        for k in 0..100u64 {
+            let (seq, _) = ct.insert(k, k).unwrap();
+            assert_eq!(seq, last + 1);
+            last = seq;
+        }
+        let (seq, _) = ct.remove(&50).unwrap();
+        assert_eq!(seq, last + 1);
+        assert_eq!(ct.seq(), seq);
+    }
+
+    #[test]
+    fn limbo_slot_not_reused_while_guard_pinned() {
+        let (ct, _) = pair(8);
+        ct.insert(7, 70).unwrap();
+        let slot = ct.slot_of(&7).expect("present");
+        let reader = ct.register_reader();
+        let guard = reader.pin();
+        // Retire under the pin: the slot must stay in limbo, invisible
+        // to allocation, until the guard drops.
+        ct.remove(&7).unwrap();
+        assert_eq!(ct.slot_state(slot), SlotState::Limbo);
+        assert_eq!(ct.pending_reclaim(), 1);
+        assert!(ct.quiesce() == 1, "pinned reader blocks reclamation");
+        assert_eq!(ct.slot_state(slot), SlotState::Limbo);
+        // Re-inserting the same key must not land on the limbo slot.
+        ct.insert(7, 71).unwrap();
+        assert_ne!(ct.slot_of(&7), Some(slot), "limbo slot was re-handed");
+        drop(guard);
+        assert_eq!(ct.quiesce(), 0, "unpinned limbo drains");
+        assert_eq!(ct.slot_state(slot), SlotState::Empty);
+        ct.verify().unwrap();
+    }
+
+    #[test]
+    fn racing_same_key_inserts_leave_one_copy() {
+        let cfg = IcebergConfig::paper_default(8);
+        let ct: ConcurrentIcebergTable<u64, u64, _> =
+            ConcurrentIcebergTable::new(cfg, XxFamily::new(cfg.hash_count(), 9));
+        for round in 0..50u64 {
+            let key = round;
+            std::thread::scope(|s| {
+                for t in 0..4u64 {
+                    let ct = &ct;
+                    s.spawn(move || {
+                        let _ = ct.insert(key, t);
+                    });
+                }
+            });
+            ct.quiesce();
+            let copies = ct
+                .iter_snapshot()
+                .iter()
+                .filter(|(k, _)| *k == key)
+                .count();
+            assert_eq!(copies, 1, "round {round}: duplicate copies survived");
+        }
+        ct.verify().unwrap();
+        assert_eq!(ct.len(), 50);
+    }
+
+    #[test]
+    fn parallel_disjoint_inserts_and_removes_are_exact() {
+        let cfg = IcebergConfig::paper_default(32);
+        let ct: ConcurrentIcebergTable<u64, u64, _> =
+            ConcurrentIcebergTable::new(cfg, XxFamily::new(cfg.hash_count(), 11));
+        let threads = 4u64;
+        let per = 300u64;
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let ct = &ct;
+                s.spawn(move || {
+                    for i in 0..per {
+                        let key = t * 1_000_000 + i;
+                        ct.insert(key, key + 1).unwrap();
+                    }
+                    // Remove every other key again.
+                    for i in (0..per).step_by(2) {
+                        let key = t * 1_000_000 + i;
+                        assert_eq!(ct.remove(&key).map(|(_, v)| v), Some(key + 1));
+                    }
+                });
+            }
+        });
+        ct.quiesce();
+        assert_eq!(ct.len() as u64, threads * per / 2);
+        for t in 0..threads {
+            for i in 0..per {
+                let key = t * 1_000_000 + i;
+                assert_eq!(ct.get(&key).is_some(), i % 2 == 1, "key {key}");
+            }
+        }
+        ct.verify().unwrap();
+        assert_eq!(ct.conflict_count(), 0);
+    }
+
+    #[test]
+    fn atomic_word_round_trips() {
+        assert_eq!(u8::from_word(7u8.to_word()), 7);
+        assert_eq!(u16::from_word(0xBEEFu16.to_word()), 0xBEEF);
+        assert_eq!(u32::from_word(0xDEAD_BEEFu32.to_word()), 0xDEAD_BEEF);
+        assert_eq!(u64::from_word(u64::MAX.to_word()), u64::MAX);
+        let t = (0xAAAA_0001u32, 0x5555_0002u32);
+        assert_eq!(<(u32, u32)>::from_word(t.to_word()), t);
+    }
+}

@@ -39,13 +39,17 @@
 // Production code returns typed errors; .unwrap() is for tests only.
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
+pub mod concurrent;
 pub mod config;
+pub mod epoch;
 pub mod experiments;
 pub mod placement;
 pub mod stats;
 pub mod table;
 
+pub use concurrent::{AtomicWord, ConcurrentIcebergTable, SlotState};
 pub use config::IcebergConfig;
+pub use epoch::{EpochDomain, Guard, Participant};
 pub use placement::{CandidateSet, SlotRef, Yard};
 pub use stats::OccupancyStats;
 pub use table::{IcebergTable, InsertError, InsertOutcome, TableInvariantError};

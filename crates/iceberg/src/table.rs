@@ -131,6 +131,12 @@ pub struct IcebergTable<K, V, F> {
     back: Vec<Option<(K, V)>>,
     /// Per-bucket backyard occupancy, for O(1) power-of-d-choices.
     back_occupancy: Vec<u32>,
+    /// Occupied front-yard slots, maintained on insert/remove so
+    /// [`occupancy`](Self::occupancy) is O(1) instead of an O(slots) scan.
+    front_occupied: usize,
+    /// Occupied backyard slots (the sum of `back_occupancy`), cached for
+    /// the same reason.
+    back_occupied: usize,
     len: usize,
     obs: TableObs,
 }
@@ -174,6 +180,8 @@ impl<K: IcebergKey, V, F: HashFamily> IcebergTable<K, V, F> {
                 .take(cfg.num_buckets() * cfg.back_slots())
                 .collect(),
             back_occupancy: vec![0; cfg.num_buckets()],
+            front_occupied: 0,
+            back_occupied: 0,
             len: 0,
             cfg,
             family,
@@ -317,6 +325,7 @@ impl<K: IcebergKey, V, F: HashFamily> IcebergTable<K, V, F> {
         }) {
             if self.cell(slot).is_none() {
                 *self.cell_mut(slot) = Some((key, value));
+                self.front_occupied += 1;
                 self.len += 1;
                 self.obs.probe_front.record(slot.slot as u64 + 1);
                 self.obs.inserts.inc();
@@ -343,6 +352,7 @@ impl<K: IcebergKey, V, F: HashFamily> IcebergTable<K, V, F> {
                 .expect("occupancy counter says a free slot exists");
             *self.cell_mut(slot) = Some((key, value));
             self.back_occupancy[emptiest] += 1;
+            self.back_occupied += 1;
             self.len += 1;
             self.obs
                 .probe_front
@@ -361,8 +371,12 @@ impl<K: IcebergKey, V, F: HashFamily> IcebergTable<K, V, F> {
     pub fn remove(&mut self, key: &K) -> Option<V> {
         let slot = self.slot_of(key)?;
         let (_, value) = self.cell_mut(slot).take()?;
-        if slot.yard == Yard::Back {
-            self.back_occupancy[slot.bucket] -= 1;
+        match slot.yard {
+            Yard::Front => self.front_occupied -= 1,
+            Yard::Back => {
+                self.back_occupancy[slot.bucket] -= 1;
+                self.back_occupied -= 1;
+            }
         }
         self.len -= 1;
         self.obs.load.set(self.load_factor());
@@ -377,11 +391,12 @@ impl<K: IcebergKey, V, F: HashFamily> IcebergTable<K, V, F> {
             .filter_map(|c| c.as_ref().map(|(k, v)| (k, v)))
     }
 
-    /// Computes occupancy statistics for the whole table.
+    /// Occupancy statistics for the whole table, from the cached per-yard
+    /// counters — O(1), so snapshot/obs paths can call it per interval
+    /// without rescanning both yards. [`verify`](Self::verify) cross-checks
+    /// the counters against a full scan.
     pub fn occupancy(&self) -> OccupancyStats {
-        let front_occupied = self.front.iter().filter(|c| c.is_some()).count();
-        let back_occupied = self.back.iter().filter(|c| c.is_some()).count();
-        OccupancyStats::new(&self.cfg, front_occupied, back_occupied)
+        OccupancyStats::new(&self.cfg, self.front_occupied, self.back_occupied)
     }
 
     /// Checks the table's structural invariants: the cached length and
@@ -399,6 +414,15 @@ impl<K: IcebergKey, V, F: HashFamily> IcebergTable<K, V, F> {
                     "len {} but {} cells occupied",
                     self.len,
                     front_occupied + back_occupied
+                ),
+            });
+        }
+        if front_occupied != self.front_occupied || back_occupied != self.back_occupied {
+            return Err(TableInvariantError {
+                invariant: "yard-occupancy",
+                detail: format!(
+                    "cached {}/{} front/back occupied vs walk {front_occupied}/{back_occupied}",
+                    self.front_occupied, self.back_occupied
                 ),
             });
         }
@@ -660,6 +684,37 @@ mod tests {
         let err = t.verify().unwrap_err();
         assert_eq!(err.invariant, "back-occupancy");
         assert!(err.to_string().contains("back-occupancy"));
+    }
+
+    #[test]
+    fn occupancy_counters_match_full_scan_after_random_ops() {
+        // The O(1) occupancy() must agree with an O(slots) walk at every
+        // point of a random insert/remove/update sequence.
+        let mut t = table(8);
+        let mut rng = SplitMix64::new(0xBEEF);
+        for step in 0..10_000u64 {
+            let key = rng.next_below(700);
+            if rng.next_below(3) == 0 {
+                t.remove(&key);
+            } else {
+                let _ = t.insert(key, step);
+            }
+            if step % 500 == 0 {
+                let scan_front = t.front.iter().filter(|c| c.is_some()).count();
+                let scan_back = t.back.iter().filter(|c| c.is_some()).count();
+                let o = t.occupancy();
+                assert_eq!(o.front_occupied, scan_front, "step {step}");
+                assert_eq!(o.back_occupied, scan_back, "step {step}");
+                assert_eq!(o.occupied(), t.len(), "step {step}");
+            }
+        }
+        t.verify().expect("counters stay consistent");
+        // Corrupt a cached counter; verify must name the invariant.
+        t.front_occupied += 1;
+        let err = t.verify().unwrap_err();
+        assert_eq!(err.invariant, "yard-occupancy");
+        t.front_occupied -= 1;
+        t.verify().unwrap();
     }
 
     #[test]

@@ -1,0 +1,238 @@
+//! Concurrent-vs-serial-oracle equivalence and epoch-reclamation safety.
+//!
+//! Two harness shapes, matching what each can honestly promise:
+//!
+//! * **Seeded logical interleavings** — N logical threads' op streams are
+//!   interleaved whole-op by a seeded scheduler and executed on one real
+//!   thread. Whole ops linearize trivially, so the concurrent table must
+//!   match the serial table **exactly**: every outcome, every placement
+//!   slot, every conflict (including remove-heavy and at-capacity
+//!   insert-failure interleavings), plus final occupancy/probe stats.
+//! * **Real-thread stress** — threads race on disjoint key ranges below
+//!   85 % load; each op's linearization stamp orders a log that is then
+//!   replayed into a fresh serial table. Final contents, length and load
+//!   factor must agree (placement itself may legally differ: power-of-d
+//!   reads transient fills under real races).
+
+use mosaic_hash::{SplitMix64, XxFamily};
+use mosaic_iceberg::{ConcurrentIcebergTable, IcebergConfig, IcebergTable, SlotState};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Insert(u64, u64),
+    Remove(u64),
+}
+
+/// One logical thread's op stream over a shared keyspace; `remove_weight`
+/// removes per 3 inserts (the vendored proptest's `prop_oneof!` is
+/// unweighted, so the bias rides in a selector field).
+fn stream_strategy(keyspace: u64, remove_weight: u32) -> impl Strategy<Value = Vec<Op>> {
+    let op = (any::<u64>(), any::<u64>(), any::<u32>()).prop_map(move |(k, v, sel)| {
+        if sel % (3 + remove_weight) < 3 {
+            Op::Insert(k % keyspace, v)
+        } else {
+            Op::Remove(k % keyspace)
+        }
+    });
+    prop::collection::vec(op, 1..120)
+}
+
+/// Interleaves the streams whole-op with a seeded scheduler and runs the
+/// same sequence through both tables, demanding exact equality.
+fn check_interleaving(buckets: usize, streams: Vec<Vec<Op>>, sched_seed: u64) -> Result<(), TestCaseError> {
+    let cfg = IcebergConfig::paper_default(buckets);
+    let ct: ConcurrentIcebergTable<u64, u64, XxFamily> =
+        ConcurrentIcebergTable::new(cfg, XxFamily::new(cfg.hash_count(), 0xFEED));
+    let mut st: IcebergTable<u64, u64, XxFamily> =
+        IcebergTable::new(cfg, XxFamily::new(cfg.hash_count(), 0xFEED));
+
+    let mut cursors: Vec<std::vec::IntoIter<Op>> =
+        streams.into_iter().map(Vec::into_iter).collect();
+    let mut rng = SplitMix64::new(sched_seed);
+    let mut live: Vec<usize> = (0..cursors.len()).collect();
+    while !live.is_empty() {
+        let pick = rng.next_below(live.len() as u64) as usize;
+        let Some(op) = cursors[live[pick]].next() else {
+            live.swap_remove(pick);
+            continue;
+        };
+        match op {
+            Op::Insert(k, v) => {
+                let c = ct.insert(k, v).map(|(_, o)| o).map_err(|e| e.value);
+                let s = st.insert(k, v).map_err(|e| e.value);
+                prop_assert_eq!(c, s, "insert({}) diverged", k);
+            }
+            Op::Remove(k) => {
+                let c = ct.remove(&k).map(|(_, v)| v);
+                let s = st.remove(&k);
+                prop_assert_eq!(c, s, "remove({}) diverged", k);
+            }
+        }
+        prop_assert_eq!(ct.len(), st.len());
+    }
+
+    prop_assert_eq!(ct.pending_reclaim(), 0, "unpinned limbo must drain");
+    let (co, so) = (ct.occupancy(), st.occupancy());
+    prop_assert_eq!(co.front_occupied, so.front_occupied);
+    prop_assert_eq!(co.back_occupied, so.back_occupied);
+    // Probe-length (candidate-index) distribution: exact per key.
+    for (k, v) in st.iter() {
+        prop_assert_eq!(ct.get(k), Some(*v));
+        prop_assert_eq!(ct.slot_of(k), st.slot_of(k), "placement of {} diverged", k);
+        prop_assert_eq!(ct.candidate_index_of(k), st.candidate_index_of(k));
+    }
+    ct.verify().expect("concurrent invariants");
+    st.verify().expect("serial invariants");
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Mixed insert/remove interleavings well below capacity.
+    #[test]
+    fn interleavings_match_serial_oracle(
+        streams in prop::collection::vec(stream_strategy(300, 1), 2..5),
+        sched_seed in any::<u64>(),
+    ) {
+        check_interleaving(8, streams, sched_seed)?; // 512 slots >= 300 keys
+    }
+
+    /// Remove-heavy interleavings: the limbo/reclaim path dominates.
+    #[test]
+    fn remove_heavy_interleavings_match_serial_oracle(
+        streams in prop::collection::vec(stream_strategy(300, 6), 2..5),
+        sched_seed in any::<u64>(),
+    ) {
+        check_interleaving(8, streams, sched_seed)?;
+    }
+
+    /// At-capacity interleavings: the keyspace (1200) exceeds the slot
+    /// count (512), so insert failures (associativity conflicts) must
+    /// fire at exactly the same ops as the serial table's.
+    #[test]
+    fn at_capacity_insert_failures_match_serial_oracle(
+        streams in prop::collection::vec(stream_strategy(1200, 1), 2..5),
+        sched_seed in any::<u64>(),
+    ) {
+        check_interleaving(8, streams, sched_seed)?;
+    }
+
+    /// Epoch-reclamation safety: while a reader guard from before the
+    /// removals is pinned, no retired slot may be recycled (it stays
+    /// LIMBO and is never re-handed to an insert); all drain on unpin.
+    #[test]
+    fn no_slot_reused_while_reader_holds_guard(
+        keys in prop::collection::hash_set(0u64..400, 10..120),
+        removals in prop::collection::vec(any::<u64>(), 1..40),
+        fresh in prop::collection::hash_set(1000u64..1400, 1..60),
+    ) {
+        let cfg = IcebergConfig::paper_default(8);
+        let ct: ConcurrentIcebergTable<u64, u64, XxFamily> =
+            ConcurrentIcebergTable::new(cfg, XxFamily::new(cfg.hash_count(), 0xACE));
+        let keys: Vec<u64> = keys.into_iter().collect();
+        for &k in &keys {
+            ct.insert(k, k).expect("below capacity");
+        }
+        let reader = ct.register_reader();
+        let guard = reader.pin();
+        let mut retired = Vec::new();
+        for idx in removals {
+            let k = keys[(idx % keys.len() as u64) as usize];
+            if let Some(slot) = ct.slot_of(&k) {
+                if ct.remove(&k).is_some() {
+                    retired.push(slot);
+                }
+            }
+        }
+        // Pressure the allocator while the guard is live: fresh inserts
+        // and explicit quiesce attempts must not recycle retired slots.
+        ct.quiesce();
+        for &k in &fresh {
+            ct.insert(k, k).expect("still below capacity");
+        }
+        prop_assert_eq!(ct.pending_reclaim(), retired.len());
+        for &slot in &retired {
+            prop_assert_eq!(ct.slot_state(slot), SlotState::Limbo,
+                "slot {:?} recycled under a pinned reader", slot);
+        }
+        drop(guard);
+        prop_assert_eq!(ct.quiesce(), 0);
+        for &slot in &retired {
+            prop_assert_eq!(ct.slot_state(slot), SlotState::Empty);
+        }
+        ct.verify().expect("invariants after drain");
+    }
+}
+
+/// Real threads, disjoint key ranges, ≤85 % load: the stamped op log,
+/// replayed serially in stamp order, must reproduce the concurrent
+/// table's final contents exactly — and no conflicts may fire.
+#[test]
+fn real_thread_stress_matches_serialized_replay() {
+    let cfg = IcebergConfig::paper_default(32); // 2048 slots
+    let ct: ConcurrentIcebergTable<u64, u64, XxFamily> =
+        ConcurrentIcebergTable::new(cfg, XxFamily::new(cfg.hash_count(), 0xD1CE));
+    let threads = 4u64;
+    let per = 400u64; // peak 1600 live entries = 78 % load
+    let logs: Vec<Vec<(u64, Op)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let ct = &ct;
+                s.spawn(move || {
+                    let mut rng = SplitMix64::new(0x5EED ^ t);
+                    let mut log = Vec::new();
+                    let mut live: Vec<u64> = Vec::new();
+                    for i in 0..per {
+                        let key = t * 1_000_000 + i;
+                        let (seq, _) = ct.insert(key, key ^ 0xFF).expect("below 85% load");
+                        log.push((seq, Op::Insert(key, key ^ 0xFF)));
+                        live.push(key);
+                        // Remove ~1/3 of our own keys as we go.
+                        if rng.next_below(3) == 0 {
+                            let victim = live.swap_remove(
+                                rng.next_below(live.len() as u64) as usize,
+                            );
+                            let (seq, _) = ct.remove(&victim).expect("own key present");
+                            log.push((seq, Op::Remove(victim)));
+                        }
+                    }
+                    log
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker")).collect()
+    });
+
+    ct.quiesce();
+    assert_eq!(ct.conflict_count(), 0, "78% load must not conflict");
+    assert_eq!(ct.pending_reclaim(), 0);
+    ct.verify().expect("concurrent invariants");
+
+    // Serialized replay in linearization-stamp order.
+    let mut log: Vec<(u64, Op)> = logs.into_iter().flatten().collect();
+    log.sort_unstable_by_key(|&(seq, _)| seq);
+    let stamps: Vec<u64> = log.iter().map(|&(s, _)| s).collect();
+    assert_eq!(stamps.len() as u64, ct.seq(), "stamps are dense");
+    assert!(stamps.windows(2).all(|w| w[0] < w[1]), "stamps are unique");
+    let mut oracle: IcebergTable<u64, u64, XxFamily> =
+        IcebergTable::new(cfg, XxFamily::new(cfg.hash_count(), 0xD1CE));
+    for (_, op) in log {
+        match op {
+            Op::Insert(k, v) => {
+                oracle.insert(k, v).expect("oracle below capacity");
+            }
+            Op::Remove(k) => {
+                oracle.remove(&k).expect("oracle has the key");
+            }
+        }
+    }
+    assert_eq!(ct.len(), oracle.len());
+    assert!((ct.load_factor() - oracle.load_factor()).abs() < 1e-12);
+    let mut got: Vec<(u64, u64)> = ct.iter_snapshot();
+    got.sort_unstable();
+    let mut want: Vec<(u64, u64)> = oracle.iter().map(|(&k, &v)| (k, v)).collect();
+    want.sort_unstable();
+    assert_eq!(got, want, "final contents differ from serialized replay");
+}

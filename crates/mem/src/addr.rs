@@ -168,6 +168,36 @@ impl core::fmt::Display for PageKey {
     }
 }
 
+impl mosaic_iceberg::table::IcebergKey for PageKey {
+    fn hash_key(&self) -> u64 {
+        PageKey::hash_key(*self)
+    }
+}
+
+impl mosaic_iceberg::AtomicWord for PageKey {
+    /// The packed hash key doubles as the slot word: it is injective
+    /// (asserted in [`PageKey::new`]), which is exactly what the
+    /// concurrent table's word-compared reads require.
+    fn to_word(&self) -> u64 {
+        PageKey::hash_key(*self)
+    }
+    fn from_word(word: u64) -> Self {
+        Self {
+            asid: Asid((word >> VPN_BITS) as u16),
+            vpn: Vpn(word & ((1 << VPN_BITS) - 1)),
+        }
+    }
+}
+
+impl mosaic_iceberg::AtomicWord for Pfn {
+    fn to_word(&self) -> u64 {
+        self.0
+    }
+    fn from_word(word: u64) -> Self {
+        Pfn(word)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

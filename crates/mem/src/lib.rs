@@ -61,6 +61,7 @@ pub mod obs;
 pub mod policy;
 pub mod quota;
 pub mod scanner;
+pub mod shadow;
 pub mod sharing;
 pub mod stats;
 
@@ -96,5 +97,6 @@ pub use obs::MemObs;
 pub use policy::MosaicPolicy;
 pub use quota::{QuotaStats, QuotaTable, TenantQuota};
 pub use scanner::{AccessScanner, ScannerConfig, ScannerStats};
+pub use shadow::ConcurrentShadow;
 pub use sharing::SharedMosaicMemory;
 pub use stats::{PagingStats, ResilienceStats};

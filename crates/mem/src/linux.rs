@@ -425,8 +425,11 @@ impl MemoryManager for LinuxMemory {
             .collect();
         // Freed frames return to the free stack in key order, so the
         // placement of later allocations is independent of hash-map
-        // iteration order (byte-identical replays need this).
-        keys.sort_unstable_by_key(|k| k.hash_key());
+        // iteration order (byte-identical replays need this). The key
+        // itself breaks any hash_key tie — the packing is injective so
+        // ties cannot happen today, but determinism must not hinge on
+        // that side fact.
+        keys.sort_unstable_by_key(|k| (k.hash_key(), k.asid.0, k.vpn.0));
         let mut freed = 0;
         for key in keys {
             if self.release(key) {

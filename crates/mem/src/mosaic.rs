@@ -21,6 +21,7 @@ use crate::manager::{AccessKind, AccessOutcome, MemoryManager};
 use crate::obs::MemObs;
 use crate::policy::MosaicPolicy;
 use crate::quota::{QuotaStats, QuotaTable, TenantQuota};
+use crate::shadow::ConcurrentShadow;
 use crate::scanner::{AccessScanner, ScannerConfig};
 use crate::stats::{PagingStats, ResilienceStats, UtilizationTracker};
 use mosaic_hash::XxFamily;
@@ -65,6 +66,9 @@ pub struct MosaicMemory {
     /// Per-tenant working-set quotas; `None` keeps every path
     /// byte-identical to the quota-less manager.
     quotas: Option<QuotaTable>,
+    /// Concurrent-allocator mirror of `resident`; `None` (the default)
+    /// keeps every path byte-identical to the shadow-less manager.
+    shadow: Option<ConcurrentShadow>,
     /// When present, injects deterministic faults into allocation, swap
     /// I/O, and cached translations (robustness experiments).
     fault: Option<FaultInjector>,
@@ -104,6 +108,7 @@ impl MosaicMemory {
             live_budget,
             scanner: None,
             quotas: None,
+            shadow: None,
             fault: None,
             resilience: ResilienceStats::new(),
             stats: PagingStats::new(),
@@ -125,6 +130,29 @@ impl MosaicMemory {
     /// The fault injector, if one is attached.
     pub fn fault_injector(&self) -> Option<&FaultInjector> {
         self.fault.as_ref()
+    }
+
+    /// Attaches a [`ConcurrentShadow`]: from now on every residency-map
+    /// mutation is mirrored into a lock-free
+    /// [`ConcurrentIcebergTable`](mosaic_iceberg::ConcurrentIcebergTable),
+    /// and [`verify`](crate::manager::MemoryManager::verify) cross-checks
+    /// the mirror against the map. Pages already resident are seeded in.
+    /// Purely observational: allocation decisions are unchanged, so all
+    /// outputs stay byte-identical with the shadow on or off.
+    pub fn enable_concurrent_shadow(&mut self) {
+        let mut sh = ConcurrentShadow::new(self.layout().config(), self.family);
+        let mut seed: Vec<(PageKey, Pfn)> =
+            self.resident.iter().map(|(&k, &p)| (k, p)).collect();
+        seed.sort_unstable_by_key(|&(k, _)| (k.hash_key(), k.asid.0, k.vpn.0));
+        for (key, pfn) in seed {
+            sh.note_install(key, pfn);
+        }
+        self.shadow = Some(sh);
+    }
+
+    /// The concurrent-allocator mirror, if enabled.
+    pub fn concurrent_shadow(&self) -> Option<&ConcurrentShadow> {
+        self.shadow.as_ref()
     }
 
     /// Creates a manager whose access timestamps are produced by the
@@ -327,6 +355,9 @@ impl MosaicMemory {
         self.obs
             .attrib_evicted(self.obs_requester, entry.key.asid.0, quota_self);
         self.resident.remove(&entry.key);
+        if let Some(sh) = self.shadow.as_mut() {
+            sh.note_remove(entry.key);
+        }
         self.global_lru.remove(&entry.key);
         if let Some(q) = self.quotas.as_mut() {
             q.note_evict(entry.key);
@@ -368,6 +399,9 @@ impl MosaicMemory {
         let Some(pfn) = self.resident.remove(&key) else {
             return false;
         };
+        if let Some(sh) = self.shadow.as_mut() {
+            sh.note_remove(key);
+        }
         let entry = self.frames.evict(pfn);
         debug_assert_eq!(entry.key, key);
         self.global_lru.remove(&key);
@@ -702,6 +736,9 @@ impl MemoryManager for MosaicMemory {
         };
         self.frames.install(pfn, entry);
         self.resident.insert(key, pfn);
+        if let Some(sh) = self.shadow.as_mut() {
+            sh.note_install(key, pfn);
+        }
         if let Some(q) = self.quotas.as_mut() {
             q.note_install(key, now);
         }
@@ -766,8 +803,11 @@ impl MemoryManager for MosaicMemory {
             .copied()
             .collect();
         // Iceberg placement depends only on table state, not release
-        // order, but a deterministic order keeps replays auditable.
-        keys.sort_unstable_by_key(|k| k.hash_key());
+        // order, but a deterministic order keeps replays auditable. The
+        // hash key is injective today (asserted in PageKey::new); the
+        // (asid, vpn) tiebreak keeps the order total even if the packing
+        // ever stops being so, so racing frees can never reorder victims.
+        keys.sort_unstable_by_key(|k| (k.hash_key(), k.asid.0, k.vpn.0));
         let mut freed = 0;
         for key in keys {
             if self.release(key) {
@@ -846,6 +886,9 @@ impl MemoryManager for MosaicMemory {
         }
         if let Some(q) = self.quotas.as_ref() {
             invariants::check_quota_accounting(q, &self.resident)?;
+        }
+        if let Some(sh) = self.shadow.as_ref() {
+            sh.verify_against(&self.resident)?;
         }
         // Placement: every resident page sits inside its candidate set,
         // so every CPFN stays decodable.

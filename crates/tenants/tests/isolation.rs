@@ -26,6 +26,8 @@ fn hostile_cfg(load: f64) -> TenantsConfig {
         hostile_churn_every: 2_000,
         quota_frac_pct: 125,
         priority_spread: 2,
+        shared_traces: false,
+        concurrent_alloc: false,
     }
 }
 

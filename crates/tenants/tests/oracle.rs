@@ -24,6 +24,8 @@ fn one_tenant(workload: PressureWorkload, load: f64) -> TenantsConfig {
         hostile_churn_every: 2_000,
         quota_frac_pct: 0,
         priority_spread: 1,
+        shared_traces: false,
+        concurrent_alloc: false,
     }
 }
 

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Reruns every bench suite (bench_obs, bench_parallel, bench_tenants,
-# bench_isolation, bench_step — each rewrites its BENCH_*.json in
-# place) and then
+# bench_isolation, bench_step, bench_iceberg — each rewrites its
+# BENCH_*.json in place) and then
 # prints percent deltas against the baselines committed at HEAD via
 # bench_delta.sh. Deltas are warn-only: wall times are host-dependent;
 # what must NOT drift (miss-reduction headlines, fault-rate outputs) is
@@ -11,7 +11,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-SUITES=(obs parallel tenants isolation step)
+SUITES=(obs parallel tenants isolation step iceberg)
 skip=""
 if [[ "${1:-}" == "--skip" ]]; then
     skip=",${2:?--skip needs a comma-separated suite list},"

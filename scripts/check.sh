@@ -96,6 +96,23 @@ echo "==> tenants golden gate (default sweep must reproduce results_tenants.txt)
 ./target/release/tenants --jobs 4 > "$OBS_TMP/tengold.txt" 2>/dev/null
 cmp "$OBS_TMP/tengold.txt" results_tenants.txt
 
+echo "==> concurrent-determinism gate (--concurrent-alloc must not change stdout)"
+# The lock-free mirror is observational: the golden sweep with the
+# shadow on (cross-checked at every verify) must stay byte-identical,
+# and so must a jobs-1-vs-8 pair with sharing and the shadow both on.
+./target/release/tenants --jobs 4 --concurrent-alloc > "$OBS_TMP/tenshadow.txt" 2>/dev/null
+cmp "$OBS_TMP/tenshadow.txt" results_tenants.txt
+CON_FLAGS=(--tenants 16 --buckets 16 --steps 60000 --churn 10000 --loads 90,110
+           --shared-traces --concurrent-alloc)
+for jobs in 1 8; do
+  ./target/release/tenants "${CON_FLAGS[@]}" --jobs "$jobs" \
+    > "$OBS_TMP/con$jobs.txt" 2>/dev/null
+done
+cmp "$OBS_TMP/con1.txt" "$OBS_TMP/con8.txt"
+
+echo "==> seeded-interleaving stress gate (concurrent table vs serial oracle)"
+cargo test -q --offline -p mosaic-iceberg --test concurrent_oracle
+
 echo "==> hostile-tenant determinism gate (thrasher + faults, --jobs 1 vs 8)"
 ISO_FLAGS=(--tenants 16 --buckets 16 --steps 60000 --churn 10000 --loads 90,105
            --hostile thrasher --quota-frac 125 --priority-spread 2 --fault-ppm 200)
@@ -130,7 +147,7 @@ echo "==> attribution golden gate (must reproduce results_attrib.txt)"
 cmp "$OBS_TMP/atgold.txt" results_attrib.txt
 
 echo "==> bench-delta (warn-only) vs BENCH_*.json baselines committed at HEAD"
-for s in obs parallel tenants isolation step; do
+for s in obs parallel tenants isolation step iceberg; do
   if git show "HEAD:BENCH_${s}.json" > "$OBS_TMP/BENCH_${s}.base.json" 2>/dev/null; then
     scripts/bench_delta.sh "$OBS_TMP/BENCH_${s}.base.json" "BENCH_${s}.json" || true
   fi
